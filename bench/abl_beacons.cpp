@@ -1,0 +1,29 @@
+// Ablation A9 — genie neighborhoods vs HELLO beaconing.
+//
+// Simulation studies (the paper's included) usually give GPSR perfect
+// instantaneous neighbor knowledge. Real GPSR discovers neighbors from
+// periodic HELLOs and routes on positions up to one interval stale. This
+// sweep quantifies what the idealization is worth — in airtime and in
+// success rate — at the paper's densities.
+#include "abl_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 2);
+
+  std::vector<bench::Variant> variants;
+  {
+    ScenarioConfig cfg = paper_scenario(300, 9600);
+    variants.push_back({"genie neighbors", cfg});
+  }
+  for (double interval : {0.5, 1.0, 2.0}) {
+    ScenarioConfig cfg = paper_scenario(300, 9600);
+    cfg.beacons.enabled = true;
+    cfg.beacons.interval_sec = interval;
+    cfg.beacons.timeout_sec = 3.0 * interval;
+    variants.push_back({"beacons " + fmt_double(interval, 1) + " s", cfg});
+  }
+
+  bench::run_variants("Ablation A9: neighbor discovery", variants, replicas);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared scaffolding for the ablation benches: sweep HLSRG config variants
+// (not protocols) over the same scenario and print every headline metric.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace hlsrg::bench {
+
+struct Variant {
+  std::string label;
+  ScenarioConfig config;
+};
+
+inline void run_variants(const std::string& title,
+                         const std::vector<Variant>& variants, int replicas) {
+  std::printf("== %s ==\n   (%d replicas per variant)\n", title.c_str(),
+              replicas);
+  TextTable table;
+  table.add_row({"variant", "updates", "query tx", "success", "delay ms",
+                 "aggregation"});
+  for (const Variant& v : variants) {
+    const ReplicaSet s = run_replicas(v.config, Protocol::kHlsrg, replicas);
+    table.add_row({
+        v.label,
+        fmt_double(s.mean_update_overhead(), 1),
+        fmt_double(s.mean_query_overhead(), 1),
+        fmt_percent(static_cast<double>(s.merged.queries_succeeded),
+                    static_cast<double>(s.merged.queries_issued)),
+        fmt_double(s.mean_query_latency_ms(), 1),
+        fmt_double(static_cast<double>(s.merged.aggregation_packets) /
+                       static_cast<double>(s.replicas.size()),
+                   1),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("-- CSV --\n%s\n", table.render_csv().c_str());
+}
+
+}  // namespace hlsrg::bench

@@ -1,0 +1,28 @@
+// Ablation A4 — table expiry vs staleness (DESIGN.md).
+//
+// The paper fixes L1/L2 expiry at 2.2 min ("about 1000 m") and L3 at twice
+// that. Shorter expiry keeps tables fresh but forgets vehicles that update
+// rarely (class-1 straight drivers); longer expiry keeps everyone findable
+// but directional searches start from ancient positions.
+#include "abl_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 3);
+
+  std::vector<bench::Variant> variants;
+  for (double minutes : {1.1, 2.2, 4.4, 8.8}) {
+    ScenarioConfig cfg = paper_scenario(500, 8000);
+    // Expiry only binds when tables have had time to age: query after four
+    // simulated minutes so even the 4.4 min horizon is exercised.
+    cfg.warmup = SimTime::from_sec(250.0);
+    cfg.query_window = SimTime::from_sec(60.0);
+    cfg.hlsrg.l1_expiry = SimTime::from_min(minutes);
+    cfg.hlsrg.l2_expiry = SimTime::from_min(minutes);
+    cfg.hlsrg.l3_expiry = SimTime::from_min(2.0 * minutes);
+    variants.push_back({"expiry " + fmt_double(minutes, 1) + " min", cfg});
+  }
+
+  bench::run_variants("Ablation A4: table expiry sweep", variants, replicas);
+  return 0;
+}

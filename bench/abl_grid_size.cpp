@@ -1,0 +1,25 @@
+// Ablation A3 — L1 grid size vs the radio range (DESIGN.md).
+//
+// The paper fixes grids at 500 m = one communication range. Sweeping the
+// partition target shows the trade-off: small grids mean more boundaries
+// (more class-2 updates) and centers that cover their grid easily; large
+// grids mean fewer updates but region geocasts and center collection start
+// missing vehicles.
+#include "abl_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 3);
+
+  std::vector<bench::Variant> variants;
+  for (double target : {250.0, 500.0, 1000.0}) {
+    ScenarioConfig cfg = paper_scenario(500, 7000);
+    cfg.partition.target_size = target;
+    variants.push_back(
+        {"L1 grid ~" + std::to_string(static_cast<int>(target)) + " m", cfg});
+  }
+
+  bench::run_variants("Ablation A3: road-adapted grid size", variants,
+                      replicas);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Ablation A7 — road-adapted vs misaligned grids on messy street networks.
+//
+// The road-adapted partition's whole point is following real streets. The
+// regular Manhattan map is the friendliest possible case; this bench repeats
+// the comparison on irregular maps (jittered normal-road lines, 15% of
+// normal edges missing) where the partition must reject arteries and promote
+// normal roads, while RLSMP's lat/long cells are indifferent to both.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 3);
+
+  std::vector<bench::SweepRow> rows;
+  for (bool irregular : {false, true}) {
+    ScenarioConfig cfg = paper_scenario(500, 9900);
+    cfg.map.irregular = irregular;
+    rows.push_back({irregular ? "irregular map" : "regular map", cfg});
+  }
+
+  bench::run_and_print("Ablation A7: map regularity (success rate)",
+                       "success", rows, replicas,
+                       [](const ReplicaSet& s) { return s.mean_success_rate(); });
+  bench::run_and_print("Ablation A7: map regularity (mean delay ms)",
+                       "delay ms", rows, replicas, [](const ReplicaSet& s) {
+                         return s.mean_query_latency_ms();
+                       });
+  return 0;
+}

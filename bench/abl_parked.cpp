@@ -1,0 +1,24 @@
+// Ablation A8 — parked vehicles as infrastructure.
+//
+// The paper's speed range starts at 0 km/h. Parked cars never cross grid
+// boundaries (no updates) but their radios stay on, so they thicken the
+// relay fabric and can hold grid-center tables indefinitely. This sweep
+// shows how much free "infrastructure" parked density buys HLSRG.
+#include "abl_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 3);
+
+  std::vector<bench::Variant> variants;
+  for (double parked : {0.0, 0.1, 0.25, 0.5}) {
+    ScenarioConfig cfg = paper_scenario(500, 9800);
+    cfg.mobility.parked_fraction = parked;
+    variants.push_back(
+        {"parked " + fmt_double(100.0 * parked, 0) + "%", cfg});
+  }
+
+  bench::run_variants("Ablation A8: parked-vehicle fraction", variants,
+                      replicas);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Ablation A2 — what do the RSUs buy (DESIGN.md)?
+//
+// The paper credits RSUs for the success-rate and delay advantages. Variants:
+//   with RSUs     — L2/L3 RSUs deployed and wired (the published protocol)
+//   vehicle-only  — no infrastructure; collection stops at L1 grid centers
+#include "abl_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 4);
+
+  std::vector<bench::Variant> variants;
+  for (int vehicles : {300, 500}) {
+    ScenarioConfig with = paper_scenario(vehicles, 6000);
+    variants.push_back({"with RSUs, " + std::to_string(vehicles) + " veh",
+                        with});
+    ScenarioConfig without = with;
+    without.hlsrg.use_rsus = false;
+    variants.push_back({"vehicle-only, " + std::to_string(vehicles) + " veh",
+                        without});
+  }
+
+  bench::run_variants("Ablation A2: RSU infrastructure on/off", variants,
+                      replicas);
+  return 0;
+}

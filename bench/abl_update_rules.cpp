@@ -1,0 +1,31 @@
+// Ablation A1 — how much of the update reduction comes from the artery
+// suppression rule itself (DESIGN.md)?
+//
+// Variants on identical worlds:
+//   paper rules      — class-1 suppression on (the protocol as published)
+//   no suppression   — everyone follows the class-2 rules
+//   naive crossings  — update on every L1 grid change (the strawman the
+//                      paper's introduction attributes to prior work)
+#include "abl_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 3);
+
+  ScenarioConfig base = paper_scenario(500, 5000);
+  base.grace = SimTime::from_sec(210.0);  // longer horizon for update counts
+
+  std::vector<bench::Variant> variants;
+  variants.push_back({"paper rules", base});
+
+  ScenarioConfig no_suppress = base;
+  no_suppress.hlsrg.suppress_artery_updates = false;
+  variants.push_back({"no artery suppression", no_suppress});
+
+  ScenarioConfig naive = base;
+  naive.hlsrg.naive_every_crossing = true;
+  variants.push_back({"naive every-crossing", naive});
+
+  bench::run_variants("Ablation A1: update rule variants", variants, replicas);
+  return 0;
+}

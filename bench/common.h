@@ -1,0 +1,62 @@
+// Shared scaffolding for the figure benches.
+//
+// Every figure bench sweeps an x-axis (map size or vehicle count), runs both
+// protocols over the same seeds, and prints the series the paper plots as an
+// aligned table plus CSV. `--replicas N` (or HLSRG_BENCH_REPLICAS) adjusts
+// statistical effort; the defaults keep a full `for b in build/bench/*` pass
+// in the low minutes on one core.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "util/format.h"
+
+namespace hlsrg::bench {
+
+inline int replica_count(int argc, char** argv, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--replicas") == 0) {
+      return std::max(1, std::atoi(argv[i + 1]));
+    }
+  }
+  if (const char* env = std::getenv("HLSRG_BENCH_REPLICAS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return fallback;
+}
+
+struct SweepRow {
+  std::string label;
+  ScenarioConfig config;
+};
+
+// Runs both protocols on every row and prints one table per metric
+// extractor. `metric` maps a ReplicaSet to the plotted value.
+template <typename MetricFn>
+void run_and_print(const std::string& title, const std::string& metric_name,
+                   const std::vector<SweepRow>& rows, int replicas,
+                   MetricFn metric) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("   (%d replicas per point, seeds %llu..)\n", replicas,
+              static_cast<unsigned long long>(rows.front().config.seed));
+  TextTable table;
+  table.add_row({"point", "HLSRG " + metric_name, "RLSMP " + metric_name,
+                 "HLSRG/RLSMP"});
+  for (const SweepRow& row : rows) {
+    const Comparison c = run_comparison(row.config, replicas);
+    const double h = metric(c.hlsrg);
+    const double r = metric(c.rlsmp);
+    table.add_row({row.label, fmt_double(h, 2), fmt_double(r, 2),
+                   r != 0.0 ? fmt_double(h / r, 3) : "n/a"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("-- CSV --\n%s\n", table.render_csv().c_str());
+}
+
+}  // namespace hlsrg::bench

@@ -1,0 +1,21 @@
+// Figure 3.4 — query success rate vs number of vehicles.
+//
+// Paper result: HLSRG's success rate is higher than RLSMP's at every density
+// and approaches 100%; RLSMP loses queries to stale spiral forwarding.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 4);
+
+  std::vector<bench::SweepRow> rows;
+  for (int vehicles : {300, 400, 500, 600}) {
+    ScenarioConfig cfg = paper_scenario(vehicles, 3000);
+    rows.push_back({std::to_string(vehicles) + " vehicles", cfg});
+  }
+
+  bench::run_and_print(
+      "Fig 3.4: query success rate vs vehicles", "success rate", rows,
+      replicas, [](const ReplicaSet& s) { return s.mean_success_rate(); });
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 3.5 — average time cost per query vs number of vehicles.
+//
+// Paper setup: "the result is obtained from the average of 10 simulations".
+// Paper result: HLSRG answers queries faster — the wired RSU plane forwards
+// long-distance lookups directly, while RLSMP's unresolved queries wait at
+// LSCs and spiral across clusters over multi-hop radio paths.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 10);
+
+  std::vector<bench::SweepRow> rows;
+  for (int vehicles : {300, 400, 500, 600}) {
+    ScenarioConfig cfg = paper_scenario(vehicles, 4000);
+    rows.push_back({std::to_string(vehicles) + " vehicles", cfg});
+  }
+
+  bench::run_and_print(
+      "Fig 3.5: mean query delay (ms) vs vehicles", "mean delay ms", rows,
+      replicas,
+      [](const ReplicaSet& s) { return s.mean_query_latency_ms(); });
+  return 0;
+}

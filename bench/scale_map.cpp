@@ -1,0 +1,34 @@
+// Extension bench — scaling past the paper's 2 km map.
+//
+// On a 2 km map the whole world is one L3 region and the paper's L3-to-L3
+// wired forwarding never fires. Doubling the map to 4 km (4 L3 regions,
+// constant vehicle density) exercises the full hierarchy: cross-region
+// queries must resolve through L3 gossip and the compass mesh. RLSMP scales
+// by spiralling across more clusters.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 2);
+
+  std::vector<bench::SweepRow> rows;
+  for (double size : {2000.0, 3000.0, 4000.0}) {
+    // Constant density: 500 vehicles on 2 km ^ 2.
+    const int vehicles = static_cast<int>(500.0 * (size * size) / (2000.0 * 2000.0));
+    ScenarioConfig cfg = paper_scenario(vehicles, 9950);
+    cfg.map.size_m = size;
+    rows.push_back({std::to_string(static_cast<int>(size)) + "m/" +
+                        std::to_string(vehicles) + "veh",
+                    cfg});
+  }
+
+  bench::run_and_print("Extension: map scaling (success rate)", "success",
+                       rows, replicas, [](const ReplicaSet& s) {
+                         return s.mean_success_rate();
+                       });
+  bench::run_and_print("Extension: map scaling (mean delay ms)", "delay ms",
+                       rows, replicas, [](const ReplicaSet& s) {
+                         return s.mean_query_latency_ms();
+                       });
+  return 0;
+}

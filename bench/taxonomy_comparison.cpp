@@ -1,0 +1,42 @@
+// Taxonomy comparison — the paper's related-work argument, quantified.
+//
+// Chapter 1 sorts location services into flooding-based and rendezvous-based
+// families and argues flooding "is very wasteful in terms of the networks
+// total bandwidth" while lat/long rendezvous grids (RLSMP) over-update.
+// This bench runs all three families on identical traffic:
+//   FLOOD — proactive network-wide dissemination + expected-zone queries
+//   RLSMP — uniform-cell rendezvous with spiral lookup
+//   HLSRG — road-adapted hierarchical rendezvous with RSO-backed lookup
+#include <cstdio>
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const int replicas = bench::replica_count(argc, argv, 2);
+
+  ScenarioConfig cfg = paper_scenario(300, 9000);
+
+  std::printf("== Taxonomy: flooding vs rendezvous families (%d vehicles) ==\n",
+              cfg.vehicles);
+  TextTable table;
+  table.add_row({"protocol", "update pkts", "update tx (airtime)", "query tx",
+                 "success", "mean delay ms"});
+  for (Protocol protocol :
+       {Protocol::kFlood, Protocol::kRlsmp, Protocol::kHlsrg}) {
+    const ReplicaSet s = run_replicas(cfg, protocol, replicas);
+    const double n = static_cast<double>(s.replicas.size());
+    table.add_row({
+        protocol_name(protocol),
+        fmt_double(static_cast<double>(s.merged.update_packets_originated) / n, 1),
+        fmt_double(static_cast<double>(s.merged.update_transmissions) / n, 1),
+        fmt_double(s.mean_query_overhead(), 1),
+        fmt_percent(static_cast<double>(s.merged.queries_succeeded),
+                    static_cast<double>(s.merged.queries_issued)),
+        fmt_double(s.mean_query_latency_ms(), 1),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("-- CSV --\n%s\n", table.render_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Scenario CLI: a flag-driven simulation driver (the "ns-2 command line" of
+// this repository). Runs one scenario under any protocol and prints the full
+// metric set; optionally writes a per-event CSV trace.
+//
+//   $ ./scenario_cli --protocol hlsrg --vehicles 500 --size 2000 --seed 42
+//   $ ./scenario_cli --workload poisson --no-rsus --trace out.csv
+//   $ ./scenario_cli --map data/demo_irregular_2km.map --irregular
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "harness/scenario.h"
+#include "harness/world.h"
+#include "roadnet/map_io.h"
+
+namespace {
+
+using namespace hlsrg;
+
+void usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --protocol hlsrg|rlsmp|flood   protocol under test (default hlsrg)\n"
+      "  --vehicles N                   vehicle count (default 500)\n"
+      "  --size M                       map edge in metres (default 2000)\n"
+      "  --seed S                       master seed (default 1)\n"
+      "  --warmup S / --window S / --grace S   phase durations in seconds\n"
+      "  --workload oneshot|poisson|hotspot    query workload (default oneshot)\n"
+      "  --no-rsus                      HLSRG without infrastructure\n"
+      "  --irregular                    jittered map with normal-road dropout\n"
+      "  --map FILE                     load the road network from FILE\n"
+      "  --save-map FILE                write the generated map to FILE\n"
+      "  --trace FILE                   write per-event CSV trace\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Protocol protocol = Protocol::kHlsrg;
+  ScenarioConfig cfg = paper_scenario(500, 1);
+  const char* trace_path = nullptr;
+  const char* save_map_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--protocol") == 0) {
+      const std::string v = need_value("--protocol");
+      if (v == "hlsrg") {
+        protocol = Protocol::kHlsrg;
+      } else if (v == "rlsmp") {
+        protocol = Protocol::kRlsmp;
+      } else if (v == "flood") {
+        protocol = Protocol::kFlood;
+      } else {
+        std::fprintf(stderr, "unknown protocol '%s'\n", v.c_str());
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--vehicles") == 0) {
+      cfg.vehicles = std::atoi(need_value("--vehicles"));
+    } else if (std::strcmp(argv[i], "--size") == 0) {
+      cfg.map.size_m = std::atof(need_value("--size"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      cfg.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--warmup") == 0) {
+      cfg.warmup = SimTime::from_sec(std::atof(need_value("--warmup")));
+    } else if (std::strcmp(argv[i], "--window") == 0) {
+      cfg.query_window = SimTime::from_sec(std::atof(need_value("--window")));
+    } else if (std::strcmp(argv[i], "--grace") == 0) {
+      cfg.grace = SimTime::from_sec(std::atof(need_value("--grace")));
+    } else if (std::strcmp(argv[i], "--workload") == 0) {
+      const std::string v = need_value("--workload");
+      if (v == "oneshot") {
+        cfg.workload = ScenarioConfig::WorkloadKind::kOneShot;
+      } else if (v == "poisson") {
+        cfg.workload = ScenarioConfig::WorkloadKind::kPoisson;
+      } else if (v == "hotspot") {
+        cfg.workload = ScenarioConfig::WorkloadKind::kHotspot;
+      } else {
+        std::fprintf(stderr, "unknown workload '%s'\n", v.c_str());
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--no-rsus") == 0) {
+      cfg.hlsrg.use_rsus = false;
+    } else if (std::strcmp(argv[i], "--irregular") == 0) {
+      cfg.map.irregular = true;
+    } else if (std::strcmp(argv[i], "--map") == 0) {
+      cfg.map_file = need_value("--map");
+    } else if (std::strcmp(argv[i], "--save-map") == 0) {
+      save_map_path = need_value("--save-map");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = need_value("--trace");
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      usage(argv[0]);
+      return 1;
+    }
+  }
+
+  World world(cfg, protocol);
+  if (save_map_path != nullptr) {
+    std::string error;
+    if (!save_map_file(world.network(), save_map_path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("map:        wrote %s\n", save_map_path);
+  }
+  TraceLog trace;
+  if (trace_path != nullptr) world.attach_trace(&trace);
+
+  const RunMetrics& m = world.run();
+
+  std::printf("protocol:   %s\n", world.service().name());
+  std::printf("scenario:   %d vehicles, %.0f m map, seed %llu, %s%s\n",
+              cfg.vehicles, cfg.map.size_m,
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.map.irregular ? "irregular, " : "",
+              cfg.hlsrg.use_rsus ? "RSUs on" : "RSUs off");
+  std::printf("updates:    %llu originated, %llu transmissions\n",
+              static_cast<unsigned long long>(m.update_packets_originated),
+              static_cast<unsigned long long>(m.update_transmissions));
+  std::printf("collection: %llu packets, %llu transmissions\n",
+              static_cast<unsigned long long>(m.aggregation_packets),
+              static_cast<unsigned long long>(m.aggregation_transmissions));
+  std::printf("queries:    %llu issued, %llu ok, %llu failed (%.1f%%)\n",
+              static_cast<unsigned long long>(m.queries_issued),
+              static_cast<unsigned long long>(m.queries_succeeded),
+              static_cast<unsigned long long>(m.queries_failed),
+              100.0 * m.success_rate());
+  std::printf("query cost: %llu radio tx + %llu wired msgs\n",
+              static_cast<unsigned long long>(m.query_transmissions),
+              static_cast<unsigned long long>(m.wired_messages));
+  std::printf("delay:      mean %.1f ms  p50 %.1f  p95 %.1f  max %.1f\n",
+              m.query_latency.mean_ms(), m.query_latency.p50_ms(),
+              m.query_latency.p95_ms(), m.query_latency.max_ms());
+  std::printf("radio:      %llu broadcasts, %llu unicasts, %llu drops, "
+              "%llu route failures\n",
+              static_cast<unsigned long long>(m.radio_broadcasts),
+              static_cast<unsigned long long>(m.radio_unicasts),
+              static_cast<unsigned long long>(m.radio_drops),
+              static_cast<unsigned long long>(m.gpsr_failures));
+
+  if (trace_path != nullptr) {
+    std::ofstream file(trace_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    file << trace.to_csv();
+    std::printf("trace:      %zu events -> %s\n", trace.size(), trace_path);
+  }
+  return 0;
+}

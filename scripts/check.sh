@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full local gate: configure, build, run every test and every bench.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done

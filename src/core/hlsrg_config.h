@@ -1,0 +1,69 @@
+// Tunables for the HLSRG protocol. Defaults follow the paper where it gives
+// numbers (expiry times, back-off windows, the 5 s retry); the rest are
+// engineering choices documented inline and swept by the ablation benches.
+#pragma once
+
+#include "sim/time.h"
+
+namespace hlsrg {
+
+struct HlsrgConfig {
+  // --- geometry -----------------------------------------------------------
+  // Radius around a grid-center intersection within which a vehicle counts
+  // as "driving in the grid center" (collects updates, serves queries). The
+  // paper speaks of "the range of the intersection"; 150 m covers the
+  // intersection plus red-light queues on its four approaches, and keeps the
+  // expected center occupancy around two vehicles at the paper's densities.
+  double center_radius_m = 150.0;
+  // How far ahead of the recorded position the directional road geocast
+  // searches for the destination. 2.2 min of travel at ~30 km/h is ~1100 m.
+  double search_ahead_m = 1200.0;
+  // Corridor half-width for the road geocast; covers the road plus adjacent
+  // queueing space at intersections.
+  double corridor_half_width_m = 60.0;
+  // Extra slack behind the recorded position (the destination may have been
+  // updated slightly ahead of where it now is after queueing).
+  double corridor_behind_m = 150.0;
+
+  // --- table freshness (paper 2.2.2) --------------------------------------
+  SimTime l1_expiry = SimTime::from_min(2.2);
+  SimTime l2_expiry = SimTime::from_min(2.2);
+  SimTime l3_expiry = SimTime::from_min(4.4);
+
+  // --- aggregation cadence -------------------------------------------------
+  // L2 RSUs push summaries to their L3 RSU "periodically" (paper); cadence
+  // is an engineering choice.
+  SimTime l2_push_period = SimTime::from_sec(10.0);
+  // L3 RSUs exchange summaries so "any Level 3 RSU owns vehicle's
+  // information"; realized as periodic neighbor gossip.
+  SimTime l3_gossip_period = SimTime::from_sec(15.0);
+
+  // --- query handling (paper 2.3) ------------------------------------------
+  // Back-off election at the L1 center: holders draw slots 0..15, non-holders
+  // 17..31 ("bit times" in the paper; one slot here is a contention slot).
+  SimTime election_slot = SimTime::from_ms(0.2);
+  int holder_slots_lo = 0;
+  int holder_slots_hi = 15;
+  int nonholder_slots_lo = 17;
+  int nonholder_slots_hi = 31;
+  // "a vehicle can send a location request packet to its nearest Level 3 RSU
+  // directly if it doesn't receive an ACK after sending a request packet 5
+  // seconds".
+  SimTime ack_timeout = SimTime::from_sec(5.0);
+  // Attempts before the query is declared failed: first try to the nearest
+  // level center, then the direct-to-L3 fallback.
+  int max_attempts = 2;
+
+  // --- ablation switches ----------------------------------------------------
+  // Paper rules suppress updates from vehicles driving straight on selected
+  // arteries. Off = every vehicle uses the class-2 rules (A1 ablation).
+  bool suppress_artery_updates = true;
+  // Degenerate mode: update on every L1 boundary crossing regardless of road
+  // class (the "recent researches" strawman in the paper's introduction).
+  bool naive_every_crossing = false;
+  // RSUs at L2/L3 centers. Off = vehicle-only collection; upward forwards
+  // die and queries can only be served from L1 centers (A2 ablation).
+  bool use_rsus = true;
+};
+
+}  // namespace hlsrg

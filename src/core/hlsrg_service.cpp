@@ -1,0 +1,131 @@
+#include "core/hlsrg_service.h"
+
+#include "core/rsu_agent.h"
+#include "core/vehicle_agent.h"
+#include "util/check.h"
+
+namespace hlsrg {
+
+HlsrgService::HlsrgService(Simulator& sim, const RoadNetwork& net,
+                           const GridHierarchy& hierarchy,
+                           MobilityModel& mobility, NodeRegistry& registry,
+                           RadioMedium& medium, GpsrRouter& gpsr,
+                           GeocastService& geocast, WiredNetwork& wired,
+                           const RsuGrid* rsus, HlsrgConfig cfg)
+    : sim_(&sim),
+      net_(&net),
+      hierarchy_(&hierarchy),
+      mobility_(&mobility),
+      registry_(&registry),
+      medium_(&medium),
+      gpsr_(&gpsr),
+      geocast_(&geocast),
+      wired_(&wired),
+      rsus_(rsus),
+      cfg_(cfg),
+      rules_(net, hierarchy, mobility.turn_policy(), cfg_),
+      tracker_(sim) {
+  HLSRG_CHECK_MSG(!cfg_.use_rsus || rsus_ != nullptr,
+                  "use_rsus requires a deployed RsuGrid");
+
+  // One radio node + agent per vehicle.
+  const std::size_t n = mobility.vehicle_count();
+  vehicle_nodes_.reserve(n);
+  vehicle_agents_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VehicleId v{i};
+    const NodeId node = registry.add_node(
+        [this, v] { return mobility_->position(v); });
+    vehicle_nodes_.push_back(node);
+    vehicle_agents_.push_back(
+        std::make_unique<HlsrgVehicleAgent>(*this, v, node));
+    registry.set_sink(node, vehicle_agents_.back().get());
+  }
+
+  // RSU agents (sinks installed onto the infra-registered nodes).
+  if (rsus_ != nullptr && cfg_.use_rsus) {
+    for (const RsuGrid::Rsu& r : rsus_->all()) {
+      rsu_agents_.push_back(std::make_unique<HlsrgRsuAgent>(
+          *this, r.id, r.level, r.coord, r.node));
+      registry.set_sink(r.node, rsu_agents_.back().get());
+      rsu_agents_.back()->start_timers();
+    }
+  }
+
+  mobility.add_listener(this);
+}
+
+HlsrgService::~HlsrgService() = default;
+
+QueryTracker::QueryId HlsrgService::issue_query(VehicleId src,
+                                                VehicleId dst) {
+  HLSRG_CHECK(src.index() < vehicle_agents_.size());
+  HLSRG_CHECK(dst.index() < vehicle_agents_.size());
+  const QueryTracker::QueryId qid = tracker_.issue(src, dst);
+  vehicle_agents_[src.index()]->start_query(qid, dst);
+  return qid;
+}
+
+void HlsrgService::on_intersection_pass(VehicleId v, IntersectionId node,
+                                        SegmentId in_seg, SegmentId out_seg) {
+  vehicle_agents_[v.index()]->handle_intersection_pass(node, in_seg, out_seg);
+}
+
+void HlsrgService::on_moved(VehicleId v, Vec2 before, Vec2 after) {
+  vehicle_agents_[v.index()]->handle_moved(before, after);
+}
+
+void HlsrgService::send_notification(NodeId origin,
+                                     const L1Record& target_record,
+                                     const QueryPayload& query) {
+  auto note = std::make_shared<NotificationPayload>();
+  note->query_id = query.query_id;
+  note->target = query.target;
+  note->src_vehicle = query.src_vehicle;
+  note->src_node = query.src_node;
+  note->src_pos = query.src_pos;
+  const Packet pkt = make_packet(kNotification, origin, note);
+  metrics().query_packets_originated++;
+  metrics().notifications_sent++;
+  sim_->trace_event({{}, TraceEventKind::kNotification, query.target,
+                     query.src_vehicle, target_record.pos, query.query_id});
+
+  if (target_record.on_artery) {
+    // Strategy (1): Dv updated from a main artery — geocast along the road
+    // in the recorded direction. The recorded position can be far from the
+    // server, so the notification is routed there first and the corridor
+    // flood starts from whichever node is found nearby.
+    const GeocastRegion region = GeocastRegion::corridor(
+        target_record.pos, target_record.dir, cfg_.corridor_half_width_m,
+        cfg_.search_ahead_m, cfg_.corridor_behind_m);
+    gpsr_->send(
+        origin, target_record.pos, std::nullopt, pkt,
+        &metrics().query_transmissions,
+        /*deliver=*/
+        [this, pkt, region](NodeId at) {
+          geocast_->flood(at, pkt, region, &metrics().query_transmissions);
+        },
+        /*fail=*/{}, /*delivery_radius=*/cfg_.center_radius_m * 2.0);
+  } else {
+    // Strategy (2): Dv updated from a normal road — "still driving within
+    // this Level 1 grid"; flood the grid.
+    const GeocastRegion region = GeocastRegion::from_box(
+        hierarchy_->cell_box(target_record.l1, GridLevel::kL1),
+        /*margin=*/cfg_.corridor_half_width_m);
+    geocast_->flood(origin, pkt, region, &metrics().query_transmissions);
+  }
+}
+
+Packet HlsrgService::make_packet(int kind, NodeId origin,
+                                 std::shared_ptr<const PayloadBase> payload) {
+  Packet p;
+  p.id = packet_ids_.next();
+  p.kind = kind;
+  p.origin = origin;
+  p.origin_pos = registry_->position(origin);
+  p.created = sim_->now();
+  p.payload = std::move(payload);
+  return p;
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,117 @@
+// HLSRG protocol service: wires vehicle agents, RSU agents, and the update /
+// collection / query machinery over the substrates (paper chapter 2 end to
+// end). One HlsrgService instance runs one protocol world.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/hlsrg_config.h"
+#include "core/location_service.h"
+#include "core/messages.h"
+#include "core/update_rules.h"
+#include "grid/hierarchy.h"
+#include "infra/rsu_grid.h"
+#include "mobility/mobility_model.h"
+#include "net/geocast.h"
+#include "net/gpsr.h"
+#include "net/radio.h"
+#include "net/wired.h"
+#include "sim/simulator.h"
+
+namespace hlsrg {
+
+class HlsrgVehicleAgent;
+class HlsrgRsuAgent;
+
+class HlsrgService final : public LocationService, public MovementListener {
+ public:
+  // `rsus` may be null (A2 ablation: vehicle-only collection); cfg.use_rsus
+  // must then be false. The service registers one radio node per vehicle,
+  // installs itself as a mobility listener, installs RSU sinks, and starts
+  // the RSU timers.
+  HlsrgService(Simulator& sim, const RoadNetwork& net,
+               const GridHierarchy& hierarchy, MobilityModel& mobility,
+               NodeRegistry& registry, RadioMedium& medium, GpsrRouter& gpsr,
+               GeocastService& geocast, WiredNetwork& wired,
+               const RsuGrid* rsus, HlsrgConfig cfg);
+  ~HlsrgService() override;
+
+  // --- LocationService ------------------------------------------------------
+  [[nodiscard]] const char* name() const override { return "HLSRG"; }
+  QueryTracker::QueryId issue_query(VehicleId src, VehicleId dst) override;
+  [[nodiscard]] QueryTracker& tracker() override { return tracker_; }
+
+  // --- MovementListener -----------------------------------------------------
+  void on_intersection_pass(VehicleId v, IntersectionId node, SegmentId in_seg,
+                            SegmentId out_seg) override;
+  void on_moved(VehicleId v, Vec2 before, Vec2 after) override;
+
+  // --- context shared with agents --------------------------------------------
+  [[nodiscard]] Simulator& sim() { return *sim_; }
+  [[nodiscard]] RunMetrics& metrics() { return sim_->metrics(); }
+  [[nodiscard]] const HlsrgConfig& cfg() const { return cfg_; }
+  [[nodiscard]] const RoadNetwork& network() const { return *net_; }
+  [[nodiscard]] const GridHierarchy& hierarchy() const { return *hierarchy_; }
+  [[nodiscard]] MobilityModel& mobility() { return *mobility_; }
+  [[nodiscard]] NodeRegistry& registry() { return *registry_; }
+  [[nodiscard]] RadioMedium& medium() { return *medium_; }
+  [[nodiscard]] GpsrRouter& gpsr() { return *gpsr_; }
+  [[nodiscard]] GeocastService& geocast() { return *geocast_; }
+  [[nodiscard]] WiredNetwork& wired() { return *wired_; }
+  [[nodiscard]] const RsuGrid* rsus() const { return rsus_; }
+
+  [[nodiscard]] NodeId node_of(VehicleId v) const {
+    return vehicle_nodes_[v.index()];
+  }
+  [[nodiscard]] Vec2 vehicle_pos(VehicleId v) const {
+    return mobility_->position(v);
+  }
+
+  // Builds a packet stamped with origin/time.
+  [[nodiscard]] Packet make_packet(int kind, NodeId origin,
+                                   std::shared_ptr<const PayloadBase> payload);
+
+  // Acts as Dv's location server for `query` using the stored record: sends
+  // the notification by directional road geocast (artery records; routed to
+  // the recorded position first) or by flooding the record's L1 grid
+  // (normal-road records). Shared by grid-center vehicles and L2 RSUs — the
+  // paper lets either act as the location server.
+  void send_notification(NodeId origin, const L1Record& target_record,
+                         const QueryPayload& query);
+
+  // Test/diagnostic access.
+  [[nodiscard]] const HlsrgVehicleAgent& vehicle_agent(VehicleId v) const {
+    return *vehicle_agents_[v.index()];
+  }
+  [[nodiscard]] HlsrgVehicleAgent& vehicle_agent(VehicleId v) {
+    return *vehicle_agents_[v.index()];
+  }
+  [[nodiscard]] const UpdateRuleEngine& rules() const { return rules_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<HlsrgRsuAgent>>& rsu_agents()
+      const {
+    return rsu_agents_;
+  }
+
+ private:
+  Simulator* sim_;
+  const RoadNetwork* net_;
+  const GridHierarchy* hierarchy_;
+  MobilityModel* mobility_;
+  NodeRegistry* registry_;
+  RadioMedium* medium_;
+  GpsrRouter* gpsr_;
+  GeocastService* geocast_;
+  WiredNetwork* wired_;
+  const RsuGrid* rsus_;
+  HlsrgConfig cfg_;
+  UpdateRuleEngine rules_;
+  QueryTracker tracker_;
+  PacketIdSource packet_ids_;
+
+  std::vector<NodeId> vehicle_nodes_;
+  std::vector<std::unique_ptr<HlsrgVehicleAgent>> vehicle_agents_;
+  std::vector<std::unique_ptr<HlsrgRsuAgent>> rsu_agents_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,70 @@
+#include "core/location_service.h"
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+QueryTracker::QueryId QueryTracker::issue(VehicleId src, VehicleId dst) {
+  records_.push_back(Record{src, dst, sim_->now(), SimTime{}, false, false});
+  sim_->metrics().queries_issued++;
+  const auto id = static_cast<QueryId>(records_.size() - 1);
+  sim_->trace_event({{}, TraceEventKind::kQueryIssued, src, dst, {}, id});
+  return id;
+}
+
+void QueryTracker::succeed(QueryId id) {
+  HLSRG_CHECK(id < records_.size());
+  Record& r = records_[id];
+  if (r.settled) return;
+  r.settled = true;
+  r.success = true;
+  r.completed = sim_->now();
+  sim_->metrics().queries_succeeded++;
+  sim_->metrics().query_latency.add(sim_->now() - r.issued);
+  sim_->trace_event({{}, TraceEventKind::kQuerySucceeded, r.src, r.dst, {}, id});
+}
+
+void QueryTracker::fail(QueryId id) {
+  HLSRG_CHECK(id < records_.size());
+  Record& r = records_[id];
+  if (r.settled) return;
+  r.settled = true;
+  sim_->metrics().queries_failed++;
+  sim_->trace_event({{}, TraceEventKind::kQueryFailed, r.src, r.dst, {}, id});
+}
+
+bool QueryTracker::settled(QueryId id) const {
+  HLSRG_CHECK(id < records_.size());
+  return records_[id].settled;
+}
+
+bool QueryTracker::succeeded(QueryId id) const {
+  HLSRG_CHECK(id < records_.size());
+  return records_[id].success;
+}
+
+SimTime QueryTracker::latency(QueryId id) const {
+  HLSRG_CHECK(id < records_.size());
+  const Record& r = records_[id];
+  return r.success ? r.completed - r.issued : SimTime{};
+}
+
+std::size_t QueryTracker::outstanding() const {
+  std::size_t n = 0;
+  for (const Record& r : records_) {
+    if (!r.settled) ++n;
+  }
+  return n;
+}
+
+VehicleId QueryTracker::source_of(QueryId id) const {
+  HLSRG_CHECK(id < records_.size());
+  return records_[id].src;
+}
+
+VehicleId QueryTracker::target_of(QueryId id) const {
+  HLSRG_CHECK(id < records_.size());
+  return records_[id].dst;
+}
+
+}  // namespace hlsrg

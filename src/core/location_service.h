@@ -1,0 +1,72 @@
+// Protocol-agnostic location-service contract and query bookkeeping.
+//
+// Both HLSRG and the RLSMP baseline implement LocationService, so scenario
+// code, the workload driver, and the metric pipeline are shared; a benchmark
+// compares protocols by running the same (map, mobility, seed, workload)
+// world twice with a different service plugged in.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+// Tracks outstanding queries and settles them into RunMetrics exactly once.
+class QueryTracker {
+ public:
+  explicit QueryTracker(Simulator& sim) : sim_(&sim) {}
+
+  using QueryId = std::uint32_t;
+
+  // Registers a query issued now; counts into metrics.queries_issued.
+  QueryId issue(VehicleId src, VehicleId dst);
+
+  // Marks success (idempotent; late duplicate ACKs are ignored). Records the
+  // latency from issue to now.
+  void succeed(QueryId id);
+
+  // Marks failure (idempotent; a success beats a later failure and vice
+  // versa — first settle wins).
+  void fail(QueryId id);
+
+  [[nodiscard]] bool settled(QueryId id) const;
+  // True iff the query settled successfully.
+  [[nodiscard]] bool succeeded(QueryId id) const;
+  // Latency from issue to success; zero for unsettled or failed queries.
+  [[nodiscard]] SimTime latency(QueryId id) const;
+  [[nodiscard]] std::size_t outstanding() const;
+  [[nodiscard]] VehicleId source_of(QueryId id) const;
+  [[nodiscard]] VehicleId target_of(QueryId id) const;
+
+ private:
+  struct Record {
+    VehicleId src;
+    VehicleId dst;
+    SimTime issued;
+    SimTime completed;
+    bool settled = false;
+    bool success = false;
+  };
+  Simulator* sim_;
+  std::vector<Record> records_;
+};
+
+// The public face of a location service protocol.
+class LocationService {
+ public:
+  virtual ~LocationService() = default;
+
+  // Protocol name for reports ("HLSRG", "RLSMP").
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // Issues a location query: `src` wants the position of `dst`. Asynchronous;
+  // the outcome lands in the simulator metrics via the protocol's tracker.
+  // Returns the query id for per-query inspection via tracker().
+  virtual QueryTracker::QueryId issue_query(VehicleId src, VehicleId dst) = 0;
+
+  [[nodiscard]] virtual QueryTracker& tracker() = 0;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,82 @@
+#include "core/location_table.h"
+
+namespace hlsrg {
+
+namespace {
+// Shared newest-wins upsert over a FlatTable keyed by vehicle; Entry must
+// expose a SimTime `time` member.
+template <typename Table, typename Entry>
+void record_newest(Table& table, VehicleId v, const Entry& e) {
+  if (const Entry* existing = table.find(v);
+      existing != nullptr && existing->time >= e.time) {
+    return;
+  }
+  table.upsert(v, e);
+}
+
+template <typename Table>
+std::size_t purge_older(Table& table, SimTime now, SimTime expiry) {
+  return table.erase_if([now, expiry](VehicleId, const auto& e) {
+    return e.time + expiry < now;
+  });
+}
+}  // namespace
+
+void L1Table::record(const L1Record& rec) {
+  record_newest(table_, rec.vehicle, rec);
+}
+
+std::size_t L1Table::purge(SimTime now, SimTime expiry) {
+  return purge_older(table_, now, expiry);
+}
+
+std::vector<L1Record> L1Table::snapshot() const {
+  std::vector<L1Record> out;
+  out.reserve(table_.size());
+  for (const auto& [v, rec] : table_) out.push_back(rec);
+  return out;
+}
+
+void L1Table::merge(const std::vector<L1Record>& records) {
+  for (const L1Record& r : records) record(r);
+}
+
+void L2Table::record(const L2Summary& s) {
+  record_newest(table_, s.vehicle, s);
+}
+
+std::size_t L2Table::purge(SimTime now, SimTime expiry) {
+  return purge_older(table_, now, expiry);
+}
+
+std::vector<L2Summary> L2Table::snapshot() const {
+  std::vector<L2Summary> out;
+  out.reserve(table_.size());
+  for (const auto& [v, rec] : table_) out.push_back(rec);
+  return out;
+}
+
+void L2Table::merge(const std::vector<L2Summary>& records) {
+  for (const L2Summary& r : records) record(r);
+}
+
+void L3Table::record(const L3Summary& s) {
+  record_newest(table_, s.vehicle, s);
+}
+
+std::size_t L3Table::purge(SimTime now, SimTime expiry) {
+  return purge_older(table_, now, expiry);
+}
+
+std::vector<L3Summary> L3Table::snapshot() const {
+  std::vector<L3Summary> out;
+  out.reserve(table_.size());
+  for (const auto& [v, rec] : table_) out.push_back(rec);
+  return out;
+}
+
+void L3Table::merge(const std::vector<L3Summary>& records) {
+  for (const L3Summary& r : records) record(r);
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,68 @@
+// Location tables with per-level schemas and freshness expiry (paper 2.2.2).
+//
+// L1 tables live on vehicles dwelling at grid centers and hold full records;
+// L2/L3 tables live on RSUs and hold thinning summaries. All tables evict
+// entries whose last update is older than the level's expiry (2.2 min for
+// L1/L2, 4.4 min for L3 — "about 1000 m" / "about 2000 m" of driving).
+#pragma once
+
+#include "core/messages.h"
+#include "sim/time.h"
+#include "util/flat_table.h"
+
+namespace hlsrg {
+
+// L1: full records, keyed by vehicle.
+class L1Table {
+ public:
+  // Inserts/overwrites if `rec` is newer than any existing entry.
+  void record(const L1Record& rec);
+  void erase(VehicleId v) { table_.erase(v); }
+  [[nodiscard]] const L1Record* find(VehicleId v) const { return table_.find(v); }
+  // Evicts entries older than `expiry` relative to `now`; returns count.
+  std::size_t purge(SimTime now, SimTime expiry);
+  // Snapshot of all records (for handoff / push packets).
+  [[nodiscard]] std::vector<L1Record> snapshot() const;
+  void merge(const std::vector<L1Record>& records);
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  void clear() { table_.clear(); }
+  [[nodiscard]] auto begin() const { return table_.begin(); }
+  [[nodiscard]] auto end() const { return table_.end(); }
+
+ private:
+  FlatTable<VehicleId, L1Record> table_;
+};
+
+// L2: {vehicle, time, sender L1 grid}.
+class L2Table {
+ public:
+  void record(const L2Summary& s);
+  [[nodiscard]] const L2Summary* find(VehicleId v) const { return table_.find(v); }
+  std::size_t purge(SimTime now, SimTime expiry);
+  [[nodiscard]] std::vector<L2Summary> snapshot() const;
+  void merge(const std::vector<L2Summary>& records);
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] auto begin() const { return table_.begin(); }
+  [[nodiscard]] auto end() const { return table_.end(); }
+
+ private:
+  FlatTable<VehicleId, L2Summary> table_;
+};
+
+// L3: {vehicle, time, sender L2 RSU, owning L3 region}.
+class L3Table {
+ public:
+  void record(const L3Summary& s);
+  [[nodiscard]] const L3Summary* find(VehicleId v) const { return table_.find(v); }
+  std::size_t purge(SimTime now, SimTime expiry);
+  [[nodiscard]] std::vector<L3Summary> snapshot() const;
+  void merge(const std::vector<L3Summary>& records);
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] auto begin() const { return table_.begin(); }
+  [[nodiscard]] auto end() const { return table_.end(); }
+
+ private:
+  FlatTable<VehicleId, L3Summary> table_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,203 @@
+#include "core/rsu_agent.h"
+
+#include "core/hlsrg_service.h"
+#include "util/check.h"
+
+namespace hlsrg {
+
+HlsrgRsuAgent::HlsrgRsuAgent(HlsrgService& service, RsuId rsu, GridLevel level,
+                             GridCoord coord, NodeId node)
+    : svc_(&service), rsu_(rsu), level_(level), coord_(coord), node_(node) {
+  HLSRG_CHECK(level == GridLevel::kL2 || level == GridLevel::kL3);
+}
+
+void HlsrgRsuAgent::start_timers() {
+  if (level_ == GridLevel::kL2) {
+    svc_->sim().schedule_after(svc_->cfg().l2_push_period,
+                               [this] { push_summary_to_l3(); });
+  } else {
+    svc_->sim().schedule_after(svc_->cfg().l3_gossip_period,
+                               [this] { gossip_to_neighbors(); });
+  }
+}
+
+void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
+  switch (packet.kind) {
+    case kLocationUpdate: {
+      // RSUs are always-on receivers at grid corners: any update broadcast
+      // within radio range lands here too, feeding the same tables as the
+      // grid-center collection path ("data aggregation" role, paper 2.1.2).
+      const auto& u = payload_as<UpdatePayload>(packet);
+      full_table_.record(u.record);
+      if (level_ == GridLevel::kL2) {
+        l2_table_.record(
+            L2Summary{u.record.vehicle, u.record.time, u.record.l1});
+      } else {
+        const GridCoord l2 = GridHierarchy::parent(u.record.l1, GridLevel::kL2);
+        l3_table_.record(L3Summary{u.record.vehicle, u.record.time, l2, coord_});
+      }
+      return;
+    }
+    case kTablePush: {
+      // Grid-center table arriving at this L2 RSU: thin to the L2 schema.
+      if (level_ != GridLevel::kL2) return;
+      const auto& t = payload_as<TablePayload>(packet);
+      for (const L1Record& r : t.records) {
+        l2_table_.record(L2Summary{r.vehicle, r.time, r.l1});
+      }
+      full_table_.merge(t.records);
+      return;
+    }
+    case kL2Summary: {
+      if (level_ != GridLevel::kL3) return;
+      const auto& s = payload_as<L2SummaryPayload>(packet);
+      for (const L2Summary& r : s.records) {
+        l3_table_.record(L3Summary{r.vehicle, r.time, s.l2, coord_});
+      }
+      return;
+    }
+    case kL3Gossip: {
+      if (level_ != GridLevel::kL3) return;
+      const auto& g = payload_as<L3GossipPayload>(packet);
+      l3_table_.merge(g.records);
+      return;
+    }
+    case kQueryRequest: {
+      const auto& q = payload_as<QueryPayload>(packet);
+      if (!seen_queries_.insert(q.dedup_key()).second) return;
+      if (level_ == GridLevel::kL2) {
+        handle_query_l2(q);
+      } else {
+        handle_query_l3(q);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Collection timers
+// ---------------------------------------------------------------------------
+
+void HlsrgRsuAgent::push_summary_to_l3() {
+  l2_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
+  if (l2_table_.size() > 0) {
+    auto payload = std::make_shared<L2SummaryPayload>();
+    payload->l2 = coord_;
+    payload->records = l2_table_.snapshot();
+    const GridCoord parent{coord_.col / 2, coord_.row / 2};
+    const NodeId l3 = svc_->rsus()->node_at(parent, GridLevel::kL3);
+    svc_->metrics().aggregation_packets++;
+    svc_->wired().send(node_, l3,
+                       svc_->make_packet(kL2Summary, node_, payload),
+                       &svc_->metrics().aggregation_transmissions);
+  }
+  svc_->sim().schedule_after(svc_->cfg().l2_push_period,
+                             [this] { push_summary_to_l3(); });
+}
+
+void HlsrgRsuAgent::gossip_to_neighbors() {
+  l3_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
+  const auto& neighbors = svc_->wired().links_of(node_);
+  if (l3_table_.size() > 0 && !neighbors.empty()) {
+    auto payload = std::make_shared<L3GossipPayload>();
+    payload->records = l3_table_.snapshot();
+    const Packet pkt = svc_->make_packet(kL3Gossip, node_, payload);
+    for (NodeId n : neighbors) {
+      // Only L3 peers gossip; skip child L2 RSUs on the same wire.
+      const RsuId peer = svc_->rsus()->rsu_of_node(n);
+      if (!peer.valid() ||
+          svc_->rsus()->rsu(peer).level != GridLevel::kL3) {
+        continue;
+      }
+      svc_->metrics().aggregation_packets++;
+      svc_->wired().send(node_, n, pkt,
+                         &svc_->metrics().aggregation_transmissions);
+    }
+  }
+  svc_->sim().schedule_after(svc_->cfg().l3_gossip_period,
+                             [this] { gossip_to_neighbors(); });
+}
+
+// ---------------------------------------------------------------------------
+// Query service (paper 2.3.2, Level-2 and Level-3 cases)
+// ---------------------------------------------------------------------------
+
+void HlsrgRsuAgent::forward_down_to_l1(const QueryPayload& query,
+                                       GridCoord l1) {
+  auto q = std::make_shared<QueryPayload>(query);
+  q->from_l3 = false;
+  const Vec2 center = svc_->hierarchy().center_pos(l1, GridLevel::kL1);
+  svc_->gpsr().send(node_, center, std::nullopt,
+                    svc_->make_packet(kQueryRequest, node_, q),
+                    &svc_->metrics().query_transmissions,
+                    /*deliver=*/{}, /*fail=*/{},
+                    /*delivery_radius=*/svc_->cfg().center_radius_m);
+}
+
+void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
+  l2_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
+  full_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
+  if (const L1Record* rec = full_table_.find(query.target)) {
+    // Case (1a): the RSU holds the fresh detail itself — "the RSU will ...
+    // act as the location server of this request".
+    svc_->metrics().rsu_lookup_hits++;
+    svc_->send_notification(node_, *rec, query);
+    return;
+  }
+  if (const L2Summary* s = l2_table_.find(query.target)) {
+    // Case (1b): known by summary only — down to the L1 grid center that has
+    // the detail.
+    svc_->metrics().rsu_lookup_hits++;
+    forward_down_to_l1(query, s->l1);
+    return;
+  }
+  svc_->metrics().rsu_lookup_misses++;
+  // Case (2): unknown — up the hierarchy over the wire.
+  auto q = std::make_shared<QueryPayload>(query);
+  const GridCoord parent{coord_.col / 2, coord_.row / 2};
+  const NodeId l3 = svc_->rsus()->node_at(parent, GridLevel::kL3);
+  svc_->wired().send(node_, l3, svc_->make_packet(kQueryRequest, node_, q),
+                     &svc_->metrics().query_transmissions);
+}
+
+void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
+  l3_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
+  full_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
+  if (const L1Record* rec = full_table_.find(query.target)) {
+    // The L3 RSU heard the update itself: serve directly.
+    svc_->metrics().rsu_lookup_hits++;
+    svc_->send_notification(node_, *rec, query);
+    return;
+  }
+  if (const L3Summary* s = l3_table_.find(query.target)) {
+    // Hit: hand the request to the L2 RSU that reported the vehicle; the
+    // wired mesh routes across regions (L3 -> owner L3 -> child L2).
+    svc_->metrics().rsu_lookup_hits++;
+    auto q = std::make_shared<QueryPayload>(query);
+    q->from_l3 = true;
+    const NodeId l2 = svc_->rsus()->node_at(s->l2, GridLevel::kL2);
+    svc_->wired().send(node_, l2, svc_->make_packet(kQueryRequest, node_, q),
+                       &svc_->metrics().query_transmissions);
+    return;
+  }
+  svc_->metrics().rsu_lookup_misses++;
+  if (query.from_l3) return;  // sideways forwards are answered or dropped
+  // Miss from below: ask the wired L3 neighbors (the paper assumes the L3
+  // plane collectively knows every vehicle; gossip approximates that, and
+  // this covers records that have not gossiped over yet).
+  auto q = std::make_shared<QueryPayload>(query);
+  q->from_l3 = true;
+  const Packet pkt = svc_->make_packet(kQueryRequest, node_, q);
+  for (NodeId n : svc_->wired().links_of(node_)) {
+    const RsuId peer = svc_->rsus()->rsu_of_node(n);
+    if (!peer.valid() || svc_->rsus()->rsu(peer).level != GridLevel::kL3) {
+      continue;
+    }
+    svc_->wired().send(node_, n, pkt, &svc_->metrics().query_transmissions);
+  }
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,65 @@
+// RSU-side HLSRG behaviour (paper 2.2.2 collection + 2.3.2 service).
+//
+// L2 RSUs hold {vehicle, time, sender L1 grid} summaries fed by grid-center
+// table pushes and answer requests by forwarding down to the right L1 center
+// or up (wired) to their L3 RSU. L3 RSUs hold {vehicle, time, sender L2,
+// owner L3} summaries fed by periodic L2 pushes and by gossip with their
+// wired L3 neighbors, and resolve requests across regions over the wired
+// mesh.
+#pragma once
+
+#include <unordered_set>
+
+#include "core/location_table.h"
+#include "core/messages.h"
+#include "net/node_registry.h"
+
+namespace hlsrg {
+
+class HlsrgService;
+
+class HlsrgRsuAgent final : public PacketSink {
+ public:
+  HlsrgRsuAgent(HlsrgService& service, RsuId rsu, GridLevel level,
+                GridCoord coord, NodeId node);
+
+  void on_receive(const Packet& packet, NodeId from) override;
+
+  // Schedules the periodic push (L2) or gossip (L3) timer.
+  void start_timers();
+
+  [[nodiscard]] GridLevel level() const { return level_; }
+  [[nodiscard]] GridCoord coord() const { return coord_; }
+  [[nodiscard]] const L2Table& l2_table() const { return l2_table_; }
+  [[nodiscard]] const L3Table& l3_table() const { return l3_table_; }
+  [[nodiscard]] const L1Table& full_table() const { return full_table_; }
+
+ private:
+  using QueryId = QueryTracker::QueryId;
+
+  void handle_query_l2(const QueryPayload& query);
+  void handle_query_l3(const QueryPayload& query);
+  void push_summary_to_l3();
+  void gossip_to_neighbors();
+  // Forwards a request down to the L1 grid center holding the detail.
+  void forward_down_to_l1(const QueryPayload& query, GridCoord l1);
+
+  HlsrgService* svc_;
+  RsuId rsu_;
+  GridLevel level_;
+  GridCoord coord_;
+  NodeId node_;
+  L2Table l2_table_;
+  L3Table l3_table_;
+  // Full-record cache at L2 RSUs. The pushed tables carry full records and
+  // RSUs have "unlimited storage"; keeping them lets the RSU "act as the
+  // location server of this request" (paper 2.3.2) instead of bouncing the
+  // query back to a possibly-empty grid center. The thinned l2_table_ is
+  // what flows upward.
+  L1Table full_table_;
+  // Requests already processed here, keyed by QueryPayload::dedup_key()
+  // (duplicate suppression across the mesh, per attempt).
+  std::unordered_set<std::uint64_t> seen_queries_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,50 @@
+#include "core/update_rules.h"
+
+namespace hlsrg {
+
+UpdateDecision UpdateRuleEngine::evaluate(IntersectionId node,
+                                          SegmentId in_seg,
+                                          SegmentId out_seg) const {
+  const Segment& in = net_->segment(in_seg);
+  const Segment& out = net_->segment(out_seg);
+  const Vec2 at = net_->position(node);
+
+  // Probe points 1 m before/after the intersection along the path. Grid
+  // membership is half-open, so a probe exactly on a boundary line lands on
+  // a consistent side; displacing along the travel direction cannot move the
+  // probe across the perpendicular boundary being tested.
+  constexpr double kProbe = 1.0;
+  const Vec2 before = at - in.unit_dir * kProbe;
+  const Vec2 after = at + out.unit_dir * kProbe;
+
+  UpdateDecision d;
+  d.old_l1 = hierarchy_->l1_at(before);
+  d.new_l1 = hierarchy_->l1_at(after);
+  d.grid_changed = !(d.old_l1 == d.new_l1);
+  d.crossing_level = hierarchy_->crossing_level(before, after);
+
+  const bool turning = policy_->is_turn(in_seg, out_seg);
+  const bool in_on_selected_artery = hierarchy_->on_selected_artery(in.road);
+  const bool out_on_selected_artery = hierarchy_->on_selected_artery(out.road);
+  d.was_class1 = in_on_selected_artery;
+
+  if (cfg_->naive_every_crossing) {
+    // Strawman baseline rule: update whenever the L1 cell changes.
+    d.send = d.grid_changed;
+    return d;
+  }
+
+  const bool class1 = in_on_selected_artery && cfg_->suppress_artery_updates;
+  if (class1) {
+    // Class 1: turn, or straight across an L3 boundary.
+    d.send = turning || (!turning && d.crossing_level >= 3);
+  } else {
+    // Class 2: straight across any boundary, or turning onto a selected
+    // artery.
+    d.send = (!turning && d.crossing_level >= 1) ||
+             (turning && out_on_selected_artery);
+  }
+  return d;
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,50 @@
+// The location-update rule engine (paper 2.2.1) — pure decision logic.
+//
+// Class 1 — vehicles driving on a *selected* main artery (an artery chosen as
+// a grid boundary) — send an update only when:
+//   (1) driving straight across a Level-3 boundary, or
+//   (2) turning onto any other road.
+// Class 2 — everyone else — sends an update when:
+//   (1) driving straight across a boundary of any level, or
+//   (2) turning onto a selected main artery.
+//
+// All boundary crossings happen at intersections (boundaries are roads), so
+// the engine is evaluated once per intersection pass. It is side-effect-free
+// and fully unit-testable.
+#pragma once
+
+#include "core/hlsrg_config.h"
+#include "grid/hierarchy.h"
+#include "mobility/turn_policy.h"
+#include "roadnet/road_network.h"
+
+namespace hlsrg {
+
+struct UpdateDecision {
+  bool send = false;
+  GridCoord old_l1;  // cell just before the intersection
+  GridCoord new_l1;  // cell just after
+  bool grid_changed = false;
+  int crossing_level = 0;  // 0 = none, else highest level crossed
+  bool was_class1 = false;
+};
+
+class UpdateRuleEngine {
+ public:
+  UpdateRuleEngine(const RoadNetwork& net, const GridHierarchy& hierarchy,
+                   const TurnPolicy& policy, const HlsrgConfig& cfg)
+      : net_(&net), hierarchy_(&hierarchy), policy_(&policy), cfg_(&cfg) {}
+
+  // Decides whether a vehicle passing through `node` (arriving on `in_seg`,
+  // departing on `out_seg`) must send a location update.
+  [[nodiscard]] UpdateDecision evaluate(IntersectionId node, SegmentId in_seg,
+                                        SegmentId out_seg) const;
+
+ private:
+  const RoadNetwork* net_;
+  const GridHierarchy* hierarchy_;
+  const TurnPolicy* policy_;
+  const HlsrgConfig* cfg_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,406 @@
+#include "core/vehicle_agent.h"
+
+#include "core/hlsrg_service.h"
+#include "util/check.h"
+
+namespace hlsrg {
+
+HlsrgVehicleAgent::HlsrgVehicleAgent(HlsrgService& service, VehicleId vehicle,
+                                     NodeId node)
+    : svc_(&service), vehicle_(vehicle), node_(node) {
+  // Stagger per-vehicle collection ticks across the push period.
+  const double jitter =
+      svc_->sim().protocol_rng().uniform(0.0, svc_->cfg().l2_push_period.sec());
+  svc_->sim().schedule_after(SimTime::from_sec(jitter),
+                             [this] { collection_tick(); });
+  // Ignition announcement: a vehicle entering the network updates once so
+  // the service can locate it before its first turn/boundary crossing.
+  const double boot =
+      svc_->sim().protocol_rng().uniform(0.5, 5.0);
+  svc_->sim().schedule_after(SimTime::from_sec(boot),
+                             [this] { send_initial_update(); });
+  // Establish center-duty status for the starting position; parked vehicles
+  // never fire handle_moved and would otherwise never serve.
+  const Vec2 here = svc_->vehicle_pos(vehicle_);
+  handle_moved(here, here);
+}
+
+void HlsrgVehicleAgent::send_initial_update() {
+  const MobilityModel& mob = svc_->mobility();
+  const Vec2 pos = mob.position(vehicle_);
+  auto payload = std::make_shared<UpdatePayload>();
+  L1Record rec;
+  rec.vehicle = vehicle_;
+  rec.pos = pos;
+  rec.dir = mob.heading(vehicle_);
+  rec.time = svc_->sim().now();
+  rec.l1 = svc_->hierarchy().l1_at(pos);
+  rec.on_artery =
+      svc_->hierarchy().on_selected_artery(mob.current_road(vehicle_));
+  payload->record = rec;
+  payload->old_l1 = rec.l1;
+  payload->grid_changed = false;
+  svc_->metrics().update_packets_originated++;
+  svc_->metrics().update_transmissions++;
+  svc_->sim().trace_event(
+      {{}, TraceEventKind::kUpdateSent, vehicle_, VehicleId{}, rec.pos, 0});
+  svc_->medium().broadcast(node_,
+                           svc_->make_packet(kLocationUpdate, node_, payload));
+}
+
+void HlsrgVehicleAgent::collection_tick() {
+  if (in_center_) {
+    table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
+    if (table_.size() > 0) push_table_to_l2();
+  }
+  svc_->sim().schedule_after(svc_->cfg().l2_push_period,
+                             [this] { collection_tick(); });
+}
+
+void HlsrgVehicleAgent::push_table_to_l2() {
+  if (!svc_->cfg().use_rsus || svc_->rsus() == nullptr) return;
+  auto payload = std::make_shared<TablePayload>();
+  payload->l1 = center_cell_;
+  payload->records = table_.snapshot();
+  const GridCoord l2 = GridHierarchy::parent(center_cell_, GridLevel::kL2);
+  const NodeId rsu = svc_->rsus()->node_at(l2, GridLevel::kL2);
+  svc_->metrics().aggregation_packets++;
+  svc_->sim().trace_event({{}, TraceEventKind::kTablePush, vehicle_,
+                           VehicleId{}, svc_->vehicle_pos(vehicle_), 0});
+  svc_->gpsr().send(node_, svc_->registry().position(rsu), rsu,
+                    svc_->make_packet(kTablePush, node_, payload),
+                    &svc_->metrics().aggregation_transmissions);
+}
+
+L1Record HlsrgVehicleAgent::record_at_crossing(GridCoord l1,
+                                               IntersectionId node,
+                                               SegmentId out_seg) {
+  const RoadNetwork& net = svc_->network();
+  const Segment& out = net.segment(out_seg);
+  L1Record rec;
+  rec.vehicle = vehicle_;
+  rec.pos = net.position(node);
+  rec.dir = out.unit_dir;
+  rec.time = svc_->sim().now();
+  rec.l1 = l1;
+  rec.on_artery = svc_->hierarchy().on_selected_artery(out.road);
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Location updates (paper 2.2.1)
+// ---------------------------------------------------------------------------
+
+void HlsrgVehicleAgent::handle_intersection_pass(IntersectionId node,
+                                                 SegmentId in_seg,
+                                                 SegmentId out_seg) {
+  const UpdateDecision d = svc_->rules().evaluate(node, in_seg, out_seg);
+  if (d.send) send_update(d, node, out_seg);
+}
+
+void HlsrgVehicleAgent::send_update(const UpdateDecision& decision,
+                                    IntersectionId node, SegmentId out_seg) {
+  auto payload = std::make_shared<UpdatePayload>();
+  payload->record = record_at_crossing(decision.new_l1, node, out_seg);
+  payload->old_l1 = decision.old_l1;
+  payload->grid_changed = decision.grid_changed;
+  const Packet pkt = svc_->make_packet(kLocationUpdate, node_, payload);
+  svc_->metrics().update_packets_originated++;
+  svc_->metrics().update_transmissions++;
+  svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
+                           VehicleId{}, payload->record.pos, 0});
+  svc_->medium().broadcast(node_, pkt);
+}
+
+// ---------------------------------------------------------------------------
+// Grid-center duty (paper 2.2.2)
+// ---------------------------------------------------------------------------
+
+void HlsrgVehicleAgent::handle_moved(Vec2 /*before*/, Vec2 after) {
+  const GridCoord cell = svc_->hierarchy().l1_at(after);
+  const Vec2 center = svc_->hierarchy().center_pos(cell, GridLevel::kL1);
+  const bool now_in =
+      distance(after, center) <= svc_->cfg().center_radius_m;
+  if (now_in && (!in_center_ || !(cell == center_cell_))) {
+    if (in_center_) leave_center();  // jumped straight into another center
+    in_center_ = true;
+    center_cell_ = cell;
+    table_.clear();  // fresh duty; peers' hand-offs will repopulate
+  } else if (!now_in && in_center_) {
+    leave_center();
+  }
+}
+
+void HlsrgVehicleAgent::leave_center() {
+  HLSRG_CHECK(in_center_);
+  in_center_ = false;
+  table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
+  if (table_.size() == 0) {
+    table_.clear();
+    return;
+  }
+  auto payload = std::make_shared<TablePayload>();
+  payload->l1 = center_cell_;
+  payload->records = table_.snapshot();
+
+  // "geographic broadcast their own table in the range of the intersection"
+  const Packet handoff = svc_->make_packet(kTableHandoff, node_, payload);
+  svc_->metrics().aggregation_packets++;
+  svc_->metrics().aggregation_transmissions++;
+  svc_->sim().trace_event({{}, TraceEventKind::kTableHandoff, vehicle_,
+                           VehicleId{}, svc_->vehicle_pos(vehicle_), 0});
+  svc_->medium().broadcast(node_, handoff);
+
+  // "and send the table to their corresponding Level 2 grid center, a RSU"
+  push_table_to_l2();
+  table_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Packet dispatch
+// ---------------------------------------------------------------------------
+
+void HlsrgVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
+  switch (packet.kind) {
+    case kLocationUpdate: {
+      if (!in_center_) return;
+      const auto& u = payload_as<UpdatePayload>(packet);
+      if (u.grid_changed && u.old_l1 == center_cell_ &&
+          !(u.record.l1 == center_cell_)) {
+        // "the receivers in the old Level 1 grid will delete its information"
+        table_.erase(u.record.vehicle);
+      } else {
+        // "the Level 1 grid centers in A's communication range have to
+        // receive this packet" — every audible center stores the record (its
+        // l1 field says which grid the vehicle actually entered).
+        table_.record(u.record);
+      }
+      return;
+    }
+    case kTableHandoff: {
+      if (!in_center_) return;
+      const auto& t = payload_as<TablePayload>(packet);
+      if (t.l1 == center_cell_) table_.merge(t.records);
+      return;
+    }
+    case kQueryRequest:
+      handle_center_request(packet);
+      return;
+    case kServerClaim: {
+      const auto& c = payload_as<ServerClaimPayload>(packet);
+      if (auto it = elections_.find(c.dedup_key()); it != elections_.end()) {
+        svc_->sim().cancel(it->second);
+        elections_.erase(it);
+      }
+      settled_elections_.insert(c.dedup_key());
+      return;
+    }
+    case kNotification: {
+      const auto& n = payload_as<NotificationPayload>(packet);
+      if (n.target == vehicle_) answer_notification(n);
+      return;
+    }
+    case kAck: {
+      const auto& a = payload_as<AckPayload>(packet);
+      if (auto it = pending_.find(a.query_id); it != pending_.end()) {
+        svc_->sim().cancel(it->second.timeout);
+        pending_.erase(it);
+        svc_->tracker().succeed(a.query_id);
+      }
+      return;
+    }
+    default:
+      return;  // other kinds are RSU-only
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Location service at an L1 center (paper 2.3.2, Level-1 case)
+// ---------------------------------------------------------------------------
+
+void HlsrgVehicleAgent::handle_center_request(const Packet& packet) {
+  if (!in_center_) return;
+  const auto& q = payload_as<QueryPayload>(packet);
+  if (settled_elections_.contains(q.dedup_key()) ||
+      elections_.contains(q.dedup_key())) {
+    return;
+  }
+  // First receiver relays the request once within the intersection so every
+  // center vehicle participates in the back-off election.
+  if (relayed_requests_.insert(q.dedup_key()).second) {
+    svc_->metrics().query_transmissions++;
+    svc_->medium().broadcast(node_, packet);
+  }
+  run_election(q);
+}
+
+void HlsrgVehicleAgent::run_election(const QueryPayload& query) {
+  table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
+  const bool holder = table_.find(query.target) != nullptr;
+  const auto& cfg = svc_->cfg();
+  const int lo = holder ? cfg.holder_slots_lo : cfg.nonholder_slots_lo;
+  const int hi = holder ? cfg.holder_slots_hi : cfg.nonholder_slots_hi;
+  const auto slots = svc_->sim().protocol_rng().uniform_int(lo, hi);
+  const SimTime delay =
+      SimTime::from_us(cfg.election_slot.us() * slots);
+  // Copy the query payload; the packet may be gone when the timer fires.
+  const QueryPayload q = query;
+  elections_[q.dedup_key()] = svc_->sim().schedule_after(
+      delay, [this, q] { win_election(q); });
+}
+
+void HlsrgVehicleAgent::win_election(const QueryPayload& query) {
+  elections_.erase(query.dedup_key());
+  settled_elections_.insert(query.dedup_key());
+  // Announce so other center vehicles stop their back-off.
+  auto claim = std::make_shared<ServerClaimPayload>();
+  claim->query_id = query.query_id;
+  claim->attempt = query.attempt;
+  svc_->metrics().query_transmissions++;
+  svc_->medium().broadcast(node_,
+                           svc_->make_packet(kServerClaim, node_, claim));
+
+  table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
+  if (const L1Record* rec = table_.find(query.target)) {
+    svc_->metrics().server_lookup_hits++;
+    serve(*rec, query);
+  } else {
+    svc_->metrics().server_lookup_misses++;
+    forward_up(query);
+  }
+}
+
+void HlsrgVehicleAgent::serve(const L1Record& target_record,
+                              const QueryPayload& query) {
+  svc_->send_notification(node_, target_record, query);
+}
+
+void HlsrgVehicleAgent::forward_up(const QueryPayload& query) {
+  if (!svc_->cfg().use_rsus || svc_->rsus() == nullptr) return;  // dead end
+  const GridCoord l2 = GridHierarchy::parent(center_cell_, GridLevel::kL2);
+  const NodeId rsu = svc_->rsus()->node_at(l2, GridLevel::kL2);
+  // "send its own table and the Sv's request packet to its corresponding
+  // Level 2 RSU".
+  if (table_.size() > 0) {
+    auto tbl = std::make_shared<TablePayload>();
+    tbl->l1 = center_cell_;
+    tbl->records = table_.snapshot();
+    svc_->metrics().aggregation_packets++;
+    svc_->gpsr().send(node_, svc_->registry().position(rsu), rsu,
+                      svc_->make_packet(kTablePush, node_, tbl),
+                      &svc_->metrics().aggregation_transmissions);
+  }
+  auto q = std::make_shared<QueryPayload>(query);
+  svc_->gpsr().send(node_, svc_->registry().position(rsu), rsu,
+                    svc_->make_packet(kQueryRequest, node_, q),
+                    &svc_->metrics().query_transmissions);
+}
+
+// ---------------------------------------------------------------------------
+// Own queries (paper 2.3.1 + the 5 s fallback)
+// ---------------------------------------------------------------------------
+
+void HlsrgVehicleAgent::start_query(QueryId qid, VehicleId target) {
+  send_request(qid, target, /*attempt=*/1);
+}
+
+void HlsrgVehicleAgent::send_request(QueryId qid, VehicleId target,
+                                     int attempt) {
+  const Vec2 my_pos = svc_->vehicle_pos(vehicle_);
+  auto q = std::make_shared<QueryPayload>();
+  q->query_id = qid;
+  q->attempt = attempt;
+  q->src_vehicle = vehicle_;
+  q->src_node = node_;
+  q->src_pos = my_pos;
+  q->target = target;
+  const Packet pkt = svc_->make_packet(kQueryRequest, node_, q);
+  svc_->metrics().query_packets_originated++;
+
+  const GridHierarchy& h = svc_->hierarchy();
+  const GridCoord l1 = h.l1_at(my_pos);
+
+  // Destination of this attempt: nearest level center for the first try,
+  // the L3 RSU directly for the fallback.
+  bool to_l1_center = true;
+  NodeId rsu_node;
+  Vec2 dest_pos = h.center_pos(l1, GridLevel::kL1);
+  if (svc_->cfg().use_rsus && svc_->rsus() != nullptr) {
+    const NodeId l2_node =
+        svc_->rsus()->node_at(GridHierarchy::parent(l1, GridLevel::kL2),
+                              GridLevel::kL2);
+    const NodeId l3_node =
+        svc_->rsus()->node_at(GridHierarchy::parent(l1, GridLevel::kL3),
+                              GridLevel::kL3);
+    if (attempt > 1) {
+      // Fallback: "send a location request packet to its nearest Level 3 RSU
+      // directly".
+      to_l1_center = false;
+      rsu_node = l3_node;
+    } else {
+      // Nearest level center (L1 center vs L2 RSU vs L3 RSU).
+      const double d1 = distance(my_pos, dest_pos);
+      const double d2 = distance(my_pos, svc_->registry().position(l2_node));
+      const double d3 = distance(my_pos, svc_->registry().position(l3_node));
+      if (d2 < d1 && d2 <= d3) {
+        to_l1_center = false;
+        rsu_node = l2_node;
+      } else if (d3 < d1 && d3 < d2) {
+        to_l1_center = false;
+        rsu_node = l3_node;
+      }
+    }
+  }
+
+  if (to_l1_center) {
+    svc_->gpsr().send(node_, dest_pos, std::nullopt, pkt,
+                      &svc_->metrics().query_transmissions,
+                      /*deliver=*/{}, /*fail=*/{},
+                      /*delivery_radius=*/svc_->cfg().center_radius_m);
+  } else {
+    svc_->gpsr().send(node_, svc_->registry().position(rsu_node), rsu_node,
+                      pkt, &svc_->metrics().query_transmissions);
+  }
+
+  Pending pending;
+  pending.target = target;
+  pending.attempt = attempt;
+  pending.timeout = svc_->sim().schedule_after(
+      svc_->cfg().ack_timeout,
+      [this, qid, target, attempt] { on_ack_timeout(qid, target, attempt); });
+  pending_[qid] = pending;
+}
+
+void HlsrgVehicleAgent::on_ack_timeout(QueryId qid, VehicleId target,
+                                       int attempt) {
+  pending_.erase(qid);
+  if (attempt >= svc_->cfg().max_attempts) {
+    svc_->tracker().fail(qid);
+    return;
+  }
+  send_request(qid, target, attempt + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Dv side: answer a notification with an ACK straight back to Sv.
+// ---------------------------------------------------------------------------
+
+void HlsrgVehicleAgent::answer_notification(
+    const NotificationPayload& notification) {
+  if (!answered_.insert(notification.query_id).second) return;
+  auto ack = std::make_shared<AckPayload>();
+  ack->query_id = notification.query_id;
+  ack->responder = vehicle_;
+  ack->responder_pos = svc_->vehicle_pos(vehicle_);
+  const Packet pkt = svc_->make_packet(kAck, node_, ack);
+  svc_->metrics().query_packets_originated++;
+  svc_->metrics().acks_sent++;
+  svc_->sim().trace_event({{}, TraceEventKind::kAckSent, vehicle_,
+                           notification.src_vehicle,
+                           svc_->vehicle_pos(vehicle_),
+                           notification.query_id});
+  svc_->gpsr().send(node_, notification.src_pos, notification.src_node, pkt,
+                    &svc_->metrics().query_transmissions);
+}
+
+}  // namespace hlsrg

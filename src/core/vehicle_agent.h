@@ -1,0 +1,108 @@
+// Per-vehicle HLSRG behaviour: update sending, grid-center duty (collecting,
+// hand-off, serving), query origination, election participation, and the
+// Dv-side notification/ACK handshake.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/location_table.h"
+#include "core/messages.h"
+#include "core/update_rules.h"
+#include "net/node_registry.h"
+#include "sim/event_queue.h"
+
+namespace hlsrg {
+
+class HlsrgService;
+
+class HlsrgVehicleAgent final : public PacketSink {
+ public:
+  HlsrgVehicleAgent(HlsrgService& service, VehicleId vehicle, NodeId node);
+
+  // --- PacketSink -----------------------------------------------------------
+  void on_receive(const Packet& packet, NodeId from) override;
+
+  // --- mobility hooks (called by the service) --------------------------------
+  void handle_intersection_pass(IntersectionId node, SegmentId in_seg,
+                                SegmentId out_seg);
+  void handle_moved(Vec2 before, Vec2 after);
+
+  // --- query origination ------------------------------------------------------
+  void start_query(QueryTracker::QueryId qid, VehicleId target);
+
+  // --- introspection (tests) ---------------------------------------------------
+  [[nodiscard]] bool in_center() const { return in_center_; }
+  [[nodiscard]] const L1Table& table() const { return table_; }
+  [[nodiscard]] VehicleId vehicle() const { return vehicle_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+
+ private:
+  using QueryId = QueryTracker::QueryId;
+
+  // Builds the L1 record for an update sent while crossing an intersection
+  // onto `out_seg`. Direction and road class come from the exit segment —
+  // that is the road the vehicle will be found on.
+  [[nodiscard]] L1Record record_at_crossing(GridCoord l1, IntersectionId node,
+                                            SegmentId out_seg);
+
+  // Sends the one-hop location-update broadcast decided by the rule engine.
+  void send_update(const UpdateDecision& decision, IntersectionId node,
+                   SegmentId out_seg);
+
+  // Bootstrap announcement shortly after the vehicle enters the network, so
+  // it is locatable before its first rule-triggered update.
+  void send_initial_update();
+
+  // Leaving the grid-center region: purge, hand off the table within the
+  // intersection, and push it to the L2 RSU.
+  void leave_center();
+
+  // Query handling at a grid center.
+  void handle_center_request(const Packet& packet);
+  void run_election(const QueryPayload& query);
+  void win_election(const QueryPayload& query);
+  void serve(const L1Record& target_record, const QueryPayload& query);
+  void forward_up(const QueryPayload& query);
+
+  // Periodic collection: while on center duty, push the table to the L2 RSU
+  // ("further periodically gather to the upper level").
+  void collection_tick();
+  void push_table_to_l2();
+
+  // Own-query lifecycle.
+  void send_request(QueryId qid, VehicleId target, int attempt);
+  void on_ack_timeout(QueryId qid, VehicleId target, int attempt);
+
+  // Dv side.
+  void answer_notification(const NotificationPayload& notification);
+
+  HlsrgService* svc_;
+  VehicleId vehicle_;
+  NodeId node_;
+
+  // Grid-center duty.
+  bool in_center_ = false;
+  GridCoord center_cell_;
+  L1Table table_;
+
+  // Election state per (request, attempt) seen at this center; keyed by
+  // QueryPayload::dedup_key().
+  std::unordered_map<std::uint64_t, EventHandle> elections_;
+  std::unordered_set<std::uint64_t> settled_elections_;
+  // Requests this node has already re-broadcast into the center region.
+  std::unordered_set<std::uint64_t> relayed_requests_;
+
+  // Outstanding queries this vehicle originated.
+  struct Pending {
+    VehicleId target;
+    int attempt = 1;
+    EventHandle timeout;
+  };
+  std::unordered_map<QueryId, Pending> pending_;
+
+  // Notifications already answered (duplicate geocast receptions).
+  std::unordered_set<QueryId> answered_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,157 @@
+#include "flood/flood_agent.h"
+
+#include <algorithm>
+
+#include "flood/flood_service.h"
+#include "util/check.h"
+
+namespace hlsrg {
+
+FloodVehicleAgent::FloodVehicleAgent(FloodService& service, VehicleId vehicle,
+                                     NodeId node)
+    : svc_(&service), vehicle_(vehicle), node_(node) {
+  // Stagger initial floods across the first update interval so ignition does
+  // not synchronize the whole fleet.
+  distance_since_flood_ =
+      svc_->sim().protocol_rng().uniform(0.0, svc_->cfg().update_distance_m);
+}
+
+void FloodVehicleAgent::handle_moved(Vec2 before, Vec2 after) {
+  distance_since_flood_ += distance(before, after);
+  if (distance_since_flood_ >= svc_->cfg().update_distance_m) {
+    distance_since_flood_ = 0.0;
+    flood_own_location();
+  }
+}
+
+void FloodVehicleAgent::flood_own_location() {
+  auto payload = std::make_shared<FloodUpdatePayload>();
+  payload->vehicle = vehicle_;
+  payload->pos = svc_->vehicle_pos(vehicle_);
+  payload->time = svc_->sim().now();
+  svc_->metrics().update_packets_originated++;
+  svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
+                           VehicleId{}, payload->pos, 0});
+  svc_->geocast().flood(
+      node_, svc_->make_packet(kFloodUpdate, node_, payload),
+      GeocastRegion::from_box(svc_->map_bounds(), /*margin=*/100.0),
+      &svc_->metrics().update_transmissions);
+}
+
+void FloodVehicleAgent::purge_cache() {
+  const SimTime now = svc_->sim().now();
+  const SimTime expiry = svc_->cfg().cache_expiry;
+  cache_.erase_if([now, expiry](VehicleId, const CacheEntry& e) {
+    return e.time + expiry < now;
+  });
+}
+
+void FloodVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
+  switch (packet.kind) {
+    case kFloodUpdate: {
+      const auto& u = payload_as<FloodUpdatePayload>(packet);
+      if (u.vehicle == vehicle_) return;
+      if (const CacheEntry* cur = cache_.find(u.vehicle);
+          cur == nullptr || cur->time < u.time) {
+        cache_.upsert(u.vehicle, CacheEntry{u.pos, u.time});
+      }
+      return;
+    }
+    case kFloodProbe:
+    case kFloodQuery: {
+      const auto& p = payload_as<FloodProbePayload>(packet);
+      if (p.target != vehicle_) return;
+      if (!answered_.insert(p.query_id).second) return;
+      auto ack = std::make_shared<FloodAckPayload>();
+      ack->query_id = p.query_id;
+      ack->responder = vehicle_;
+      svc_->metrics().query_packets_originated++;
+      svc_->metrics().acks_sent++;
+      svc_->sim().trace_event({{}, TraceEventKind::kAckSent, vehicle_,
+                               p.src_vehicle, svc_->vehicle_pos(vehicle_),
+                               p.query_id});
+      svc_->gpsr().send(node_, p.src_pos, p.src_node,
+                        svc_->make_packet(kFloodAck, node_, ack),
+                        &svc_->metrics().query_transmissions);
+      return;
+    }
+    case kFloodAck: {
+      const auto& a = payload_as<FloodAckPayload>(packet);
+      if (auto it = pending_.find(a.query_id); it != pending_.end()) {
+        svc_->sim().cancel(it->second.timeout);
+        pending_.erase(it);
+        svc_->tracker().succeed(a.query_id);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void FloodVehicleAgent::start_query(QueryTracker::QueryId qid,
+                                    VehicleId target) {
+  purge_cache();
+  auto probe = std::make_shared<FloodProbePayload>();
+  probe->query_id = qid;
+  probe->src_vehicle = vehicle_;
+  probe->src_node = node_;
+  probe->src_pos = svc_->vehicle_pos(vehicle_);
+  probe->target = target;
+  svc_->metrics().query_packets_originated++;
+
+  if (const CacheEntry* hit = cache_.find(target)) {
+    // Proactive path (DREAM's "expected zone"): flood a disk-shaped region
+    // around the cached position, sized by how far the target could have
+    // driven since the record was made.
+    svc_->metrics().server_lookup_hits++;
+    const double age_sec = (svc_->sim().now() - hit->time).sec();
+    constexpr double kMaxSpeedMps = 60.0 / 3.6;
+    const double drift =
+        std::clamp(100.0 + age_sec * kMaxSpeedMps, 100.0, 900.0);
+    const Aabb zone{{hit->pos.x - drift, hit->pos.y - drift},
+                    {hit->pos.x + drift, hit->pos.y + drift}};
+    svc_->geocast().flood(node_, svc_->make_packet(kFloodProbe, node_, probe),
+                          GeocastRegion::from_box(zone),
+                          &svc_->metrics().query_transmissions);
+  } else {
+    // Reactive path: flood the question (LAR-style).
+    svc_->metrics().server_lookup_misses++;
+    svc_->geocast().flood(
+        node_, svc_->make_packet(kFloodQuery, node_, probe),
+        GeocastRegion::from_box(svc_->map_bounds(), /*margin=*/100.0),
+        &svc_->metrics().query_transmissions);
+  }
+
+  Pending p;
+  p.target = target;
+  p.timeout = svc_->sim().schedule_after(
+      svc_->cfg().ack_timeout, [this, qid, target] {
+        // One reactive retry after a failed probe; then give up.
+        auto it = pending_.find(qid);
+        if (it == pending_.end()) return;
+        pending_.erase(it);
+        auto retry = std::make_shared<FloodProbePayload>();
+        retry->query_id = qid;
+        retry->src_vehicle = vehicle_;
+        retry->src_node = node_;
+        retry->src_pos = svc_->vehicle_pos(vehicle_);
+        retry->target = target;
+        svc_->metrics().query_packets_originated++;
+        svc_->geocast().flood(
+            node_, svc_->make_packet(kFloodQuery, node_, retry),
+            GeocastRegion::from_box(svc_->map_bounds(), 100.0),
+            &svc_->metrics().query_transmissions);
+        Pending again;
+        again.target = target;
+        again.timeout = svc_->sim().schedule_after(
+            svc_->cfg().ack_timeout, [this, qid] {
+              pending_.erase(qid);
+              svc_->tracker().fail(qid);
+            });
+        pending_[qid] = again;
+      });
+  pending_[qid] = p;
+}
+
+}  // namespace hlsrg

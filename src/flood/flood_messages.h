@@ -1,0 +1,38 @@
+// Flooding-baseline wire messages.
+#pragma once
+
+#include "core/location_service.h"
+#include "geom/vec2.h"
+#include "net/packet.h"
+#include "sim/time.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+enum FloodKind : int {
+  kFloodUpdate = 201,  // network-wide location dissemination
+  kFloodProbe = 202,   // src -> cached position of target (GPSR)
+  kFloodQuery = 203,   // network-wide reactive search (cache miss)
+  kFloodAck = 204,     // target -> src (GPSR)
+};
+
+struct FloodUpdatePayload final : PayloadBase {
+  VehicleId vehicle;
+  Vec2 pos;
+  SimTime time;
+};
+
+struct FloodProbePayload final : PayloadBase {
+  QueryTracker::QueryId query_id = 0;
+  VehicleId src_vehicle;
+  NodeId src_node;
+  Vec2 src_pos;
+  VehicleId target;
+};
+
+struct FloodAckPayload final : PayloadBase {
+  QueryTracker::QueryId query_id = 0;
+  VehicleId responder;
+};
+
+}  // namespace hlsrg

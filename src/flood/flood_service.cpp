@@ -1,0 +1,62 @@
+#include "flood/flood_service.h"
+
+#include "flood/flood_agent.h"
+#include "util/check.h"
+
+namespace hlsrg {
+
+FloodService::FloodService(Simulator& sim, MobilityModel& mobility,
+                           NodeRegistry& registry, RadioMedium& medium,
+                           GpsrRouter& gpsr, GeocastService& geocast,
+                           Aabb map_bounds, FloodConfig cfg)
+    : sim_(&sim),
+      mobility_(&mobility),
+      registry_(&registry),
+      medium_(&medium),
+      gpsr_(&gpsr),
+      geocast_(&geocast),
+      map_bounds_(map_bounds),
+      cfg_(cfg),
+      tracker_(sim) {
+  const std::size_t n = mobility.vehicle_count();
+  vehicle_nodes_.reserve(n);
+  vehicle_agents_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VehicleId v{i};
+    const NodeId node =
+        registry.add_node([this, v] { return mobility_->position(v); });
+    vehicle_nodes_.push_back(node);
+    vehicle_agents_.push_back(
+        std::make_unique<FloodVehicleAgent>(*this, v, node));
+    registry.set_sink(node, vehicle_agents_.back().get());
+  }
+  mobility.add_listener(this);
+}
+
+FloodService::~FloodService() = default;
+
+QueryTracker::QueryId FloodService::issue_query(VehicleId src, VehicleId dst) {
+  HLSRG_CHECK(src.index() < vehicle_agents_.size());
+  HLSRG_CHECK(dst.index() < vehicle_agents_.size());
+  const QueryTracker::QueryId qid = tracker_.issue(src, dst);
+  vehicle_agents_[src.index()]->start_query(qid, dst);
+  return qid;
+}
+
+void FloodService::on_moved(VehicleId v, Vec2 before, Vec2 after) {
+  vehicle_agents_[v.index()]->handle_moved(before, after);
+}
+
+Packet FloodService::make_packet(int kind, NodeId origin,
+                                 std::shared_ptr<const PayloadBase> payload) {
+  Packet p;
+  p.id = packet_ids_.next();
+  p.kind = kind;
+  p.origin = origin;
+  p.origin_pos = registry_->position(origin);
+  p.created = sim_->now();
+  p.payload = std::move(payload);
+  return p;
+}
+
+}  // namespace hlsrg

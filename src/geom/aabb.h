@@ -1,0 +1,51 @@
+// Axis-aligned bounding box; grids, cells, and geocast regions are all AABBs.
+#pragma once
+
+#include <algorithm>
+
+#include "geom/vec2.h"
+
+namespace hlsrg {
+
+struct Aabb {
+  Vec2 lo;  // south-west corner (inclusive)
+  Vec2 hi;  // north-east corner (exclusive for point-membership tests)
+
+  // Half-open membership [lo, hi): adjacent boxes tile without overlap.
+  [[nodiscard]] constexpr bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y;
+  }
+
+  // Closed membership with tolerance; used for "within the intersection
+  // region" style tests where boundary points should count.
+  [[nodiscard]] constexpr bool contains_closed(Vec2 p, double eps = 0.0) const {
+    return p.x >= lo.x - eps && p.x <= hi.x + eps && p.y >= lo.y - eps &&
+           p.y <= hi.y + eps;
+  }
+
+  [[nodiscard]] constexpr Vec2 center() const {
+    return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5};
+  }
+  [[nodiscard]] constexpr double width() const { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double height() const { return hi.y - lo.y; }
+
+  // Smallest box containing both.
+  [[nodiscard]] constexpr Aabb merged(const Aabb& o) const {
+    return {{std::min(lo.x, o.lo.x), std::min(lo.y, o.lo.y)},
+            {std::max(hi.x, o.hi.x), std::max(hi.y, o.hi.y)}};
+  }
+
+  // Box grown by `m` metres on every side.
+  [[nodiscard]] constexpr Aabb inflated(double m) const {
+    return {{lo.x - m, lo.y - m}, {hi.x + m, hi.y + m}};
+  }
+
+  // Distance from p to the box (0 if inside).
+  [[nodiscard]] double distance_to(Vec2 p) const {
+    const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+    const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+    return Vec2{dx, dy}.norm();
+  }
+};
+
+}  // namespace hlsrg

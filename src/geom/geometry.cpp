@@ -1,0 +1,69 @@
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "geom/segment.h"
+
+namespace hlsrg {
+
+double LineSegment::project(Vec2 p) const {
+  const Vec2 d = b - a;
+  const double len2 = d.norm2();
+  if (len2 <= 0.0) return 0.0;
+  return std::clamp((p - a).dot(d) / len2, 0.0, 1.0);
+}
+
+bool in_corridor(Vec2 p, Vec2 origin, Vec2 dir, double half_width,
+                 double max_ahead, double behind_slack) {
+  const Vec2 u = dir.normalized();
+  if (u == Vec2{}) return distance(p, origin) <= half_width;
+  const Vec2 rel = p - origin;
+  const double along = rel.dot(u);
+  if (along < -behind_slack || along > max_ahead) return false;
+  const double across = std::abs(rel.cross(u));
+  return across <= half_width;
+}
+
+namespace {
+
+// Sign of the oriented area of triangle (a, b, c); 0 when collinear.
+int orientation(Vec2 a, Vec2 b, Vec2 c) {
+  const double v = (b - a).cross(c - a);
+  constexpr double kEps = 1e-9;
+  if (v > kEps) return 1;
+  if (v < -kEps) return -1;
+  return 0;
+}
+
+bool on_segment(Vec2 a, Vec2 b, Vec2 p) {
+  return std::min(a.x, b.x) - 1e-9 <= p.x && p.x <= std::max(a.x, b.x) + 1e-9 &&
+         std::min(a.y, b.y) - 1e-9 <= p.y && p.y <= std::max(a.y, b.y) + 1e-9;
+}
+
+}  // namespace
+
+bool segments_intersect(Vec2 a1, Vec2 b1, Vec2 a2, Vec2 b2) {
+  const int o1 = orientation(a1, b1, a2);
+  const int o2 = orientation(a1, b1, b2);
+  const int o3 = orientation(a2, b2, a1);
+  const int o4 = orientation(a2, b2, b1);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(a1, b1, a2)) return true;
+  if (o2 == 0 && on_segment(a1, b1, b2)) return true;
+  if (o3 == 0 && on_segment(a2, b2, a1)) return true;
+  if (o4 == 0 && on_segment(a2, b2, b1)) return true;
+  return false;
+}
+
+double normalize_angle(double radians) {
+  constexpr double kPi = std::numbers::pi;
+  while (radians > kPi) radians -= 2.0 * kPi;
+  while (radians <= -kPi) radians += 2.0 * kPi;
+  return radians;
+}
+
+double angle_between(double a, double b) {
+  return std::abs(normalize_angle(a - b));
+}
+
+}  // namespace hlsrg

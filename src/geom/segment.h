@@ -1,0 +1,51 @@
+// Line-segment utilities: projection, distance, and corridor membership.
+//
+// Road segments are straight lines between intersections; the directional
+// geocast used by HLSRG's location servers needs "is this point within w
+// metres of the road, ahead of the start" tests, which live here.
+#pragma once
+
+#include "geom/vec2.h"
+
+namespace hlsrg {
+
+struct LineSegment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const { return distance(a, b); }
+  [[nodiscard]] Vec2 direction() const { return (b - a).normalized(); }
+
+  // Point at parameter t in [0,1] along the segment.
+  [[nodiscard]] Vec2 lerp(double t) const { return a + (b - a) * t; }
+
+  // Parameter of the closest point on the (clamped) segment to p.
+  [[nodiscard]] double project(Vec2 p) const;
+
+  // Closest point on the segment to p.
+  [[nodiscard]] Vec2 closest_point(Vec2 p) const { return lerp(project(p)); }
+
+  // Euclidean distance from p to the segment.
+  [[nodiscard]] double distance_to(Vec2 p) const {
+    return distance(p, closest_point(p));
+  }
+};
+
+// True if p lies within `half_width` metres of the infinite ray that starts
+// at `origin` and points along `dir` (unit not required), and the projection
+// of p onto the ray is in [-behind_slack, max_ahead]. This is the corridor
+// test for directional road geocast: flood only vehicles on the road ahead.
+[[nodiscard]] bool in_corridor(Vec2 p, Vec2 origin, Vec2 dir,
+                               double half_width, double max_ahead,
+                               double behind_slack = 0.0);
+
+// Returns true if segments [a1,b1] and [a2,b2] properly intersect or touch.
+[[nodiscard]] bool segments_intersect(Vec2 a1, Vec2 b1, Vec2 a2, Vec2 b2);
+
+// Normalizes an angle to (-pi, pi].
+[[nodiscard]] double normalize_angle(double radians);
+
+// Smallest absolute difference between two angles, in [0, pi].
+[[nodiscard]] double angle_between(double a, double b);
+
+}  // namespace hlsrg

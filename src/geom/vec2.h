@@ -1,0 +1,56 @@
+// 2-D vector type used for every position/direction in the simulator.
+//
+// Coordinates are metres in a local map frame (origin at the map's south-west
+// corner, x east, y north). Double precision keeps dead-reckoning error far
+// below the 1 m scale that matters to the protocols.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace hlsrg {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend constexpr Vec2 operator/(Vec2 a, double s) { return {a.x / s, a.y / s}; }
+  constexpr Vec2& operator+=(Vec2 b) { x += b.x; y += b.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 b) { x -= b.x; y -= b.y; return *this; }
+
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 b) const { return x * b.x + y * b.y; }
+  // z-component of the 3-D cross product; >0 when b is counter-clockwise.
+  [[nodiscard]] constexpr double cross(Vec2 b) const { return x * b.y - y * b.x; }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+
+  // Unit vector in the same direction; the zero vector normalizes to zero.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  // Perpendicular vector (rotated +90 degrees).
+  [[nodiscard]] constexpr Vec2 perp() const { return {-y, x}; }
+
+  // Angle in radians in (-pi, pi], measured from +x counter-clockwise.
+  [[nodiscard]] double angle() const { return std::atan2(y, x); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+[[nodiscard]] constexpr double distance2(Vec2 a, Vec2 b) {
+  return (a - b).norm2();
+}
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace hlsrg

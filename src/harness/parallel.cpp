@@ -1,0 +1,38 @@
+#include "harness/parallel.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+std::size_t default_thread_count(std::size_t jobs) {
+  const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  return std::clamp<std::size_t>(jobs, 1, hw);
+}
+
+void parallel_for(std::size_t jobs, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn) {
+  HLSRG_CHECK(fn != nullptr);
+  if (jobs == 0) return;
+  threads = std::clamp<std::size_t>(threads, 1, jobs);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,27 @@
+// Minimal data-parallel utilities for the bench harness.
+//
+// Replica sweeps are embarrassingly parallel: each replica owns its World
+// and touches no shared mutable state, so the only synchronization needed is
+// work distribution (an atomic index) and the implicit join. This follows
+// the Core Guidelines concurrency rules: no shared data, tasks over raw
+// thread management at call sites.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace hlsrg {
+
+// Number of worker threads to use by default: hardware concurrency capped by
+// the job count, never less than 1.
+[[nodiscard]] std::size_t default_thread_count(std::size_t jobs);
+
+// Runs fn(i) for every i in [0, jobs) across up to `threads` workers.
+// fn must not throw (simulation code reports failures via HLSRG_CHECK);
+// exceptions escaping fn terminate, by design.
+void parallel_for(std::size_t jobs, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace hlsrg

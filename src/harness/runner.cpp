@@ -1,0 +1,62 @@
+#include "harness/runner.h"
+
+#include "harness/parallel.h"
+#include "util/check.h"
+
+namespace hlsrg {
+
+double ReplicaSet::mean_update_overhead() const {
+  if (replicas.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RunMetrics& m : replicas) {
+    sum += static_cast<double>(m.total_update_overhead());
+  }
+  return sum / static_cast<double>(replicas.size());
+}
+
+double ReplicaSet::mean_query_overhead() const {
+  if (replicas.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RunMetrics& m : replicas) {
+    sum += static_cast<double>(m.total_query_overhead());
+  }
+  return sum / static_cast<double>(replicas.size());
+}
+
+double ReplicaSet::mean_success_rate() const {
+  // Pooled: total successes over total queries across replicas.
+  return merged.success_rate();
+}
+
+double ReplicaSet::mean_query_latency_ms() const {
+  return merged.query_latency.mean_ms();
+}
+
+ReplicaSet run_replicas(const ScenarioConfig& cfg, Protocol protocol,
+                        int replicas, std::size_t threads) {
+  HLSRG_CHECK(replicas >= 1);
+  ReplicaSet out;
+  out.replicas.resize(static_cast<std::size_t>(replicas));
+  if (threads == 0) {
+    threads = default_thread_count(static_cast<std::size_t>(replicas));
+  }
+  parallel_for(static_cast<std::size_t>(replicas), threads,
+               [&](std::size_t i) {
+                 ScenarioConfig replica_cfg = cfg;
+                 replica_cfg.seed = cfg.seed + i;
+                 World world(replica_cfg, protocol);
+                 out.replicas[i] = world.run();
+               });
+  for (const RunMetrics& m : out.replicas) out.merged.merge(m);
+  return out;
+}
+
+Comparison run_comparison(const ScenarioConfig& cfg, int replicas,
+                          std::size_t threads) {
+  Comparison c;
+  c.hlsrg = run_replicas(cfg, Protocol::kHlsrg, replicas, threads);
+  c.rlsmp = run_replicas(cfg, Protocol::kRlsmp, replicas, threads);
+  return c;
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,41 @@
+// Replica runner: executes N independent replicas of a scenario (seeds
+// seed, seed+1, ...) in parallel and merges their metrics. The figure
+// benches are built on this — the paper averages 10 simulations for its
+// delay figure, and the others stabilize similarly.
+#pragma once
+
+#include <vector>
+
+#include "harness/scenario.h"
+#include "harness/world.h"
+#include "sim/counters.h"
+
+namespace hlsrg {
+
+struct ReplicaSet {
+  // Per-replica metrics, index i ran with seed cfg.seed + i.
+  std::vector<RunMetrics> replicas;
+  // All replicas merged (counts summed, latencies pooled).
+  RunMetrics merged;
+
+  [[nodiscard]] double mean_update_overhead() const;
+  [[nodiscard]] double mean_query_overhead() const;
+  [[nodiscard]] double mean_success_rate() const;
+  [[nodiscard]] double mean_query_latency_ms() const;
+};
+
+// Runs `replicas` worlds of (cfg, protocol); `threads` = 0 picks a default.
+[[nodiscard]] ReplicaSet run_replicas(const ScenarioConfig& cfg,
+                                      Protocol protocol, int replicas,
+                                      std::size_t threads = 0);
+
+// Paired comparison: same scenario (and seeds) under both protocols.
+struct Comparison {
+  ReplicaSet hlsrg;
+  ReplicaSet rlsmp;
+};
+
+[[nodiscard]] Comparison run_comparison(const ScenarioConfig& cfg,
+                                        int replicas, std::size_t threads = 0);
+
+}  // namespace hlsrg

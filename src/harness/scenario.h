@@ -1,0 +1,92 @@
+// Scenario description: everything needed to build and run one simulated
+// world. The defaults reproduce the paper's evaluation setup: a 2 km x 2 km
+// map, 300-700 vehicles at 0-60 km/h, 50 s red lights, 500 m radio range,
+// 10% of vehicles querying 10% of vehicles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/hlsrg_config.h"
+#include "flood/flood_config.h"
+#include "grid/partition.h"
+#include "mobility/mobility_model.h"
+#include "net/beacons.h"
+#include "net/geocast.h"
+#include "net/gpsr.h"
+#include "net/radio.h"
+#include "net/wired.h"
+#include "rlsmp/rlsmp_config.h"
+#include "roadnet/map_builder.h"
+#include "sim/time.h"
+
+namespace hlsrg {
+
+enum class Protocol { kHlsrg, kRlsmp, kFlood };
+
+[[nodiscard]] inline const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kHlsrg:
+      return "HLSRG";
+    case Protocol::kRlsmp:
+      return "RLSMP";
+    case Protocol::kFlood:
+      return "FLOOD";
+  }
+  return "?";
+}
+
+struct ScenarioConfig {
+  // Master seed; expands into map/mobility/radio/protocol/workload streams.
+  std::uint64_t seed = 1;
+
+  MapConfig map;
+  // When non-empty, the map is loaded from this file (roadnet/map_io.h
+  // format) instead of being generated from `map`.
+  std::string map_file;
+  PartitionConfig partition;
+  MobilityConfig mobility;
+  RadioConfig radio;
+  GpsrConfig gpsr;
+  // HELLO-beacon neighbor discovery for GPSR; off = genie neighborhood.
+  BeaconConfig beacons;
+  GeocastConfig geocast;
+  WiredConfig wired;
+  HlsrgConfig hlsrg;
+  RlsmpConfig rlsmp;
+  FloodConfig flood;
+
+  int vehicles = 300;
+
+  // --- query workload -------------------------------------------------------
+  // kOneShot reproduces the paper: `source_fraction` of vehicles each issue
+  // one query for a random distinct destination at a uniform time inside the
+  // query window. kPoisson issues arrivals at `poisson_rate_per_sec` with
+  // random src/dst pairs. kHotspot is Poisson with destinations drawn from a
+  // small popular set (`hotspot_targets`) — a dispatcher/fleet-style skew.
+  enum class WorkloadKind { kOneShot, kPoisson, kHotspot };
+  WorkloadKind workload = WorkloadKind::kOneShot;
+  double source_fraction = 0.1;
+  double poisson_rate_per_sec = 1.0;
+  int hotspot_targets = 5;
+  SimTime warmup = SimTime::from_sec(60.0);
+  SimTime query_window = SimTime::from_sec(30.0);
+  // Extra time after the window so in-flight queries settle.
+  SimTime grace = SimTime::from_sec(60.0);
+
+  [[nodiscard]] SimTime end_time() const {
+    return warmup + query_window + grace;
+  }
+};
+
+// The paper's headline configuration (Fig 3.3-3.5 sweeps change `vehicles`).
+[[nodiscard]] inline ScenarioConfig paper_scenario(int vehicles = 500,
+                                                   std::uint64_t seed = 1) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.vehicles = vehicles;
+  cfg.map.size_m = 2000.0;
+  return cfg;
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,104 @@
+#include "harness/visualize.h"
+
+#include <sstream>
+
+namespace hlsrg {
+
+namespace {
+
+void draw_line(std::ostringstream& svg, Vec2 a, Vec2 b, const char* color,
+               double width, const char* dash = nullptr) {
+  svg << "<line x1='" << a.x << "' y1='" << a.y << "' x2='" << b.x << "' y2='"
+      << b.y << "' stroke='" << color << "' stroke-width='" << width << "'";
+  if (dash != nullptr) svg << " stroke-dasharray='" << dash << "'";
+  svg << "/>\n";
+}
+
+void draw_circle(std::ostringstream& svg, Vec2 c, double r, const char* fill,
+                 const char* stroke = nullptr) {
+  svg << "<circle cx='" << c.x << "' cy='" << c.y << "' r='" << r
+      << "' fill='" << fill << "'";
+  if (stroke != nullptr) svg << " stroke='" << stroke << "' stroke-width='3'";
+  svg << "/>\n";
+}
+
+}  // namespace
+
+std::string render_world_svg(const RoadNetwork& net,
+                             const GridHierarchy& hierarchy,
+                             const RsuGrid* rsus,
+                             const MobilityModel* mobility,
+                             const VisualizeOptions& options) {
+  const Aabb box = net.bounds().inflated(60.0);
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' viewBox='" << box.lo.x << ' '
+      << box.lo.y << ' ' << box.width() << ' ' << box.height() << "'>\n";
+  svg << "<rect x='" << box.lo.x << "' y='" << box.lo.y << "' width='"
+      << box.width() << "' height='" << box.height() << "' fill='#fafafa'/>\n";
+  // Flip y so north is up.
+  svg << "<g transform='translate(0," << (box.lo.y + box.hi.y)
+      << ") scale(1,-1)'>\n";
+
+  // Roads.
+  for (const Road& r : net.roads()) {
+    const bool artery = r.cls == RoadClass::kMainArtery;
+    for (SegmentId sid : r.fwd_segments) {
+      const LineSegment g = net.geometry(sid);
+      draw_line(svg, g.a, g.b, artery ? "#444444" : "#bbbbbb",
+                artery ? 7.0 : 2.5);
+    }
+  }
+
+  if (options.draw_partition) {
+    // Boundary overlays per level: L1 thin, L2 medium, L3 heavy.
+    const Partition& p = hierarchy.partition();
+    const Aabb mb = net.bounds();
+    auto level_style = [](int index) {
+      if (index % 4 == 0) return std::pair{"#c62828", 10.0};  // L3
+      if (index % 2 == 0) return std::pair{"#ef6c00", 6.0};   // L2
+      return std::pair{"#fbc02d", 3.5};                       // L1
+    };
+    for (std::size_t i = 0; i < p.x_lines.size(); ++i) {
+      const auto [color, width] = level_style(static_cast<int>(i));
+      const double x = p.x_lines[i].coord;
+      draw_line(svg, {x, mb.lo.y}, {x, mb.hi.y}, color, width, "18,14");
+    }
+    for (std::size_t i = 0; i < p.y_lines.size(); ++i) {
+      const auto [color, width] = level_style(static_cast<int>(i));
+      const double y = p.y_lines[i].coord;
+      draw_line(svg, {mb.lo.x, y}, {mb.hi.x, y}, color, width, "18,14");
+    }
+  }
+
+  if (options.draw_centers) {
+    for (int col = 0; col < hierarchy.cols(GridLevel::kL1); ++col) {
+      for (int row = 0; row < hierarchy.rows(GridLevel::kL1); ++row) {
+        draw_circle(svg, hierarchy.center_pos({col, row}, GridLevel::kL1),
+                    14.0, "#1565c0");
+      }
+    }
+  }
+
+  if (options.draw_rsus && rsus != nullptr) {
+    for (const RsuGrid::Rsu& r : rsus->all()) {
+      const bool l3 = r.level == GridLevel::kL3;
+      draw_circle(svg, r.pos, l3 ? 26.0 : 20.0, l3 ? "#c62828" : "#ef6c00",
+                  "#ffffff");
+    }
+  }
+
+  if (options.draw_vehicles && mobility != nullptr) {
+    for (std::size_t i = 0; i < mobility->vehicle_count(); ++i) {
+      const VehicleId v{i};
+      const bool artery = mobility->network().is_artery(
+          mobility->state(v).seg);
+      draw_circle(svg, mobility->position(v), 6.0,
+                  artery ? "#2e7d32" : "#9e9e9e");
+    }
+  }
+
+  svg << "</g>\n</svg>\n";
+  return svg.str();
+}
+
+}  // namespace hlsrg

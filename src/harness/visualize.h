@@ -1,0 +1,31 @@
+// SVG rendering of a built world: roads (arteries bold), the road-adapted
+// partition (L1/L2/L3 boundaries at increasing weight), grid centers, RSUs,
+// and optionally live vehicle positions. Used by the map_partition_viewer
+// example and handy for debugging scenario geometry.
+#pragma once
+
+#include <string>
+
+#include "grid/hierarchy.h"
+#include "infra/rsu_grid.h"
+#include "mobility/mobility_model.h"
+#include "roadnet/road_network.h"
+
+namespace hlsrg {
+
+struct VisualizeOptions {
+  bool draw_partition = true;
+  bool draw_centers = true;
+  bool draw_rsus = true;
+  bool draw_vehicles = false;
+};
+
+// Renders the network plus hierarchy overlays. `rsus` and `mobility` may be
+// null; the corresponding layers are skipped.
+[[nodiscard]] std::string render_world_svg(const RoadNetwork& net,
+                                           const GridHierarchy& hierarchy,
+                                           const RsuGrid* rsus,
+                                           const MobilityModel* mobility,
+                                           const VisualizeOptions& options = {});
+
+}  // namespace hlsrg

@@ -1,0 +1,150 @@
+#include "harness/world.h"
+
+#include <cmath>
+#include <vector>
+
+#include "roadnet/map_io.h"
+#include "util/check.h"
+
+namespace hlsrg {
+
+World::World(const ScenarioConfig& cfg, Protocol protocol)
+    : cfg_(cfg), protocol_(protocol), sim_(cfg.seed) {
+  // Map: loaded from file when requested, generated otherwise. The
+  // generator's own randomness (irregular variant) keys off the scenario
+  // seed so replicas with different seeds get different irregular maps.
+  if (!cfg_.map_file.empty()) {
+    std::string error;
+    net_ = load_map_file(cfg_.map_file, &error);
+    HLSRG_CHECK_MSG(net_.intersection_count() > 0, error.c_str());
+  } else {
+    MapConfig map_cfg = cfg_.map;
+    if (map_cfg.irregular) map_cfg.seed = cfg_.seed;
+    net_ = build_manhattan_map(map_cfg);
+  }
+
+  // Road-adapted partition and hierarchy (used by HLSRG; also handy context
+  // for examples even under RLSMP).
+  hierarchy_ = std::make_unique<GridHierarchy>(
+      net_, build_partition(net_, cfg_.partition));
+
+  medium_ = std::make_unique<RadioMedium>(sim_, registry_, cfg_.radio);
+  gpsr_ = std::make_unique<GpsrRouter>(*medium_, registry_, cfg_.gpsr);
+  GeocastConfig geocast_cfg = cfg_.geocast;
+  if (protocol_ == Protocol::kFlood) {
+    // The flooding baseline covers the whole map per flood; the default
+    // rebroadcast budget is sized for HLSRG/RLSMP's small regions.
+    geocast_cfg.max_transmissions =
+        std::max(geocast_cfg.max_transmissions, 4 * cfg_.vehicles);
+  }
+  geocast_ = std::make_unique<GeocastService>(*medium_, registry_, geocast_cfg);
+  wired_ = std::make_unique<WiredNetwork>(sim_, registry_, cfg_.wired);
+
+  mobility_ = std::make_unique<MobilityModel>(sim_, net_, cfg_.mobility);
+  mobility_->place_random_vehicles(cfg_.vehicles);
+
+  switch (protocol_) {
+    case Protocol::kHlsrg: {
+      if (cfg_.hlsrg.use_rsus) {
+        rsus_ = std::make_unique<RsuGrid>(*hierarchy_, registry_, *wired_);
+      }
+      service_ = std::make_unique<HlsrgService>(
+          sim_, net_, *hierarchy_, *mobility_, registry_, *medium_, *gpsr_,
+          *geocast_, *wired_, rsus_.get(), cfg_.hlsrg);
+      break;
+    }
+    case Protocol::kRlsmp: {
+      cells_ = std::make_unique<CellGrid>(
+          net_.bounds(), cfg_.rlsmp.cell_size_m, cfg_.rlsmp.origin_offset_m,
+          cfg_.rlsmp.cluster_dim);
+      service_ = std::make_unique<RlsmpService>(sim_, *mobility_, registry_,
+                                                *medium_, *gpsr_, *geocast_,
+                                                *cells_, cfg_.rlsmp);
+      break;
+    }
+    case Protocol::kFlood: {
+      service_ = std::make_unique<FloodService>(sim_, *mobility_, registry_,
+                                                *medium_, *gpsr_, *geocast_,
+                                                net_.bounds(), cfg_.flood);
+      break;
+    }
+  }
+
+  // Beacon-based neighbor discovery must start after every node (vehicles
+  // and RSUs) is registered.
+  if (cfg_.beacons.enabled) {
+    beacons_ = std::make_unique<BeaconService>(*medium_, registry_,
+                                               cfg_.beacons);
+    gpsr_->set_beacons(beacons_.get());
+  }
+
+  mobility_->start();
+  schedule_workload();
+}
+
+void World::schedule_workload() {
+  const int n = cfg_.vehicles;
+  if (n < 2) return;
+  Rng& rng = sim_.workload_rng();
+
+  if (cfg_.workload != ScenarioConfig::WorkloadKind::kOneShot) {
+    // Poisson arrivals across the query window; hotspot skews destinations
+    // toward a small popular set.
+    const bool hotspot =
+        cfg_.workload == ScenarioConfig::WorkloadKind::kHotspot;
+    const int hot = std::max(1, std::min(cfg_.hotspot_targets, n - 1));
+    double t = cfg_.warmup.sec();
+    const double end = (cfg_.warmup + cfg_.query_window).sec();
+    while (true) {
+      // Exponential inter-arrival via inverse transform.
+      t += -std::log(1.0 - rng.uniform()) / cfg_.poisson_rate_per_sec;
+      if (t >= end) break;
+      const VehicleId src{
+          static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+      VehicleId dst;
+      do {
+        dst = hotspot ? VehicleId{static_cast<std::uint32_t>(
+                            rng.uniform_int(0, hot - 1))}
+                      : VehicleId{static_cast<std::uint32_t>(
+                            rng.uniform_int(0, n - 1))};
+      } while (dst == src);
+      sim_.schedule_at(SimTime::from_sec(t),
+                       [this, src, dst] { service_->issue_query(src, dst); });
+      ++planned_queries_;
+    }
+    return;
+  }
+
+  const int sources = std::max(
+      0, static_cast<int>(cfg_.source_fraction * n + 0.5));
+  if (sources == 0) return;
+  // Distinct sources via partial Fisher-Yates over vehicle indices.
+  std::vector<std::uint32_t> ids(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(i);
+  for (int i = 0; i < sources; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(i, n - 1));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+  }
+  for (int i = 0; i < sources; ++i) {
+    const VehicleId src{ids[static_cast<std::size_t>(i)]};
+    // Destination: any vehicle other than the source (the paper picks the
+    // queried vehicles randomly as well).
+    VehicleId dst;
+    do {
+      dst = VehicleId{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    } while (dst == src);
+    const SimTime when =
+        cfg_.warmup + SimTime::from_us(static_cast<std::int64_t>(
+                          rng.uniform(0.0, cfg_.query_window.sec()) * 1e6));
+    sim_.schedule_at(when, [this, src, dst] { service_->issue_query(src, dst); });
+    ++planned_queries_;
+  }
+}
+
+const RunMetrics& World::run() {
+  sim_.run_until(cfg_.end_time());
+  return sim_.metrics();
+}
+
+}  // namespace hlsrg

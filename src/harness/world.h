@@ -1,0 +1,86 @@
+// World: one fully assembled simulated replica — map, partition, hierarchy,
+// mobility, radio, routing, RSUs, protocol, workload. A World owns all of
+// its state; replicas running on different threads share nothing mutable.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/hlsrg_service.h"
+#include "grid/hierarchy.h"
+#include "harness/scenario.h"
+#include "infra/rsu_grid.h"
+#include "mobility/mobility_model.h"
+#include "net/beacons.h"
+#include "net/geocast.h"
+#include "net/gpsr.h"
+#include "net/node_registry.h"
+#include "net/radio.h"
+#include "net/wired.h"
+#include "flood/flood_service.h"
+#include "rlsmp/cell_grid.h"
+#include "rlsmp/rlsmp_service.h"
+#include "roadnet/road_network.h"
+#include "sim/simulator.h"
+
+namespace hlsrg {
+
+class World {
+ public:
+  // Builds the world: map, partition, protocol agents, and vehicles at their
+  // initial poses. Mobility starts on construction; the query workload is
+  // scheduled per `cfg`.
+  World(const ScenarioConfig& cfg, Protocol protocol);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // Runs to the scenario end; returns the final metrics.
+  const RunMetrics& run();
+  // Runs to an arbitrary time (for tests / incremental examples).
+  void run_until(SimTime t) { sim_.run_until(t); }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const RoadNetwork& network() const { return net_; }
+  [[nodiscard]] const GridHierarchy& hierarchy() const { return *hierarchy_; }
+  [[nodiscard]] MobilityModel& mobility() { return *mobility_; }
+  [[nodiscard]] LocationService& service() { return *service_; }
+  [[nodiscard]] const RunMetrics& metrics() const { return sim_.metrics(); }
+  [[nodiscard]] Protocol protocol() const { return protocol_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] const RsuGrid* rsus() const { return rsus_.get(); }
+  [[nodiscard]] const CellGrid* cells() const { return cells_.get(); }
+
+  // Number of queries the workload will issue.
+  [[nodiscard]] int planned_queries() const { return planned_queries_; }
+
+  // Attaches an event trace (see sim/trace.h); pass nullptr to detach. The
+  // log must outlive the World's remaining run time.
+  void attach_trace(TraceLog* trace) { sim_.set_trace(trace); }
+
+  // Node directory (failure injection in tests: silencing a node's sink
+  // models an outage — packets to it fall on deaf ears).
+  [[nodiscard]] NodeRegistry& registry() { return registry_; }
+
+ private:
+  void schedule_workload();
+
+  ScenarioConfig cfg_;
+  Protocol protocol_;
+  Simulator sim_;
+  RoadNetwork net_;
+  std::unique_ptr<GridHierarchy> hierarchy_;
+  NodeRegistry registry_;
+  std::unique_ptr<RadioMedium> medium_;
+  std::unique_ptr<GpsrRouter> gpsr_;
+  std::unique_ptr<BeaconService> beacons_;
+  std::unique_ptr<GeocastService> geocast_;
+  std::unique_ptr<WiredNetwork> wired_;
+  std::unique_ptr<MobilityModel> mobility_;
+  std::unique_ptr<RsuGrid> rsus_;
+  std::unique_ptr<CellGrid> cells_;
+  std::unique_ptr<LocationService> service_;
+  int planned_queries_ = 0;
+};
+
+}  // namespace hlsrg

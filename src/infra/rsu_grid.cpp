@@ -1,0 +1,75 @@
+#include "infra/rsu_grid.h"
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+RsuGrid::RsuGrid(const GridHierarchy& hierarchy, NodeRegistry& registry,
+                 WiredNetwork& wired) {
+  l2_cols_ = hierarchy.cols(GridLevel::kL2);
+  l3_cols_ = hierarchy.cols(GridLevel::kL3);
+
+  auto deploy_level = [&](GridLevel level, std::vector<RsuId>* index) {
+    index->resize(static_cast<std::size_t>(hierarchy.cell_count(level)));
+    for (int row = 0; row < hierarchy.rows(level); ++row) {
+      for (int col = 0; col < hierarchy.cols(level); ++col) {
+        const GridCoord c{col, row};
+        const Vec2 pos = hierarchy.center_pos(c, level);
+        const NodeId node = registry.add_node([pos] { return pos; });
+        const RsuId id{rsus_.size()};
+        rsus_.push_back(Rsu{id, node, level, c, pos});
+        (*index)[hierarchy.id_of(c, level).index()] = id;
+        if (node.index() >= node_to_rsu_.size()) {
+          node_to_rsu_.resize(node.index() + 1);
+        }
+        node_to_rsu_[node.index()] = id;
+      }
+    }
+  };
+  deploy_level(GridLevel::kL2, &l2_index_);
+  deploy_level(GridLevel::kL3, &l3_index_);
+
+  // Wire each L2 RSU to its parent L3 RSU.
+  for (const Rsu& r : rsus_) {
+    if (r.level != GridLevel::kL2) continue;
+    // Parent L3 of an L2 cell: halve coordinates (L3 = 2x2 L2 cells).
+    const GridCoord parent{r.coord.col / 2, r.coord.row / 2};
+    wired.connect(r.node, node_at(parent, GridLevel::kL3));
+  }
+  // Wire each L3 RSU to its four compass neighbors.
+  const int cols3 = hierarchy.cols(GridLevel::kL3);
+  const int rows3 = hierarchy.rows(GridLevel::kL3);
+  for (int row = 0; row < rows3; ++row) {
+    for (int col = 0; col < cols3; ++col) {
+      const NodeId here = node_at({col, row}, GridLevel::kL3);
+      if (col + 1 < cols3) {
+        wired.connect(here, node_at({col + 1, row}, GridLevel::kL3));
+      }
+      if (row + 1 < rows3) {
+        wired.connect(here, node_at({col, row + 1}, GridLevel::kL3));
+      }
+    }
+  }
+}
+
+RsuId RsuGrid::rsu_at(GridCoord coord, GridLevel level) const {
+  HLSRG_CHECK(level == GridLevel::kL2 || level == GridLevel::kL3);
+  const auto& index = level == GridLevel::kL2 ? l2_index_ : l3_index_;
+  const int cols = level == GridLevel::kL2 ? l2_cols_ : l3_cols_;
+  const std::size_t flat =
+      static_cast<std::size_t>(coord.row) * cols + static_cast<std::size_t>(coord.col);
+  HLSRG_CHECK(flat < index.size());
+  return index[flat];
+}
+
+RsuId RsuGrid::rsu_of_node(NodeId node) const {
+  if (!node.valid() || node.index() >= node_to_rsu_.size()) return {};
+  return node_to_rsu_[node.index()];
+}
+
+RsuId RsuGrid::nearest_rsu(Vec2 p, GridLevel level,
+                           const GridHierarchy& h) const {
+  return rsu_at(h.coord_at(p, level), level);
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,64 @@
+// RSU deployment over the grid hierarchy (paper 2.1.2).
+//
+// One RSU sits at every Level-2 and Level-3 grid center. Wiring follows the
+// paper exactly: each L2 RSU has a wire to its parent L3 RSU, and each L3
+// RSU has wires to its east/west/south/north L3 neighbors, so the L3 plane
+// is a connected mesh and "any Level 3 RSU owns vehicle's information for a
+// specific region" is reachable within a few wired hops.
+//
+// RSUs are radio nodes too (vehicles reach them over GPSR); their protocol
+// behaviour (tables, forwarding) is installed by the core library as a
+// PacketSink.
+#pragma once
+
+#include <vector>
+
+#include "grid/hierarchy.h"
+#include "net/node_registry.h"
+#include "net/wired.h"
+
+namespace hlsrg {
+
+class RsuGrid {
+ public:
+  struct Rsu {
+    RsuId id;
+    NodeId node;
+    GridLevel level = GridLevel::kL2;
+    GridCoord coord;
+    Vec2 pos;
+  };
+
+  // Registers RSU nodes at all L2/L3 centers and wires them. Sinks start
+  // null; the protocol installs them via NodeRegistry::set_sink.
+  RsuGrid(const GridHierarchy& hierarchy, NodeRegistry& registry,
+          WiredNetwork& wired);
+
+  [[nodiscard]] std::size_t count() const { return rsus_.size(); }
+  [[nodiscard]] const std::vector<Rsu>& all() const { return rsus_; }
+  [[nodiscard]] const Rsu& rsu(RsuId id) const { return rsus_[id.index()]; }
+
+  // RSU serving a grid cell at the given level. Only kL2/kL3 are valid.
+  [[nodiscard]] RsuId rsu_at(GridCoord coord, GridLevel level) const;
+  [[nodiscard]] NodeId node_at(GridCoord coord, GridLevel level) const {
+    return rsus_[rsu_at(coord, level).index()].node;
+  }
+
+  // Reverse lookup: RSU owning a node id; invalid if the node is not an RSU.
+  [[nodiscard]] RsuId rsu_of_node(NodeId node) const;
+
+  // The L2 RSU of the cell containing p / the L3 RSU likewise.
+  [[nodiscard]] RsuId nearest_rsu(Vec2 p, GridLevel level,
+                                  const GridHierarchy& h) const;
+
+ private:
+  std::vector<Rsu> rsus_;
+  std::vector<RsuId> l2_index_;  // dense by L2 cell id
+  std::vector<RsuId> l3_index_;  // dense by L3 cell id
+  int l2_cols_ = 0;
+  int l3_cols_ = 0;
+  // node.index() -> RsuId (sparse; nodes registered before RSUs map invalid)
+  std::vector<RsuId> node_to_rsu_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,115 @@
+// Vehicle mobility on the road graph (VanetMobiSim substitute, part 3).
+//
+// Vehicles advance along directed segments at a constant per-vehicle speed,
+// stop at red lights, and pick exits with TurnPolicy. Movement happens in
+// fixed ticks (default 500 ms — at the 60 km/h cap a vehicle moves 8.3 m per
+// tick, far below segment lengths, so intersection handling per tick is
+// exact enough for protocol purposes). Protocols observe movement through
+// MovementListener: discrete intersection passes (HLSRG's update rules key
+// off these) and per-tick moves (RLSMP detects cell crossings from these).
+//
+// Deliberate abstraction: no car-following — stopped vehicles co-locate at
+// the stop line. The protocols under study read positions and radio
+// connectivity, not headways, so queue geometry does not affect the metrics.
+#pragma once
+
+#include <vector>
+
+#include "mobility/traffic_light.h"
+#include "mobility/turn_policy.h"
+#include "roadnet/road_network.h"
+#include "sim/simulator.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+struct MobilityConfig {
+  double tick_sec = 0.5;
+  // Paper: "speed between 0 to 60 km/hr". Moving vehicles sample in
+  // [min, max]; the 0 km/h end of the paper's range is modelled explicitly
+  // by `parked_fraction` below.
+  double min_speed_kmh = 5.0;
+  double max_speed_kmh = 60.0;
+  // Fraction of vehicles that are parked (speed 0) for the whole run. Parked
+  // vehicles never move but keep their radios on — they relay packets and
+  // can serve as grid-center location servers.
+  double parked_fraction = 0.0;
+  // Relative placement weight of artery road-metres vs normal road-metres;
+  // 10 reproduces the paper's measured 10:1 artery:normal vehicle density.
+  double artery_placement_weight = 10.0;
+  TrafficLightConfig lights;
+  TurnPolicyConfig turn;
+};
+
+struct VehicleState {
+  SegmentId seg;       // segment currently being driven (from -> to)
+  double offset = 0.0; // metres from seg.from
+  double speed = 0.0;  // metres/second (constant per vehicle)
+  bool waiting = false;  // stopped at seg.to's red light
+};
+
+// Observer interface for protocol agents.
+class MovementListener {
+ public:
+  virtual ~MovementListener() = default;
+  // Vehicle `v` passed through `node`, arriving on `in_seg` and departing on
+  // `out_seg`. Fired at the moment of crossing (after any red-light wait).
+  virtual void on_intersection_pass(VehicleId v, IntersectionId node,
+                                    SegmentId in_seg, SegmentId out_seg) {
+    (void)v; (void)node; (void)in_seg; (void)out_seg;
+  }
+  // Vehicle `v` moved from `before` to `after` during the tick ending now.
+  // Fired only when the position changed.
+  virtual void on_moved(VehicleId v, Vec2 before, Vec2 after) {
+    (void)v; (void)before; (void)after;
+  }
+  // All vehicles have moved for this tick.
+  virtual void on_tick() {}
+};
+
+class MobilityModel {
+ public:
+  MobilityModel(Simulator& sim, const RoadNetwork& net, MobilityConfig cfg);
+
+  // Adds a vehicle at a specific pose. Speed in m/s; 0 parks the vehicle.
+  VehicleId add_vehicle(SegmentId seg, double offset, double speed_mps);
+
+  // Adds `n` vehicles at random poses: segment chosen with probability
+  // proportional to length x class weight, offset uniform, speed uniform in
+  // the configured band. Draws from the simulator's mobility stream.
+  void place_random_vehicles(int n);
+
+  // Schedules the first tick; call once after vehicles are placed.
+  void start();
+
+  void add_listener(MovementListener* listener);
+
+  [[nodiscard]] std::size_t vehicle_count() const { return states_.size(); }
+  [[nodiscard]] const VehicleState& state(VehicleId v) const {
+    return states_[v.index()];
+  }
+  [[nodiscard]] Vec2 position(VehicleId v) const;
+  // Unit heading of the vehicle's current segment.
+  [[nodiscard]] Vec2 heading(VehicleId v) const;
+  [[nodiscard]] RoadId current_road(VehicleId v) const;
+
+  [[nodiscard]] const RoadNetwork& network() const { return *net_; }
+  [[nodiscard]] const TurnPolicy& turn_policy() const { return policy_; }
+  [[nodiscard]] const TrafficLightPlan& lights() const { return lights_; }
+  [[nodiscard]] const MobilityConfig& config() const { return cfg_; }
+
+ private:
+  void tick();
+  void advance_vehicle(VehicleId v, double dt);
+
+  Simulator* sim_;
+  const RoadNetwork* net_;
+  MobilityConfig cfg_;
+  TrafficLightPlan lights_;
+  TurnPolicy policy_;
+  std::vector<VehicleState> states_;
+  std::vector<MovementListener*> listeners_;
+  bool started_ = false;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,43 @@
+#include "mobility/traffic_light.h"
+
+namespace hlsrg {
+
+std::int64_t TrafficLightPlan::cycle_us() const {
+  return static_cast<std::int64_t>(2.0 * cfg_.red_sec * 1e6);
+}
+
+std::int64_t TrafficLightPlan::phase_offset_us(IntersectionId node) const {
+  // SplitMix64-style scramble of the id gives well-spread, reproducible
+  // offsets without storing per-intersection state.
+  std::uint64_t z = node.value() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::int64_t>(z % static_cast<std::uint64_t>(cycle_us()));
+}
+
+bool TrafficLightPlan::can_pass(IntersectionId node, Orientation approach,
+                                SimTime t) const {
+  if (!cfg_.enabled) return true;
+  if (approach == Orientation::kOther) return true;
+  const std::int64_t cycle = cycle_us();
+  const std::int64_t green = cycle / 2;
+  const std::int64_t phase =
+      (t.us() + phase_offset_us(node)) % cycle;
+  // First half-cycle: horizontal green; second: vertical green.
+  return approach == Orientation::kHorizontal ? phase < green : phase >= green;
+}
+
+SimTime TrafficLightPlan::next_green(IntersectionId node, Orientation approach,
+                                     SimTime t) const {
+  if (can_pass(node, approach, t)) return t;
+  const std::int64_t cycle = cycle_us();
+  const std::int64_t green = cycle / 2;
+  const std::int64_t phase = (t.us() + phase_offset_us(node)) % cycle;
+  // Horizontal waits for phase to wrap past `cycle`; vertical for `green`.
+  const std::int64_t target = approach == Orientation::kHorizontal
+                                  ? cycle - phase
+                                  : green - phase;
+  return t + SimTime::from_us(target);
+}
+
+}  // namespace hlsrg

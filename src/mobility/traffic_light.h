@@ -1,0 +1,51 @@
+// Traffic lights (VanetMobiSim substitute, part 1).
+//
+// Two-phase signal: east-west traffic gets green while north-south waits,
+// then they swap. The paper sets red lights to 50 s; with two phases that
+// makes a 100 s cycle. Each intersection gets a deterministic phase offset
+// derived from its id so the whole map is not synchronized — vehicles
+// therefore dwell at intersections (including grid centers) at staggered
+// times, which is the behaviour HLSRG's grid-center choice exploits.
+#pragma once
+
+#include <cstdint>
+
+#include "roadnet/road_network.h"
+#include "sim/time.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+struct TrafficLightConfig {
+  // Red duration per approach axis (the paper's 50 s). Green equals the other
+  // axis's red, so the full cycle is 2 * red_sec.
+  double red_sec = 50.0;
+  // If false, vehicles never stop (used by a few unit tests and ablations).
+  bool enabled = true;
+};
+
+class TrafficLightPlan {
+ public:
+  explicit TrafficLightPlan(TrafficLightConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const TrafficLightConfig& config() const { return cfg_; }
+
+  // True if a vehicle approaching `node` along a road of orientation
+  // `approach` may cross at time `t`. Diagonal/other approaches always pass.
+  [[nodiscard]] bool can_pass(IntersectionId node, Orientation approach,
+                              SimTime t) const;
+
+  // Time of the next moment >= t at which the approach turns green (== t when
+  // already green).
+  [[nodiscard]] SimTime next_green(IntersectionId node, Orientation approach,
+                                   SimTime t) const;
+
+ private:
+  // Deterministic per-intersection phase offset in [0, cycle).
+  [[nodiscard]] std::int64_t phase_offset_us(IntersectionId node) const;
+  [[nodiscard]] std::int64_t cycle_us() const;
+
+  TrafficLightConfig cfg_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,53 @@
+#include "mobility/turn_policy.h"
+
+#include <cmath>
+#include <vector>
+
+#include "geom/segment.h"
+#include "util/check.h"
+
+namespace hlsrg {
+
+SegmentId TurnPolicy::choose_exit(SegmentId in_seg, Rng& rng) const {
+  const Segment& in = net_->segment(in_seg);
+  const Intersection& node = net_->intersection(in.to);
+  HLSRG_CHECK_MSG(!node.out.empty(), "intersection with no exits");
+
+  std::vector<SegmentId> candidates;
+  std::vector<double> weights;
+  double total = 0.0;
+  for (SegmentId out_id : node.out) {
+    if (out_id == in.reverse) continue;  // no U-turns unless forced
+    const Segment& out = net_->segment(out_id);
+    const bool out_artery = net_->is_artery(out_id);
+    double w = out_artery ? cfg_.artery_weight : 1.0;
+    const double dtheta =
+        angle_between(in.unit_dir.angle(), out.unit_dir.angle());
+    if (dtheta <= cfg_.straight_tolerance_rad) {
+      w *= cfg_.straight_bonus;
+      if (out_artery && net_->is_artery(in_seg)) {
+        w *= cfg_.artery_straight_bonus;
+      }
+    }
+    candidates.push_back(out_id);
+    weights.push_back(w);
+    total += w;
+  }
+  if (candidates.empty()) return in.reverse;  // dead end: turn around
+
+  double pick = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return candidates[i];
+  }
+  return candidates.back();
+}
+
+bool TurnPolicy::is_turn(SegmentId in_seg, SegmentId out_seg) const {
+  const Segment& in = net_->segment(in_seg);
+  const Segment& out = net_->segment(out_seg);
+  return angle_between(in.unit_dir.angle(), out.unit_dir.angle()) >
+         cfg_.straight_tolerance_rad;
+}
+
+}  // namespace hlsrg

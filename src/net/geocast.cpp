@@ -1,0 +1,76 @@
+#include "net/geocast.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+GeocastRegion GeocastRegion::corridor(Vec2 origin, Vec2 dir, double half_width,
+                                      double max_ahead, double behind_slack) {
+  GeocastRegion r;
+  r.shape = Shape::kCorridor;
+  r.corridor_origin = origin;
+  r.corridor_dir = dir;
+  r.half_width = half_width;
+  r.max_ahead = max_ahead;
+  r.behind_slack = behind_slack;
+  return r;
+}
+
+GeocastRegion GeocastRegion::from_box(const Aabb& b, double margin) {
+  GeocastRegion r;
+  r.shape = Shape::kBox;
+  r.box = b.inflated(margin);
+  return r;
+}
+
+bool GeocastRegion::contains(Vec2 p) const {
+  switch (shape) {
+    case Shape::kCorridor:
+      return in_corridor(p, corridor_origin, corridor_dir, half_width,
+                         max_ahead, behind_slack);
+    case Shape::kBox:
+      return box.contains_closed(p);
+  }
+  return false;
+}
+
+struct GeocastService::FloodState {
+  Packet pkt;
+  GeocastRegion region;
+  std::unordered_set<NodeId> seen;
+  std::uint64_t* tx_counter = nullptr;
+  int transmissions = 0;
+};
+
+GeocastService::GeocastService(RadioMedium& medium,
+                               const NodeRegistry& registry, GeocastConfig cfg)
+    : medium_(&medium), registry_(&registry), cfg_(cfg) {}
+
+void GeocastService::flood(NodeId origin, Packet pkt, GeocastRegion region,
+                           std::uint64_t* tx_counter) {
+  auto st = std::make_shared<FloodState>();
+  st->pkt = std::move(pkt);
+  st->region = region;
+  st->tx_counter = tx_counter;
+  st->seen.insert(origin);
+  step(origin, st);
+}
+
+void GeocastService::step(NodeId node, const std::shared_ptr<FloodState>& st) {
+  if (st->transmissions >= cfg_.max_transmissions) return;
+  ++st->transmissions;
+  if (st->tx_counter != nullptr) ++*st->tx_counter;
+  medium_->broadcast_each(node, [this, node, st](NodeId rx) {
+    if (!st->seen.insert(rx).second) return;
+    if (!st->region.contains(registry_->position(rx))) return;
+    if (PacketSink* sink = registry_->sink(rx)) sink->on_receive(st->pkt, node);
+    const double jitter =
+        medium_->sim().radio_rng().uniform(0.1, cfg_.rebroadcast_delay_ms);
+    medium_->sim().schedule_after(SimTime::from_ms(jitter),
+                                  [this, rx, st] { step(rx, st); });
+  });
+}
+
+}  // namespace hlsrg

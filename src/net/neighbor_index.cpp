@@ -1,0 +1,58 @@
+#include "net/neighbor_index.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+void NeighborIndex::refresh(SimTime now) {
+  if (built_at_ == now && cached_pos_.size() == registry_->count()) return;
+  cells_.clear();
+  cached_pos_.resize(registry_->count());
+  for (std::size_t i = 0; i < registry_->count(); ++i) {
+    const NodeId id{i};
+    const Vec2 p = registry_->position(id);
+    cached_pos_[i] = p;
+    cells_[key_for(p)].push_back(id);
+  }
+  built_at_ = now;
+}
+
+void NeighborIndex::query(Vec2 p, double radius, NodeId exclude,
+                          std::vector<NodeId>* out) const {
+  HLSRG_CHECK(out != nullptr);
+  HLSRG_CHECK_MSG(radius <= cell_ + 1e-9,
+                  "query radius must not exceed the hash cell size");
+  const CellKey center = key_for(p);
+  const double r2 = radius * radius;
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find({center.x + dx, center.y + dy});
+      if (it == cells_.end()) continue;
+      for (NodeId id : it->second) {
+        if (id == exclude) continue;
+        if (distance2(cached_pos_[id.index()], p) <= r2) out->push_back(id);
+      }
+    }
+  }
+}
+
+int NeighborIndex::count_within(Vec2 p, double radius, NodeId exclude) const {
+  const CellKey center = key_for(p);
+  const double r2 = radius * radius;
+  int n = 0;
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find({center.x + dx, center.y + dy});
+      if (it == cells_.end()) continue;
+      for (NodeId id : it->second) {
+        if (id == exclude) continue;
+        if (distance2(cached_pos_[id.index()], p) <= r2) ++n;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,66 @@
+// Spatial hash over node positions for O(1) neighborhood queries.
+//
+// Cell size equals the radio range, so a range query touches at most the
+// 3x3 cell block around the query point. The index is rebuilt lazily: node
+// positions only change when the mobility model ticks (which advances the
+// simulation clock), so a build tagged with the current SimTime stays valid
+// for every query at that time.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "net/node_registry.h"
+#include "sim/time.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+class NeighborIndex {
+ public:
+  NeighborIndex(const NodeRegistry& registry, double cell_size)
+      : registry_(&registry), cell_(cell_size) {}
+
+  // Ensures the index reflects positions as of `now`.
+  void refresh(SimTime now);
+
+  // Appends all nodes within `radius` of `p` (excluding `exclude` if valid)
+  // to `out`. Caller must refresh() first; checked.
+  void query(Vec2 p, double radius, NodeId exclude,
+             std::vector<NodeId>* out) const;
+
+  // Number of nodes within `radius` of `p`, excluding `exclude`.
+  [[nodiscard]] int count_within(Vec2 p, double radius, NodeId exclude) const;
+
+ private:
+  struct CellKey {
+    std::int32_t x;
+    std::int32_t y;
+    friend bool operator==(CellKey, CellKey) = default;
+  };
+  struct CellKeyHash {
+    std::size_t operator()(CellKey k) const {
+      // Szudzik-style mix of the two 32-bit coordinates.
+      const std::uint64_t a = static_cast<std::uint32_t>(k.x);
+      const std::uint64_t b = static_cast<std::uint32_t>(k.y);
+      std::uint64_t z = (a << 32) | b;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+
+  [[nodiscard]] CellKey key_for(Vec2 p) const {
+    return {static_cast<std::int32_t>(std::floor(p.x / cell_)),
+            static_cast<std::int32_t>(std::floor(p.y / cell_))};
+  }
+
+  const NodeRegistry* registry_;
+  double cell_;
+  std::unordered_map<CellKey, std::vector<NodeId>, CellKeyHash> cells_;
+  std::vector<Vec2> cached_pos_;
+  SimTime built_at_ = SimTime::from_us(-1);
+};
+
+}  // namespace hlsrg

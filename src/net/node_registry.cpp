@@ -1,0 +1,18 @@
+#include "net/node_registry.h"
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+NodeId NodeRegistry::add_node(PositionFn position, PacketSink* sink) {
+  HLSRG_CHECK(position != nullptr);
+  nodes_.push_back(Entry{std::move(position), sink});
+  return NodeId{nodes_.size() - 1};
+}
+
+void NodeRegistry::set_sink(NodeId id, PacketSink* sink) {
+  HLSRG_CHECK(id.valid() && id.index() < nodes_.size());
+  nodes_[id.index()].sink = sink;
+}
+
+}  // namespace hlsrg

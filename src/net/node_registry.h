@@ -1,0 +1,50 @@
+// Unified id space and directory for every radio-capable node.
+//
+// Vehicles and RSUs share one NodeId space so the radio, GPSR, and geocast
+// layers are agnostic to what a node is. Positions are supplied by callback:
+// vehicles report their live mobility pose, RSUs a constant.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "net/packet.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+// Receiver interface implemented by protocol agents and RSUs.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void on_receive(const Packet& packet, NodeId from) = 0;
+};
+
+class NodeRegistry {
+ public:
+  using PositionFn = std::function<Vec2()>;
+
+  // Registers a node; `sink` may be null for sniff-only placeholders and can
+  // be set later (agents are often constructed after registration).
+  NodeId add_node(PositionFn position, PacketSink* sink = nullptr);
+
+  void set_sink(NodeId id, PacketSink* sink);
+
+  [[nodiscard]] std::size_t count() const { return nodes_.size(); }
+  [[nodiscard]] Vec2 position(NodeId id) const {
+    return nodes_[id.index()].position();
+  }
+  [[nodiscard]] PacketSink* sink(NodeId id) const {
+    return nodes_[id.index()].sink;
+  }
+
+ private:
+  struct Entry {
+    PositionFn position;
+    PacketSink* sink = nullptr;
+  };
+  std::vector<Entry> nodes_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,48 @@
+// Packet model shared by the radio, routing, geocast, and wired layers.
+//
+// Protocol payloads derive from PayloadBase and are carried by shared_ptr so
+// a broadcast delivers the same immutable payload to every receiver without
+// copies. The `kind` discriminator is protocol-defined; receivers downcast
+// with payload_as<T>() after checking it.
+#pragma once
+
+#include <memory>
+
+#include "geom/vec2.h"
+#include "sim/time.h"
+#include "util/check.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+struct PayloadBase {
+  virtual ~PayloadBase() = default;
+};
+
+struct Packet {
+  PacketId id;
+  int kind = 0;           // protocol-defined discriminator
+  NodeId origin;          // node that created the packet
+  Vec2 origin_pos;        // where it was created
+  SimTime created;
+  std::shared_ptr<const PayloadBase> payload;
+};
+
+// Typed payload access; the caller vouches for `kind` having been checked.
+template <typename T>
+const T& payload_as(const Packet& p) {
+  const T* typed = dynamic_cast<const T*>(p.payload.get());
+  HLSRG_CHECK_MSG(typed != nullptr, "packet payload type mismatch");
+  return *typed;
+}
+
+// Allocates monotonically increasing packet ids within one simulation.
+class PacketIdSource {
+ public:
+  PacketId next() { return PacketId{counter_++}; }
+
+ private:
+  std::uint32_t counter_ = 0;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,167 @@
+#include "net/radio.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+RadioMedium::RadioMedium(Simulator& sim, const NodeRegistry& registry,
+                         RadioConfig cfg)
+    : sim_(&sim), registry_(&registry), cfg_(cfg),
+      index_(registry, cfg.range_m) {
+  HLSRG_CHECK(cfg.range_m > 0.0);
+}
+
+double RadioMedium::loss_probability(double dist, int local_neighbors) const {
+  const double frac = std::clamp(dist / cfg_.range_m, 0.0, 1.0);
+  const int excess = std::max(0, local_neighbors - cfg_.contention_free_neighbors);
+  const double p = cfg_.base_loss + cfg_.distance_loss * frac * frac +
+                   cfg_.contention_loss_per_neighbor * excess;
+  return std::clamp(p, 0.0, cfg_.max_loss);
+}
+
+SimTime RadioMedium::hop_delay() {
+  const double ms =
+      cfg_.base_delay_ms + sim_->radio_rng().uniform(0.0, cfg_.jitter_ms);
+  return SimTime::from_ms(ms);
+}
+
+void RadioMedium::deliver(NodeId to, const Packet& pkt, NodeId from,
+                          SimTime delay) {
+  sim_->schedule_after(delay, [this, to, pkt, from] {
+    if (PacketSink* sink = registry_->sink(to)) sink->on_receive(pkt, from);
+  });
+}
+
+int RadioMedium::broadcast(NodeId sender, const Packet& pkt) {
+  index_.refresh(sim_->now());
+  scratch_.clear();
+  const Vec2 sp = registry_->position(sender);
+  index_.query(sp, cfg_.range_m, sender, &scratch_);
+  sim_->metrics().radio_broadcasts++;
+  const SimTime delay = hop_delay();
+  for (NodeId rx : scratch_) {
+    const Vec2 rp = registry_->position(rx);
+    const int density = index_.count_within(rp, cfg_.range_m, rx);
+    if (sim_->radio_rng().chance(loss_probability(distance(sp, rp), density))) {
+      sim_->metrics().radio_drops++;
+      continue;
+    }
+    deliver(rx, pkt, sender, delay);
+  }
+  return static_cast<int>(scratch_.size());
+}
+
+int RadioMedium::broadcast_each(NodeId sender,
+                                std::function<void(NodeId)> on_deliver) {
+  HLSRG_CHECK(on_deliver != nullptr);
+  index_.refresh(sim_->now());
+  scratch_.clear();
+  const Vec2 sp = registry_->position(sender);
+  index_.query(sp, cfg_.range_m, sender, &scratch_);
+  sim_->metrics().radio_broadcasts++;
+  const SimTime delay = hop_delay();
+  auto shared_deliver =
+      std::make_shared<std::function<void(NodeId)>>(std::move(on_deliver));
+  for (NodeId rx : scratch_) {
+    const Vec2 rp = registry_->position(rx);
+    const int density = index_.count_within(rp, cfg_.range_m, rx);
+    if (sim_->radio_rng().chance(loss_probability(distance(sp, rp), density))) {
+      sim_->metrics().radio_drops++;
+      continue;
+    }
+    sim_->schedule_after(delay, [shared_deliver, rx] { (*shared_deliver)(rx); });
+  }
+  return static_cast<int>(scratch_.size());
+}
+
+void RadioMedium::try_unicast(NodeId sender, NodeId target, Packet pkt,
+                              int attempts_left,
+                              std::function<void()> on_lost) {
+  index_.refresh(sim_->now());
+  const Vec2 sp = registry_->position(sender);
+  const Vec2 tp = registry_->position(target);
+  const double d = distance(sp, tp);
+  sim_->metrics().radio_unicasts++;
+  if (d <= cfg_.range_m) {
+    const int density = index_.count_within(tp, cfg_.range_m, target);
+    if (!sim_->radio_rng().chance(loss_probability(d, density))) {
+      deliver(target, pkt, sender, hop_delay());
+      return;
+    }
+  }
+  sim_->metrics().radio_drops++;
+  if (attempts_left > 0) {
+    sim_->schedule_after(
+        SimTime::from_ms(cfg_.retry_delay_ms),
+        [this, sender, target, pkt = std::move(pkt), attempts_left,
+         on_lost = std::move(on_lost)]() mutable {
+          try_unicast(sender, target, std::move(pkt), attempts_left - 1,
+                      std::move(on_lost));
+        });
+  } else if (on_lost) {
+    on_lost();
+  }
+}
+
+void RadioMedium::unicast(NodeId sender, NodeId target, const Packet& pkt,
+                          std::function<void()> on_lost) {
+  try_unicast(sender, target, pkt, cfg_.unicast_retries, std::move(on_lost));
+}
+
+void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
+                                    int attempts_left,
+                                    std::function<void()> on_delivered,
+                                    std::function<void()> on_lost) {
+  index_.refresh(sim_->now());
+  const Vec2 sp = registry_->position(sender);
+  const Vec2 tp = registry_->position(target);
+  const double d = distance(sp, tp);
+  sim_->metrics().radio_unicasts++;
+  if (d <= cfg_.range_m) {
+    const int density = index_.count_within(tp, cfg_.range_m, target);
+    if (!sim_->radio_rng().chance(loss_probability(d, density))) {
+      sim_->schedule_after(hop_delay(),
+                           [cb = std::move(on_delivered)] { cb(); });
+      return;
+    }
+  }
+  sim_->metrics().radio_drops++;
+  if (attempts_left > 0) {
+    sim_->schedule_after(
+        SimTime::from_ms(cfg_.retry_delay_ms),
+        [this, sender, target, attempts_left,
+         on_delivered = std::move(on_delivered),
+         on_lost = std::move(on_lost)]() mutable {
+          try_unicast_frame(sender, target, attempts_left - 1,
+                            std::move(on_delivered), std::move(on_lost));
+        });
+  } else if (on_lost) {
+    on_lost();
+  }
+}
+
+void RadioMedium::unicast_frame(NodeId sender, NodeId target,
+                                std::function<void()> on_delivered,
+                                std::function<void()> on_lost) {
+  HLSRG_CHECK(on_delivered != nullptr);
+  try_unicast_frame(sender, target, cfg_.unicast_retries,
+                    std::move(on_delivered), std::move(on_lost));
+}
+
+void RadioMedium::neighbors_of(NodeId node, std::vector<NodeId>* out) {
+  index_.refresh(sim_->now());
+  out->clear();
+  index_.query(registry_->position(node), cfg_.range_m, node, out);
+}
+
+void RadioMedium::nodes_near(Vec2 pos, double radius, NodeId exclude,
+                             std::vector<NodeId>* out) {
+  HLSRG_CHECK(radius <= cfg_.range_m);
+  index_.refresh(sim_->now());
+  out->clear();
+  index_.query(pos, radius, exclude, out);
+}
+
+}  // namespace hlsrg

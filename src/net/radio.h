@@ -1,0 +1,103 @@
+// Wireless medium (ns-2 substitute): unit-disk radio with a loss model.
+//
+// Reception succeeds within `range_m` with probability 1 - p_loss, where
+// p_loss grows with distance (fading) and with the receiver-side neighbor
+// count (contention — more stations in earshot, more collisions). Per-hop
+// latency is a base MAC/propagation floor plus uniform jitter. This is the
+// minimal channel that still produces the effects the paper's evaluation
+// turns on: long hops and dense areas lose packets, so multi-hop
+// vehicle-to-vehicle paths across "vast areas" are unreliable while short
+// hops and wired RSUs are not.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/neighbor_index.h"
+#include "net/node_registry.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hlsrg {
+
+struct RadioConfig {
+  // Communication range; the paper uses 500 m, matched to the L1 grid edge.
+  double range_m = 500.0;
+  // Per-hop latency floor and uniform jitter (MAC access + serialization).
+  double base_delay_ms = 1.5;
+  double jitter_ms = 2.5;
+  // Loss model: p = base + distance_loss * (d/R)^2 + contention excess.
+  // ns-2's two-ray-ground model delivers near-deterministically inside the
+  // range; most real loss is contention. The distance term stays moderate so
+  // edge-of-range hops are risky but not hopeless.
+  double base_loss = 0.01;
+  double distance_loss = 0.15;
+  double contention_loss_per_neighbor = 0.002;
+  int contention_free_neighbors = 15;
+  double max_loss = 0.95;
+  // MAC retransmissions for unicast frames (broadcasts are never retried,
+  // as in 802.11).
+  int unicast_retries = 2;
+  double retry_delay_ms = 1.0;
+};
+
+class RadioMedium {
+ public:
+  RadioMedium(Simulator& sim, const NodeRegistry& registry, RadioConfig cfg);
+
+  // One-hop broadcast to every node in range of the sender. Each receiver
+  // independently passes the loss draw. Returns the in-range receiver count
+  // (before losses).
+  int broadcast(NodeId sender, const Packet& pkt);
+
+  // One-hop broadcast delivering to a callback instead of node sinks; the
+  // geocast layer uses this to run region-limited floods with its own
+  // duplicate suppression. Loss/delay semantics match broadcast(). The
+  // callback fires at reception time, once per surviving receiver.
+  int broadcast_each(NodeId sender, std::function<void(NodeId)> on_deliver);
+
+  // One-hop unicast with MAC retries. `target` must currently be in range;
+  // if it is not, or every retry is lost, `on_lost` fires (if provided).
+  void unicast(NodeId sender, NodeId target, const Packet& pkt,
+               std::function<void()> on_lost = {});
+
+  // One-hop unicast of a bare frame: channel semantics (range check, loss,
+  // retries, delay) without sink delivery. Routing layers use this for
+  // intermediate hops so forwarders do not consume the packet; exactly one
+  // of the callbacks fires, at delivery/abandon time.
+  void unicast_frame(NodeId sender, NodeId target,
+                     std::function<void()> on_delivered,
+                     std::function<void()> on_lost = {});
+
+  // Nodes currently within range of `node`.
+  void neighbors_of(NodeId node, std::vector<NodeId>* out);
+  // Nodes currently within range of a position (excluding `exclude`).
+  void nodes_near(Vec2 pos, double radius, NodeId exclude,
+                  std::vector<NodeId>* out);
+
+  [[nodiscard]] Vec2 position(NodeId id) const { return registry_->position(id); }
+  [[nodiscard]] double range() const { return cfg_.range_m; }
+  [[nodiscard]] const RadioConfig& config() const { return cfg_; }
+  [[nodiscard]] Simulator& sim() { return *sim_; }
+
+  // Loss probability for a hop of length `dist` with `local_neighbors`
+  // stations audible at the receiver. Exposed for tests.
+  [[nodiscard]] double loss_probability(double dist, int local_neighbors) const;
+
+ private:
+  [[nodiscard]] SimTime hop_delay();
+  void deliver(NodeId to, const Packet& pkt, NodeId from, SimTime delay);
+  void try_unicast(NodeId sender, NodeId target, Packet pkt, int attempts_left,
+                   std::function<void()> on_lost);
+  void try_unicast_frame(NodeId sender, NodeId target, int attempts_left,
+                         std::function<void()> on_delivered,
+                         std::function<void()> on_lost);
+
+  Simulator* sim_;
+  const NodeRegistry* registry_;
+  RadioConfig cfg_;
+  NeighborIndex index_;
+  std::vector<NodeId> scratch_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,61 @@
+#include "net/wired.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+WiredNetwork::WiredNetwork(Simulator& sim, const NodeRegistry& registry,
+                           WiredConfig cfg)
+    : sim_(&sim), registry_(&registry), cfg_(cfg) {}
+
+void WiredNetwork::connect(NodeId a, NodeId b) {
+  HLSRG_CHECK(a.valid() && b.valid() && a != b);
+  auto& la = adjacency_[a];
+  if (std::find(la.begin(), la.end(), b) == la.end()) la.push_back(b);
+  auto& lb = adjacency_[b];
+  if (std::find(lb.begin(), lb.end(), a) == lb.end()) lb.push_back(a);
+}
+
+int WiredNetwork::hop_count(NodeId from, NodeId to) const {
+  if (from == to) return 0;
+  std::unordered_map<NodeId, int> dist;
+  dist[from] = 0;
+  std::deque<NodeId> queue{from};
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    const auto it = adjacency_.find(cur);
+    if (it == adjacency_.end()) continue;
+    for (NodeId next : it->second) {
+      if (dist.contains(next)) continue;
+      dist[next] = dist[cur] + 1;
+      if (next == to) return dist[next];
+      queue.push_back(next);
+    }
+  }
+  return -1;
+}
+
+bool WiredNetwork::send(NodeId from, NodeId to, const Packet& pkt,
+                        std::uint64_t* tx_counter) {
+  const int hops = hop_count(from, to);
+  if (hops < 0) return false;
+  sim_->metrics().wired_messages += static_cast<std::uint64_t>(hops);
+  if (tx_counter != nullptr) *tx_counter += static_cast<std::uint64_t>(hops);
+  const SimTime latency =
+      SimTime::from_ms(cfg_.link_latency_ms * std::max(hops, 1));
+  sim_->schedule_after(latency, [this, to, pkt, from] {
+    if (PacketSink* sink = registry_->sink(to)) sink->on_receive(pkt, from);
+  });
+  return true;
+}
+
+const std::vector<NodeId>& WiredNetwork::links_of(NodeId n) const {
+  const auto it = adjacency_.find(n);
+  return it == adjacency_.end() ? empty_ : it->second;
+}
+
+}  // namespace hlsrg

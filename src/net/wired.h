@@ -1,0 +1,50 @@
+// Wired RSU backhaul.
+//
+// The paper wires every Level-2 RSU to its Level-3 RSU and every Level-3 RSU
+// to its four compass neighbors, and treats the wired plane as fast and
+// reliable. We model links with a fixed per-hop latency and no loss, and
+// route messages over the shortest wired path (BFS), counting each traversed
+// link as one wired message.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/node_registry.h"
+#include "sim/simulator.h"
+
+namespace hlsrg {
+
+struct WiredConfig {
+  double link_latency_ms = 1.0;
+};
+
+class WiredNetwork {
+ public:
+  WiredNetwork(Simulator& sim, const NodeRegistry& registry,
+               WiredConfig cfg = {});
+
+  // Adds a bidirectional link; idempotent.
+  void connect(NodeId a, NodeId b);
+
+  // Sends `pkt` from `from` to `to` over the shortest wired path. Delivery
+  // invokes to's PacketSink after hops * link_latency. Returns false (and
+  // sends nothing) if no wired path exists. Counts hops into the run metrics
+  // and into *tx_counter when provided.
+  bool send(NodeId from, NodeId to, const Packet& pkt,
+            std::uint64_t* tx_counter = nullptr);
+
+  // Wired hop count between two nodes, or -1 if unconnected.
+  [[nodiscard]] int hop_count(NodeId from, NodeId to) const;
+
+  [[nodiscard]] const std::vector<NodeId>& links_of(NodeId n) const;
+
+ private:
+  Simulator* sim_;
+  const NodeRegistry* registry_;
+  WiredConfig cfg_;
+  std::unordered_map<NodeId, std::vector<NodeId>> adjacency_;
+  std::vector<NodeId> empty_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,93 @@
+#include "rlsmp/cell_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+CellGrid::CellGrid(Aabb bounds, double cell_size, double origin_offset,
+                   int cluster_dim)
+    : bounds_(bounds),
+      cell_(cell_size),
+      offset_(origin_offset),
+      cluster_dim_(cluster_dim) {
+  HLSRG_CHECK(cell_size > 0.0);
+  HLSRG_CHECK(origin_offset >= 0.0 && origin_offset < cell_size);
+  HLSRG_CHECK(cluster_dim >= 1);
+  cols_ = static_cast<int>(std::ceil((bounds.width() + offset_) / cell_));
+  rows_ = static_cast<int>(std::ceil((bounds.height() + offset_) / cell_));
+  cols_ = std::max(cols_, 1);
+  rows_ = std::max(rows_, 1);
+  cluster_cols_ = (cols_ + cluster_dim_ - 1) / cluster_dim_;
+  cluster_rows_ = (rows_ + cluster_dim_ - 1) / cluster_dim_;
+}
+
+CellCoord CellGrid::cell_at(Vec2 p) const {
+  const int col = static_cast<int>(
+      std::floor((p.x - bounds_.lo.x + offset_) / cell_));
+  const int row = static_cast<int>(
+      std::floor((p.y - bounds_.lo.y + offset_) / cell_));
+  return {std::clamp(col, 0, cols_ - 1), std::clamp(row, 0, rows_ - 1)};
+}
+
+Vec2 CellGrid::cell_center(CellCoord c) const {
+  return {bounds_.lo.x - offset_ + (c.col + 0.5) * cell_,
+          bounds_.lo.y - offset_ + (c.row + 0.5) * cell_};
+}
+
+Aabb CellGrid::cell_box(CellCoord c) const {
+  const Vec2 lo{bounds_.lo.x - offset_ + c.col * cell_,
+                bounds_.lo.y - offset_ + c.row * cell_};
+  return {lo, {lo.x + cell_, lo.y + cell_}};
+}
+
+ClusterCoord CellGrid::cluster_of(CellCoord c) const {
+  return {c.col / cluster_dim_, c.row / cluster_dim_};
+}
+
+CellCoord CellGrid::lsc_cell(ClusterCoord c) const {
+  const int col = c.col * cluster_dim_ + cluster_dim_ / 2;
+  const int row = c.row * cluster_dim_ + cluster_dim_ / 2;
+  return {std::clamp(col, 0, cols_ - 1), std::clamp(row, 0, rows_ - 1)};
+}
+
+std::vector<ClusterCoord> CellGrid::spiral_order(ClusterCoord origin) const {
+  std::vector<ClusterCoord> order;
+  order.push_back(origin);
+  const int max_ring = std::max(
+      {origin.col, cluster_cols_ - 1 - origin.col, origin.row,
+       cluster_rows_ - 1 - origin.row});
+  auto in_range = [&](ClusterCoord c) {
+    return c.col >= 0 && c.col < cluster_cols_ && c.row >= 0 &&
+           c.row < cluster_rows_;
+  };
+  for (int d = 1; d <= max_ring; ++d) {
+    // Clockwise walk of the Chebyshev ring at distance d, starting due north
+    // and turning east first.
+    std::vector<ClusterCoord> ring;
+    // Top edge, west->east.
+    for (int col = origin.col - d; col <= origin.col + d; ++col) {
+      ring.push_back({col, origin.row + d});
+    }
+    // East edge, north->south (corners already covered).
+    for (int row = origin.row + d - 1; row >= origin.row - d; --row) {
+      ring.push_back({origin.col + d, row});
+    }
+    // Bottom edge, east->west.
+    for (int col = origin.col + d - 1; col >= origin.col - d; --col) {
+      ring.push_back({col, origin.row - d});
+    }
+    // West edge, south->north.
+    for (int row = origin.row - d + 1; row <= origin.row + d - 1; ++row) {
+      ring.push_back({origin.col - d, row});
+    }
+    for (ClusterCoord c : ring) {
+      if (in_range(c)) order.push_back(c);
+    }
+  }
+  return order;
+}
+
+}  // namespace hlsrg

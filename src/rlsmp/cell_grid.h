@@ -1,0 +1,77 @@
+// RLSMP cell geometry (Saleet et al., GLOBECOM 2008 — the paper's baseline).
+//
+// The network is cut into uniform square cells by longitude/latitude, with no
+// regard for roads; k x k cells form a cluster whose central cell is the
+// Location Service Cell (LSC). Unresolved queries travel LSC-to-LSC in a
+// spiral around the source's cluster.
+//
+// The original protocol uses 81-cell (9x9) clusters on metropolitan-scale
+// maps; on the paper's 2 km evaluation map that would leave a single cluster
+// and disable the spiral entirely, so the cluster dimension is configurable
+// (default 3x3) and scaled to the map. The cell lattice is offset by half a
+// cell by default, which is the generic position of a lat/long grid relative
+// to the street grid: cell boundaries cut through blocks and arteries run
+// through cell interiors — exactly the misalignment the paper criticizes.
+#pragma once
+
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/vec2.h"
+
+namespace hlsrg {
+
+struct CellCoord {
+  int col = 0;
+  int row = 0;
+  friend constexpr bool operator==(CellCoord, CellCoord) = default;
+};
+
+struct ClusterCoord {
+  int col = 0;
+  int row = 0;
+  friend constexpr bool operator==(ClusterCoord, ClusterCoord) = default;
+};
+
+class CellGrid {
+ public:
+  CellGrid(Aabb bounds, double cell_size, double origin_offset,
+           int cluster_dim);
+
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cluster_cols() const { return cluster_cols_; }
+  [[nodiscard]] int cluster_rows() const { return cluster_rows_; }
+
+  // Cell containing p (clamped to the lattice).
+  [[nodiscard]] CellCoord cell_at(Vec2 p) const;
+  [[nodiscard]] Vec2 cell_center(CellCoord c) const;
+  [[nodiscard]] Aabb cell_box(CellCoord c) const;
+
+  [[nodiscard]] ClusterCoord cluster_of(CellCoord c) const;
+  // The LSC cell of a cluster (central cell, clamped to the lattice for
+  // truncated edge clusters).
+  [[nodiscard]] CellCoord lsc_cell(ClusterCoord c) const;
+  [[nodiscard]] Vec2 lsc_center(ClusterCoord c) const {
+    return cell_center(lsc_cell(c));
+  }
+
+  // Every cluster ordered by spiral distance from `origin`: origin first,
+  // then each Chebyshev ring clockwise from the north. This is the LSC visit
+  // order for unresolved queries.
+  [[nodiscard]] std::vector<ClusterCoord> spiral_order(ClusterCoord origin) const;
+
+  [[nodiscard]] double cell_size() const { return cell_; }
+
+ private:
+  Aabb bounds_;
+  double cell_;
+  double offset_;
+  int cluster_dim_;
+  int cols_ = 0;
+  int rows_ = 0;
+  int cluster_cols_ = 0;
+  int cluster_rows_ = 0;
+};
+
+}  // namespace hlsrg

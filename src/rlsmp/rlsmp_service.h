@@ -1,0 +1,79 @@
+// RLSMP service: the comparison baseline, wired over the same substrates as
+// HLSRG (same map, mobility, radio, GPSR, geocast) minus the RSU plane —
+// RLSMP is infrastructure-free by design.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/location_service.h"
+#include "mobility/mobility_model.h"
+#include "net/geocast.h"
+#include "net/gpsr.h"
+#include "net/radio.h"
+#include "rlsmp/cell_grid.h"
+#include "rlsmp/rlsmp_config.h"
+#include "sim/simulator.h"
+
+namespace hlsrg {
+
+class RlsmpVehicleAgent;
+
+class RlsmpService final : public LocationService, public MovementListener {
+ public:
+  RlsmpService(Simulator& sim, MobilityModel& mobility, NodeRegistry& registry,
+               RadioMedium& medium, GpsrRouter& gpsr, GeocastService& geocast,
+               const CellGrid& cells, RlsmpConfig cfg);
+  ~RlsmpService() override;
+
+  // --- LocationService ------------------------------------------------------
+  [[nodiscard]] const char* name() const override { return "RLSMP"; }
+  QueryTracker::QueryId issue_query(VehicleId src, VehicleId dst) override;
+  [[nodiscard]] QueryTracker& tracker() override { return tracker_; }
+
+  // --- MovementListener -----------------------------------------------------
+  void on_moved(VehicleId v, Vec2 before, Vec2 after) override;
+
+  // --- agent context ---------------------------------------------------------
+  [[nodiscard]] Simulator& sim() { return *sim_; }
+  [[nodiscard]] RunMetrics& metrics() { return sim_->metrics(); }
+  [[nodiscard]] const RlsmpConfig& cfg() const { return cfg_; }
+  [[nodiscard]] const CellGrid& cells() const { return *cells_; }
+  [[nodiscard]] MobilityModel& mobility() { return *mobility_; }
+  [[nodiscard]] NodeRegistry& registry() { return *registry_; }
+  [[nodiscard]] RadioMedium& medium() { return *medium_; }
+  [[nodiscard]] GpsrRouter& gpsr() { return *gpsr_; }
+  [[nodiscard]] GeocastService& geocast() { return *geocast_; }
+
+  [[nodiscard]] NodeId node_of(VehicleId v) const {
+    return vehicle_nodes_[v.index()];
+  }
+  [[nodiscard]] Vec2 vehicle_pos(VehicleId v) const {
+    return mobility_->position(v);
+  }
+  [[nodiscard]] Packet make_packet(int kind, NodeId origin,
+                                   std::shared_ptr<const PayloadBase> payload);
+
+  [[nodiscard]] RlsmpVehicleAgent& vehicle_agent(VehicleId v) {
+    return *vehicle_agents_[v.index()];
+  }
+
+ private:
+  void aggregation_tick(std::int64_t period_index);
+
+  Simulator* sim_;
+  MobilityModel* mobility_;
+  NodeRegistry* registry_;
+  RadioMedium* medium_;
+  GpsrRouter* gpsr_;
+  GeocastService* geocast_;
+  const CellGrid* cells_;
+  RlsmpConfig cfg_;
+  QueryTracker tracker_;
+  PacketIdSource packet_ids_;
+
+  std::vector<NodeId> vehicle_nodes_;
+  std::vector<std::unique_ptr<RlsmpVehicleAgent>> vehicle_agents_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,157 @@
+#include "roadnet/map_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hlsrg {
+
+namespace {
+
+const char* orient_token(Orientation o) {
+  switch (o) {
+    case Orientation::kHorizontal:
+      return "H";
+    case Orientation::kVertical:
+      return "V";
+    case Orientation::kOther:
+      return "O";
+  }
+  return "O";
+}
+
+bool parse_orientation(const std::string& tok, Orientation* out) {
+  if (tok == "H") {
+    *out = Orientation::kHorizontal;
+  } else if (tok == "V") {
+    *out = Orientation::kVertical;
+  } else if (tok == "O") {
+    *out = Orientation::kOther;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string save_map(const RoadNetwork& net) {
+  std::ostringstream os;
+  os << "# hlsrg road network: " << net.intersection_count()
+     << " intersections, " << net.road_count() << " roads\n";
+  for (std::size_t i = 0; i < net.intersection_count(); ++i) {
+    const Vec2 p = net.position(IntersectionId{i});
+    os << "intersection " << i << ' ' << p.x << ' ' << p.y << '\n';
+  }
+  for (std::size_t i = 0; i < net.road_count(); ++i) {
+    const Road& r = net.road(RoadId{i});
+    os << "road " << i << ' '
+       << (r.cls == RoadClass::kMainArtery ? "artery" : "normal") << ' '
+       << orient_token(r.orient) << ' ' << r.coord << '\n';
+  }
+  // One line per physical edge: emit only the forward twin of each pair
+  // (segments are created in fwd/rev pairs, so even indices are forwards).
+  for (std::size_t i = 0; i < net.segment_count(); i += 2) {
+    const Segment& s = net.segment(SegmentId{i});
+    os << "edge " << s.road.value() << ' ' << s.from.value() << ' '
+       << s.to.value() << '\n';
+  }
+  return os.str();
+}
+
+RoadNetwork load_map(const std::string& text, std::string* error) {
+  auto fail = [&](int line, const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line) + ": " + what;
+    }
+    return RoadNetwork{};
+  };
+
+  RoadNetwork net;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  bool any_edge = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "intersection") {
+      std::size_t index = 0;
+      double x = 0, y = 0;
+      if (!(ls >> index >> x >> y)) {
+        return fail(line_no, "malformed intersection");
+      }
+      if (index != net.intersection_count()) {
+        return fail(line_no, "intersection indices must be dense and ordered");
+      }
+      net.add_intersection({x, y});
+    } else if (kind == "road") {
+      std::size_t index = 0;
+      std::string cls_tok, orient_tok;
+      double coord = 0;
+      if (!(ls >> index >> cls_tok >> orient_tok >> coord)) {
+        return fail(line_no, "malformed road");
+      }
+      if (index != net.road_count()) {
+        return fail(line_no, "road indices must be dense and ordered");
+      }
+      RoadClass cls;
+      if (cls_tok == "artery") {
+        cls = RoadClass::kMainArtery;
+      } else if (cls_tok == "normal") {
+        cls = RoadClass::kNormal;
+      } else {
+        return fail(line_no, "road class must be artery|normal");
+      }
+      Orientation orient;
+      if (!parse_orientation(orient_tok, &orient)) {
+        return fail(line_no, "orientation must be H|V|O");
+      }
+      net.add_road(cls, orient, coord);
+    } else if (kind == "edge") {
+      std::size_t road = 0, a = 0, b = 0;
+      if (!(ls >> road >> a >> b)) return fail(line_no, "malformed edge");
+      if (road >= net.road_count()) return fail(line_no, "edge: unknown road");
+      if (a >= net.intersection_count() || b >= net.intersection_count()) {
+        return fail(line_no, "edge: unknown intersection");
+      }
+      if (a == b) return fail(line_no, "edge: self-loop");
+      net.add_edge(RoadId{road}, IntersectionId{a}, IntersectionId{b});
+      any_edge = true;
+    } else {
+      return fail(line_no, "unknown record '" + kind + "'");
+    }
+  }
+  if (net.intersection_count() == 0 || !any_edge) {
+    return fail(line_no, "map has no intersections or no edges");
+  }
+  net.finalize();
+  if (error != nullptr) error->clear();
+  return net;
+}
+
+bool save_map_file(const RoadNetwork& net, const std::string& path,
+                   std::string* error) {
+  std::ofstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  file << save_map(net);
+  return static_cast<bool>(file);
+}
+
+RoadNetwork load_map_file(const std::string& path, std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return load_map(buffer.str(), error);
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,36 @@
+// Plain-text road-network serialization.
+//
+// Lets users run the protocols on their own digital maps instead of the
+// synthetic generators. The format is line-oriented and diff-friendly:
+//
+//   # comment / blank lines ignored
+//   intersection <index> <x> <y>
+//   road <index> artery|normal H|V|O <coord>
+//   edge <road-index> <intersection-a> <intersection-b>
+//
+// Indices must be dense and in order (they become the TaggedId values, so a
+// saved map round-trips exactly). The loader finalizes the network.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "roadnet/road_network.h"
+
+namespace hlsrg {
+
+// Serializes `net` into the text format.
+[[nodiscard]] std::string save_map(const RoadNetwork& net);
+
+// Parses the text format. On malformed input, fills *error with a
+// line-numbered message and returns an empty network (0 intersections).
+[[nodiscard]] RoadNetwork load_map(const std::string& text,
+                                   std::string* error = nullptr);
+
+// File helpers; load returns empty network and sets *error on I/O failure.
+bool save_map_file(const RoadNetwork& net, const std::string& path,
+                   std::string* error = nullptr);
+[[nodiscard]] RoadNetwork load_map_file(const std::string& path,
+                                        std::string* error = nullptr);
+
+}  // namespace hlsrg

@@ -1,0 +1,157 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+IntersectionId RoadNetwork::add_intersection(Vec2 pos, bool traffic_light) {
+  HLSRG_CHECK(!finalized_);
+  intersections_.push_back(Intersection{pos, {}, traffic_light});
+  return IntersectionId{intersections_.size() - 1};
+}
+
+RoadId RoadNetwork::add_road(RoadClass cls, Orientation orient, double coord) {
+  HLSRG_CHECK(!finalized_);
+  Road r;
+  r.cls = cls;
+  r.orient = orient;
+  r.coord = coord;
+  roads_.push_back(r);
+  return RoadId{roads_.size() - 1};
+}
+
+SegmentId RoadNetwork::add_edge(RoadId road, IntersectionId a,
+                                IntersectionId b) {
+  HLSRG_CHECK(!finalized_);
+  HLSRG_CHECK(road.valid() && road.index() < roads_.size());
+  HLSRG_CHECK(a.valid() && a.index() < intersections_.size());
+  HLSRG_CHECK(b.valid() && b.index() < intersections_.size());
+  HLSRG_CHECK_MSG(a != b, "self-loop edge");
+
+  const Vec2 pa = intersections_[a.index()].pos;
+  const Vec2 pb = intersections_[b.index()].pos;
+  const double len = distance(pa, pb);
+  HLSRG_CHECK_MSG(len > 0.0, "zero-length edge");
+
+  const SegmentId fwd{segments_.size()};
+  const SegmentId rev{segments_.size() + 1};
+  segments_.push_back(Segment{a, b, road, rev, len, (pb - pa) / len});
+  segments_.push_back(Segment{b, a, road, fwd, len, (pa - pb) / len});
+  intersections_[a.index()].out.push_back(fwd);
+  intersections_[b.index()].out.push_back(rev);
+  roads_[road.index()].fwd_segments.push_back(fwd);
+  return fwd;
+}
+
+void RoadNetwork::finalize() {
+  HLSRG_CHECK(!finalized_);
+  for (Road& r : roads_) {
+    // Running-axis coordinate of a segment's start point.
+    auto running = [&](SegmentId sid) {
+      const Vec2 p = position(segments_[sid.index()].from);
+      return r.orient == Orientation::kHorizontal ? p.x : p.y;
+    };
+    if (r.orient != Orientation::kOther) {
+      std::sort(r.fwd_segments.begin(), r.fwd_segments.end(),
+                [&](SegmentId a, SegmentId b) { return running(a) < running(b); });
+    }
+    for (SegmentId sid : r.fwd_segments) {
+      const Segment& s = segments_[sid.index()];
+      for (IntersectionId n : {s.from, s.to}) {
+        const Vec2 p = position(n);
+        const double run =
+            r.orient == Orientation::kHorizontal ? p.x : p.y;
+        r.span_lo = std::min(r.span_lo, run);
+        r.span_hi = std::max(r.span_hi, run);
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+Vec2 RoadNetwork::point_on(SegmentId id, double offset) const {
+  const Segment& s = segments_[id.index()];
+  HLSRG_CHECK(offset >= -1e-6 && offset <= s.length + 1e-6);
+  return position(s.from) + s.unit_dir * offset;
+}
+
+IntersectionId RoadNetwork::nearest_intersection(Vec2 p) const {
+  HLSRG_CHECK(!intersections_.empty());
+  IntersectionId best{std::size_t{0}};
+  double best_d2 = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < intersections_.size(); ++i) {
+    const double d2 = distance2(p, intersections_[i].pos);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = IntersectionId{i};
+    }
+  }
+  return best;
+}
+
+std::vector<IntersectionId> RoadNetwork::intersections_within(
+    Vec2 p, double radius) const {
+  std::vector<IntersectionId> out;
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < intersections_.size(); ++i) {
+    if (distance2(p, intersections_[i].pos) <= r2) out.push_back(IntersectionId{i});
+  }
+  return out;
+}
+
+Aabb RoadNetwork::bounds() const {
+  HLSRG_CHECK(!intersections_.empty());
+  Aabb box{intersections_.front().pos, intersections_.front().pos};
+  for (const Intersection& n : intersections_) {
+    box.lo.x = std::min(box.lo.x, n.pos.x);
+    box.lo.y = std::min(box.lo.y, n.pos.y);
+    box.hi.x = std::max(box.hi.x, n.pos.x);
+    box.hi.y = std::max(box.hi.y, n.pos.y);
+  }
+  return box;
+}
+
+bool RoadNetwork::is_connected() const {
+  if (intersections_.empty()) return true;
+  std::vector<char> seen(intersections_.size(), 0);
+  std::vector<IntersectionId> stack{IntersectionId{std::size_t{0}}};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const IntersectionId cur = stack.back();
+    stack.pop_back();
+    for (SegmentId sid : intersections_[cur.index()].out) {
+      const IntersectionId next = segments_[sid.index()].to;
+      if (!seen[next.index()]) {
+        seen[next.index()] = 1;
+        ++visited;
+        stack.push_back(next);
+      }
+    }
+  }
+  return visited == intersections_.size();
+}
+
+std::vector<RoadId> RoadNetwork::spanning_roads(Orientation orient,
+                                                double min_span_frac) const {
+  const Aabb box = bounds();
+  const double extent =
+      orient == Orientation::kHorizontal ? box.width() : box.height();
+  std::vector<RoadId> out;
+  for (std::size_t i = 0; i < roads_.size(); ++i) {
+    const Road& r = roads_[i];
+    if (r.orient != orient || r.fwd_segments.empty()) continue;
+    if (r.span_hi - r.span_lo >= min_span_frac * extent) {
+      out.push_back(RoadId{i});
+    }
+  }
+  std::sort(out.begin(), out.end(), [&](RoadId a, RoadId b) {
+    return roads_[a.index()].coord < roads_[b.index()].coord;
+  });
+  return out;
+}
+
+}  // namespace hlsrg

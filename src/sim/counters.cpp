@@ -1,0 +1,102 @@
+#include "sim/counters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hlsrg {
+
+void LatencyStat::add(SimTime sample) {
+  const std::int64_t us = sample.us();
+  if (count_ == 0) {
+    min_us_ = max_us_ = us;
+  } else {
+    min_us_ = std::min(min_us_, us);
+    max_us_ = std::max(max_us_, us);
+  }
+  sum_us_ += us;
+  ++count_;
+  samples_us_.push_back(us);
+  sorted_ = false;
+}
+
+double LatencyStat::percentile_ms(double q) const {
+  if (samples_us_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_us_.begin(), samples_us_.end());
+    sorted_ = true;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Nearest-rank: ceil(q*n), 1-based.
+  const std::size_t rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(q * static_cast<double>(samples_us_.size()))));
+  return static_cast<double>(samples_us_[rank - 1]) * 1e-3;
+}
+
+double LatencyStat::mean_ms() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_us_) /
+                           static_cast<double>(count_) * 1e-3;
+}
+
+double LatencyStat::min_ms() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(min_us_) * 1e-3;
+}
+
+double LatencyStat::max_ms() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(max_us_) * 1e-3;
+}
+
+void LatencyStat::merge(const LatencyStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_us_ = std::min(min_us_, other.min_us_);
+  max_us_ = std::max(max_us_, other.max_us_);
+  sum_us_ += other.sum_us_;
+  count_ += other.count_;
+  samples_us_.insert(samples_us_.end(), other.samples_us_.begin(),
+                     other.samples_us_.end());
+  sorted_ = false;
+}
+
+void RunMetrics::merge(const RunMetrics& other) {
+  update_packets_originated += other.update_packets_originated;
+  update_transmissions += other.update_transmissions;
+  aggregation_packets += other.aggregation_packets;
+  aggregation_transmissions += other.aggregation_transmissions;
+  queries_issued += other.queries_issued;
+  queries_succeeded += other.queries_succeeded;
+  queries_failed += other.queries_failed;
+  query_packets_originated += other.query_packets_originated;
+  query_transmissions += other.query_transmissions;
+  server_lookup_hits += other.server_lookup_hits;
+  server_lookup_misses += other.server_lookup_misses;
+  rsu_lookup_hits += other.rsu_lookup_hits;
+  rsu_lookup_misses += other.rsu_lookup_misses;
+  notifications_sent += other.notifications_sent;
+  acks_sent += other.acks_sent;
+  radio_broadcasts += other.radio_broadcasts;
+  radio_unicasts += other.radio_unicasts;
+  radio_drops += other.radio_drops;
+  wired_messages += other.wired_messages;
+  gpsr_failures += other.gpsr_failures;
+  query_latency.merge(other.query_latency);
+}
+
+std::string RunMetrics::summary() const {
+  std::ostringstream os;
+  os << "updates=" << update_packets_originated
+     << " (tx=" << update_transmissions << ")"
+     << " aggregation=" << aggregation_packets
+     << " queries=" << queries_issued << " ok=" << queries_succeeded
+     << " fail=" << queries_failed << " query_tx=" << query_transmissions
+     << " wired=" << wired_messages
+     << " mean_query_ms=" << query_latency.mean_ms();
+  return os.str();
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,105 @@
+// Named counters and latency accumulators for per-run metrics.
+//
+// Every protocol-relevant transmission increments a counter here; the bench
+// harness reads the registry after a run to produce the paper's figures.
+// Counters are plain members (not a string-keyed map) so the hot path is an
+// increment, and so the set of metrics is a compile-time-visible contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hlsrg {
+
+// Accumulates latency samples; reports count/mean/min/max and percentiles.
+// Sample counts here are small (one per query), so every sample is kept and
+// percentiles are exact.
+class LatencyStat {
+ public:
+  void add(SimTime sample);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean_ms() const;
+  [[nodiscard]] double min_ms() const;
+  [[nodiscard]] double max_ms() const;
+  // Exact percentile (nearest-rank), q in [0,1]; 0 when empty.
+  [[nodiscard]] double percentile_ms(double q) const;
+  [[nodiscard]] double p50_ms() const { return percentile_ms(0.50); }
+  [[nodiscard]] double p95_ms() const { return percentile_ms(0.95); }
+  [[nodiscard]] double p99_ms() const { return percentile_ms(0.99); }
+
+  // Merges another accumulator into this one (used when averaging replicas).
+  void merge(const LatencyStat& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  std::int64_t sum_us_ = 0;
+  std::int64_t min_us_ = 0;
+  std::int64_t max_us_ = 0;
+  // Kept unsorted; sorted on demand by percentile_ms.
+  mutable std::vector<std::int64_t> samples_us_;
+  mutable bool sorted_ = false;
+};
+
+// All metrics for one simulation run. Semantics:
+//   *_originated : packets created by their source (what the paper counts as
+//                  "number of location update packets").
+//   *_transmissions : every radio transmission, including forwards/rebroadcasts
+//                  (overhead in airtime terms).
+struct RunMetrics {
+  // --- location update traffic ---
+  std::uint64_t update_packets_originated = 0;
+  std::uint64_t update_transmissions = 0;
+  // Hierarchy maintenance: L1 table handoffs/pushes, L2->L3 merges (HLSRG);
+  // leader->LSC aggregation (RLSMP).
+  std::uint64_t aggregation_packets = 0;
+  std::uint64_t aggregation_transmissions = 0;
+
+  // --- query traffic ---
+  std::uint64_t queries_issued = 0;
+  std::uint64_t queries_succeeded = 0;
+  std::uint64_t queries_failed = 0;
+  std::uint64_t query_packets_originated = 0;  // request + notification + ACK
+  std::uint64_t query_transmissions = 0;       // all hops of the above
+
+  // --- protocol-event accounting (diagnosis + tests) ---
+  std::uint64_t server_lookup_hits = 0;    // L1 center / LSC table hit
+  std::uint64_t server_lookup_misses = 0;  // ... miss (forwarded up / spiral)
+  std::uint64_t rsu_lookup_hits = 0;       // L2/L3 RSU table hit
+  std::uint64_t rsu_lookup_misses = 0;
+  std::uint64_t notifications_sent = 0;    // geocasts toward Dv
+  std::uint64_t acks_sent = 0;             // Dv answered
+
+  // --- radio-level accounting ---
+  std::uint64_t radio_broadcasts = 0;   // one-hop broadcast transmissions
+  std::uint64_t radio_unicasts = 0;     // GPSR hop transmissions
+  std::uint64_t radio_drops = 0;        // receptions lost to the channel
+  std::uint64_t wired_messages = 0;     // RSU backhaul messages
+  std::uint64_t gpsr_failures = 0;      // unicast abandoned (no route)
+
+  LatencyStat query_latency;
+
+  void merge(const RunMetrics& other);
+
+  // Total control transmissions attributable to updates (Fig 3.2's metric).
+  [[nodiscard]] std::uint64_t total_update_overhead() const {
+    return update_packets_originated;
+  }
+  // Total transmissions attributable to queries (Fig 3.3's metric).
+  [[nodiscard]] std::uint64_t total_query_overhead() const {
+    return query_transmissions + wired_messages;
+  }
+  [[nodiscard]] double success_rate() const {
+    return queries_issued == 0
+               ? 0.0
+               : static_cast<double>(queries_succeeded) /
+                     static_cast<double>(queries_issued);
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,59 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+EventHandle EventQueue::schedule_at(SimTime when, Action action) {
+  HLSRG_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  HLSRG_CHECK(action != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  actions_.emplace(seq, std::move(action));
+  return EventHandle{seq};
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  return actions_.erase(handle.seq_) > 0;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && !actions_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? SimTime::max() : heap_.top().when;
+}
+
+bool EventQueue::run_one() {
+  drop_cancelled();
+  if (heap_.empty()) return false;
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(entry.seq);
+  HLSRG_CHECK(it != actions_.end());
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  HLSRG_CHECK(entry.when >= now_);
+  now_ = entry.when;
+  action();
+  return true;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t dispatched = 0;
+  while (next_time() <= until) {
+    if (!run_one()) break;
+    ++dispatched;
+  }
+  if (now_ < until) now_ = until;
+  return dispatched;
+}
+
+}  // namespace hlsrg

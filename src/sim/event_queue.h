@@ -1,0 +1,83 @@
+// Discrete-event queue with deterministic ordering.
+//
+// Events at equal timestamps are dispatched in scheduling order (FIFO via a
+// monotonically increasing sequence number). Without the tie-break, heap
+// order for equal keys would be unspecified and runs would not reproduce.
+//
+// Actions live in a side map keyed by sequence number; the heap holds only
+// (time, seq) pairs. Cancellation erases from the map and the heap entry is
+// skipped lazily at pop time, so cancel() is O(1) and has exact semantics:
+// it returns true iff the event was still pending.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hlsrg {
+
+// Handle to a scheduled event; lets callers cancel timers (e.g., an ACK
+// arriving cancels the pending query-timeout event).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` at absolute time `when`. `when` must not be earlier
+  // than the current simulation time.
+  EventHandle schedule_at(SimTime when, Action action);
+
+  // Cancels a previously scheduled event. Returns true iff the event was
+  // still pending; cancelling a fired or already-cancelled event is a no-op.
+  bool cancel(EventHandle handle);
+
+  // Pops and runs the earliest pending event. Returns false if none remain.
+  bool run_one();
+
+  // Runs events until none remain at or before `until` (events exactly at
+  // `until` are run), then advances the clock to `until`. Returns the number
+  // of events dispatched.
+  std::size_t run_until(SimTime until);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return actions_.empty(); }
+  [[nodiscard]] std::size_t size() const { return actions_.size(); }
+
+  // Time of the earliest pending event; SimTime::max() when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  // Pops heap entries whose actions were cancelled (lazy deletion).
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Action> actions_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,3 @@
+// Simulator is header-only today; this TU anchors the library target and
+// keeps a place for future out-of-line definitions.
+#include "sim/simulator.h"

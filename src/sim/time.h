@@ -1,0 +1,57 @@
+// Simulation time as integer microseconds.
+//
+// Floating-point clocks accumulate representation error and make event order
+// depend on summation order, which destroys run-to-run reproducibility. An
+// int64 microsecond tick is exact, compares exactly, and covers ~292k years.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace hlsrg {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime from_us(std::int64_t us) {
+    return SimTime{us};
+  }
+  [[nodiscard]] static constexpr SimTime from_ms(double ms) {
+    return SimTime{static_cast<std::int64_t>(ms * 1e3)};
+  }
+  [[nodiscard]] static constexpr SimTime from_sec(double sec) {
+    return SimTime{static_cast<std::int64_t>(sec * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimTime from_min(double min) {
+    return from_sec(min * 60.0);
+  }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{INT64_MAX};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(us_) * 1e-3; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(us_) * 1e-6; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.us_ + b.us_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.us_ - b.us_};
+  }
+  constexpr SimTime& operator+=(SimTime b) { us_ += b.us_; return *this; }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.sec() << "s";
+}
+
+}  // namespace hlsrg

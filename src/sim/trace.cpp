@@ -1,0 +1,77 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace hlsrg {
+
+const char* trace_event_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kUpdateSent:
+      return "update_sent";
+    case TraceEventKind::kQueryIssued:
+      return "query_issued";
+    case TraceEventKind::kQuerySucceeded:
+      return "query_succeeded";
+    case TraceEventKind::kQueryFailed:
+      return "query_failed";
+    case TraceEventKind::kNotification:
+      return "notification";
+    case TraceEventKind::kAckSent:
+      return "ack_sent";
+    case TraceEventKind::kTableHandoff:
+      return "table_handoff";
+    case TraceEventKind::kTablePush:
+      return "table_push";
+  }
+  return "unknown";
+}
+
+std::size_t TraceLog::count(TraceEventKind kind) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceLog::for_vehicle(VehicleId v) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.subject == v || e.other == v) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::for_query(std::uint32_t query_id) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    // query_id 0 is a valid id, so filter by kinds that carry one.
+    switch (e.kind) {
+      case TraceEventKind::kQueryIssued:
+      case TraceEventKind::kQuerySucceeded:
+      case TraceEventKind::kQueryFailed:
+      case TraceEventKind::kNotification:
+      case TraceEventKind::kAckSent:
+        if (e.query_id == query_id) out.push_back(e);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::string TraceLog::to_csv() const {
+  std::ostringstream os;
+  os << "time_s,kind,subject,other,x,y,query_id\n";
+  for (const TraceEvent& e : events_) {
+    os << e.time.sec() << ',' << trace_event_name(e.kind) << ',';
+    if (e.subject.valid()) os << e.subject.value();
+    os << ',';
+    if (e.other.valid()) os << e.other.value();
+    os << ',' << e.pos.x << ',' << e.pos.y << ',' << e.query_id << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,68 @@
+// Optional per-run event trace.
+//
+// When a TraceLog is attached to the Simulator, protocol code records
+// semantic events (updates sent, queries issued/settled, notifications,
+// ACKs, aggregation pushes) with timestamps and positions. The trace costs
+// nothing when detached (a null check) and gives examples/tests a way to
+// assert on protocol *behaviour* rather than just aggregate counters, plus a
+// CSV export for offline analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "sim/time.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+enum class TraceEventKind : std::uint8_t {
+  kUpdateSent,      // subject = updating vehicle
+  kQueryIssued,     // subject = source, other = target
+  kQuerySucceeded,  // subject = source, other = target
+  kQueryFailed,     // subject = source, other = target
+  kNotification,    // subject = target being searched
+  kAckSent,         // subject = responder
+  kTableHandoff,    // subject = leaving center vehicle
+  kTablePush,       // subject = pushing vehicle (or RSU summary)
+};
+
+[[nodiscard]] const char* trace_event_name(TraceEventKind kind);
+
+struct TraceEvent {
+  SimTime time;
+  TraceEventKind kind;
+  VehicleId subject;
+  VehicleId other;        // second participant where applicable
+  Vec2 pos;               // where it happened (when known)
+  std::uint32_t query_id = 0;
+};
+
+class TraceLog {
+ public:
+  void record(TraceEvent event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  // Number of events of one kind.
+  [[nodiscard]] std::size_t count(TraceEventKind kind) const;
+
+  // Events touching one vehicle (as subject or other), in time order.
+  [[nodiscard]] std::vector<TraceEvent> for_vehicle(VehicleId v) const;
+
+  // Events for one query id, in time order.
+  [[nodiscard]] std::vector<TraceEvent> for_query(std::uint32_t query_id) const;
+
+  // CSV export: time_s,kind,subject,other,x,y,query_id
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,20 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hlsrg::detail {
+
+void check_failed(std::string_view expr, std::string_view file, int line,
+                  std::string_view msg) {
+  std::fprintf(stderr, "HLSRG_CHECK failed: %.*s at %.*s:%d",
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(file.size()), file.data(), line);
+  if (!msg.empty()) {
+    std::fprintf(stderr, " — %.*s", static_cast<int>(msg.size()), msg.data());
+  }
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+}  // namespace hlsrg::detail

@@ -1,0 +1,32 @@
+// Runtime invariant checks that stay on in release builds.
+//
+// Simulation correctness depends on invariants (event times monotone, ids in
+// range, probabilities in [0,1]). assert() vanishes under NDEBUG, which is
+// exactly when long benchmark runs happen, so we use an always-on check that
+// prints the failing expression and location before aborting.
+#pragma once
+
+#include <string_view>
+
+namespace hlsrg::detail {
+
+[[noreturn]] void check_failed(std::string_view expr, std::string_view file,
+                               int line, std::string_view msg);
+
+}  // namespace hlsrg::detail
+
+// HLSRG_CHECK(cond): abort with diagnostics if cond is false.
+#define HLSRG_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::hlsrg::detail::check_failed(#cond, __FILE__, __LINE__, {});        \
+    }                                                                      \
+  } while (false)
+
+// HLSRG_CHECK_MSG(cond, msg): same, with an extra human-readable message.
+#define HLSRG_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::hlsrg::detail::check_failed(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,90 @@
+// A small sorted-vector map keyed by a TaggedId.
+//
+// Location tables hold a few hundred entries that are scanned far more often
+// than they are mutated (every query checks the table; expiry sweeps walk it).
+// A sorted std::vector beats node-based maps here: one allocation, contiguous
+// scans, O(log n) lookup (Core Guidelines Per.14/Per.16/Per.19).
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace hlsrg {
+
+template <typename Key, typename Value>
+class FlatTable {
+ public:
+  using Entry = std::pair<Key, Value>;
+  using iterator = typename std::vector<Entry>::iterator;
+  using const_iterator = typename std::vector<Entry>::const_iterator;
+
+  // Inserts or overwrites the value for `key`. Returns true if inserted.
+  bool upsert(Key key, Value value) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) {
+      it->second = std::move(value);
+      return false;
+    }
+    entries_.insert(it, Entry{key, std::move(value)});
+    return true;
+  }
+
+  // Returns a pointer to the value for `key`, or nullptr.
+  [[nodiscard]] const Value* find(Key key) const {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return &it->second;
+    return nullptr;
+  }
+
+  [[nodiscard]] Value* find(Key key) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return &it->second;
+    return nullptr;
+  }
+
+  // Removes the entry for `key`; returns true if it existed.
+  bool erase(Key key) {
+    auto it = lower_bound(key);
+    if (it == entries_.end() || it->first != key) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  // Removes every entry for which pred(key, value) is true; returns count.
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    auto it = std::remove_if(entries_.begin(), entries_.end(),
+                             [&](const Entry& e) {
+                               return pred(e.first, e.second);
+                             });
+    const auto n = static_cast<std::size_t>(entries_.end() - it);
+    entries_.erase(it, entries_.end());
+    return n;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+  [[nodiscard]] iterator begin() { return entries_.begin(); }
+  [[nodiscard]] iterator end() { return entries_.end(); }
+
+ private:
+  [[nodiscard]] const_iterator lower_bound(Key key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const Entry& e, Key k) { return e.first < k; });
+  }
+  [[nodiscard]] iterator lower_bound(Key key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const Entry& e, Key k) { return e.first < k; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hlsrg

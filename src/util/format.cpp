@@ -1,0 +1,77 @@
+#include "util/format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hlsrg {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  if (rows_.empty()) return {};
+  std::size_t cols = 0;
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      out += cell;
+      if (c + 1 < cols) out.append(width[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(rows_.front());
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < cols; ++c) total += width[c] + (c + 1 < cols ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (std::size_t i = 1; i < rows_.size(); ++i) emit_row(rows_[i]);
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  std::string out;
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      const std::string& cell = r[c];
+      const bool quote =
+          cell.find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out += '"';
+        for (char ch : cell) {
+          if (ch == '"') out += '"';
+          out += ch;
+        }
+        out += '"';
+      } else {
+        out += cell;
+      }
+      if (c + 1 < r.size()) out += ',';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_percent(double num, double den, int digits) {
+  if (den == 0.0) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, 100.0 * num / den);
+  return buf;
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,37 @@
+// Tiny text-table and CSV emitters used by the bench harness and examples.
+//
+// The figure benches print the same rows/series the paper plots; keeping the
+// rendering in one place means every bench binary formats identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlsrg {
+
+// Accumulates rows of string cells and renders an aligned monospace table.
+class TextTable {
+ public:
+  // The first added row is treated as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with a separator line under the header. Columns are left-aligned
+  // and padded to the widest cell.
+  [[nodiscard]] std::string render() const;
+
+  // Renders as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string render_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` places after the decimal point.
+[[nodiscard]] std::string fmt_double(double v, int digits = 2);
+
+// Formats `num/den` as a percentage string like "97.3%"; "n/a" if den == 0.
+[[nodiscard]] std::string fmt_percent(double num, double den, int digits = 1);
+
+}  // namespace hlsrg

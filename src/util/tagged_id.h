@@ -1,0 +1,85 @@
+// Strongly-typed integer identifiers.
+//
+// Every entity in the simulator (vehicle, intersection, road segment, grid,
+// RSU, packet, ...) is addressed by a dense integer index into a flat vector.
+// Bare integers invite silent cross-indexing bugs (a VehicleId used to index
+// the intersection table), so each entity gets its own TaggedId instantiation:
+// ids of different tags do not convert to each other or to int implicitly.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace hlsrg {
+
+// A type-safe wrapper around a 32-bit index. `Tag` is any empty struct used
+// only to make distinct instantiations distinct types.
+template <typename Tag>
+class TaggedId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  // Sentinel meaning "no entity". Default-constructed ids are invalid.
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(underlying_type value) : value_(value) {}
+  // Convenience for size_t loop indices; checked narrowing is the caller's
+  // responsibility (entity counts in this project are far below 2^32).
+  constexpr explicit TaggedId(std::size_t value)
+      : value_(static_cast<underlying_type>(value)) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, TaggedId<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+// Entity id tags used across the library.
+struct VehicleTag {};
+struct IntersectionTag {};
+struct SegmentTag {};
+struct RoadTag {};
+struct GridTag {};
+struct RsuTag {};
+struct PacketTag {};
+struct NodeTag {};  // unified radio-node id space (vehicles + RSUs)
+struct CellTag {};  // RLSMP baseline cells
+
+using VehicleId = TaggedId<VehicleTag>;
+using IntersectionId = TaggedId<IntersectionTag>;
+using SegmentId = TaggedId<SegmentTag>;
+using RoadId = TaggedId<RoadTag>;
+using GridId = TaggedId<GridTag>;
+using RsuId = TaggedId<RsuTag>;
+using PacketId = TaggedId<PacketTag>;
+using NodeId = TaggedId<NodeTag>;
+using CellId = TaggedId<CellTag>;
+
+}  // namespace hlsrg
+
+// Hash support so tagged ids can key unordered containers.
+namespace std {
+template <typename Tag>
+struct hash<hlsrg::TaggedId<Tag>> {
+  size_t operator()(hlsrg::TaggedId<Tag> id) const noexcept {
+    return std::hash<typename hlsrg::TaggedId<Tag>::underlying_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,87 @@
+// Failure injection: what happens when pieces of the system go dark mid-run.
+//
+// Outages are modelled by silencing a node's PacketSink — the node still
+// occupies space (radio propagation is unaffected) but consumes nothing,
+// which is what a powered-off RSU or crashed agent looks like to everyone
+// else.
+#include <gtest/gtest.h>
+
+#include "core/hlsrg_service.h"
+#include "core/rsu_agent.h"
+#include "harness/world.h"
+#include "infra/rsu_grid.h"
+
+namespace hlsrg {
+namespace {
+
+// Silences every RSU at `level` after `at`.
+void schedule_rsu_outage(World& world, GridLevel level, SimTime at) {
+  world.sim().schedule_at(at, [&world, level] {
+    for (const RsuGrid::Rsu& r : world.rsus()->all()) {
+      if (r.level == level) world.registry().set_sink(r.node, nullptr);
+    }
+  });
+}
+
+TEST(FailureInjectionTest, L3OutageDegradesButDoesNotZeroSuccess) {
+  ScenarioConfig cfg = paper_scenario(500, 91);
+  World healthy(cfg, Protocol::kHlsrg);
+  World degraded(cfg, Protocol::kHlsrg);
+  schedule_rsu_outage(degraded, GridLevel::kL3, SimTime::from_sec(30));
+
+  const double healthy_sr = healthy.run().success_rate();
+  const double degraded_sr = degraded.run().success_rate();
+
+  // The L3 fallback path is gone, so success drops...
+  EXPECT_LT(degraded_sr, healthy_sr);
+  // ...but L1 centers and L2 RSUs still answer a meaningful share.
+  EXPECT_GT(degraded_sr, 0.15);
+  // The run must still settle every query (no hangs on dead timers).
+  EXPECT_EQ(degraded.metrics().queries_succeeded +
+                degraded.metrics().queries_failed,
+            degraded.metrics().queries_issued);
+}
+
+TEST(FailureInjectionTest, TotalRsuOutageFallsBackToL1Centers) {
+  ScenarioConfig cfg = paper_scenario(500, 92);
+  World world(cfg, Protocol::kHlsrg);
+  schedule_rsu_outage(world, GridLevel::kL2, SimTime::from_sec(20));
+  schedule_rsu_outage(world, GridLevel::kL3, SimTime::from_sec(20));
+  const RunMetrics& m = world.run();
+  EXPECT_EQ(m.queries_succeeded + m.queries_failed, m.queries_issued);
+  // Same-grid queries can still be served from the center tables.
+  EXPECT_GT(m.queries_succeeded, 0u);
+}
+
+TEST(FailureInjectionTest, OutageAfterWarmupIsWorseThanOutageBeforeQueries) {
+  // An L3 RSU that dies before tables are populated removes both collection
+  // and service; one that dies after warmup leaves L2 tables warm. Either
+  // way the system must not wedge.
+  ScenarioConfig cfg = paper_scenario(400, 93);
+  World early(cfg, Protocol::kHlsrg);
+  schedule_rsu_outage(early, GridLevel::kL3, SimTime::from_sec(1));
+  World late(cfg, Protocol::kHlsrg);
+  schedule_rsu_outage(late, GridLevel::kL3, SimTime::from_sec(55));
+  const RunMetrics& me = early.run();
+  const RunMetrics& ml = late.run();
+  EXPECT_EQ(me.queries_succeeded + me.queries_failed, me.queries_issued);
+  EXPECT_EQ(ml.queries_succeeded + ml.queries_failed, ml.queries_issued);
+}
+
+TEST(FailureInjectionTest, DeadVehiclesAreJustSilence) {
+  // Silencing a third of the fleet (crashed OBUs) must not break anyone
+  // else's bookkeeping; success drops because relays and servers are gone.
+  ScenarioConfig cfg = paper_scenario(450, 94);
+  World world(cfg, Protocol::kHlsrg);
+  world.sim().schedule_at(SimTime::from_sec(30), [&world] {
+    auto& svc = dynamic_cast<HlsrgService&>(world.service());
+    for (std::uint32_t i = 0; i < 150; ++i) {
+      world.registry().set_sink(svc.node_of(VehicleId{i * 3}), nullptr);
+    }
+  });
+  const RunMetrics& m = world.run();
+  EXPECT_EQ(m.queries_succeeded + m.queries_failed, m.queries_issued);
+}
+
+}  // namespace
+}  // namespace hlsrg

@@ -1,0 +1,228 @@
+// Tests for geom: vectors, boxes, segments, corridors, angles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "geom/aabb.h"
+#include "geom/segment.h"
+#include "geom/vec2.h"
+#include "sim/rng.h"
+
+namespace hlsrg {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1, 2};
+  const Vec2 b{3, -1};
+  EXPECT_EQ(a + b, (Vec2{4, 1}));
+  EXPECT_EQ(a - b, (Vec2{-2, 3}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1}));
+}
+
+TEST(Vec2Test, DotCrossNorm) {
+  const Vec2 a{3, 4};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ((a.dot({1, 0})), 3.0);
+  EXPECT_DOUBLE_EQ((Vec2{1, 0}.cross({0, 1})), 1.0);
+  EXPECT_DOUBLE_EQ((Vec2{0, 1}.cross({1, 0})), -1.0);
+}
+
+TEST(Vec2Test, NormalizedHandlesZero) {
+  EXPECT_EQ(Vec2{}.normalized(), (Vec2{}));
+  const Vec2 u = Vec2{10, 0}.normalized();
+  EXPECT_DOUBLE_EQ(u.x, 1.0);
+  EXPECT_DOUBLE_EQ(u.y, 0.0);
+}
+
+TEST(Vec2Test, PerpIsCounterClockwise) {
+  EXPECT_EQ((Vec2{1, 0}.perp()), (Vec2{0, 1}));
+  EXPECT_EQ((Vec2{0, 1}.perp()), (Vec2{-1, 0}));
+}
+
+TEST(Vec2Test, AngleQuadrants) {
+  EXPECT_DOUBLE_EQ((Vec2{1, 0}.angle()), 0.0);
+  EXPECT_DOUBLE_EQ((Vec2{0, 1}.angle()), kPi / 2);
+  EXPECT_DOUBLE_EQ((Vec2{-1, 0}.angle()), kPi);
+  EXPECT_DOUBLE_EQ((Vec2{0, -1}.angle()), -kPi / 2);
+}
+
+// --- Aabb --------------------------------------------------------------------
+
+TEST(AabbTest, HalfOpenContainment) {
+  const Aabb box{{0, 0}, {10, 10}};
+  EXPECT_TRUE(box.contains({0, 0}));
+  EXPECT_TRUE(box.contains({9.999, 9.999}));
+  EXPECT_FALSE(box.contains({10, 5}));
+  EXPECT_FALSE(box.contains({5, 10}));
+  EXPECT_FALSE(box.contains({-0.001, 5}));
+}
+
+TEST(AabbTest, AdjacentBoxesTileWithoutOverlap) {
+  const Aabb left{{0, 0}, {10, 10}};
+  const Aabb right{{10, 0}, {20, 10}};
+  const Vec2 boundary{10, 5};
+  EXPECT_FALSE(left.contains(boundary));
+  EXPECT_TRUE(right.contains(boundary));
+}
+
+TEST(AabbTest, ClosedContainmentWithEps) {
+  const Aabb box{{0, 0}, {10, 10}};
+  EXPECT_TRUE(box.contains_closed({10, 10}));
+  EXPECT_TRUE(box.contains_closed({10.5, 5}, 0.5));
+  EXPECT_FALSE(box.contains_closed({11, 5}, 0.5));
+}
+
+TEST(AabbTest, CenterWidthHeight) {
+  const Aabb box{{0, 0}, {10, 20}};
+  EXPECT_EQ(box.center(), (Vec2{5, 10}));
+  EXPECT_DOUBLE_EQ(box.width(), 10.0);
+  EXPECT_DOUBLE_EQ(box.height(), 20.0);
+}
+
+TEST(AabbTest, MergedAndInflated) {
+  const Aabb a{{0, 0}, {1, 1}};
+  const Aabb b{{5, -2}, {6, 0.5}};
+  const Aabb m = a.merged(b);
+  EXPECT_EQ(m.lo, (Vec2{0, -2}));
+  EXPECT_EQ(m.hi, (Vec2{6, 1}));
+  const Aabb g = a.inflated(2.0);
+  EXPECT_EQ(g.lo, (Vec2{-2, -2}));
+  EXPECT_EQ(g.hi, (Vec2{3, 3}));
+}
+
+TEST(AabbTest, DistanceToPoint) {
+  const Aabb box{{0, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(box.distance_to({5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(box.distance_to({13, 5}), 3.0);
+  EXPECT_DOUBLE_EQ(box.distance_to({13, 14}), 5.0);
+}
+
+// --- LineSegment ---------------------------------------------------------------
+
+TEST(LineSegmentTest, ProjectClampsToEndpoints) {
+  const LineSegment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(s.project({5, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(s.project({-5, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(s.project({15, 0}), 1.0);
+}
+
+TEST(LineSegmentTest, DistanceToPoint) {
+  const LineSegment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(s.distance_to({5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(s.distance_to({-3, 4}), 5.0);
+}
+
+TEST(LineSegmentTest, DegenerateSegment) {
+  const LineSegment s{{2, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(s.project({5, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(s.distance_to({5, 2}), 3.0);
+}
+
+// --- corridors -------------------------------------------------------------------
+
+TEST(CorridorTest, PointAheadInsideWidth) {
+  EXPECT_TRUE(in_corridor({100, 5}, {0, 0}, {1, 0}, 10, 500));
+  EXPECT_FALSE(in_corridor({100, 15}, {0, 0}, {1, 0}, 10, 500));
+}
+
+TEST(CorridorTest, PointBehindRejectedUnlessSlack) {
+  EXPECT_FALSE(in_corridor({-50, 0}, {0, 0}, {1, 0}, 10, 500, 0));
+  EXPECT_TRUE(in_corridor({-50, 0}, {0, 0}, {1, 0}, 10, 500, 100));
+}
+
+TEST(CorridorTest, PointBeyondMaxAheadRejected) {
+  EXPECT_FALSE(in_corridor({600, 0}, {0, 0}, {1, 0}, 10, 500));
+  EXPECT_TRUE(in_corridor({499, 0}, {0, 0}, {1, 0}, 10, 500));
+}
+
+TEST(CorridorTest, NonUnitDirectionIsNormalized) {
+  EXPECT_TRUE(in_corridor({0, 100}, {0, 0}, {0, 42}, 10, 500));
+}
+
+TEST(CorridorTest, ZeroDirectionFallsBackToDisk) {
+  EXPECT_TRUE(in_corridor({3, 4}, {0, 0}, {0, 0}, 5.5, 100));
+  EXPECT_FALSE(in_corridor({30, 40}, {0, 0}, {0, 0}, 5.5, 100));
+}
+
+// --- intersections ------------------------------------------------------------------
+
+TEST(SegmentsIntersectTest, CrossingSegments) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {10, 10}, {0, 10}, {10, 0}));
+}
+
+TEST(SegmentsIntersectTest, DisjointSegments) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {5, 5}, {6, 6}));
+}
+
+TEST(SegmentsIntersectTest, TouchingEndpoints) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {5, 5}, {5, 5}, {10, 0}));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {10, 0}, {5, 0}, {15, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {4, 0}, {5, 0}, {15, 0}));
+}
+
+// --- angles ---------------------------------------------------------------------------
+
+TEST(AngleTest, NormalizeIntoHalfOpenRange) {
+  EXPECT_DOUBLE_EQ(normalize_angle(3 * kPi), kPi);
+  EXPECT_DOUBLE_EQ(normalize_angle(-3 * kPi), kPi);
+  EXPECT_DOUBLE_EQ(normalize_angle(0.5), 0.5);
+}
+
+TEST(AngleTest, AngleBetweenIsSymmetricAndBounded) {
+  EXPECT_DOUBLE_EQ(angle_between(0.0, kPi / 2), kPi / 2);
+  EXPECT_DOUBLE_EQ(angle_between(kPi / 2, 0.0), kPi / 2);
+  EXPECT_NEAR(angle_between(-kPi + 0.1, kPi - 0.1), 0.2, 1e-12);
+}
+
+// Property sweep: angle_between stays in [0, pi] for random inputs.
+class AngleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AngleProperty, AngleBetweenInRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform(-10.0, 10.0);
+    const double b = rng.uniform(-10.0, 10.0);
+    const double d = angle_between(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, kPi + 1e-12);
+    EXPECT_NEAR(d, angle_between(b, a), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AngleProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 99u));
+
+// Property sweep: corridor membership is invariant under rigid rotation.
+class CorridorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorridorProperty, RotationInvariance) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const Vec2 p{rng.uniform(-500, 500), rng.uniform(-500, 500)};
+    const double theta = rng.uniform(0.0, 2 * kPi);
+    const Vec2 dir{std::cos(theta), std::sin(theta)};
+    const double hw = rng.uniform(1.0, 100.0);
+    const double ahead = rng.uniform(10.0, 1000.0);
+    const bool base = in_corridor(p, {0, 0}, {1, 0}, hw, ahead);
+    // Rotate both the point and direction by theta.
+    const Vec2 rp{p.x * std::cos(theta) - p.y * std::sin(theta),
+                  p.x * std::sin(theta) + p.y * std::cos(theta)};
+    const bool rotated = in_corridor(rp, {0, 0}, dir, hw, ahead);
+    EXPECT_EQ(base, rotated) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorridorProperty,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace hlsrg

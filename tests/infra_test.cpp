@@ -1,0 +1,106 @@
+// Tests for infra: RSU deployment and wiring.
+#include <gtest/gtest.h>
+
+#include "grid/hierarchy.h"
+#include "infra/rsu_grid.h"
+#include "roadnet/map_builder.h"
+#include "sim/simulator.h"
+
+namespace hlsrg {
+namespace {
+
+struct Fixture {
+  explicit Fixture(double size = 2000)
+      : net(build_manhattan_map({.size_m = size})),
+        hierarchy(net, build_partition(net)),
+        sim(1),
+        wired(sim, registry),
+        rsus(hierarchy, registry, wired) {}
+
+  RoadNetwork net;
+  GridHierarchy hierarchy;
+  Simulator sim;
+  NodeRegistry registry;
+  WiredNetwork wired;
+  RsuGrid rsus;
+};
+
+TEST(RsuGridTest, CountsMatchHierarchy) {
+  Fixture f;
+  // 2 km map: 2x2 L2 + 1x1 L3 = 5 RSUs.
+  EXPECT_EQ(f.rsus.count(), 5u);
+  int l2 = 0, l3 = 0;
+  for (const auto& r : f.rsus.all()) {
+    (r.level == GridLevel::kL2 ? l2 : l3)++;
+  }
+  EXPECT_EQ(l2, 4);
+  EXPECT_EQ(l3, 1);
+}
+
+TEST(RsuGridTest, RsusSitAtGridCenters) {
+  Fixture f;
+  for (const auto& r : f.rsus.all()) {
+    EXPECT_EQ(r.pos, f.hierarchy.center_pos(r.coord, r.level));
+    EXPECT_EQ(f.registry.position(r.node), r.pos);
+  }
+}
+
+TEST(RsuGridTest, LookupByCoordAndNode) {
+  Fixture f;
+  const RsuId id = f.rsus.rsu_at({1, 0}, GridLevel::kL2);
+  EXPECT_TRUE(id.valid());
+  const auto& r = f.rsus.rsu(id);
+  EXPECT_EQ(r.level, GridLevel::kL2);
+  EXPECT_EQ(r.coord, (GridCoord{1, 0}));
+  EXPECT_EQ(f.rsus.rsu_of_node(r.node), id);
+  // A non-RSU node maps to invalid.
+  const NodeId vehicle = f.registry.add_node([] { return Vec2{}; });
+  EXPECT_FALSE(f.rsus.rsu_of_node(vehicle).valid());
+}
+
+TEST(RsuGridTest, EveryL2WiredToParentL3) {
+  Fixture f;
+  for (const auto& r : f.rsus.all()) {
+    if (r.level != GridLevel::kL2) continue;
+    const GridCoord parent{r.coord.col / 2, r.coord.row / 2};
+    const NodeId l3 = f.rsus.node_at(parent, GridLevel::kL3);
+    EXPECT_EQ(f.wired.hop_count(r.node, l3), 1);
+  }
+}
+
+TEST(RsuGridTest, L3MeshOnLargeMap) {
+  Fixture f(4000);  // 2x2 L3 grid
+  EXPECT_EQ(f.hierarchy.cell_count(GridLevel::kL3), 4);
+  const NodeId a = f.rsus.node_at({0, 0}, GridLevel::kL3);
+  const NodeId b = f.rsus.node_at({1, 0}, GridLevel::kL3);
+  const NodeId c = f.rsus.node_at({1, 1}, GridLevel::kL3);
+  EXPECT_EQ(f.wired.hop_count(a, b), 1);  // east neighbor
+  EXPECT_EQ(f.wired.hop_count(a, c), 2);  // diagonal: two compass hops
+}
+
+TEST(RsuGridTest, WholePlaneIsWiredConnected) {
+  Fixture f(4000);
+  const NodeId ref = f.rsus.all().front().node;
+  for (const auto& r : f.rsus.all()) {
+    EXPECT_GE(f.wired.hop_count(ref, r.node), 0)
+        << "RSU at (" << r.coord.col << "," << r.coord.row << ") unreachable";
+  }
+}
+
+TEST(RsuGridTest, NearestRsuMatchesContainingCell) {
+  Fixture f;
+  const Vec2 p{300, 1700};  // L1 (0,3) -> L2 (0,1)
+  const RsuId id = f.rsus.nearest_rsu(p, GridLevel::kL2, f.hierarchy);
+  EXPECT_EQ(f.rsus.rsu(id).coord, (GridCoord{0, 1}));
+}
+
+TEST(RsuGridTest, SmallMapDegeneratesGracefully) {
+  Fixture f(500);  // single L1 == L2 == L3 cell
+  EXPECT_EQ(f.rsus.count(), 2u);  // one L2 + one L3
+  const NodeId l2 = f.rsus.node_at({0, 0}, GridLevel::kL2);
+  const NodeId l3 = f.rsus.node_at({0, 0}, GridLevel::kL3);
+  EXPECT_EQ(f.wired.hop_count(l2, l3), 1);
+}
+
+}  // namespace
+}  // namespace hlsrg

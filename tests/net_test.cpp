@@ -1,0 +1,584 @@
+// Tests for net: registry, neighbor index, radio medium, GPSR, geocast, and
+// the wired backhaul.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "net/geocast.h"
+#include "net/gpsr.h"
+#include "net/neighbor_index.h"
+#include "net/node_registry.h"
+#include "net/radio.h"
+#include "net/wired.h"
+#include "sim/simulator.h"
+
+namespace hlsrg {
+namespace {
+
+// Records every packet it receives.
+class CaptureSink : public PacketSink {
+ public:
+  void on_receive(const Packet& packet, NodeId from) override {
+    received.push_back({packet, from});
+  }
+  struct Rx {
+    Packet packet;
+    NodeId from;
+  };
+  std::vector<Rx> received;
+};
+
+struct TestPayload final : PayloadBase {
+  int value = 0;
+};
+
+Packet make_test_packet(int value = 7) {
+  auto p = std::make_shared<TestPayload>();
+  p->value = value;
+  Packet pkt;
+  pkt.id = PacketId{std::uint32_t{1}};
+  pkt.kind = 42;
+  pkt.payload = p;
+  return pkt;
+}
+
+// A registry of static nodes with capture sinks.
+class StaticNet {
+ public:
+  explicit StaticNet(Simulator& sim, RadioConfig cfg = {})
+      : sim_(&sim) {
+    cfg_ = cfg;
+  }
+
+  NodeId add(Vec2 pos) {
+    sinks_.push_back(std::make_unique<CaptureSink>());
+    const NodeId id = registry_.add_node([pos] { return pos; },
+                                         sinks_.back().get());
+    return id;
+  }
+
+  RadioMedium& medium() {
+    if (!medium_) medium_ = std::make_unique<RadioMedium>(*sim_, registry_, cfg_);
+    return *medium_;
+  }
+
+  CaptureSink& sink(NodeId id) { return *sinks_[id.index()]; }
+  NodeRegistry& registry() { return registry_; }
+
+ private:
+  Simulator* sim_;
+  RadioConfig cfg_;
+  NodeRegistry registry_;
+  std::vector<std::unique_ptr<CaptureSink>> sinks_;
+  std::unique_ptr<RadioMedium> medium_;
+};
+
+RadioConfig lossless() {
+  RadioConfig cfg;
+  cfg.base_loss = 0.0;
+  cfg.distance_loss = 0.0;
+  cfg.contention_loss_per_neighbor = 0.0;
+  return cfg;
+}
+
+// --- NodeRegistry -------------------------------------------------------------
+
+TEST(NodeRegistryTest, PositionsComeFromCallbacks) {
+  NodeRegistry reg;
+  Vec2 pos{1, 2};
+  const NodeId id = reg.add_node([&pos] { return pos; });
+  EXPECT_EQ(reg.position(id), (Vec2{1, 2}));
+  pos = {3, 4};
+  EXPECT_EQ(reg.position(id), (Vec2{3, 4}));
+}
+
+TEST(NodeRegistryTest, SinkInstallation) {
+  NodeRegistry reg;
+  const NodeId id = reg.add_node([] { return Vec2{}; });
+  EXPECT_EQ(reg.sink(id), nullptr);
+  CaptureSink sink;
+  reg.set_sink(id, &sink);
+  EXPECT_EQ(reg.sink(id), &sink);
+}
+
+// --- NeighborIndex ------------------------------------------------------------
+
+TEST(NeighborIndexTest, MatchesBruteForce) {
+  Simulator sim(5);
+  NodeRegistry reg;
+  Rng rng(5);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 300; ++i) {
+    const Vec2 p{rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)};
+    pts.push_back(p);
+    reg.add_node([p] { return p; });
+  }
+  NeighborIndex index(reg, 500.0);
+  index.refresh(sim.now());
+  for (int q = 0; q < 50; ++q) {
+    const Vec2 query{rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)};
+    std::vector<NodeId> got;
+    index.query(query, 500.0, NodeId{}, &got);
+    std::vector<NodeId> want;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (distance(pts[i], query) <= 500.0) want.push_back(NodeId{i});
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(index.count_within(query, 500.0, NodeId{}),
+              static_cast<int>(want.size()));
+  }
+}
+
+TEST(NeighborIndexTest, ExcludesRequestedNode) {
+  Simulator sim(1);
+  NodeRegistry reg;
+  const NodeId a = reg.add_node([] { return Vec2{0, 0}; });
+  reg.add_node([] { return Vec2{10, 0}; });
+  NeighborIndex index(reg, 100.0);
+  index.refresh(sim.now());
+  std::vector<NodeId> out;
+  index.query({0, 0}, 100.0, a, &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0], a);
+}
+
+// --- RadioMedium ------------------------------------------------------------
+
+TEST(RadioTest, LossProbabilityMonotoneInDistance) {
+  Simulator sim(1);
+  NodeRegistry reg;
+  RadioMedium medium(sim, reg, {});
+  double prev = -1.0;
+  for (double d = 0; d <= 500; d += 50) {
+    const double p = medium.loss_probability(d, 0);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(RadioTest, LossProbabilityGrowsWithContention) {
+  Simulator sim(1);
+  NodeRegistry reg;
+  RadioMedium medium(sim, reg, {});
+  EXPECT_GT(medium.loss_probability(100, 100),
+            medium.loss_probability(100, 0));
+}
+
+TEST(RadioTest, BroadcastReachesOnlyNodesInRange) {
+  Simulator sim(2);
+  StaticNet net(sim, lossless());
+  const NodeId sender = net.add({0, 0});
+  const NodeId near = net.add({400, 0});
+  const NodeId far = net.add({900, 0});
+  net.medium().broadcast(sender, make_test_packet());
+  sim.run_until(SimTime::from_sec(1));
+  EXPECT_EQ(net.sink(near).received.size(), 1u);
+  EXPECT_TRUE(net.sink(far).received.empty());
+  EXPECT_TRUE(net.sink(sender).received.empty());  // no self-delivery
+  EXPECT_EQ(sim.metrics().radio_broadcasts, 1u);
+}
+
+TEST(RadioTest, BroadcastCarriesPayloadAndSender) {
+  Simulator sim(2);
+  StaticNet net(sim, lossless());
+  const NodeId sender = net.add({0, 0});
+  const NodeId rx = net.add({100, 0});
+  net.medium().broadcast(sender, make_test_packet(99));
+  sim.run_until(SimTime::from_sec(1));
+  ASSERT_EQ(net.sink(rx).received.size(), 1u);
+  const auto& r = net.sink(rx).received[0];
+  EXPECT_EQ(r.from, sender);
+  EXPECT_EQ(payload_as<TestPayload>(r.packet).value, 99);
+}
+
+TEST(RadioTest, DeliveryIsDelayed) {
+  Simulator sim(2);
+  StaticNet net(sim, lossless());
+  const NodeId sender = net.add({0, 0});
+  const NodeId rx = net.add({100, 0});
+  net.medium().broadcast(sender, make_test_packet());
+  sim.run_until(SimTime::from_us(1));  // epsilon: nothing delivered yet
+  EXPECT_TRUE(net.sink(rx).received.empty());
+  sim.run_until(SimTime::from_sec(1));
+  EXPECT_EQ(net.sink(rx).received.size(), 1u);
+}
+
+TEST(RadioTest, TotalLossDropsEverything) {
+  Simulator sim(2);
+  RadioConfig cfg;
+  cfg.base_loss = 1.0;
+  cfg.max_loss = 1.0;
+  StaticNet net(sim, cfg);
+  const NodeId sender = net.add({0, 0});
+  const NodeId rx = net.add({100, 0});
+  net.medium().broadcast(sender, make_test_packet());
+  sim.run_until(SimTime::from_sec(1));
+  EXPECT_TRUE(net.sink(rx).received.empty());
+  EXPECT_GT(sim.metrics().radio_drops, 0u);
+}
+
+TEST(RadioTest, UnicastDeliversToSink) {
+  Simulator sim(3);
+  StaticNet net(sim, lossless());
+  const NodeId a = net.add({0, 0});
+  const NodeId b = net.add({300, 0});
+  bool lost = false;
+  net.medium().unicast(a, b, make_test_packet(), [&] { lost = true; });
+  sim.run_until(SimTime::from_sec(1));
+  EXPECT_FALSE(lost);
+  EXPECT_EQ(net.sink(b).received.size(), 1u);
+}
+
+TEST(RadioTest, UnicastOutOfRangeReportsLost) {
+  Simulator sim(3);
+  StaticNet net(sim, lossless());
+  const NodeId a = net.add({0, 0});
+  const NodeId b = net.add({2000, 0});
+  bool lost = false;
+  net.medium().unicast(a, b, make_test_packet(), [&] { lost = true; });
+  sim.run_until(SimTime::from_sec(1));
+  EXPECT_TRUE(lost);
+  EXPECT_TRUE(net.sink(b).received.empty());
+}
+
+TEST(RadioTest, UnicastRetriesOvercomeModerateLoss) {
+  // With p_loss ~0.5 per attempt and 2 retries, delivery ~87.5% per frame;
+  // across 200 frames expect clearly more deliveries than single-shot.
+  Simulator sim(4);
+  RadioConfig cfg = lossless();
+  cfg.base_loss = 0.5;
+  cfg.max_loss = 0.5;
+  cfg.unicast_retries = 2;
+  StaticNet net(sim, cfg);
+  const NodeId a = net.add({0, 0});
+  const NodeId b = net.add({10, 0});
+  int lost = 0;
+  for (int i = 0; i < 200; ++i) {
+    net.medium().unicast(a, b, make_test_packet(), [&] { ++lost; });
+  }
+  sim.run_until(SimTime::from_sec(5));
+  const int delivered = static_cast<int>(net.sink(b).received.size());
+  EXPECT_EQ(delivered + lost, 200);
+  EXPECT_NEAR(delivered, 175, 20);  // ~87.5%
+}
+
+TEST(RadioTest, UnicastFrameCallsExactlyOneCallback) {
+  Simulator sim(5);
+  StaticNet net(sim, lossless());
+  const NodeId a = net.add({0, 0});
+  const NodeId b = net.add({100, 0});
+  int delivered = 0, lost = 0;
+  for (int i = 0; i < 50; ++i) {
+    net.medium().unicast_frame(a, b, [&] { ++delivered; }, [&] { ++lost; });
+  }
+  sim.run_until(SimTime::from_sec(2));
+  EXPECT_EQ(delivered + lost, 50);
+  EXPECT_EQ(delivered, 50);  // lossless
+  // Frame transport must not touch sinks.
+  EXPECT_TRUE(net.sink(b).received.empty());
+}
+
+// --- GPSR ----------------------------------------------------------------------
+
+TEST(GpsrTest, DeliversAlongALine) {
+  Simulator sim(6);
+  StaticNet net(sim, lossless());
+  std::vector<NodeId> chain;
+  for (int i = 0; i <= 6; ++i) chain.push_back(net.add({i * 400.0, 0}));
+  GpsrRouter gpsr(net.medium(), net.registry());
+  bool delivered = false;
+  std::uint64_t tx = 0;
+  gpsr.send(chain.front(), {2400, 0}, chain.back(), make_test_packet(), &tx,
+            [&](NodeId at) {
+              delivered = true;
+              EXPECT_EQ(at, chain.back());
+            });
+  sim.run_until(SimTime::from_sec(2));
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.sink(chain.back()).received.size(), 1u);
+  EXPECT_GE(tx, 6u);  // at least one hop per gap
+  // Intermediate nodes never consume the packet.
+  EXPECT_TRUE(net.sink(chain[3]).received.empty());
+}
+
+TEST(GpsrTest, PositionAddressedDeliversWithinRadius) {
+  Simulator sim(6);
+  StaticNet net(sim, lossless());
+  const NodeId src = net.add({0, 0});
+  net.add({450, 0});
+  const NodeId near_dest = net.add({880, 0});
+  GpsrRouter gpsr(net.medium(), net.registry());
+  bool delivered = false;
+  gpsr.send(src, {900, 0}, std::nullopt, make_test_packet(), nullptr,
+            [&](NodeId at) {
+              delivered = true;
+              EXPECT_EQ(at, near_dest);
+            },
+            {}, /*delivery_radius=*/50.0);
+  sim.run_until(SimTime::from_sec(2));
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.sink(near_dest).received.size(), 1u);
+}
+
+TEST(GpsrTest, FailsWhenPartitioned) {
+  Simulator sim(6);
+  StaticNet net(sim, lossless());
+  const NodeId src = net.add({0, 0});
+  const NodeId dst = net.add({5000, 0});  // unreachable island
+  GpsrRouter gpsr(net.medium(), net.registry());
+  bool failed = false;
+  gpsr.send(src, {5000, 0}, dst, make_test_packet(), nullptr, {},
+            [&] { failed = true; });
+  sim.run_until(SimTime::from_sec(5));
+  EXPECT_TRUE(failed);
+  EXPECT_GT(sim.metrics().gpsr_failures, 0u);
+}
+
+TEST(GpsrTest, PerimeterModeRoutesAroundAVoid) {
+  // A "C" shape: greedy hits a local minimum at the tip and must recover via
+  // perimeter mode around the gap.
+  Simulator sim(7);
+  StaticNet net(sim, lossless());
+  //   src --- a --- tip   (gap)   dst
+  //            \-- down1 -- down2 --/
+  const NodeId src = net.add({0, 0});
+  net.add({400, 0});
+  net.add({800, 0});           // tip; dst at 2000 is 1200 away (out of range)
+  net.add({800, -400});        // detour south
+  net.add({1200, -400});
+  net.add({1600, -400});
+  net.add({1900, -100});
+  const NodeId dst = net.add({2000, 0});
+  GpsrRouter gpsr(net.medium(), net.registry());
+  bool delivered = false;
+  gpsr.send(src, {2000, 0}, dst, make_test_packet(), nullptr,
+            [&](NodeId) { delivered = true; });
+  sim.run_until(SimTime::from_sec(5));
+  EXPECT_TRUE(delivered);
+}
+
+// --- Geocast ----------------------------------------------------------------------
+
+TEST(GeocastTest, BoxFloodReachesEveryNodeInRegionOnce) {
+  Simulator sim(8);
+  StaticNet net(sim, lossless());
+  std::vector<NodeId> inside;
+  for (int i = 0; i < 5; ++i) {
+    inside.push_back(net.add({100.0 + 150.0 * i, 100}));
+  }
+  const NodeId outside = net.add({2000, 2000});
+  const NodeId origin = inside[0];
+  GeocastService geo(net.medium(), net.registry());
+  std::uint64_t tx = 0;
+  geo.flood(origin, make_test_packet(),
+            GeocastRegion::from_box(Aabb{{0, 0}, {1000, 1000}}), &tx);
+  sim.run_until(SimTime::from_sec(2));
+  for (std::size_t i = 1; i < inside.size(); ++i) {
+    EXPECT_EQ(net.sink(inside[i]).received.size(), 1u) << i;
+  }
+  EXPECT_TRUE(net.sink(outside).received.empty());
+  EXPECT_GE(tx, 1u);
+}
+
+TEST(GeocastTest, CorridorFloodStaysInCorridor) {
+  Simulator sim(8);
+  StaticNet net(sim, lossless());
+  const NodeId origin = net.add({0, 0});
+  const NodeId on_road1 = net.add({400, 10});
+  const NodeId on_road2 = net.add({800, -10});
+  const NodeId off_road = net.add({400, 300});
+  const NodeId behind = net.add({-400, 0});
+  GeocastService geo(net.medium(), net.registry());
+  geo.flood(origin, make_test_packet(),
+            GeocastRegion::corridor({0, 0}, {1, 0}, 50.0, 1200.0, 100.0));
+  sim.run_until(SimTime::from_sec(2));
+  EXPECT_EQ(net.sink(on_road1).received.size(), 1u);
+  EXPECT_EQ(net.sink(on_road2).received.size(), 1u);
+  EXPECT_TRUE(net.sink(off_road).received.empty());
+  EXPECT_TRUE(net.sink(behind).received.empty());
+}
+
+TEST(GeocastTest, FloodTerminatesUnderLoss) {
+  Simulator sim(9);
+  RadioConfig cfg;
+  cfg.base_loss = 0.3;
+  StaticNet net(sim, cfg);
+  for (int i = 0; i < 40; ++i) {
+    net.add({(i % 8) * 120.0, (i / 8) * 120.0});
+  }
+  GeocastService geo(net.medium(), net.registry());
+  std::uint64_t tx = 0;
+  geo.flood(NodeId{std::size_t{0}}, make_test_packet(),
+            GeocastRegion::from_box(Aabb{{0, 0}, {1000, 1000}}), &tx);
+  sim.run_until(SimTime::from_sec(10));
+  EXPECT_TRUE(sim.queue().empty());
+  EXPECT_LE(tx, 256u);  // respects the budget
+}
+
+// --- Wired -------------------------------------------------------------------------
+
+TEST(WiredTest, DirectLinkDelivery) {
+  Simulator sim(10);
+  StaticNet net(sim, lossless());
+  const NodeId a = net.add({0, 0});
+  const NodeId b = net.add({1000, 0});
+  WiredNetwork wired(sim, net.registry());
+  wired.connect(a, b);
+  EXPECT_TRUE(wired.send(a, b, make_test_packet(5)));
+  sim.run_until(SimTime::from_sec(1));
+  ASSERT_EQ(net.sink(b).received.size(), 1u);
+  EXPECT_EQ(payload_as<TestPayload>(net.sink(b).received[0].packet).value, 5);
+  EXPECT_EQ(sim.metrics().wired_messages, 1u);
+}
+
+TEST(WiredTest, MultiHopRouting) {
+  Simulator sim(10);
+  StaticNet net(sim, lossless());
+  const NodeId a = net.add({0, 0});
+  const NodeId b = net.add({1, 0});
+  const NodeId c = net.add({2, 0});
+  const NodeId d = net.add({3, 0});
+  WiredNetwork wired(sim, net.registry());
+  wired.connect(a, b);
+  wired.connect(b, c);
+  wired.connect(c, d);
+  EXPECT_EQ(wired.hop_count(a, d), 3);
+  std::uint64_t tx = 0;
+  EXPECT_TRUE(wired.send(a, d, make_test_packet(), &tx));
+  sim.run_until(SimTime::from_sec(1));
+  EXPECT_EQ(net.sink(d).received.size(), 1u);
+  EXPECT_EQ(tx, 3u);
+}
+
+TEST(WiredTest, NoPathReturnsFalse) {
+  Simulator sim(10);
+  StaticNet net(sim, lossless());
+  const NodeId a = net.add({0, 0});
+  const NodeId b = net.add({1, 0});
+  WiredNetwork wired(sim, net.registry());
+  EXPECT_FALSE(wired.send(a, b, make_test_packet()));
+  EXPECT_EQ(wired.hop_count(a, b), -1);
+  EXPECT_EQ(wired.hop_count(a, a), 0);
+}
+
+TEST(WiredTest, ConnectIsIdempotent) {
+  Simulator sim(10);
+  StaticNet net(sim, lossless());
+  const NodeId a = net.add({0, 0});
+  const NodeId b = net.add({1, 0});
+  WiredNetwork wired(sim, net.registry());
+  wired.connect(a, b);
+  wired.connect(a, b);
+  wired.connect(b, a);
+  EXPECT_EQ(wired.links_of(a).size(), 1u);
+  EXPECT_EQ(wired.links_of(b).size(), 1u);
+}
+
+// --- Beacons -------------------------------------------------------------------
+
+TEST(BeaconTest, NeighborsLearnedWithinOneInterval) {
+  Simulator sim(20);
+  StaticNet net(sim, lossless());
+  const NodeId a = net.add({0, 0});
+  const NodeId b = net.add({300, 0});
+  net.add({900, 0});  // out of range of a
+  BeaconConfig cfg;
+  cfg.enabled = true;
+  cfg.interval_sec = 1.0;
+  cfg.timeout_sec = 3.0;
+  BeaconService beacons(net.medium(), net.registry(), cfg);
+  sim.run_until(SimTime::from_sec(1.5));
+  std::vector<BeaconService::Neighbor> out;
+  beacons.neighbors_of(a, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, b);
+  EXPECT_EQ(out[0].heard_pos, (Vec2{300, 0}));
+  EXPECT_GT(beacons.beacons_sent(), 0u);
+}
+
+TEST(BeaconTest, StaleNeighborsExpire) {
+  Simulator sim(21);
+  NodeRegistry reg;
+  Vec2 b_pos{300, 0};
+  std::vector<std::unique_ptr<CaptureSink>> sinks;
+  const NodeId a = reg.add_node([] { return Vec2{0, 0}; });
+  const NodeId b = reg.add_node([&b_pos] { return b_pos; });
+  RadioMedium medium(sim, reg, lossless());
+  BeaconConfig cfg;
+  cfg.enabled = true;
+  cfg.interval_sec = 1.0;
+  cfg.timeout_sec = 2.5;
+  BeaconService beacons(medium, reg, cfg);
+  sim.run_until(SimTime::from_sec(2));
+  std::vector<BeaconService::Neighbor> out;
+  beacons.neighbors_of(a, &out);
+  EXPECT_FALSE(out.empty());
+  // b drives out of range; after the timeout its entry must be gone.
+  b_pos = {5000, 0};
+  sim.run_until(SimTime::from_sec(6));
+  out.clear();
+  beacons.neighbors_of(a, &out);
+  EXPECT_TRUE(out.empty());
+  (void)b;
+}
+
+TEST(BeaconTest, GpsrRoutesOverBeaconTables) {
+  Simulator sim(22);
+  StaticNet net(sim, lossless());
+  std::vector<NodeId> chain;
+  for (int i = 0; i <= 5; ++i) chain.push_back(net.add({i * 400.0, 0}));
+  BeaconConfig cfg;
+  cfg.enabled = true;
+  BeaconService beacons(net.medium(), net.registry(), cfg);
+  GpsrRouter gpsr(net.medium(), net.registry());
+  gpsr.set_beacons(&beacons);
+  // Let one beacon round populate the tables first.
+  bool delivered = false;
+  sim.run_until(SimTime::from_sec(2));
+  sim.schedule_after(SimTime::from_us(1), [&] {
+    gpsr.send(chain.front(), {2000, 0}, chain.back(), make_test_packet(),
+              nullptr, [&](NodeId) { delivered = true; });
+  });
+  sim.run_until(SimTime::from_sec(5));
+  EXPECT_TRUE(delivered);
+}
+
+// Parameterized: GPSR delivery rate on random dense placements is high.
+class GpsrDensitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpsrDensitySweep, DeliversOnConnectedRandomPlacements) {
+  Simulator sim(100 + static_cast<std::uint64_t>(GetParam()));
+  StaticNet net(sim, lossless());
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = GetParam();
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(net.add(
+        {rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)}));
+  }
+  GpsrRouter gpsr(net.medium(), net.registry());
+  int delivered = 0, failed = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const NodeId src = nodes[rng.uniform_u64(static_cast<std::uint64_t>(n))];
+    const NodeId dst = nodes[rng.uniform_u64(static_cast<std::uint64_t>(n))];
+    gpsr.send(src, net.registry().position(dst), dst, make_test_packet(),
+              nullptr, [&](NodeId) { ++delivered; }, [&] { ++failed; });
+  }
+  sim.run_until(SimTime::from_sec(30));
+  EXPECT_EQ(delivered + failed, trials);
+  // Dense lossless placements: the vast majority must deliver.
+  EXPECT_GE(delivered, trials * 8 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Density, GpsrDensitySweep,
+                         ::testing::Values(150, 300, 600));
+
+}  // namespace
+}  // namespace hlsrg

@@ -1,0 +1,308 @@
+// Tests for roadnet: graph construction invariants and the map builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "roadnet/map_builder.h"
+#include "roadnet/map_io.h"
+#include "roadnet/road_network.h"
+
+namespace hlsrg {
+namespace {
+
+RoadNetwork tiny_graph() {
+  // a --- b --- c   (one horizontal road)
+  RoadNetwork net;
+  const auto a = net.add_intersection({0, 0});
+  const auto b = net.add_intersection({100, 0});
+  const auto c = net.add_intersection({200, 0});
+  const RoadId r = net.add_road(RoadClass::kMainArtery,
+                                Orientation::kHorizontal, 0.0);
+  net.add_edge(r, a, b);
+  net.add_edge(r, b, c);
+  net.finalize();
+  return net;
+}
+
+TEST(RoadNetworkTest, EdgesComeInDirectedPairs) {
+  const RoadNetwork net = tiny_graph();
+  EXPECT_EQ(net.segment_count(), 4u);
+  for (std::size_t i = 0; i < net.segment_count(); ++i) {
+    const Segment& s = net.segment(SegmentId{i});
+    const Segment& r = net.segment(s.reverse);
+    EXPECT_EQ(r.from, s.to);
+    EXPECT_EQ(r.to, s.from);
+    EXPECT_EQ(r.reverse, SegmentId{i});
+    EXPECT_DOUBLE_EQ(r.length, s.length);
+  }
+}
+
+TEST(RoadNetworkTest, SegmentGeometryIsConsistent) {
+  const RoadNetwork net = tiny_graph();
+  const Segment& s = net.segment(SegmentId{std::size_t{0}});
+  EXPECT_DOUBLE_EQ(s.length, 100.0);
+  EXPECT_EQ(s.unit_dir, (Vec2{1, 0}));
+  EXPECT_EQ(net.point_on(SegmentId{std::size_t{0}}, 40.0), (Vec2{40, 0}));
+}
+
+TEST(RoadNetworkTest, OutSegmentsRegistered) {
+  const RoadNetwork net = tiny_graph();
+  // Middle intersection has two outgoing segments (to a and to c).
+  EXPECT_EQ(net.intersection(IntersectionId{std::size_t{1}}).out.size(), 2u);
+}
+
+TEST(RoadNetworkTest, NearestIntersection) {
+  const RoadNetwork net = tiny_graph();
+  EXPECT_EQ(net.nearest_intersection({95, 10}), IntersectionId{std::size_t{1}});
+  EXPECT_EQ(net.nearest_intersection({-50, 0}), IntersectionId{std::size_t{0}});
+}
+
+TEST(RoadNetworkTest, IntersectionsWithinRadius) {
+  const RoadNetwork net = tiny_graph();
+  EXPECT_EQ(net.intersections_within({100, 0}, 120).size(), 3u);
+  EXPECT_EQ(net.intersections_within({100, 0}, 50).size(), 1u);
+}
+
+TEST(RoadNetworkTest, BoundsCoverAllIntersections) {
+  const RoadNetwork net = tiny_graph();
+  const Aabb b = net.bounds();
+  EXPECT_EQ(b.lo, (Vec2{0, 0}));
+  EXPECT_EQ(b.hi, (Vec2{200, 0}));
+}
+
+TEST(RoadNetworkTest, ConnectivityDetection) {
+  RoadNetwork net;
+  const auto a = net.add_intersection({0, 0});
+  const auto b = net.add_intersection({10, 0});
+  net.add_intersection({100, 100});  // isolated
+  const RoadId r = net.add_road(RoadClass::kNormal, Orientation::kHorizontal, 0);
+  net.add_edge(r, a, b);
+  net.finalize();
+  EXPECT_FALSE(net.is_connected());
+}
+
+TEST(RoadNetworkTest, RoadSpansComputedOnFinalize) {
+  const RoadNetwork net = tiny_graph();
+  const Road& r = net.road(RoadId{std::size_t{0}});
+  EXPECT_DOUBLE_EQ(r.span_lo, 0.0);
+  EXPECT_DOUBLE_EQ(r.span_hi, 200.0);
+  EXPECT_EQ(r.fwd_segments.size(), 2u);
+}
+
+// --- map builder -------------------------------------------------------------
+
+TEST(MapBuilderTest, DefaultMapShape) {
+  MapConfig cfg;  // 2000 m, arteries every 500, minors every 250
+  const RoadNetwork net = build_manhattan_map(cfg);
+  // 9 vertical + 9 horizontal lines -> 81 intersections.
+  EXPECT_EQ(net.intersection_count(), 81u);
+  EXPECT_EQ(net.road_count(), 18u);
+  EXPECT_TRUE(net.is_connected());
+}
+
+TEST(MapBuilderTest, ArteryClassificationBySpacing) {
+  MapConfig cfg;
+  const RoadNetwork net = build_manhattan_map(cfg);
+  int arteries = 0, normals = 0;
+  for (const Road& r : net.roads()) {
+    (r.cls == RoadClass::kMainArtery ? arteries : normals)++;
+  }
+  // Lines at 0,250,...,2000: multiples of 500 are arteries (5 per axis).
+  EXPECT_EQ(arteries, 10);
+  EXPECT_EQ(normals, 8);
+}
+
+TEST(MapBuilderTest, SpanningRoadsSortedByCoord) {
+  MapConfig cfg;
+  const RoadNetwork net = build_manhattan_map(cfg);
+  const auto spans = net.spanning_roads(Orientation::kVertical);
+  EXPECT_EQ(spans.size(), 9u);
+  double prev = -1;
+  for (RoadId rid : spans) {
+    EXPECT_GT(net.road(rid).coord, prev);
+    prev = net.road(rid).coord;
+  }
+}
+
+TEST(MapBuilderTest, SmallMap) {
+  MapConfig cfg;
+  cfg.size_m = 500;
+  const RoadNetwork net = build_manhattan_map(cfg);
+  EXPECT_EQ(net.intersection_count(), 9u);  // 3x3 lines
+  EXPECT_TRUE(net.is_connected());
+}
+
+TEST(MapBuilderTest, IrregularMapStaysConnected) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    MapConfig cfg;
+    cfg.irregular = true;
+    cfg.seed = seed;
+    const RoadNetwork net = build_manhattan_map(cfg);
+    EXPECT_TRUE(net.is_connected()) << "seed " << seed;
+  }
+}
+
+TEST(MapBuilderTest, IrregularMapKeepsArteriesStraight) {
+  MapConfig cfg;
+  cfg.irregular = true;
+  cfg.seed = 3;
+  const RoadNetwork net = build_manhattan_map(cfg);
+  for (const Road& r : net.roads()) {
+    if (r.cls != RoadClass::kMainArtery) continue;
+    // Artery coordinates stay on the 500 m lattice (no jitter).
+    const double rem = std::fmod(r.coord, 500.0);
+    EXPECT_TRUE(rem < 1e-6 || 500.0 - rem < 1e-6) << r.coord;
+  }
+}
+
+TEST(MapBuilderTest, IrregularDropoutRemovesNormalEdges) {
+  MapConfig reg;
+  const RoadNetwork regular = build_manhattan_map(reg);
+  MapConfig irr;
+  irr.irregular = true;
+  irr.dropout = 0.3;
+  irr.seed = 7;
+  const RoadNetwork dropped = build_manhattan_map(irr);
+  EXPECT_LT(dropped.segment_count(), regular.segment_count());
+}
+
+TEST(MapBuilderTest, IrregularIsDeterministicPerSeed) {
+  MapConfig cfg;
+  cfg.irregular = true;
+  cfg.seed = 11;
+  const RoadNetwork a = build_manhattan_map(cfg);
+  const RoadNetwork b = build_manhattan_map(cfg);
+  ASSERT_EQ(a.intersection_count(), b.intersection_count());
+  ASSERT_EQ(a.segment_count(), b.segment_count());
+  for (std::size_t i = 0; i < a.intersection_count(); ++i) {
+    EXPECT_EQ(a.position(IntersectionId{i}), b.position(IntersectionId{i}));
+  }
+}
+
+TEST(MapBuilderTest, SvgRenderContainsRoads) {
+  MapConfig cfg;
+  cfg.size_m = 500;
+  const RoadNetwork net = build_manhattan_map(cfg);
+  const std::string svg = render_map_svg(net);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+// --- map I/O -----------------------------------------------------------------
+
+TEST(MapIoTest, SaveLoadRoundTrip) {
+  MapConfig cfg;
+  cfg.size_m = 1000;
+  const RoadNetwork original = build_manhattan_map(cfg);
+  std::string error;
+  const RoadNetwork loaded = load_map(save_map(original), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(loaded.intersection_count(), original.intersection_count());
+  ASSERT_EQ(loaded.segment_count(), original.segment_count());
+  ASSERT_EQ(loaded.road_count(), original.road_count());
+  for (std::size_t i = 0; i < original.intersection_count(); ++i) {
+    EXPECT_EQ(loaded.position(IntersectionId{i}),
+              original.position(IntersectionId{i}));
+  }
+  for (std::size_t i = 0; i < original.road_count(); ++i) {
+    EXPECT_EQ(loaded.road(RoadId{i}).cls, original.road(RoadId{i}).cls);
+    EXPECT_EQ(loaded.road(RoadId{i}).orient, original.road(RoadId{i}).orient);
+    EXPECT_DOUBLE_EQ(loaded.road(RoadId{i}).coord,
+                     original.road(RoadId{i}).coord);
+  }
+  EXPECT_TRUE(loaded.is_connected());
+  // Saved text of the loaded network is identical (canonical form).
+  EXPECT_EQ(save_map(loaded), save_map(original));
+}
+
+TEST(MapIoTest, HandWrittenMapParses) {
+  const std::string text = R"(# two-block strip
+intersection 0 0 0
+intersection 1 100 0
+intersection 2 200 0
+road 0 artery H 0
+edge 0 0 1
+edge 0 1 2
+)";
+  std::string error;
+  const RoadNetwork net = load_map(text, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(net.intersection_count(), 3u);
+  EXPECT_EQ(net.segment_count(), 4u);
+  EXPECT_TRUE(net.is_artery(SegmentId{std::size_t{0}}));
+}
+
+TEST(MapIoTest, MalformedInputsReportLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"intersection 0 0\n", "malformed intersection"},
+      {"intersection 1 0 0\n", "dense and ordered"},
+      {"intersection 0 0 0\nroad 0 bogus H 0\n", "artery|normal"},
+      {"intersection 0 0 0\nroad 0 artery X 0\n", "H|V|O"},
+      {"intersection 0 0 0\nedge 0 0 0\n", "unknown road"},
+      {"intersection 0 0 0\nroad 0 artery H 0\nedge 0 0 0\n",
+       "self-loop"},
+      {"wat 1 2 3\n", "unknown record"},
+      {"# empty\n", "no intersections"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    const RoadNetwork net = load_map(c.text, &error);
+    EXPECT_EQ(net.intersection_count(), 0u) << c.text;
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << "input: " << c.text << " got error: " << error;
+  }
+}
+
+TEST(MapIoTest, FileRoundTrip) {
+  const RoadNetwork original = build_manhattan_map({.size_m = 500});
+  const std::string path = ::testing::TempDir() + "/hlsrg_map_io_test.map";
+  std::string error;
+  ASSERT_TRUE(save_map_file(original, path, &error)) << error;
+  const RoadNetwork loaded = load_map_file(path, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(loaded.segment_count(), original.segment_count());
+  EXPECT_EQ(load_map_file("/nonexistent/nowhere.map", &error)
+                .intersection_count(),
+            0u);
+  EXPECT_FALSE(error.empty());
+}
+
+// Parameterized sweep: every generated map is connected and artery spacing
+// holds across sizes and artery spacings.
+struct MapParam {
+  double size;
+  double artery_spacing;
+  double minor_spacing;
+};
+
+class MapBuilderSweep : public ::testing::TestWithParam<MapParam> {};
+
+TEST_P(MapBuilderSweep, ConnectedAndClassified) {
+  const MapParam p = GetParam();
+  MapConfig cfg;
+  cfg.size_m = p.size;
+  cfg.artery_spacing = p.artery_spacing;
+  cfg.minor_spacing = p.minor_spacing;
+  const RoadNetwork net = build_manhattan_map(cfg);
+  EXPECT_TRUE(net.is_connected());
+  for (const Road& r : net.roads()) {
+    const double rem = std::fmod(r.coord, p.artery_spacing);
+    const bool on_artery_line = rem < 1e-6 || p.artery_spacing - rem < 1e-6;
+    EXPECT_EQ(r.cls == RoadClass::kMainArtery, on_artery_line);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MapBuilderSweep,
+    ::testing::Values(MapParam{500, 500, 250}, MapParam{1000, 500, 250},
+                      MapParam{2000, 500, 250}, MapParam{2000, 1000, 250},
+                      MapParam{2000, 500, 125}, MapParam{4000, 500, 250},
+                      MapParam{2000, 250, 250}));
+
+}  // namespace
+}  // namespace hlsrg

@@ -1,0 +1,138 @@
+// Tests for the event trace: recording, filtering, CSV export, and the
+// protocol hooks that feed it.
+#include <gtest/gtest.h>
+
+#include "harness/world.h"
+#include "sim/trace.h"
+
+namespace hlsrg {
+namespace {
+
+TraceEvent make_event(TraceEventKind kind, std::uint32_t subject,
+                      std::uint32_t query = 0) {
+  TraceEvent e;
+  e.time = SimTime::from_sec(1);
+  e.kind = kind;
+  e.subject = VehicleId{subject};
+  e.query_id = query;
+  return e;
+}
+
+TEST(TraceLogTest, RecordAndCount) {
+  TraceLog log;
+  log.record(make_event(TraceEventKind::kUpdateSent, 1));
+  log.record(make_event(TraceEventKind::kUpdateSent, 2));
+  log.record(make_event(TraceEventKind::kQueryIssued, 1, 7));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.count(TraceEventKind::kUpdateSent), 2u);
+  EXPECT_EQ(log.count(TraceEventKind::kQueryIssued), 1u);
+  EXPECT_EQ(log.count(TraceEventKind::kAckSent), 0u);
+}
+
+TEST(TraceLogTest, FilterByVehicle) {
+  TraceLog log;
+  log.record(make_event(TraceEventKind::kUpdateSent, 1));
+  TraceEvent e = make_event(TraceEventKind::kQueryIssued, 2, 3);
+  e.other = VehicleId{1u};
+  log.record(e);
+  log.record(make_event(TraceEventKind::kUpdateSent, 5));
+  EXPECT_EQ(log.for_vehicle(VehicleId{1u}).size(), 2u);  // subject + other
+  EXPECT_EQ(log.for_vehicle(VehicleId{5u}).size(), 1u);
+  EXPECT_TRUE(log.for_vehicle(VehicleId{99u}).empty());
+}
+
+TEST(TraceLogTest, FilterByQueryIgnoresNonQueryKinds) {
+  TraceLog log;
+  log.record(make_event(TraceEventKind::kUpdateSent, 1, 0));
+  log.record(make_event(TraceEventKind::kQueryIssued, 1, 0));
+  log.record(make_event(TraceEventKind::kQuerySucceeded, 1, 0));
+  log.record(make_event(TraceEventKind::kQueryIssued, 2, 1));
+  EXPECT_EQ(log.for_query(0).size(), 2u);
+  EXPECT_EQ(log.for_query(1).size(), 1u);
+}
+
+TEST(TraceLogTest, CsvHasHeaderAndRows) {
+  TraceLog log;
+  log.record(make_event(TraceEventKind::kAckSent, 4, 9));
+  const std::string csv = log.to_csv();
+  EXPECT_NE(csv.find("time_s,kind,subject"), std::string::npos);
+  EXPECT_NE(csv.find("ack_sent"), std::string::npos);
+  EXPECT_NE(csv.find(",9"), std::string::npos);
+}
+
+TEST(TraceEventNameTest, AllKindsNamed) {
+  for (auto kind : {TraceEventKind::kUpdateSent, TraceEventKind::kQueryIssued,
+                    TraceEventKind::kQuerySucceeded,
+                    TraceEventKind::kQueryFailed, TraceEventKind::kNotification,
+                    TraceEventKind::kAckSent, TraceEventKind::kTableHandoff,
+                    TraceEventKind::kTablePush}) {
+    EXPECT_STRNE(trace_event_name(kind), "unknown");
+  }
+}
+
+// --- protocol integration ---------------------------------------------------
+
+TEST(TraceIntegrationTest, HlsrgRunEmitsCoherentTrace) {
+  ScenarioConfig cfg = paper_scenario(300, 61);
+  World world(cfg, Protocol::kHlsrg);
+  TraceLog trace;
+  world.attach_trace(&trace);
+  world.run();
+
+  const RunMetrics& m = world.metrics();
+  EXPECT_EQ(trace.count(TraceEventKind::kQueryIssued), m.queries_issued);
+  EXPECT_EQ(trace.count(TraceEventKind::kQuerySucceeded),
+            m.queries_succeeded);
+  EXPECT_EQ(trace.count(TraceEventKind::kQueryFailed), m.queries_failed);
+  EXPECT_EQ(trace.count(TraceEventKind::kUpdateSent),
+            m.update_packets_originated);
+  EXPECT_EQ(trace.count(TraceEventKind::kNotification), m.notifications_sent);
+  EXPECT_EQ(trace.count(TraceEventKind::kAckSent), m.acks_sent);
+
+  // Events are in nondecreasing time order (single-threaded DES).
+  for (std::size_t i = 1; i < trace.events().size(); ++i) {
+    EXPECT_GE(trace.events()[i].time, trace.events()[i - 1].time);
+  }
+
+  // Every successful query's trace reads issue -> ... -> success.
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEventKind::kQuerySucceeded) continue;
+    const auto story = trace.for_query(e.query_id);
+    ASSERT_GE(story.size(), 2u);
+    EXPECT_EQ(story.front().kind, TraceEventKind::kQueryIssued);
+    EXPECT_EQ(story.back().kind, TraceEventKind::kQuerySucceeded);
+  }
+}
+
+TEST(TraceIntegrationTest, DetachedTraceCostsNothing) {
+  ScenarioConfig cfg = paper_scenario(200, 62);
+  World with(cfg, Protocol::kHlsrg);
+  TraceLog trace;
+  with.attach_trace(&trace);
+  World without(cfg, Protocol::kHlsrg);
+  with.run();
+  without.run();
+  // Tracing must not perturb the simulation.
+  EXPECT_EQ(with.metrics().radio_broadcasts,
+            without.metrics().radio_broadcasts);
+  EXPECT_EQ(with.metrics().queries_succeeded,
+            without.metrics().queries_succeeded);
+  EXPECT_GT(trace.size(), 0u);
+}
+
+TEST(TraceIntegrationTest, RlsmpAndFloodAlsoTrace) {
+  for (Protocol protocol : {Protocol::kRlsmp, Protocol::kFlood}) {
+    ScenarioConfig cfg = paper_scenario(150, 63);
+    World world(cfg, protocol);
+    TraceLog trace;
+    world.attach_trace(&trace);
+    world.run();
+    EXPECT_GT(trace.count(TraceEventKind::kUpdateSent), 0u)
+        << protocol_name(protocol);
+    EXPECT_EQ(trace.count(TraceEventKind::kQueryIssued),
+              world.metrics().queries_issued);
+  }
+}
+
+}  // namespace
+}  // namespace hlsrg

@@ -1,0 +1,144 @@
+// Tests for util: tagged ids, the flat table, and text formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+#include "util/flat_table.h"
+#include "util/format.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+namespace {
+
+TEST(TaggedIdTest, DefaultConstructedIsInvalid) {
+  VehicleId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), VehicleId::kInvalid);
+}
+
+TEST(TaggedIdTest, ExplicitValueIsValid) {
+  VehicleId id{std::uint32_t{42}};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+  EXPECT_EQ(id.index(), std::size_t{42});
+}
+
+TEST(TaggedIdTest, ComparisonIsByValue) {
+  VehicleId a{std::uint32_t{1}};
+  VehicleId b{std::uint32_t{2}};
+  VehicleId c{std::uint32_t{1}};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+}
+
+TEST(TaggedIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<VehicleId, IntersectionId>);
+  static_assert(!std::is_convertible_v<VehicleId, IntersectionId>);
+  static_assert(!std::is_convertible_v<VehicleId, int>);
+}
+
+TEST(TaggedIdTest, HashWorksInUnorderedContainers) {
+  std::unordered_set<VehicleId> set;
+  set.insert(VehicleId{std::uint32_t{1}});
+  set.insert(VehicleId{std::uint32_t{2}});
+  set.insert(VehicleId{std::uint32_t{1}});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TaggedIdTest, StreamsValueOrInvalid) {
+  std::ostringstream os;
+  os << VehicleId{std::uint32_t{5}} << ' ' << VehicleId{};
+  EXPECT_EQ(os.str(), "5 <invalid>");
+}
+
+// --- FlatTable -------------------------------------------------------------
+
+TEST(FlatTableTest, UpsertInsertsAndOverwrites) {
+  FlatTable<VehicleId, int> t;
+  EXPECT_TRUE(t.upsert(VehicleId{std::uint32_t{3}}, 30));
+  EXPECT_TRUE(t.upsert(VehicleId{std::uint32_t{1}}, 10));
+  EXPECT_FALSE(t.upsert(VehicleId{std::uint32_t{3}}, 33));
+  EXPECT_EQ(t.size(), 2u);
+  ASSERT_NE(t.find(VehicleId{std::uint32_t{3}}), nullptr);
+  EXPECT_EQ(*t.find(VehicleId{std::uint32_t{3}}), 33);
+}
+
+TEST(FlatTableTest, FindMissingReturnsNull) {
+  FlatTable<VehicleId, int> t;
+  t.upsert(VehicleId{std::uint32_t{1}}, 1);
+  EXPECT_EQ(t.find(VehicleId{std::uint32_t{2}}), nullptr);
+}
+
+TEST(FlatTableTest, KeysStaySorted) {
+  FlatTable<VehicleId, int> t;
+  for (std::uint32_t v : {9u, 3u, 7u, 1u, 5u}) t.upsert(VehicleId{v}, static_cast<int>(v));
+  std::uint32_t prev = 0;
+  for (const auto& [k, val] : t) {
+    EXPECT_GE(k.value(), prev);
+    prev = k.value();
+  }
+}
+
+TEST(FlatTableTest, EraseRemovesOnlyTarget) {
+  FlatTable<VehicleId, int> t;
+  t.upsert(VehicleId{std::uint32_t{1}}, 1);
+  t.upsert(VehicleId{std::uint32_t{2}}, 2);
+  EXPECT_TRUE(t.erase(VehicleId{std::uint32_t{1}}));
+  EXPECT_FALSE(t.erase(VehicleId{std::uint32_t{1}}));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_NE(t.find(VehicleId{std::uint32_t{2}}), nullptr);
+}
+
+TEST(FlatTableTest, EraseIfRemovesMatching) {
+  FlatTable<VehicleId, int> t;
+  for (std::uint32_t v = 0; v < 10; ++v) t.upsert(VehicleId{v}, static_cast<int>(v));
+  const std::size_t removed =
+      t.erase_if([](VehicleId, int value) { return value % 2 == 0; });
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(t.size(), 5u);
+  for (const auto& [k, v] : t) EXPECT_EQ(v % 2, 1);
+}
+
+TEST(FlatTableTest, MutableFindAllowsInPlaceEdit) {
+  FlatTable<VehicleId, int> t;
+  t.upsert(VehicleId{std::uint32_t{1}}, 1);
+  *t.find(VehicleId{std::uint32_t{1}}) = 99;
+  EXPECT_EQ(*t.find(VehicleId{std::uint32_t{1}}), 99);
+}
+
+// --- TextTable / format ------------------------------------------------------
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.add_row({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator line of dashes present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCells) {
+  TextTable t;
+  t.add_row({"a,b", "plain", "say \"hi\""});
+  const std::string csv = t.render_csv();
+  EXPECT_EQ(csv, "\"a,b\",plain,\"say \"\"hi\"\"\"\n");
+}
+
+TEST(FormatTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(FormatTest, FmtPercentHandlesZeroDenominator) {
+  EXPECT_EQ(fmt_percent(1, 0), "n/a");
+  EXPECT_EQ(fmt_percent(1, 2, 1), "50.0%");
+}
+
+}  // namespace
+}  // namespace hlsrg
