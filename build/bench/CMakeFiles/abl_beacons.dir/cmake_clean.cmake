@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_beacons.dir/abl_beacons.cpp.o"
+  "CMakeFiles/abl_beacons.dir/abl_beacons.cpp.o.d"
+  "abl_beacons"
+  "abl_beacons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_beacons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_expiry.dir/abl_expiry.cpp.o"
+  "CMakeFiles/abl_expiry.dir/abl_expiry.cpp.o.d"
+  "abl_expiry"
+  "abl_expiry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_expiry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_grid_size.dir/abl_grid_size.cpp.o"
+  "CMakeFiles/abl_grid_size.dir/abl_grid_size.cpp.o.d"
+  "abl_grid_size"
+  "abl_grid_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_grid_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

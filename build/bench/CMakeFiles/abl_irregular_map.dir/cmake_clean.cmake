@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_irregular_map.dir/abl_irregular_map.cpp.o"
+  "CMakeFiles/abl_irregular_map.dir/abl_irregular_map.cpp.o.d"
+  "abl_irregular_map"
+  "abl_irregular_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_irregular_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

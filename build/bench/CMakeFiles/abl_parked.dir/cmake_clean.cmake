@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_parked.dir/abl_parked.cpp.o"
+  "CMakeFiles/abl_parked.dir/abl_parked.cpp.o.d"
+  "abl_parked"
+  "abl_parked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_parked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_radio_range.dir/abl_radio_range.cpp.o"
+  "CMakeFiles/abl_radio_range.dir/abl_radio_range.cpp.o.d"
+  "abl_radio_range"
+  "abl_radio_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_radio_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

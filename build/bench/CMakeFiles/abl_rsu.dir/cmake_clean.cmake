@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rsu.dir/abl_rsu.cpp.o"
+  "CMakeFiles/abl_rsu.dir/abl_rsu.cpp.o.d"
+  "abl_rsu"
+  "abl_rsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

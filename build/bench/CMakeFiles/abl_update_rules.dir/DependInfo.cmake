@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_update_rules.cpp" "bench/CMakeFiles/abl_update_rules.dir/abl_update_rules.cpp.o" "gcc" "bench/CMakeFiles/abl_update_rules.dir/abl_update_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/hlsrg_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlsmp/CMakeFiles/hlsrg_rlsmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/flood/CMakeFiles/hlsrg_flood.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hlsrg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/hlsrg_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/hlsrg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/hlsrg_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hlsrg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/hlsrg_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlsrg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hlsrg_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlsrg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_update_rules.dir/abl_update_rules.cpp.o"
+  "CMakeFiles/abl_update_rules.dir/abl_update_rules.cpp.o.d"
+  "abl_update_rules"
+  "abl_update_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_update_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_workload.dir/abl_workload.cpp.o"
+  "CMakeFiles/abl_workload.dir/abl_workload.cpp.o.d"
+  "abl_workload"
+  "abl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

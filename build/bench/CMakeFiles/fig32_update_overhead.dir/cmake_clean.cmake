@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig32_update_overhead.dir/fig32_update_overhead.cpp.o"
+  "CMakeFiles/fig32_update_overhead.dir/fig32_update_overhead.cpp.o.d"
+  "fig32_update_overhead"
+  "fig32_update_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig32_update_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

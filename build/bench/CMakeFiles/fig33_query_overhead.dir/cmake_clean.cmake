@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig33_query_overhead.dir/fig33_query_overhead.cpp.o"
+  "CMakeFiles/fig33_query_overhead.dir/fig33_query_overhead.cpp.o.d"
+  "fig33_query_overhead"
+  "fig33_query_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig33_query_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

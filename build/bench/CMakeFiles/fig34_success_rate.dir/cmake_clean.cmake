@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig34_success_rate.dir/fig34_success_rate.cpp.o"
+  "CMakeFiles/fig34_success_rate.dir/fig34_success_rate.cpp.o.d"
+  "fig34_success_rate"
+  "fig34_success_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig34_success_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig35_query_delay.dir/fig35_query_delay.cpp.o"
+  "CMakeFiles/fig35_query_delay.dir/fig35_query_delay.cpp.o.d"
+  "fig35_query_delay"
+  "fig35_query_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig35_query_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_map.dir/scale_map.cpp.o"
+  "CMakeFiles/scale_map.dir/scale_map.cpp.o.d"
+  "scale_map"
+  "scale_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxonomy_comparison.dir/taxonomy_comparison.cpp.o"
+  "CMakeFiles/taxonomy_comparison.dir/taxonomy_comparison.cpp.o.d"
+  "taxonomy_comparison"
+  "taxonomy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxonomy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

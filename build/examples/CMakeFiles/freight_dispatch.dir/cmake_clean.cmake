@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freight_dispatch.dir/freight_dispatch.cpp.o"
+  "CMakeFiles/freight_dispatch.dir/freight_dispatch.cpp.o.d"
+  "freight_dispatch"
+  "freight_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freight_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

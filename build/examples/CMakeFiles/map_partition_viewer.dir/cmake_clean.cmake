@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_partition_viewer.dir/map_partition_viewer.cpp.o"
+  "CMakeFiles/map_partition_viewer.dir/map_partition_viewer.cpp.o.d"
+  "map_partition_viewer"
+  "map_partition_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_partition_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for map_partition_viewer.
+# This may be replaced when dependencies are built.

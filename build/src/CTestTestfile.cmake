@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("sim")
+subdirs("roadnet")
+subdirs("grid")
+subdirs("mobility")
+subdirs("net")
+subdirs("infra")
+subdirs("core")
+subdirs("rlsmp")
+subdirs("flood")
+subdirs("harness")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hlsrg_service.cpp" "src/core/CMakeFiles/hlsrg_core.dir/hlsrg_service.cpp.o" "gcc" "src/core/CMakeFiles/hlsrg_core.dir/hlsrg_service.cpp.o.d"
+  "/root/repo/src/core/location_service.cpp" "src/core/CMakeFiles/hlsrg_core.dir/location_service.cpp.o" "gcc" "src/core/CMakeFiles/hlsrg_core.dir/location_service.cpp.o.d"
+  "/root/repo/src/core/location_table.cpp" "src/core/CMakeFiles/hlsrg_core.dir/location_table.cpp.o" "gcc" "src/core/CMakeFiles/hlsrg_core.dir/location_table.cpp.o.d"
+  "/root/repo/src/core/rsu_agent.cpp" "src/core/CMakeFiles/hlsrg_core.dir/rsu_agent.cpp.o" "gcc" "src/core/CMakeFiles/hlsrg_core.dir/rsu_agent.cpp.o.d"
+  "/root/repo/src/core/update_rules.cpp" "src/core/CMakeFiles/hlsrg_core.dir/update_rules.cpp.o" "gcc" "src/core/CMakeFiles/hlsrg_core.dir/update_rules.cpp.o.d"
+  "/root/repo/src/core/vehicle_agent.cpp" "src/core/CMakeFiles/hlsrg_core.dir/vehicle_agent.cpp.o" "gcc" "src/core/CMakeFiles/hlsrg_core.dir/vehicle_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/hlsrg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/hlsrg_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/hlsrg_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hlsrg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/hlsrg_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlsrg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlsrg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hlsrg_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

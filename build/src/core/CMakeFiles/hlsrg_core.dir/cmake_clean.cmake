@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_core.dir/hlsrg_service.cpp.o"
+  "CMakeFiles/hlsrg_core.dir/hlsrg_service.cpp.o.d"
+  "CMakeFiles/hlsrg_core.dir/location_service.cpp.o"
+  "CMakeFiles/hlsrg_core.dir/location_service.cpp.o.d"
+  "CMakeFiles/hlsrg_core.dir/location_table.cpp.o"
+  "CMakeFiles/hlsrg_core.dir/location_table.cpp.o.d"
+  "CMakeFiles/hlsrg_core.dir/rsu_agent.cpp.o"
+  "CMakeFiles/hlsrg_core.dir/rsu_agent.cpp.o.d"
+  "CMakeFiles/hlsrg_core.dir/update_rules.cpp.o"
+  "CMakeFiles/hlsrg_core.dir/update_rules.cpp.o.d"
+  "CMakeFiles/hlsrg_core.dir/vehicle_agent.cpp.o"
+  "CMakeFiles/hlsrg_core.dir/vehicle_agent.cpp.o.d"
+  "libhlsrg_core.a"
+  "libhlsrg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

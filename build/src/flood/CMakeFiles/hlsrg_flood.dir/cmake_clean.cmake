@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_flood.dir/flood_agent.cpp.o"
+  "CMakeFiles/hlsrg_flood.dir/flood_agent.cpp.o.d"
+  "CMakeFiles/hlsrg_flood.dir/flood_service.cpp.o"
+  "CMakeFiles/hlsrg_flood.dir/flood_service.cpp.o.d"
+  "libhlsrg_flood.a"
+  "libhlsrg_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_geom.dir/geometry.cpp.o"
+  "CMakeFiles/hlsrg_geom.dir/geometry.cpp.o.d"
+  "libhlsrg_geom.a"
+  "libhlsrg_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

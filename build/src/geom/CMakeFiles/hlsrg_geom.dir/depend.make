@@ -1,0 +1,2 @@
+# Empty dependencies file for hlsrg_geom.
+# This may be replaced when dependencies are built.

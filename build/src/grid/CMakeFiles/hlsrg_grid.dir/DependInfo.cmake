@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/hierarchy.cpp" "src/grid/CMakeFiles/hlsrg_grid.dir/hierarchy.cpp.o" "gcc" "src/grid/CMakeFiles/hlsrg_grid.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/grid/partition.cpp" "src/grid/CMakeFiles/hlsrg_grid.dir/partition.cpp.o" "gcc" "src/grid/CMakeFiles/hlsrg_grid.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/hlsrg_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hlsrg_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlsrg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlsrg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

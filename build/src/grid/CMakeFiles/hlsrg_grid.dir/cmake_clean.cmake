@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_grid.dir/hierarchy.cpp.o"
+  "CMakeFiles/hlsrg_grid.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/hlsrg_grid.dir/partition.cpp.o"
+  "CMakeFiles/hlsrg_grid.dir/partition.cpp.o.d"
+  "libhlsrg_grid.a"
+  "libhlsrg_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_harness.dir/parallel.cpp.o"
+  "CMakeFiles/hlsrg_harness.dir/parallel.cpp.o.d"
+  "CMakeFiles/hlsrg_harness.dir/runner.cpp.o"
+  "CMakeFiles/hlsrg_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/hlsrg_harness.dir/visualize.cpp.o"
+  "CMakeFiles/hlsrg_harness.dir/visualize.cpp.o.d"
+  "CMakeFiles/hlsrg_harness.dir/world.cpp.o"
+  "CMakeFiles/hlsrg_harness.dir/world.cpp.o.d"
+  "libhlsrg_harness.a"
+  "libhlsrg_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

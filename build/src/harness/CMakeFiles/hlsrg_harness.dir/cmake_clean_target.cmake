@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhlsrg_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_infra.dir/rsu_grid.cpp.o"
+  "CMakeFiles/hlsrg_infra.dir/rsu_grid.cpp.o.d"
+  "libhlsrg_infra.a"
+  "libhlsrg_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/mobility_model.cpp" "src/mobility/CMakeFiles/hlsrg_mobility.dir/mobility_model.cpp.o" "gcc" "src/mobility/CMakeFiles/hlsrg_mobility.dir/mobility_model.cpp.o.d"
+  "/root/repo/src/mobility/traffic_light.cpp" "src/mobility/CMakeFiles/hlsrg_mobility.dir/traffic_light.cpp.o" "gcc" "src/mobility/CMakeFiles/hlsrg_mobility.dir/traffic_light.cpp.o.d"
+  "/root/repo/src/mobility/turn_policy.cpp" "src/mobility/CMakeFiles/hlsrg_mobility.dir/turn_policy.cpp.o" "gcc" "src/mobility/CMakeFiles/hlsrg_mobility.dir/turn_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/hlsrg_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlsrg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hlsrg_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlsrg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_mobility.dir/mobility_model.cpp.o"
+  "CMakeFiles/hlsrg_mobility.dir/mobility_model.cpp.o.d"
+  "CMakeFiles/hlsrg_mobility.dir/traffic_light.cpp.o"
+  "CMakeFiles/hlsrg_mobility.dir/traffic_light.cpp.o.d"
+  "CMakeFiles/hlsrg_mobility.dir/turn_policy.cpp.o"
+  "CMakeFiles/hlsrg_mobility.dir/turn_policy.cpp.o.d"
+  "libhlsrg_mobility.a"
+  "libhlsrg_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

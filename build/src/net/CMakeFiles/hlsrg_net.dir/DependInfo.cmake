@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/beacons.cpp" "src/net/CMakeFiles/hlsrg_net.dir/beacons.cpp.o" "gcc" "src/net/CMakeFiles/hlsrg_net.dir/beacons.cpp.o.d"
+  "/root/repo/src/net/geocast.cpp" "src/net/CMakeFiles/hlsrg_net.dir/geocast.cpp.o" "gcc" "src/net/CMakeFiles/hlsrg_net.dir/geocast.cpp.o.d"
+  "/root/repo/src/net/gpsr.cpp" "src/net/CMakeFiles/hlsrg_net.dir/gpsr.cpp.o" "gcc" "src/net/CMakeFiles/hlsrg_net.dir/gpsr.cpp.o.d"
+  "/root/repo/src/net/neighbor_index.cpp" "src/net/CMakeFiles/hlsrg_net.dir/neighbor_index.cpp.o" "gcc" "src/net/CMakeFiles/hlsrg_net.dir/neighbor_index.cpp.o.d"
+  "/root/repo/src/net/node_registry.cpp" "src/net/CMakeFiles/hlsrg_net.dir/node_registry.cpp.o" "gcc" "src/net/CMakeFiles/hlsrg_net.dir/node_registry.cpp.o.d"
+  "/root/repo/src/net/radio.cpp" "src/net/CMakeFiles/hlsrg_net.dir/radio.cpp.o" "gcc" "src/net/CMakeFiles/hlsrg_net.dir/radio.cpp.o.d"
+  "/root/repo/src/net/wired.cpp" "src/net/CMakeFiles/hlsrg_net.dir/wired.cpp.o" "gcc" "src/net/CMakeFiles/hlsrg_net.dir/wired.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hlsrg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hlsrg_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlsrg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_net.dir/beacons.cpp.o"
+  "CMakeFiles/hlsrg_net.dir/beacons.cpp.o.d"
+  "CMakeFiles/hlsrg_net.dir/geocast.cpp.o"
+  "CMakeFiles/hlsrg_net.dir/geocast.cpp.o.d"
+  "CMakeFiles/hlsrg_net.dir/gpsr.cpp.o"
+  "CMakeFiles/hlsrg_net.dir/gpsr.cpp.o.d"
+  "CMakeFiles/hlsrg_net.dir/neighbor_index.cpp.o"
+  "CMakeFiles/hlsrg_net.dir/neighbor_index.cpp.o.d"
+  "CMakeFiles/hlsrg_net.dir/node_registry.cpp.o"
+  "CMakeFiles/hlsrg_net.dir/node_registry.cpp.o.d"
+  "CMakeFiles/hlsrg_net.dir/radio.cpp.o"
+  "CMakeFiles/hlsrg_net.dir/radio.cpp.o.d"
+  "CMakeFiles/hlsrg_net.dir/wired.cpp.o"
+  "CMakeFiles/hlsrg_net.dir/wired.cpp.o.d"
+  "libhlsrg_net.a"
+  "libhlsrg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

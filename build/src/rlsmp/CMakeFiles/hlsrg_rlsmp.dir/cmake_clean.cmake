@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_rlsmp.dir/cell_grid.cpp.o"
+  "CMakeFiles/hlsrg_rlsmp.dir/cell_grid.cpp.o.d"
+  "CMakeFiles/hlsrg_rlsmp.dir/rlsmp_agent.cpp.o"
+  "CMakeFiles/hlsrg_rlsmp.dir/rlsmp_agent.cpp.o.d"
+  "CMakeFiles/hlsrg_rlsmp.dir/rlsmp_service.cpp.o"
+  "CMakeFiles/hlsrg_rlsmp.dir/rlsmp_service.cpp.o.d"
+  "libhlsrg_rlsmp.a"
+  "libhlsrg_rlsmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_rlsmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

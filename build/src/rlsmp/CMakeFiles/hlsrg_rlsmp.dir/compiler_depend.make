@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hlsrg_rlsmp.
+# This may be replaced when dependencies are built.

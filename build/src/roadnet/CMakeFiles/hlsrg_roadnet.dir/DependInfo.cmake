@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/map_builder.cpp" "src/roadnet/CMakeFiles/hlsrg_roadnet.dir/map_builder.cpp.o" "gcc" "src/roadnet/CMakeFiles/hlsrg_roadnet.dir/map_builder.cpp.o.d"
+  "/root/repo/src/roadnet/map_io.cpp" "src/roadnet/CMakeFiles/hlsrg_roadnet.dir/map_io.cpp.o" "gcc" "src/roadnet/CMakeFiles/hlsrg_roadnet.dir/map_io.cpp.o.d"
+  "/root/repo/src/roadnet/road_network.cpp" "src/roadnet/CMakeFiles/hlsrg_roadnet.dir/road_network.cpp.o" "gcc" "src/roadnet/CMakeFiles/hlsrg_roadnet.dir/road_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/hlsrg_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlsrg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlsrg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

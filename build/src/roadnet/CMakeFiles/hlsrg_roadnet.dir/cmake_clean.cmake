@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_roadnet.dir/map_builder.cpp.o"
+  "CMakeFiles/hlsrg_roadnet.dir/map_builder.cpp.o.d"
+  "CMakeFiles/hlsrg_roadnet.dir/map_io.cpp.o"
+  "CMakeFiles/hlsrg_roadnet.dir/map_io.cpp.o.d"
+  "CMakeFiles/hlsrg_roadnet.dir/road_network.cpp.o"
+  "CMakeFiles/hlsrg_roadnet.dir/road_network.cpp.o.d"
+  "libhlsrg_roadnet.a"
+  "libhlsrg_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_sim.dir/counters.cpp.o"
+  "CMakeFiles/hlsrg_sim.dir/counters.cpp.o.d"
+  "CMakeFiles/hlsrg_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hlsrg_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hlsrg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hlsrg_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hlsrg_sim.dir/trace.cpp.o"
+  "CMakeFiles/hlsrg_sim.dir/trace.cpp.o.d"
+  "libhlsrg_sim.a"
+  "libhlsrg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_util.dir/check.cpp.o"
+  "CMakeFiles/hlsrg_util.dir/check.cpp.o.d"
+  "CMakeFiles/hlsrg_util.dir/format.cpp.o"
+  "CMakeFiles/hlsrg_util.dir/format.cpp.o.d"
+  "libhlsrg_util.a"
+  "libhlsrg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

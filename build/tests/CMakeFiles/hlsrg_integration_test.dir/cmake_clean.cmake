@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsrg_integration_test.dir/hlsrg_integration_test.cpp.o"
+  "CMakeFiles/hlsrg_integration_test.dir/hlsrg_integration_test.cpp.o.d"
+  "hlsrg_integration_test"
+  "hlsrg_integration_test.pdb"
+  "hlsrg_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsrg_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

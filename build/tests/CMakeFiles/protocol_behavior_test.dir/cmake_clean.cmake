@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_behavior_test.dir/protocol_behavior_test.cpp.o"
+  "CMakeFiles/protocol_behavior_test.dir/protocol_behavior_test.cpp.o.d"
+  "protocol_behavior_test"
+  "protocol_behavior_test.pdb"
+  "protocol_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

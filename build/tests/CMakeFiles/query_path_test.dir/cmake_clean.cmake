@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_path_test.dir/query_path_test.cpp.o"
+  "CMakeFiles/query_path_test.dir/query_path_test.cpp.o.d"
+  "query_path_test"
+  "query_path_test.pdb"
+  "query_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlsmp_test.dir/rlsmp_test.cpp.o"
+  "CMakeFiles/rlsmp_test.dir/rlsmp_test.cpp.o.d"
+  "rlsmp_test"
+  "rlsmp_test.pdb"
+  "rlsmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlsmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

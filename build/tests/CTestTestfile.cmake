@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/roadnet_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_test[1]_include.cmake")
+include("/root/repo/build/tests/mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/infra_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/rlsmp_test[1]_include.cmake")
+include("/root/repo/build/tests/hlsrg_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/flood_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/visualize_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/query_path_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_claims_test[1]_include.cmake")
