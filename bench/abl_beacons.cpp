@@ -9,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 2);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "abl_beacons", 2);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::Variant> variants;
   {
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
     variants.push_back({"beacons " + fmt_double(interval, 1) + " s", cfg});
   }
 
-  bench::run_variants("Ablation A9: neighbor discovery", variants, replicas);
-  return 0;
+  bench::SweepDriver driver(opts);
+  bench::run_variants(driver, "Ablation A9: neighbor discovery", variants);
+  return driver.finish() ? 0 : 1;
 }

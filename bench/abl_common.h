@@ -1,5 +1,6 @@
 // Shared scaffolding for the ablation benches: sweep HLSRG config variants
 // (not protocols) over the same scenario and print every headline metric.
+// Variants record into the driver's JSON report like any other sweep point.
 #pragma once
 
 #include <cstdio>
@@ -15,15 +16,16 @@ struct Variant {
   ScenarioConfig config;
 };
 
-inline void run_variants(const std::string& title,
-                         const std::vector<Variant>& variants, int replicas) {
+inline void run_variants(SweepDriver& driver, const std::string& title,
+                         const std::vector<Variant>& variants) {
+  driver.begin_section(title, "headline metrics");
   std::printf("== %s ==\n   (%d replicas per variant)\n", title.c_str(),
-              replicas);
+              driver.replicas());
   TextTable table;
   table.add_row({"variant", "updates", "query tx", "success", "delay ms",
                  "aggregation"});
   for (const Variant& v : variants) {
-    const ReplicaSet s = run_replicas(v.config, Protocol::kHlsrg, replicas);
+    const ReplicaSet s = driver.run(v.label, v.config, Protocol::kHlsrg);
     table.add_row({
         v.label,
         fmt_double(s.mean_update_overhead(), 1),

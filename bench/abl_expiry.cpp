@@ -8,7 +8,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 3);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "abl_expiry", 3);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::Variant> variants;
   for (double minutes : {1.1, 2.2, 4.4, 8.8}) {
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
     variants.push_back({"expiry " + fmt_double(minutes, 1) + " min", cfg});
   }
 
-  bench::run_variants("Ablation A4: table expiry sweep", variants, replicas);
-  return 0;
+  bench::SweepDriver driver(opts);
+  bench::run_variants(driver, "Ablation A4: table expiry sweep", variants);
+  return driver.finish() ? 0 : 1;
 }

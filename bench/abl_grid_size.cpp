@@ -9,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 3);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "abl_grid_size", 3);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::Variant> variants;
   for (double target : {250.0, 500.0, 1000.0}) {
@@ -19,7 +21,7 @@ int main(int argc, char** argv) {
         {"L1 grid ~" + std::to_string(static_cast<int>(target)) + " m", cfg});
   }
 
-  bench::run_variants("Ablation A3: road-adapted grid size", variants,
-                      replicas);
-  return 0;
+  bench::SweepDriver driver(opts);
+  bench::run_variants(driver, "Ablation A3: road-adapted grid size", variants);
+  return driver.finish() ? 0 : 1;
 }

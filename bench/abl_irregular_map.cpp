@@ -9,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 3);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "abl_irregular_map", 3);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::SweepRow> rows;
   for (bool irregular : {false, true}) {
@@ -18,12 +20,13 @@ int main(int argc, char** argv) {
     rows.push_back({irregular ? "irregular map" : "regular map", cfg});
   }
 
-  bench::run_and_print("Ablation A7: map regularity (success rate)",
-                       "success", rows, replicas,
-                       [](const ReplicaSet& s) { return s.mean_success_rate(); });
-  bench::run_and_print("Ablation A7: map regularity (mean delay ms)",
-                       "delay ms", rows, replicas, [](const ReplicaSet& s) {
-                         return s.mean_query_latency_ms();
-                       });
-  return 0;
+  bench::SweepDriver driver(opts);
+  driver.comparison("Ablation A7: map regularity (success rate)", "success",
+                    rows,
+                    [](const ReplicaSet& s) { return s.mean_success_rate(); });
+  driver.comparison("Ablation A7: map regularity (mean delay ms)", "delay ms",
+                    rows, [](const ReplicaSet& s) {
+                      return s.mean_query_latency_ms();
+                    });
+  return driver.finish() ? 0 : 1;
 }

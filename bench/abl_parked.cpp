@@ -8,7 +8,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 3);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "abl_parked", 3);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::Variant> variants;
   for (double parked : {0.0, 0.1, 0.25, 0.5}) {
@@ -18,7 +20,7 @@ int main(int argc, char** argv) {
         {"parked " + fmt_double(100.0 * parked, 0) + "%", cfg});
   }
 
-  bench::run_variants("Ablation A8: parked-vehicle fraction", variants,
-                      replicas);
-  return 0;
+  bench::SweepDriver driver(opts);
+  bench::run_variants(driver, "Ablation A8: parked-vehicle fraction", variants);
+  return driver.finish() ? 0 : 1;
 }

@@ -9,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 3);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "abl_radio_range", 3);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::Variant> variants;
   for (double range : {300.0, 400.0, 500.0, 700.0}) {
@@ -19,6 +21,7 @@ int main(int argc, char** argv) {
         {"range " + std::to_string(static_cast<int>(range)) + " m", cfg});
   }
 
-  bench::run_variants("Ablation A6: radio range sweep", variants, replicas);
-  return 0;
+  bench::SweepDriver driver(opts);
+  bench::run_variants(driver, "Ablation A6: radio range sweep", variants);
+  return driver.finish() ? 0 : 1;
 }

@@ -7,7 +7,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 4);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "abl_rsu", 4);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::Variant> variants;
   for (int vehicles : {300, 500}) {
@@ -20,7 +22,7 @@ int main(int argc, char** argv) {
                         without});
   }
 
-  bench::run_variants("Ablation A2: RSU infrastructure on/off", variants,
-                      replicas);
-  return 0;
+  bench::SweepDriver driver(opts);
+  bench::run_variants(driver, "Ablation A2: RSU infrastructure on/off", variants);
+  return driver.finish() ? 0 : 1;
 }

@@ -10,7 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 3);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "abl_update_rules", 3);
+  if (opts.parse_failed) return opts.exit_code;
 
   ScenarioConfig base = paper_scenario(500, 5000);
   base.grace = SimTime::from_sec(210.0);  // longer horizon for update counts
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
   naive.hlsrg.naive_every_crossing = true;
   variants.push_back({"naive every-crossing", naive});
 
-  bench::run_variants("Ablation A1: update rule variants", variants, replicas);
-  return 0;
+  bench::SweepDriver driver(opts);
+  bench::run_variants(driver, "Ablation A1: update rule variants", variants);
+  return driver.finish() ? 0 : 1;
 }

@@ -10,7 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 3);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "abl_workload", 3);
+  if (opts.parse_failed) return opts.exit_code;
 
   struct Row {
     const char* label;
@@ -22,6 +24,9 @@ int main(int argc, char** argv) {
       {"hotspot 1/s", ScenarioConfig::WorkloadKind::kHotspot},
   };
 
+  bench::SweepDriver driver(opts);
+  driver.begin_section("Ablation A5: workload sensitivity",
+                       "headline metrics");
   std::printf("== Ablation A5: workload sensitivity (500 vehicles) ==\n");
   TextTable table;
   table.add_row({"workload", "protocol", "queries", "success", "delay ms",
@@ -30,7 +35,7 @@ int main(int argc, char** argv) {
     ScenarioConfig cfg = paper_scenario(500, 9500);
     cfg.workload = row.kind;
     for (Protocol protocol : {Protocol::kHlsrg, Protocol::kRlsmp}) {
-      const ReplicaSet s = run_replicas(cfg, protocol, replicas);
+      const ReplicaSet s = driver.run(row.label, cfg, protocol);
       table.add_row({
           row.label,
           protocol_name(protocol),
@@ -46,5 +51,5 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf("-- CSV --\n%s\n", table.render_csv().c_str());
-  return 0;
+  return driver.finish() ? 0 : 1;
 }

@@ -1,34 +1,71 @@
 // Shared scaffolding for the figure benches.
 //
-// Every figure bench sweeps an x-axis (map size or vehicle count), runs both
-// protocols over the same seeds, and prints the series the paper plots as an
-// aligned table plus CSV. `--replicas N` (or HLSRG_BENCH_REPLICAS) adjusts
-// statistical effort; the defaults keep a full `for b in build/bench/*` pass
-// in the low minutes on one core.
+// Every bench sweeps an x-axis (map size, vehicle count, or a config knob),
+// runs protocols over the same seeds, prints the series the paper plots as
+// an aligned table plus CSV, and records every measurement into a
+// BENCH_<name>.json report (schema in docs/PROTOCOL.md) for the regression
+// pipeline (scripts/bench_compare.py).
+//
+// All bench binaries accept the uniform flag set parsed by BenchOptions:
+//   --replicas N   statistical effort per point (HLSRG_BENCH_REPLICAS env
+//                  works too; the per-bench defaults keep a full
+//                  `for b in build/bench/*` pass in the low minutes)
+//   --seed S       override every sweep point's base seed
+//   --threads T    replica-runner thread count (0 = auto)
+//   --out FILE     JSON report path (default BENCH_<name>.json in the cwd)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "harness/runner.h"
 #include "harness/scenario.h"
+#include "report/bench_report.h"
+#include "util/args.h"
 #include "util/format.h"
 
 namespace hlsrg::bench {
 
-inline int replica_count(int argc, char** argv, int fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--replicas") == 0) {
-      return std::max(1, std::atoi(argv[i + 1]));
-    }
-  }
+struct BenchOptions {
+  std::string name;       // bench name; also names the default JSON output
+  int replicas = 1;
+  int threads = 0;
+  std::uint64_t seed = 0;  // 0 = keep each sweep point's built-in seed
+  std::string out;         // JSON report path
+  bool parse_failed = false;
+  int exit_code = 0;
+};
+
+// Parses the uniform bench flag set. On --help or a parse error, the caller
+// should exit with `exit_code` (parse_failed is set).
+inline BenchOptions parse_options(int argc, char** argv, const char* name,
+                                  int default_replicas) {
+  BenchOptions opts;
+  opts.name = name;
+  opts.replicas = default_replicas;
   if (const char* env = std::getenv("HLSRG_BENCH_REPLICAS")) {
-    return std::max(1, std::atoi(env));
+    opts.replicas = std::max(1, std::atoi(env));
   }
-  return fallback;
+  opts.out = std::string("BENCH_") + name + ".json";
+
+  ArgParser args(std::string("bench ") + name);
+  args.add_int("--replicas", "N", "replicas per sweep point", &opts.replicas);
+  args.add_int("--threads", "T", "replica threads (0 = auto)", &opts.threads);
+  std::uint64_t seed = 0;
+  args.add_uint64("--seed", "S", "override the base seed of every point",
+                  &seed);
+  args.add_string("--out", "FILE", "JSON report path", &opts.out);
+  if (!args.parse(argc, argv)) {
+    opts.parse_failed = true;
+    opts.exit_code = args.exit_code();
+    return opts;
+  }
+  opts.seed = seed;
+  opts.replicas = std::max(1, opts.replicas);
+  opts.threads = std::max(0, opts.threads);
+  return opts;
 }
 
 struct SweepRow {
@@ -36,27 +73,85 @@ struct SweepRow {
   ScenarioConfig config;
 };
 
-// Runs both protocols on every row and prints one table per metric
-// extractor. `metric` maps a ReplicaSet to the plotted value.
-template <typename MetricFn>
-void run_and_print(const std::string& title, const std::string& metric_name,
-                   const std::vector<SweepRow>& rows, int replicas,
-                   MetricFn metric) {
-  std::printf("== %s ==\n", title.c_str());
-  std::printf("   (%d replicas per point, seeds %llu..)\n", replicas,
-              static_cast<unsigned long long>(rows.front().config.seed));
-  TextTable table;
-  table.add_row({"point", "HLSRG " + metric_name, "RLSMP " + metric_name,
-                 "HLSRG/RLSMP"});
-  for (const SweepRow& row : rows) {
-    const Comparison c = run_comparison(row.config, replicas);
-    const double h = metric(c.hlsrg);
-    const double r = metric(c.rlsmp);
-    table.add_row({row.label, fmt_double(h, 2), fmt_double(r, 2),
-                   r != 0.0 ? fmt_double(h / r, 3) : "n/a"});
+// Runs every bench measurement, prints the paper-style tables, and owns the
+// JSON report. Construct once per binary; finish() (or the destructor)
+// writes the report.
+class SweepDriver {
+ public:
+  explicit SweepDriver(const BenchOptions& opts)
+      : opts_(opts), report_(opts.name, opts.replicas) {}
+
+  SweepDriver(const SweepDriver&) = delete;
+  SweepDriver& operator=(const SweepDriver&) = delete;
+  ~SweepDriver() { finish(); }
+
+  [[nodiscard]] const BenchOptions& options() const { return opts_; }
+  [[nodiscard]] int replicas() const { return opts_.replicas; }
+
+  // Runs one (config, protocol) measurement under the driver's replica /
+  // thread / seed settings and records it into the report. `label` is the
+  // sweep-point label within the current section.
+  ReplicaSet run(const std::string& label, const ScenarioConfig& cfg,
+                 Protocol protocol) {
+    ScenarioConfig effective = cfg;
+    if (opts_.seed != 0) effective.seed = opts_.seed;
+    const ReplicaSet set =
+        run_replicas(effective, protocol, opts_.replicas,
+                     static_cast<std::size_t>(opts_.threads));
+    report_.add_result(label, protocol_name(protocol), effective, set);
+    return set;
   }
-  std::fputs(table.render().c_str(), stdout);
-  std::printf("-- CSV --\n%s\n", table.render_csv().c_str());
-}
+
+  // Starts a report section; mirror of one printed table.
+  void begin_section(const std::string& title, const std::string& metric) {
+    report_.begin_section(title, metric);
+  }
+
+  // Comparison sweep: runs HLSRG and RLSMP on every row and prints one table
+  // for the metric extractor (maps a ReplicaSet to the plotted value).
+  template <typename MetricFn>
+  void comparison(const std::string& title, const std::string& metric_name,
+                  const std::vector<SweepRow>& rows, MetricFn metric) {
+    begin_section(title, metric_name);
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("   (%d replicas per point, seeds %llu..)\n", opts_.replicas,
+                static_cast<unsigned long long>(
+                    opts_.seed != 0 ? opts_.seed : rows.front().config.seed));
+    TextTable table;
+    table.add_row({"point", "HLSRG " + metric_name, "RLSMP " + metric_name,
+                   "HLSRG/RLSMP"});
+    for (const SweepRow& row : rows) {
+      const ReplicaSet h = run(row.label, row.config, Protocol::kHlsrg);
+      const ReplicaSet r = run(row.label, row.config, Protocol::kRlsmp);
+      const double hv = metric(h);
+      const double rv = metric(r);
+      table.add_row({row.label, fmt_double(hv, 2), fmt_double(rv, 2),
+                     rv != 0.0 ? fmt_double(hv / rv, 3) : "n/a"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("-- CSV --\n%s\n", table.render_csv().c_str());
+  }
+
+  // Writes the JSON report; false when the write failed (callers should turn
+  // that into a nonzero exit). Safe to call once explicitly — the destructor
+  // becomes a no-op afterwards.
+  bool finish() {
+    if (finished_) return true;
+    finished_ = true;
+    if (opts_.out.empty()) return true;
+    std::string error;
+    if (!report_.write(opts_.out, &error)) {
+      std::fprintf(stderr, "bench report: %s\n", error.c_str());
+      return false;
+    }
+    std::printf("json report: %s\n", opts_.out.c_str());
+    return true;
+  }
+
+ private:
+  BenchOptions opts_;
+  BenchReport report_;
+  bool finished_ = false;
+};
 
 }  // namespace hlsrg::bench

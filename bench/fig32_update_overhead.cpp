@@ -12,7 +12,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 3);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "fig32_update_overhead", 3);
+  if (opts.parse_failed) return opts.exit_code;
 
   struct Point {
     double size;
@@ -31,8 +33,9 @@ int main(int argc, char** argv) {
                     cfg});
   }
 
-  bench::run_and_print(
+  bench::SweepDriver driver(opts);
+  driver.comparison(
       "Fig 3.2: location update overhead vs map size", "update packets", rows,
-      replicas, [](const ReplicaSet& s) { return s.mean_update_overhead(); });
-  return 0;
+      [](const ReplicaSet& s) { return s.mean_update_overhead(); });
+  return driver.finish() ? 0 : 1;
 }

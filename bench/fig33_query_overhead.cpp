@@ -8,7 +8,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 3);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "fig33_query_overhead", 3);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::SweepRow> rows;
   for (int vehicles : {300, 400, 500, 600}) {
@@ -16,8 +18,9 @@ int main(int argc, char** argv) {
     rows.push_back({std::to_string(vehicles) + " vehicles", cfg});
   }
 
-  bench::run_and_print(
+  bench::SweepDriver driver(opts);
+  driver.comparison(
       "Fig 3.3: location query overhead vs vehicles", "query tx", rows,
-      replicas, [](const ReplicaSet& s) { return s.mean_query_overhead(); });
-  return 0;
+      [](const ReplicaSet& s) { return s.mean_query_overhead(); });
+  return driver.finish() ? 0 : 1;
 }

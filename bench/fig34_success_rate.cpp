@@ -6,7 +6,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 4);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "fig34_success_rate", 4);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::SweepRow> rows;
   for (int vehicles : {300, 400, 500, 600}) {
@@ -14,8 +16,9 @@ int main(int argc, char** argv) {
     rows.push_back({std::to_string(vehicles) + " vehicles", cfg});
   }
 
-  bench::run_and_print(
+  bench::SweepDriver driver(opts);
+  driver.comparison(
       "Fig 3.4: query success rate vs vehicles", "success rate", rows,
-      replicas, [](const ReplicaSet& s) { return s.mean_success_rate(); });
-  return 0;
+      [](const ReplicaSet& s) { return s.mean_success_rate(); });
+  return driver.finish() ? 0 : 1;
 }

@@ -8,7 +8,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 10);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "fig35_query_delay", 10);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::SweepRow> rows;
   for (int vehicles : {300, 400, 500, 600}) {
@@ -16,9 +18,9 @@ int main(int argc, char** argv) {
     rows.push_back({std::to_string(vehicles) + " vehicles", cfg});
   }
 
-  bench::run_and_print(
+  bench::SweepDriver driver(opts);
+  driver.comparison(
       "Fig 3.5: mean query delay (ms) vs vehicles", "mean delay ms", rows,
-      replicas,
       [](const ReplicaSet& s) { return s.mean_query_latency_ms(); });
-  return 0;
+  return driver.finish() ? 0 : 1;
 }

@@ -9,7 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 2);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "scale_map", 2);
+  if (opts.parse_failed) return opts.exit_code;
 
   std::vector<bench::SweepRow> rows;
   for (double size : {2000.0, 3000.0, 4000.0}) {
@@ -22,13 +24,12 @@ int main(int argc, char** argv) {
                     cfg});
   }
 
-  bench::run_and_print("Extension: map scaling (success rate)", "success",
-                       rows, replicas, [](const ReplicaSet& s) {
-                         return s.mean_success_rate();
-                       });
-  bench::run_and_print("Extension: map scaling (mean delay ms)", "delay ms",
-                       rows, replicas, [](const ReplicaSet& s) {
-                         return s.mean_query_latency_ms();
-                       });
-  return 0;
+  bench::SweepDriver driver(opts);
+  driver.comparison("Extension: map scaling (success rate)", "success", rows,
+                    [](const ReplicaSet& s) { return s.mean_success_rate(); });
+  driver.comparison("Extension: map scaling (mean delay ms)", "delay ms", rows,
+                    [](const ReplicaSet& s) {
+                      return s.mean_query_latency_ms();
+                    });
+  return driver.finish() ? 0 : 1;
 }

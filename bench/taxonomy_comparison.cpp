@@ -13,18 +13,22 @@
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  const int replicas = bench::replica_count(argc, argv, 2);
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "taxonomy_comparison", 2);
+  if (opts.parse_failed) return opts.exit_code;
 
   ScenarioConfig cfg = paper_scenario(300, 9000);
 
-  std::printf("== Taxonomy: flooding vs rendezvous families (%d vehicles) ==\n",
-              cfg.vehicles);
+  bench::SweepDriver driver(opts);
+  const std::string title = "Taxonomy: flooding vs rendezvous families";
+  driver.begin_section(title, "headline metrics");
+  std::printf("== %s (%d vehicles) ==\n", title.c_str(), cfg.vehicles);
   TextTable table;
   table.add_row({"protocol", "update pkts", "update tx (airtime)", "query tx",
                  "success", "mean delay ms"});
   for (Protocol protocol :
        {Protocol::kFlood, Protocol::kRlsmp, Protocol::kHlsrg}) {
-    const ReplicaSet s = run_replicas(cfg, protocol, replicas);
+    const ReplicaSet s = driver.run(protocol_name(protocol), cfg, protocol);
     const double n = static_cast<double>(s.replicas.size());
     table.add_row({
         protocol_name(protocol),
@@ -38,5 +42,5 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf("-- CSV --\n%s\n", table.render_csv().c_str());
-  return 0;
+  return driver.finish() ? 0 : 1;
 }

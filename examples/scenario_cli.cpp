@@ -1,133 +1,141 @@
 // Scenario CLI: a flag-driven simulation driver (the "ns-2 command line" of
 // this repository). Runs one scenario under any protocol and prints the full
-// metric set; optionally writes a per-event CSV trace.
+// metric set; optionally writes a per-event CSV trace and/or a JSON run
+// report (the same RunReport the benches embed — see docs/PROTOCOL.md).
 //
 //   $ ./scenario_cli --protocol hlsrg --vehicles 500 --size 2000 --seed 42
 //   $ ./scenario_cli --workload poisson --no-rsus --trace out.csv
 //   $ ./scenario_cli --map data/demo_irregular_2km.map --irregular
+//   $ ./scenario_cli --replicas 8 --threads 4 --out run.json
+#include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 
+#include "harness/runner.h"
 #include "harness/scenario.h"
 #include "harness/world.h"
+#include "report/run_report.h"
 #include "roadnet/map_io.h"
-
-namespace {
-
-using namespace hlsrg;
-
-void usage(const char* prog) {
-  std::fprintf(
-      stderr,
-      "usage: %s [options]\n"
-      "  --protocol hlsrg|rlsmp|flood   protocol under test (default hlsrg)\n"
-      "  --vehicles N                   vehicle count (default 500)\n"
-      "  --size M                       map edge in metres (default 2000)\n"
-      "  --seed S                       master seed (default 1)\n"
-      "  --warmup S / --window S / --grace S   phase durations in seconds\n"
-      "  --workload oneshot|poisson|hotspot    query workload (default oneshot)\n"
-      "  --no-rsus                      HLSRG without infrastructure\n"
-      "  --irregular                    jittered map with normal-road dropout\n"
-      "  --map FILE                     load the road network from FILE\n"
-      "  --save-map FILE                write the generated map to FILE\n"
-      "  --trace FILE                   write per-event CSV trace\n",
-      prog);
-}
-
-}  // namespace
+#include "util/args.h"
 
 int main(int argc, char** argv) {
-  Protocol protocol = Protocol::kHlsrg;
+  using namespace hlsrg;
+
   ScenarioConfig cfg = paper_scenario(500, 1);
-  const char* trace_path = nullptr;
-  const char* save_map_path = nullptr;
+  std::string protocol_str = "hlsrg";
+  std::string workload_str = "oneshot";
+  double warmup = cfg.warmup.sec();
+  double window = cfg.query_window.sec();
+  double grace = cfg.grace.sec();
+  bool no_rsus = false;
+  bool irregular = false;
+  int replicas = 1;
+  int threads = 0;
+  std::string trace_path;
+  std::string save_map_path;
+  std::string out_path;
 
-  for (int i = 1; i < argc; ++i) {
-    auto need_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", flag);
-        std::exit(1);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--protocol") == 0) {
-      const std::string v = need_value("--protocol");
-      if (v == "hlsrg") {
-        protocol = Protocol::kHlsrg;
-      } else if (v == "rlsmp") {
-        protocol = Protocol::kRlsmp;
-      } else if (v == "flood") {
-        protocol = Protocol::kFlood;
-      } else {
-        std::fprintf(stderr, "unknown protocol '%s'\n", v.c_str());
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--vehicles") == 0) {
-      cfg.vehicles = std::atoi(need_value("--vehicles"));
-    } else if (std::strcmp(argv[i], "--size") == 0) {
-      cfg.map.size_m = std::atof(need_value("--size"));
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      cfg.seed = std::strtoull(need_value("--seed"), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--warmup") == 0) {
-      cfg.warmup = SimTime::from_sec(std::atof(need_value("--warmup")));
-    } else if (std::strcmp(argv[i], "--window") == 0) {
-      cfg.query_window = SimTime::from_sec(std::atof(need_value("--window")));
-    } else if (std::strcmp(argv[i], "--grace") == 0) {
-      cfg.grace = SimTime::from_sec(std::atof(need_value("--grace")));
-    } else if (std::strcmp(argv[i], "--workload") == 0) {
-      const std::string v = need_value("--workload");
-      if (v == "oneshot") {
-        cfg.workload = ScenarioConfig::WorkloadKind::kOneShot;
-      } else if (v == "poisson") {
-        cfg.workload = ScenarioConfig::WorkloadKind::kPoisson;
-      } else if (v == "hotspot") {
-        cfg.workload = ScenarioConfig::WorkloadKind::kHotspot;
-      } else {
-        std::fprintf(stderr, "unknown workload '%s'\n", v.c_str());
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--no-rsus") == 0) {
-      cfg.hlsrg.use_rsus = false;
-    } else if (std::strcmp(argv[i], "--irregular") == 0) {
-      cfg.map.irregular = true;
-    } else if (std::strcmp(argv[i], "--map") == 0) {
-      cfg.map_file = need_value("--map");
-    } else if (std::strcmp(argv[i], "--save-map") == 0) {
-      save_map_path = need_value("--save-map");
-    } else if (std::strcmp(argv[i], "--trace") == 0) {
-      trace_path = need_value("--trace");
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
-      usage(argv[0]);
-      return 1;
-    }
+  ArgParser args("runs one scenario under any protocol and prints metrics");
+  args.add_choice("--protocol", "protocol under test", {"hlsrg", "rlsmp", "flood"},
+                  &protocol_str);
+  args.add_int("--vehicles", "N", "vehicle count", &cfg.vehicles);
+  args.add_double("--size", "M", "map edge in metres", &cfg.map.size_m);
+  args.add_uint64("--seed", "S", "master seed", &cfg.seed);
+  args.add_int("--replicas", "N", "independent replicas (seeds S, S+1, ...)",
+               &replicas);
+  args.add_int("--threads", "T", "replica threads (0 = auto)", &threads);
+  args.add_double("--warmup", "S", "warmup seconds", &warmup);
+  args.add_double("--window", "S", "query-window seconds", &window);
+  args.add_double("--grace", "S", "grace seconds", &grace);
+  args.add_choice("--workload", "query workload", {"oneshot", "poisson", "hotspot"},
+                  &workload_str);
+  args.add_flag("--no-rsus", "HLSRG without infrastructure", &no_rsus);
+  args.add_flag("--irregular", "jittered map with normal-road dropout",
+                &irregular);
+  args.add_string("--map", "FILE", "load the road network from FILE",
+                  &cfg.map_file);
+  args.add_string("--save-map", "FILE", "write the generated map to FILE",
+                  &save_map_path);
+  args.add_string("--trace", "FILE", "write per-event CSV trace (1 replica)",
+                  &trace_path);
+  args.add_string("--out", "FILE", "write a JSON run report to FILE",
+                  &out_path);
+  if (!args.parse(argc, argv)) return args.exit_code();
+
+  Protocol protocol = Protocol::kHlsrg;
+  if (protocol_str == "rlsmp") protocol = Protocol::kRlsmp;
+  if (protocol_str == "flood") protocol = Protocol::kFlood;
+  cfg.workload = ScenarioConfig::WorkloadKind::kOneShot;
+  if (workload_str == "poisson") {
+    cfg.workload = ScenarioConfig::WorkloadKind::kPoisson;
+  } else if (workload_str == "hotspot") {
+    cfg.workload = ScenarioConfig::WorkloadKind::kHotspot;
+  }
+  cfg.warmup = SimTime::from_sec(warmup);
+  cfg.query_window = SimTime::from_sec(window);
+  cfg.grace = SimTime::from_sec(grace);
+  if (no_rsus) cfg.hlsrg.use_rsus = false;
+  if (irregular) cfg.map.irregular = true;
+  replicas = std::max(1, replicas);
+  if (replicas > 1 && (!trace_path.empty() || !save_map_path.empty())) {
+    std::fprintf(stderr, "--trace/--save-map need --replicas 1\n");
+    return 1;
   }
 
-  World world(cfg, protocol);
-  if (save_map_path != nullptr) {
-    std::string error;
-    if (!save_map_file(world.network(), save_map_path, &error)) {
-      std::fprintf(stderr, "%s\n", error.c_str());
-      return 1;
+  RunMetrics metrics;
+  EngineStats engine;
+  std::vector<EngineStats> replica_engine;
+  const char* service_name = protocol_name(protocol);
+
+  if (replicas == 1) {
+    const auto start = std::chrono::steady_clock::now();
+    World world(cfg, protocol);
+    if (!save_map_path.empty()) {
+      std::string error;
+      if (!save_map_file(world.network(), save_map_path, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      std::printf("map:        wrote %s\n", save_map_path.c_str());
     }
-    std::printf("map:        wrote %s\n", save_map_path);
+    TraceLog trace;
+    if (!trace_path.empty()) world.attach_trace(&trace);
+
+    metrics = world.run();
+    const auto stop = std::chrono::steady_clock::now();
+    engine = world.sim().engine_stats();
+    engine.wall_clock_sec = std::chrono::duration<double>(stop - start).count();
+    replica_engine.push_back(engine);
+    service_name = world.service().name();
+
+    if (!trace_path.empty()) {
+      std::ofstream file(trace_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      file << trace.to_csv();
+      std::printf("trace:      %zu events -> %s\n", trace.size(),
+                  trace_path.c_str());
+    }
+  } else {
+    const ReplicaSet set = run_replicas(cfg, protocol, replicas,
+                                        static_cast<std::size_t>(threads));
+    metrics = set.merged;
+    engine = set.engine_total;
+    replica_engine = set.engine;
   }
-  TraceLog trace;
-  if (trace_path != nullptr) world.attach_trace(&trace);
 
-  const RunMetrics& m = world.run();
-
-  std::printf("protocol:   %s\n", world.service().name());
-  std::printf("scenario:   %d vehicles, %.0f m map, seed %llu, %s%s\n",
+  const RunMetrics& m = metrics;
+  std::printf("protocol:   %s\n", service_name);
+  std::printf("scenario:   %d vehicles, %.0f m map, seed %llu, %s%s, "
+              "%d replica%s\n",
               cfg.vehicles, cfg.map.size_m,
               static_cast<unsigned long long>(cfg.seed),
               cfg.map.irregular ? "irregular, " : "",
-              cfg.hlsrg.use_rsus ? "RSUs on" : "RSUs off");
+              cfg.hlsrg.use_rsus ? "RSUs on" : "RSUs off", replicas,
+              replicas == 1 ? "" : "s");
   std::printf("updates:    %llu originated, %llu transmissions\n",
               static_cast<unsigned long long>(m.update_packets_originated),
               static_cast<unsigned long long>(m.update_transmissions));
@@ -151,15 +159,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(m.radio_unicasts),
               static_cast<unsigned long long>(m.radio_drops),
               static_cast<unsigned long long>(m.gpsr_failures));
+  std::printf("engine:     %llu events, peak queue %llu, %.2f s wall, "
+              "%.0f events/s\n",
+              static_cast<unsigned long long>(engine.events_processed),
+              static_cast<unsigned long long>(engine.peak_queue_depth),
+              engine.wall_clock_sec, engine.events_per_sec());
 
-  if (trace_path != nullptr) {
-    std::ofstream file(trace_path);
-    if (!file) {
-      std::fprintf(stderr, "cannot write %s\n", trace_path);
+  if (!out_path.empty()) {
+    const RunReport report = make_run_report(protocol, cfg, metrics, engine);
+    JsonValue doc = report.to_json();
+    doc.set("schema", "hlsrg-run/v1");
+    doc.set("replicas", replicas);
+    JsonValue per_replica = JsonValue::array();
+    for (const EngineStats& e : replica_engine) {
+      per_replica.push_back(engine_to_json(e));
+    }
+    doc.set("replica_engine", std::move(per_replica));
+    std::string error;
+    if (!write_json_file(doc, out_path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
       return 1;
     }
-    file << trace.to_csv();
-    std::printf("trace:      %zu events -> %s\n", trace.size(), trace_path);
+    std::printf("report:     %s\n", out_path.c_str());
   }
   return 0;
 }

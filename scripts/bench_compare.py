@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Diff two bench report JSON files and gate on metric regressions.
+
+Usage:
+    bench_compare.py OLD.json NEW.json [--threshold FRAC] [--abs-slack N]
+                     [--include-engine] [--include-timing] [--verbose]
+
+Reads two files produced by the bench binaries (schema "hlsrg-bench/v1",
+see docs/PROTOCOL.md) or by scenario_cli --out ("hlsrg-run/v1"), pairs up
+every (section, row, protocol) result, and compares the numeric fields:
+
+  * "derived"  -- headline figures (update/query overhead, success rate,
+                  mean query delay); always compared.
+  * "metrics"  -- raw protocol counters; always compared.
+  * "engine"   -- events_processed / peak_queue_depth, only with
+                  --include-engine (deterministic given identical code and
+                  seeds, but expected to move whenever the engine changes);
+                  wall_clock_sec / events_per_sec only with
+                  --include-timing (machine-dependent).
+
+A field regresses when it moves against its preferred direction by more
+than threshold (relative) AND more than abs-slack (absolute) -- the
+absolute slack keeps tiny counters (3 -> 4 packets) from tripping the
+relative gate. Improvements and sub-threshold drifts are reported in
+--verbose mode only. Exit status: 0 = no regression, 1 = regression(s),
+2 = usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+# Direction a metric should move: +1 = higher is better, -1 = lower is
+# better. Unlisted numeric fields are compared symmetrically (any move
+# beyond threshold counts).
+PREFERRED_DIRECTION = {
+    "success_rate": +1,
+    "queries_succeeded": +1,
+    "update_overhead": -1,
+    "query_overhead": -1,
+    "mean_query_latency_ms": -1,
+    "queries_failed": -1,
+    "gpsr_failures": -1,
+    "radio_drops": -1,
+    "wall_clock_sec": -1,
+    "events_per_sec": +1,
+}
+
+TIMING_FIELDS = {"wall_clock_sec", "events_per_sec", "sim_time_sec"}
+
+
+def fail(msg):
+    print(f"bench_compare: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+    schema = doc.get("schema", "")
+    if not schema.startswith(("hlsrg-bench/", "hlsrg-run/")):
+        fail(f"{path}: unrecognized schema {schema!r}")
+    return doc
+
+
+def iter_results(doc):
+    """Yields ((section, row, protocol), result_dict) for both schemas."""
+    if doc.get("schema", "").startswith("hlsrg-run/"):
+        yield (("run", "run", doc.get("protocol", "?")), doc)
+        return
+    for section in doc.get("sections", []):
+        for row in section.get("rows", []):
+            for result in row.get("results", []):
+                key = (section.get("title", "?"), row.get("label", "?"),
+                       result.get("protocol", "?"))
+                yield key, result
+
+
+def numeric_fields(result, include_engine, include_timing):
+    """Yields (field_path, value) pairs subject to comparison."""
+    groups = ["derived", "metrics", "latency"]
+    for group in groups:
+        for name, value in result.get(group, {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                yield f"{group}.{name}", float(value)
+    engine = result.get("engine", {})
+    for name, value in engine.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        timing = name in TIMING_FIELDS
+        if timing and not include_timing:
+            continue
+        if not timing and not include_engine:
+            continue
+        yield f"engine.{name}", float(value)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two bench JSON reports; nonzero exit on regression")
+    ap.add_argument("old", help="baseline report")
+    ap.add_argument("new", help="candidate report")
+    ap.add_argument("--threshold", type=float, default=0.05,
+                    help="relative change that counts as a regression "
+                         "(default 0.05 = 5%%)")
+    ap.add_argument("--abs-slack", type=float, default=2.0,
+                    help="ignore absolute moves smaller than this "
+                         "(default 2.0; shields tiny counters)")
+    ap.add_argument("--include-engine", action="store_true",
+                    help="also gate on events_processed / peak_queue_depth")
+    ap.add_argument("--include-timing", action="store_true",
+                    help="also gate on wall-clock and events/sec")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print every compared field, not just regressions")
+    args = ap.parse_args()
+
+    old_doc, new_doc = load(args.old), load(args.new)
+    old_results = dict(iter_results(old_doc))
+    new_results = dict(iter_results(new_doc))
+
+    shared = sorted(set(old_results) & set(new_results))
+    if not shared:
+        fail("the two reports share no (section, row, protocol) results")
+    for missing in sorted(set(old_results) - set(new_results)):
+        print(f"note: result only in {args.old}: {missing}")
+    for extra in sorted(set(new_results) - set(old_results)):
+        print(f"note: result only in {args.new}: {extra}")
+
+    regressions = []
+    compared = 0
+    for key in shared:
+        old_fields = dict(numeric_fields(old_results[key], args.include_engine,
+                                         args.include_timing))
+        new_fields = dict(numeric_fields(new_results[key], args.include_engine,
+                                         args.include_timing))
+        for field in sorted(set(old_fields) & set(new_fields)):
+            old_v, new_v = old_fields[field], new_fields[field]
+            compared += 1
+            delta = new_v - old_v
+            rel = abs(delta) / abs(old_v) if old_v != 0 else (
+                0.0 if delta == 0 else float("inf"))
+            direction = PREFERRED_DIRECTION.get(field.split(".")[-1], 0)
+            # A move is only a regression when it goes against the metric's
+            # preferred direction (or any direction for neutral fields).
+            against = (direction == 0 and delta != 0) or \
+                      (direction > 0 and delta < 0) or \
+                      (direction < 0 and delta > 0)
+            is_regression = (against and rel > args.threshold
+                             and abs(delta) > args.abs_slack)
+            label = " / ".join(key)
+            if is_regression:
+                regressions.append(
+                    f"{label}: {field} {old_v:g} -> {new_v:g} "
+                    f"({delta:+g}, {rel:.1%}, against preferred direction)")
+            elif args.verbose and delta != 0:
+                print(f"ok: {label}: {field} {old_v:g} -> {new_v:g} "
+                      f"({rel:.1%})")
+
+    print(f"compared {compared} fields across {len(shared)} results "
+          f"(threshold {args.threshold:.1%}, abs slack {args.abs_slack:g})")
+    if regressions:
+        print(f"REGRESSIONS ({len(regressions)}):")
+        for r in regressions:
+            print(f"  {r}")
+        sys.exit(1)
+    print("no regressions")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,43 @@
 #!/usr/bin/env bash
-# Full local gate: configure, build, run every test and every bench.
+# Full local gate: configure, build, run every test and every bench, then
+# regression-gate the bench JSON reports with bench_compare.py.
+#
+# Each bench writes BENCH_<name>.json (see docs/PROTOCOL.md). If a baseline
+# directory exists (default: bench_baseline/, override with
+# HLSRG_BENCH_BASELINE=dir), every report with a matching baseline file is
+# compared and a regression fails the gate. Record a baseline by copying the
+# BENCH_*.json files of a good run into that directory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+reports=()
 for b in build/bench/*; do
-  [ -x "$b" ] && [ -f "$b" ] && "$b"
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  case "$(basename "$b")" in
+    micro_*) "$b" ;;  # google-benchmark micro benches: no JSON report
+    *)
+      out="BENCH_$(basename "$b").json"
+      "$b" --out "$out"
+      reports+=("$out")
+      ;;
+  esac
 done
+
+# Self-compare one report: proves the JSON is schema-valid and that the
+# comparator's zero-diff path exits 0 even with no baseline recorded.
+if [ "${#reports[@]}" -gt 0 ]; then
+  python3 scripts/bench_compare.py "${reports[0]}" "${reports[0]}"
+fi
+
+baseline="${HLSRG_BENCH_BASELINE:-bench_baseline}"
+if [ -d "$baseline" ]; then
+  for r in "${reports[@]}"; do
+    old="$baseline/$r"
+    [ -f "$old" ] || { echo "note: no baseline for $r"; continue; }
+    echo "== bench_compare: $old vs $r"
+    python3 scripts/bench_compare.py "$old" "$r"
+  done
+fi

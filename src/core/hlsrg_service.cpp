@@ -84,7 +84,7 @@ void HlsrgService::send_notification(NodeId origin,
   note->src_vehicle = query.src_vehicle;
   note->src_node = query.src_node;
   note->src_pos = query.src_pos;
-  const Packet pkt = make_packet(kNotification, origin, note);
+  const Packet pkt = make_packet(PacketKind::kNotification, origin, note);
   metrics().query_packets_originated++;
   metrics().notifications_sent++;
   sim_->trace_event({{}, TraceEventKind::kNotification, query.target,
@@ -116,7 +116,7 @@ void HlsrgService::send_notification(NodeId origin,
   }
 }
 
-Packet HlsrgService::make_packet(int kind, NodeId origin,
+Packet HlsrgService::make_packet(PacketKind kind, NodeId origin,
                                  std::shared_ptr<const PayloadBase> payload) {
   Packet p;
   p.id = packet_ids_.next();

@@ -69,7 +69,7 @@ class HlsrgService final : public LocationService, public MovementListener {
   }
 
   // Builds a packet stamped with origin/time.
-  [[nodiscard]] Packet make_packet(int kind, NodeId origin,
+  [[nodiscard]] Packet make_packet(PacketKind kind, NodeId origin,
                                    std::shared_ptr<const PayloadBase> payload);
 
   // Acts as Dv's location server for `query` using the stored record: sends

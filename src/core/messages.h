@@ -17,18 +17,8 @@
 
 namespace hlsrg {
 
-// Packet kinds; value space private to the HLSRG protocol.
-enum HlsrgKind : int {
-  kLocationUpdate = 1,  // vehicle -> L1 center (one-hop broadcast)
-  kTableHandoff = 2,    // leaving center vehicle -> center peers (one-hop)
-  kTablePush = 3,       // L1 center -> L2 RSU (GPSR)
-  kL2Summary = 4,       // L2 RSU -> L3 RSU (wired, periodic)
-  kL3Gossip = 5,        // L3 RSU -> L3 neighbors (wired, periodic)
-  kQueryRequest = 6,    // Sv -> level center; centers/RSUs forward
-  kServerClaim = 7,     // election winner announcement (one-hop)
-  kNotification = 8,    // location server -> Dv (geocast)
-  kAck = 9,             // Dv -> Sv (GPSR)
-};
+// Packet kinds live in the shared PacketKind enum (net/packet.h); HLSRG uses
+// the kLocationUpdate..kAck block.
 
 // Full L1 record for one vehicle (paper: "location, time, direction, Level 1
 // grid number and ID").

@@ -23,7 +23,7 @@ void HlsrgRsuAgent::start_timers() {
 
 void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
   switch (packet.kind) {
-    case kLocationUpdate: {
+    case PacketKind::kLocationUpdate: {
       // RSUs are always-on receivers at grid corners: any update broadcast
       // within radio range lands here too, feeding the same tables as the
       // grid-center collection path ("data aggregation" role, paper 2.1.2).
@@ -38,7 +38,7 @@ void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       }
       return;
     }
-    case kTablePush: {
+    case PacketKind::kTablePush: {
       // Grid-center table arriving at this L2 RSU: thin to the L2 schema.
       if (level_ != GridLevel::kL2) return;
       const auto& t = payload_as<TablePayload>(packet);
@@ -48,7 +48,7 @@ void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       full_table_.merge(t.records);
       return;
     }
-    case kL2Summary: {
+    case PacketKind::kL2Summary: {
       if (level_ != GridLevel::kL3) return;
       const auto& s = payload_as<L2SummaryPayload>(packet);
       for (const L2Summary& r : s.records) {
@@ -56,13 +56,13 @@ void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       }
       return;
     }
-    case kL3Gossip: {
+    case PacketKind::kL3Gossip: {
       if (level_ != GridLevel::kL3) return;
       const auto& g = payload_as<L3GossipPayload>(packet);
       l3_table_.merge(g.records);
       return;
     }
-    case kQueryRequest: {
+    case PacketKind::kQueryRequest: {
       const auto& q = payload_as<QueryPayload>(packet);
       if (!seen_queries_.insert(q.dedup_key()).second) return;
       if (level_ == GridLevel::kL2) {
@@ -91,7 +91,7 @@ void HlsrgRsuAgent::push_summary_to_l3() {
     const NodeId l3 = svc_->rsus()->node_at(parent, GridLevel::kL3);
     svc_->metrics().aggregation_packets++;
     svc_->wired().send(node_, l3,
-                       svc_->make_packet(kL2Summary, node_, payload),
+                       svc_->make_packet(PacketKind::kL2Summary, node_, payload),
                        &svc_->metrics().aggregation_transmissions);
   }
   svc_->sim().schedule_after(svc_->cfg().l2_push_period,
@@ -104,7 +104,7 @@ void HlsrgRsuAgent::gossip_to_neighbors() {
   if (l3_table_.size() > 0 && !neighbors.empty()) {
     auto payload = std::make_shared<L3GossipPayload>();
     payload->records = l3_table_.snapshot();
-    const Packet pkt = svc_->make_packet(kL3Gossip, node_, payload);
+    const Packet pkt = svc_->make_packet(PacketKind::kL3Gossip, node_, payload);
     for (NodeId n : neighbors) {
       // Only L3 peers gossip; skip child L2 RSUs on the same wire.
       const RsuId peer = svc_->rsus()->rsu_of_node(n);
@@ -131,7 +131,7 @@ void HlsrgRsuAgent::forward_down_to_l1(const QueryPayload& query,
   q->from_l3 = false;
   const Vec2 center = svc_->hierarchy().center_pos(l1, GridLevel::kL1);
   svc_->gpsr().send(node_, center, std::nullopt,
-                    svc_->make_packet(kQueryRequest, node_, q),
+                    svc_->make_packet(PacketKind::kQueryRequest, node_, q),
                     &svc_->metrics().query_transmissions,
                     /*deliver=*/{}, /*fail=*/{},
                     /*delivery_radius=*/svc_->cfg().center_radius_m);
@@ -159,7 +159,7 @@ void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
   auto q = std::make_shared<QueryPayload>(query);
   const GridCoord parent{coord_.col / 2, coord_.row / 2};
   const NodeId l3 = svc_->rsus()->node_at(parent, GridLevel::kL3);
-  svc_->wired().send(node_, l3, svc_->make_packet(kQueryRequest, node_, q),
+  svc_->wired().send(node_, l3, svc_->make_packet(PacketKind::kQueryRequest, node_, q),
                      &svc_->metrics().query_transmissions);
 }
 
@@ -179,7 +179,7 @@ void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
     auto q = std::make_shared<QueryPayload>(query);
     q->from_l3 = true;
     const NodeId l2 = svc_->rsus()->node_at(s->l2, GridLevel::kL2);
-    svc_->wired().send(node_, l2, svc_->make_packet(kQueryRequest, node_, q),
+    svc_->wired().send(node_, l2, svc_->make_packet(PacketKind::kQueryRequest, node_, q),
                        &svc_->metrics().query_transmissions);
     return;
   }
@@ -190,7 +190,7 @@ void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
   // this covers records that have not gossiped over yet).
   auto q = std::make_shared<QueryPayload>(query);
   q->from_l3 = true;
-  const Packet pkt = svc_->make_packet(kQueryRequest, node_, q);
+  const Packet pkt = svc_->make_packet(PacketKind::kQueryRequest, node_, q);
   for (NodeId n : svc_->wired().links_of(node_)) {
     const RsuId peer = svc_->rsus()->rsu_of_node(n);
     if (!peer.valid() || svc_->rsus()->rsu(peer).level != GridLevel::kL3) {

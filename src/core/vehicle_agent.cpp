@@ -45,7 +45,7 @@ void HlsrgVehicleAgent::send_initial_update() {
   svc_->sim().trace_event(
       {{}, TraceEventKind::kUpdateSent, vehicle_, VehicleId{}, rec.pos, 0});
   svc_->medium().broadcast(node_,
-                           svc_->make_packet(kLocationUpdate, node_, payload));
+                           svc_->make_packet(PacketKind::kLocationUpdate, node_, payload));
 }
 
 void HlsrgVehicleAgent::collection_tick() {
@@ -68,7 +68,7 @@ void HlsrgVehicleAgent::push_table_to_l2() {
   svc_->sim().trace_event({{}, TraceEventKind::kTablePush, vehicle_,
                            VehicleId{}, svc_->vehicle_pos(vehicle_), 0});
   svc_->gpsr().send(node_, svc_->registry().position(rsu), rsu,
-                    svc_->make_packet(kTablePush, node_, payload),
+                    svc_->make_packet(PacketKind::kTablePush, node_, payload),
                     &svc_->metrics().aggregation_transmissions);
 }
 
@@ -104,7 +104,7 @@ void HlsrgVehicleAgent::send_update(const UpdateDecision& decision,
   payload->record = record_at_crossing(decision.new_l1, node, out_seg);
   payload->old_l1 = decision.old_l1;
   payload->grid_changed = decision.grid_changed;
-  const Packet pkt = svc_->make_packet(kLocationUpdate, node_, payload);
+  const Packet pkt = svc_->make_packet(PacketKind::kLocationUpdate, node_, payload);
   svc_->metrics().update_packets_originated++;
   svc_->metrics().update_transmissions++;
   svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
@@ -144,7 +144,7 @@ void HlsrgVehicleAgent::leave_center() {
   payload->records = table_.snapshot();
 
   // "geographic broadcast their own table in the range of the intersection"
-  const Packet handoff = svc_->make_packet(kTableHandoff, node_, payload);
+  const Packet handoff = svc_->make_packet(PacketKind::kTableHandoff, node_, payload);
   svc_->metrics().aggregation_packets++;
   svc_->metrics().aggregation_transmissions++;
   svc_->sim().trace_event({{}, TraceEventKind::kTableHandoff, vehicle_,
@@ -162,7 +162,7 @@ void HlsrgVehicleAgent::leave_center() {
 
 void HlsrgVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
   switch (packet.kind) {
-    case kLocationUpdate: {
+    case PacketKind::kLocationUpdate: {
       if (!in_center_) return;
       const auto& u = payload_as<UpdatePayload>(packet);
       if (u.grid_changed && u.old_l1 == center_cell_ &&
@@ -177,16 +177,16 @@ void HlsrgVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       }
       return;
     }
-    case kTableHandoff: {
+    case PacketKind::kTableHandoff: {
       if (!in_center_) return;
       const auto& t = payload_as<TablePayload>(packet);
       if (t.l1 == center_cell_) table_.merge(t.records);
       return;
     }
-    case kQueryRequest:
+    case PacketKind::kQueryRequest:
       handle_center_request(packet);
       return;
-    case kServerClaim: {
+    case PacketKind::kServerClaim: {
       const auto& c = payload_as<ServerClaimPayload>(packet);
       if (auto it = elections_.find(c.dedup_key()); it != elections_.end()) {
         svc_->sim().cancel(it->second);
@@ -195,12 +195,12 @@ void HlsrgVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       settled_elections_.insert(c.dedup_key());
       return;
     }
-    case kNotification: {
+    case PacketKind::kNotification: {
       const auto& n = payload_as<NotificationPayload>(packet);
       if (n.target == vehicle_) answer_notification(n);
       return;
     }
-    case kAck: {
+    case PacketKind::kAck: {
       const auto& a = payload_as<AckPayload>(packet);
       if (auto it = pending_.find(a.query_id); it != pending_.end()) {
         svc_->sim().cancel(it->second.timeout);
@@ -258,7 +258,7 @@ void HlsrgVehicleAgent::win_election(const QueryPayload& query) {
   claim->attempt = query.attempt;
   svc_->metrics().query_transmissions++;
   svc_->medium().broadcast(node_,
-                           svc_->make_packet(kServerClaim, node_, claim));
+                           svc_->make_packet(PacketKind::kServerClaim, node_, claim));
 
   table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
   if (const L1Record* rec = table_.find(query.target)) {
@@ -287,12 +287,12 @@ void HlsrgVehicleAgent::forward_up(const QueryPayload& query) {
     tbl->records = table_.snapshot();
     svc_->metrics().aggregation_packets++;
     svc_->gpsr().send(node_, svc_->registry().position(rsu), rsu,
-                      svc_->make_packet(kTablePush, node_, tbl),
+                      svc_->make_packet(PacketKind::kTablePush, node_, tbl),
                       &svc_->metrics().aggregation_transmissions);
   }
   auto q = std::make_shared<QueryPayload>(query);
   svc_->gpsr().send(node_, svc_->registry().position(rsu), rsu,
-                    svc_->make_packet(kQueryRequest, node_, q),
+                    svc_->make_packet(PacketKind::kQueryRequest, node_, q),
                     &svc_->metrics().query_transmissions);
 }
 
@@ -314,7 +314,7 @@ void HlsrgVehicleAgent::send_request(QueryId qid, VehicleId target,
   q->src_node = node_;
   q->src_pos = my_pos;
   q->target = target;
-  const Packet pkt = svc_->make_packet(kQueryRequest, node_, q);
+  const Packet pkt = svc_->make_packet(PacketKind::kQueryRequest, node_, q);
   svc_->metrics().query_packets_originated++;
 
   const GridHierarchy& h = svc_->hierarchy();
@@ -392,7 +392,7 @@ void HlsrgVehicleAgent::answer_notification(
   ack->query_id = notification.query_id;
   ack->responder = vehicle_;
   ack->responder_pos = svc_->vehicle_pos(vehicle_);
-  const Packet pkt = svc_->make_packet(kAck, node_, ack);
+  const Packet pkt = svc_->make_packet(PacketKind::kAck, node_, ack);
   svc_->metrics().query_packets_originated++;
   svc_->metrics().acks_sent++;
   svc_->sim().trace_event({{}, TraceEventKind::kAckSent, vehicle_,

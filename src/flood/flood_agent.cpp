@@ -33,7 +33,7 @@ void FloodVehicleAgent::flood_own_location() {
   svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
                            VehicleId{}, payload->pos, 0});
   svc_->geocast().flood(
-      node_, svc_->make_packet(kFloodUpdate, node_, payload),
+      node_, svc_->make_packet(PacketKind::kFloodUpdate, node_, payload),
       GeocastRegion::from_box(svc_->map_bounds(), /*margin=*/100.0),
       &svc_->metrics().update_transmissions);
 }
@@ -48,7 +48,7 @@ void FloodVehicleAgent::purge_cache() {
 
 void FloodVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
   switch (packet.kind) {
-    case kFloodUpdate: {
+    case PacketKind::kFloodUpdate: {
       const auto& u = payload_as<FloodUpdatePayload>(packet);
       if (u.vehicle == vehicle_) return;
       if (const CacheEntry* cur = cache_.find(u.vehicle);
@@ -57,8 +57,8 @@ void FloodVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       }
       return;
     }
-    case kFloodProbe:
-    case kFloodQuery: {
+    case PacketKind::kFloodProbe:
+    case PacketKind::kFloodQuery: {
       const auto& p = payload_as<FloodProbePayload>(packet);
       if (p.target != vehicle_) return;
       if (!answered_.insert(p.query_id).second) return;
@@ -71,11 +71,11 @@ void FloodVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
                                p.src_vehicle, svc_->vehicle_pos(vehicle_),
                                p.query_id});
       svc_->gpsr().send(node_, p.src_pos, p.src_node,
-                        svc_->make_packet(kFloodAck, node_, ack),
+                        svc_->make_packet(PacketKind::kFloodAck, node_, ack),
                         &svc_->metrics().query_transmissions);
       return;
     }
-    case kFloodAck: {
+    case PacketKind::kFloodAck: {
       const auto& a = payload_as<FloodAckPayload>(packet);
       if (auto it = pending_.find(a.query_id); it != pending_.end()) {
         svc_->sim().cancel(it->second.timeout);
@@ -111,14 +111,14 @@ void FloodVehicleAgent::start_query(QueryTracker::QueryId qid,
         std::clamp(100.0 + age_sec * kMaxSpeedMps, 100.0, 900.0);
     const Aabb zone{{hit->pos.x - drift, hit->pos.y - drift},
                     {hit->pos.x + drift, hit->pos.y + drift}};
-    svc_->geocast().flood(node_, svc_->make_packet(kFloodProbe, node_, probe),
+    svc_->geocast().flood(node_, svc_->make_packet(PacketKind::kFloodProbe, node_, probe),
                           GeocastRegion::from_box(zone),
                           &svc_->metrics().query_transmissions);
   } else {
     // Reactive path: flood the question (LAR-style).
     svc_->metrics().server_lookup_misses++;
     svc_->geocast().flood(
-        node_, svc_->make_packet(kFloodQuery, node_, probe),
+        node_, svc_->make_packet(PacketKind::kFloodQuery, node_, probe),
         GeocastRegion::from_box(svc_->map_bounds(), /*margin=*/100.0),
         &svc_->metrics().query_transmissions);
   }
@@ -139,7 +139,7 @@ void FloodVehicleAgent::start_query(QueryTracker::QueryId qid,
         retry->target = target;
         svc_->metrics().query_packets_originated++;
         svc_->geocast().flood(
-            node_, svc_->make_packet(kFloodQuery, node_, retry),
+            node_, svc_->make_packet(PacketKind::kFloodQuery, node_, retry),
             GeocastRegion::from_box(svc_->map_bounds(), 100.0),
             &svc_->metrics().query_transmissions);
         Pending again;

@@ -9,12 +9,8 @@
 
 namespace hlsrg {
 
-enum FloodKind : int {
-  kFloodUpdate = 201,  // network-wide location dissemination
-  kFloodProbe = 202,   // src -> cached position of target (GPSR)
-  kFloodQuery = 203,   // network-wide reactive search (cache miss)
-  kFloodAck = 204,     // target -> src (GPSR)
-};
+// Packet kinds live in the shared PacketKind enum (net/packet.h); FLOOD uses
+// the kFloodUpdate..kFloodAck block.
 
 struct FloodUpdatePayload final : PayloadBase {
   VehicleId vehicle;

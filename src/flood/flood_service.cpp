@@ -47,7 +47,7 @@ void FloodService::on_moved(VehicleId v, Vec2 before, Vec2 after) {
   vehicle_agents_[v.index()]->handle_moved(before, after);
 }
 
-Packet FloodService::make_packet(int kind, NodeId origin,
+Packet FloodService::make_packet(PacketKind kind, NodeId origin,
                                  std::shared_ptr<const PayloadBase> payload) {
   Packet p;
   p.id = packet_ids_.next();

@@ -55,7 +55,7 @@ class FloodService final : public LocationService, public MovementListener {
   [[nodiscard]] Vec2 vehicle_pos(VehicleId v) const {
     return mobility_->position(v);
   }
-  [[nodiscard]] Packet make_packet(int kind, NodeId origin,
+  [[nodiscard]] Packet make_packet(PacketKind kind, NodeId origin,
                                    std::shared_ptr<const PayloadBase> payload);
   [[nodiscard]] FloodVehicleAgent& vehicle_agent(VehicleId v) {
     return *vehicle_agents_[v.index()];

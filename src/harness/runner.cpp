@@ -1,5 +1,7 @@
 #include "harness/runner.h"
 
+#include <chrono>
+
 #include "harness/parallel.h"
 #include "util/check.h"
 
@@ -37,6 +39,7 @@ ReplicaSet run_replicas(const ScenarioConfig& cfg, Protocol protocol,
   HLSRG_CHECK(replicas >= 1);
   ReplicaSet out;
   out.replicas.resize(static_cast<std::size_t>(replicas));
+  out.engine.resize(static_cast<std::size_t>(replicas));
   if (threads == 0) {
     threads = default_thread_count(static_cast<std::size_t>(replicas));
   }
@@ -44,10 +47,16 @@ ReplicaSet run_replicas(const ScenarioConfig& cfg, Protocol protocol,
                [&](std::size_t i) {
                  ScenarioConfig replica_cfg = cfg;
                  replica_cfg.seed = cfg.seed + i;
+                 const auto start = std::chrono::steady_clock::now();
                  World world(replica_cfg, protocol);
                  out.replicas[i] = world.run();
+                 const auto stop = std::chrono::steady_clock::now();
+                 out.engine[i] = world.sim().engine_stats();
+                 out.engine[i].wall_clock_sec =
+                     std::chrono::duration<double>(stop - start).count();
                });
   for (const RunMetrics& m : out.replicas) out.merged.merge(m);
+  for (const EngineStats& e : out.engine) out.engine_total.merge(e);
   return out;
 }
 

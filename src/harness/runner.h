@@ -15,8 +15,13 @@ namespace hlsrg {
 struct ReplicaSet {
   // Per-replica metrics, index i ran with seed cfg.seed + i.
   std::vector<RunMetrics> replicas;
+  // Per-replica engine stats (events processed, wall-clock), same indexing.
+  std::vector<EngineStats> engine;
   // All replicas merged (counts summed, latencies pooled).
   RunMetrics merged;
+  // Engine stats aggregated across replicas (counts/times summed, peak
+  // queue depth maxed).
+  EngineStats engine_total;
 
   [[nodiscard]] double mean_update_overhead() const;
   [[nodiscard]] double mean_query_overhead() const;
@@ -25,6 +30,7 @@ struct ReplicaSet {
 };
 
 // Runs `replicas` worlds of (cfg, protocol); `threads` = 0 picks a default.
+// Each replica's wall-clock time is captured around its World::run().
 [[nodiscard]] ReplicaSet run_replicas(const ScenarioConfig& cfg,
                                       Protocol protocol, int replicas,
                                       std::size_t threads = 0);

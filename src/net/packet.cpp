@@ -1,0 +1,57 @@
+#include "net/packet.h"
+
+namespace hlsrg {
+
+const char* packet_kind_name(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kNone:
+      return "none";
+    case PacketKind::kLocationUpdate:
+      return "location_update";
+    case PacketKind::kTableHandoff:
+      return "table_handoff";
+    case PacketKind::kTablePush:
+      return "table_push";
+    case PacketKind::kL2Summary:
+      return "l2_summary";
+    case PacketKind::kL3Gossip:
+      return "l3_gossip";
+    case PacketKind::kQueryRequest:
+      return "query_request";
+    case PacketKind::kServerClaim:
+      return "server_claim";
+    case PacketKind::kNotification:
+      return "notification";
+    case PacketKind::kAck:
+      return "ack";
+    case PacketKind::kCellUpdate:
+      return "cell_update";
+    case PacketKind::kCellSummary:
+      return "cell_summary";
+    case PacketKind::kPushClaim:
+      return "push_claim";
+    case PacketKind::kLeaderHandoff:
+      return "leader_handoff";
+    case PacketKind::kRlsmpQuery:
+      return "rlsmp_query";
+    case PacketKind::kLscClaim:
+      return "lsc_claim";
+    case PacketKind::kRlsmpNotify:
+      return "rlsmp_notify";
+    case PacketKind::kRlsmpAck:
+      return "rlsmp_ack";
+    case PacketKind::kRlsmpBatch:
+      return "rlsmp_batch";
+    case PacketKind::kFloodUpdate:
+      return "flood_update";
+    case PacketKind::kFloodProbe:
+      return "flood_probe";
+    case PacketKind::kFloodQuery:
+      return "flood_query";
+    case PacketKind::kFloodAck:
+      return "flood_ack";
+  }
+  return "unknown";
+}
+
+}  // namespace hlsrg

@@ -2,7 +2,7 @@
 //
 // Protocol payloads derive from PayloadBase and are carried by shared_ptr so
 // a broadcast delivers the same immutable payload to every receiver without
-// copies. The `kind` discriminator is protocol-defined; receivers downcast
+// copies. The `kind` discriminator is a shared typed enum; receivers downcast
 // with payload_as<T>() after checking it.
 #pragma once
 
@@ -15,13 +15,54 @@
 
 namespace hlsrg {
 
+// Every wire-message discriminator across the three protocols. One shared
+// enum (instead of per-protocol int spaces) keeps Packet::kind type-safe and
+// gives reports/traces readable packet-type names. Numeric values preserve
+// the historical per-protocol blocks (HLSRG 1.., RLSMP 101.., FLOOD 201..)
+// so dumps remain comparable across versions.
+enum class PacketKind : int {
+  kNone = 0,
+
+  // --- HLSRG ---------------------------------------------------------------
+  kLocationUpdate = 1,  // vehicle -> L1 center (one-hop broadcast)
+  kTableHandoff = 2,    // leaving center vehicle -> center peers (one-hop)
+  kTablePush = 3,       // L1 center -> L2 RSU (GPSR)
+  kL2Summary = 4,       // L2 RSU -> L3 RSU (wired, periodic)
+  kL3Gossip = 5,        // L3 RSU -> L3 neighbors (wired, periodic)
+  kQueryRequest = 6,    // Sv -> level center; centers/RSUs forward
+  kServerClaim = 7,     // election winner announcement (one-hop)
+  kNotification = 8,    // location server -> Dv (geocast)
+  kAck = 9,             // Dv -> Sv (GPSR)
+
+  // --- RLSMP ---------------------------------------------------------------
+  kCellUpdate = 101,     // vehicle -> cell leader (one-hop broadcast)
+  kCellSummary = 102,    // cell leader -> LSC (GPSR, periodic)
+  kPushClaim = 103,      // aggregation suppression announcement (one-hop)
+  kLeaderHandoff = 104,  // leaving leader-region vehicle -> peers (one-hop)
+  kRlsmpQuery = 105,     // Sv -> LSC; LSC -> LSC (spiral); LSC -> cell leader
+  kLscClaim = 106,       // LSC election winner announcement (one-hop)
+  kRlsmpNotify = 107,    // cell leader -> Dv (region geocast)
+  kRlsmpAck = 108,       // Dv -> Sv (GPSR)
+  kRlsmpBatch = 109,     // LSC -> next LSC: aggregated unresolved queries
+
+  // --- FLOOD ---------------------------------------------------------------
+  kFloodUpdate = 201,  // network-wide location dissemination
+  kFloodProbe = 202,   // src -> cached position of target (GPSR)
+  kFloodQuery = 203,   // network-wide reactive search (cache miss)
+  kFloodAck = 204,     // target -> src (GPSR)
+};
+
+// Stable lower_snake name for traces and JSON reports; "unknown" for values
+// outside the enum.
+[[nodiscard]] const char* packet_kind_name(PacketKind kind);
+
 struct PayloadBase {
   virtual ~PayloadBase() = default;
 };
 
 struct Packet {
   PacketId id;
-  int kind = 0;           // protocol-defined discriminator
+  PacketKind kind = PacketKind::kNone;
   NodeId origin;          // node that created the packet
   Vec2 origin_pos;        // where it was created
   SimTime created;

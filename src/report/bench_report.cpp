@@ -1,0 +1,83 @@
+#include "report/bench_report.h"
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+BenchReport::BenchReport(std::string bench_name, int replicas)
+    : bench_(std::move(bench_name)), replicas_(replicas) {}
+
+void BenchReport::begin_section(const std::string& title,
+                                const std::string& metric) {
+  sections_.push_back(Section{title, metric, {}});
+}
+
+void BenchReport::add_result(const std::string& label,
+                             const std::string& protocol,
+                             const ScenarioConfig& cfg, const ReplicaSet& set) {
+  HLSRG_CHECK_MSG(!sections_.empty(),
+                  "begin_section must precede add_result");
+  Section& section = sections_.back();
+  Row* row = nullptr;
+  for (Row& r : section.rows) {
+    if (r.label == label) {
+      row = &r;
+      break;
+    }
+  }
+  if (row == nullptr) {
+    section.rows.push_back(Row{label, {}});
+    row = &section.rows.back();
+  }
+
+  Result result;
+  result.report.protocol = protocol;
+  result.report.config = cfg;
+  result.report.metrics = set.merged;
+  result.report.latency = LatencySummary::from(set.merged.query_latency);
+  result.report.engine = set.engine_total;
+  result.replica_engine = set.engine;
+  result.derived = derived_metrics_json(set.merged, set.replicas.size());
+  row->results.push_back(std::move(result));
+}
+
+JsonValue BenchReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", kBenchSchema);
+  doc.set("bench", bench_);
+  doc.set("replicas", replicas_);
+  JsonValue sections = JsonValue::array();
+  for (const Section& section : sections_) {
+    JsonValue s = JsonValue::object();
+    s.set("title", section.title);
+    s.set("metric", section.metric);
+    JsonValue rows = JsonValue::array();
+    for (const Row& row : section.rows) {
+      JsonValue r = JsonValue::object();
+      r.set("label", row.label);
+      JsonValue results = JsonValue::array();
+      for (const Result& result : row.results) {
+        JsonValue entry = result.report.to_json();
+        JsonValue per_replica = JsonValue::array();
+        for (const EngineStats& e : result.replica_engine) {
+          per_replica.push_back(engine_to_json(e));
+        }
+        entry.set("replica_engine", std::move(per_replica));
+        entry.set("derived", result.derived);
+        results.push_back(std::move(entry));
+      }
+      r.set("results", std::move(results));
+      rows.push_back(std::move(r));
+    }
+    s.set("rows", std::move(rows));
+    sections.push_back(std::move(s));
+  }
+  doc.set("sections", std::move(sections));
+  return doc;
+}
+
+bool BenchReport::write(const std::string& path, std::string* error) const {
+  return write_json_file(to_json(), path, error);
+}
+
+}  // namespace hlsrg

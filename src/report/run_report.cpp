@@ -1,0 +1,280 @@
+#include "report/run_report.h"
+
+namespace hlsrg {
+
+namespace {
+
+const char* workload_name(ScenarioConfig::WorkloadKind kind) {
+  switch (kind) {
+    case ScenarioConfig::WorkloadKind::kOneShot:
+      return "oneshot";
+    case ScenarioConfig::WorkloadKind::kPoisson:
+      return "poisson";
+    case ScenarioConfig::WorkloadKind::kHotspot:
+      return "hotspot";
+  }
+  return "oneshot";
+}
+
+ScenarioConfig::WorkloadKind workload_from_name(const std::string& name) {
+  if (name == "poisson") return ScenarioConfig::WorkloadKind::kPoisson;
+  if (name == "hotspot") return ScenarioConfig::WorkloadKind::kHotspot;
+  return ScenarioConfig::WorkloadKind::kOneShot;
+}
+
+}  // namespace
+
+LatencySummary LatencySummary::from(const LatencyStat& stat) {
+  LatencySummary s;
+  s.count = stat.count();
+  s.mean_ms = stat.mean_ms();
+  s.min_ms = stat.min_ms();
+  s.max_ms = stat.max_ms();
+  s.p50_ms = stat.p50_ms();
+  s.p95_ms = stat.p95_ms();
+  s.p99_ms = stat.p99_ms();
+  return s;
+}
+
+JsonValue scenario_to_json(const ScenarioConfig& cfg) {
+  JsonValue o = JsonValue::object();
+  o.set("seed", cfg.seed);
+  o.set("vehicles", cfg.vehicles);
+  o.set("map_size_m", cfg.map.size_m);
+  o.set("map_irregular", cfg.map.irregular);
+  if (!cfg.map_file.empty()) o.set("map_file", cfg.map_file);
+  o.set("partition_target_m", cfg.partition.target_size);
+  o.set("radio_range_m", cfg.radio.range_m);
+  o.set("workload", workload_name(cfg.workload));
+  o.set("source_fraction", cfg.source_fraction);
+  o.set("poisson_rate_per_sec", cfg.poisson_rate_per_sec);
+  o.set("hotspot_targets", cfg.hotspot_targets);
+  o.set("warmup_sec", cfg.warmup.sec());
+  o.set("query_window_sec", cfg.query_window.sec());
+  o.set("grace_sec", cfg.grace.sec());
+  o.set("parked_fraction", cfg.mobility.parked_fraction);
+  o.set("use_rsus", cfg.hlsrg.use_rsus);
+  o.set("suppress_artery_updates", cfg.hlsrg.suppress_artery_updates);
+  o.set("naive_every_crossing", cfg.hlsrg.naive_every_crossing);
+  o.set("l1_expiry_sec", cfg.hlsrg.l1_expiry.sec());
+  o.set("l2_expiry_sec", cfg.hlsrg.l2_expiry.sec());
+  o.set("l3_expiry_sec", cfg.hlsrg.l3_expiry.sec());
+  o.set("beacons_enabled", cfg.beacons.enabled);
+  o.set("beacon_interval_sec", cfg.beacons.interval_sec);
+  return o;
+}
+
+void scenario_from_json(const JsonValue& v, ScenarioConfig* cfg) {
+  if (v.contains("seed")) cfg->seed = v.at("seed").as_uint64();
+  if (v.contains("vehicles")) cfg->vehicles = v.at("vehicles").as_int();
+  if (v.contains("map_size_m")) cfg->map.size_m = v.at("map_size_m").as_double();
+  if (v.contains("map_irregular")) {
+    cfg->map.irregular = v.at("map_irregular").as_bool();
+  }
+  if (v.contains("map_file")) cfg->map_file = v.at("map_file").as_string();
+  if (v.contains("partition_target_m")) {
+    cfg->partition.target_size = v.at("partition_target_m").as_double();
+  }
+  if (v.contains("radio_range_m")) {
+    cfg->radio.range_m = v.at("radio_range_m").as_double();
+  }
+  if (v.contains("workload")) {
+    cfg->workload = workload_from_name(v.at("workload").as_string());
+  }
+  if (v.contains("source_fraction")) {
+    cfg->source_fraction = v.at("source_fraction").as_double();
+  }
+  if (v.contains("poisson_rate_per_sec")) {
+    cfg->poisson_rate_per_sec = v.at("poisson_rate_per_sec").as_double();
+  }
+  if (v.contains("hotspot_targets")) {
+    cfg->hotspot_targets = v.at("hotspot_targets").as_int();
+  }
+  if (v.contains("warmup_sec")) {
+    cfg->warmup = SimTime::from_sec(v.at("warmup_sec").as_double());
+  }
+  if (v.contains("query_window_sec")) {
+    cfg->query_window = SimTime::from_sec(v.at("query_window_sec").as_double());
+  }
+  if (v.contains("grace_sec")) {
+    cfg->grace = SimTime::from_sec(v.at("grace_sec").as_double());
+  }
+  if (v.contains("parked_fraction")) {
+    cfg->mobility.parked_fraction = v.at("parked_fraction").as_double();
+  }
+  if (v.contains("use_rsus")) cfg->hlsrg.use_rsus = v.at("use_rsus").as_bool();
+  if (v.contains("suppress_artery_updates")) {
+    cfg->hlsrg.suppress_artery_updates =
+        v.at("suppress_artery_updates").as_bool();
+  }
+  if (v.contains("naive_every_crossing")) {
+    cfg->hlsrg.naive_every_crossing = v.at("naive_every_crossing").as_bool();
+  }
+  if (v.contains("l1_expiry_sec")) {
+    cfg->hlsrg.l1_expiry = SimTime::from_sec(v.at("l1_expiry_sec").as_double());
+  }
+  if (v.contains("l2_expiry_sec")) {
+    cfg->hlsrg.l2_expiry = SimTime::from_sec(v.at("l2_expiry_sec").as_double());
+  }
+  if (v.contains("l3_expiry_sec")) {
+    cfg->hlsrg.l3_expiry = SimTime::from_sec(v.at("l3_expiry_sec").as_double());
+  }
+  if (v.contains("beacons_enabled")) {
+    cfg->beacons.enabled = v.at("beacons_enabled").as_bool();
+  }
+  if (v.contains("beacon_interval_sec")) {
+    cfg->beacons.interval_sec = v.at("beacon_interval_sec").as_double();
+  }
+}
+
+JsonValue metrics_to_json(const RunMetrics& m) {
+  JsonValue o = JsonValue::object();
+  o.set("update_packets_originated", m.update_packets_originated);
+  o.set("update_transmissions", m.update_transmissions);
+  o.set("aggregation_packets", m.aggregation_packets);
+  o.set("aggregation_transmissions", m.aggregation_transmissions);
+  o.set("queries_issued", m.queries_issued);
+  o.set("queries_succeeded", m.queries_succeeded);
+  o.set("queries_failed", m.queries_failed);
+  o.set("query_packets_originated", m.query_packets_originated);
+  o.set("query_transmissions", m.query_transmissions);
+  o.set("server_lookup_hits", m.server_lookup_hits);
+  o.set("server_lookup_misses", m.server_lookup_misses);
+  o.set("rsu_lookup_hits", m.rsu_lookup_hits);
+  o.set("rsu_lookup_misses", m.rsu_lookup_misses);
+  o.set("notifications_sent", m.notifications_sent);
+  o.set("acks_sent", m.acks_sent);
+  o.set("radio_broadcasts", m.radio_broadcasts);
+  o.set("radio_unicasts", m.radio_unicasts);
+  o.set("radio_drops", m.radio_drops);
+  o.set("wired_messages", m.wired_messages);
+  o.set("gpsr_failures", m.gpsr_failures);
+  return o;
+}
+
+void metrics_from_json(const JsonValue& v, RunMetrics* m) {
+  m->update_packets_originated = v.at("update_packets_originated").as_uint64();
+  m->update_transmissions = v.at("update_transmissions").as_uint64();
+  m->aggregation_packets = v.at("aggregation_packets").as_uint64();
+  m->aggregation_transmissions = v.at("aggregation_transmissions").as_uint64();
+  m->queries_issued = v.at("queries_issued").as_uint64();
+  m->queries_succeeded = v.at("queries_succeeded").as_uint64();
+  m->queries_failed = v.at("queries_failed").as_uint64();
+  m->query_packets_originated = v.at("query_packets_originated").as_uint64();
+  m->query_transmissions = v.at("query_transmissions").as_uint64();
+  m->server_lookup_hits = v.at("server_lookup_hits").as_uint64();
+  m->server_lookup_misses = v.at("server_lookup_misses").as_uint64();
+  m->rsu_lookup_hits = v.at("rsu_lookup_hits").as_uint64();
+  m->rsu_lookup_misses = v.at("rsu_lookup_misses").as_uint64();
+  m->notifications_sent = v.at("notifications_sent").as_uint64();
+  m->acks_sent = v.at("acks_sent").as_uint64();
+  m->radio_broadcasts = v.at("radio_broadcasts").as_uint64();
+  m->radio_unicasts = v.at("radio_unicasts").as_uint64();
+  m->radio_drops = v.at("radio_drops").as_uint64();
+  m->wired_messages = v.at("wired_messages").as_uint64();
+  m->gpsr_failures = v.at("gpsr_failures").as_uint64();
+}
+
+JsonValue latency_to_json(const LatencySummary& l) {
+  JsonValue o = JsonValue::object();
+  o.set("count", l.count);
+  o.set("mean_ms", l.mean_ms);
+  o.set("min_ms", l.min_ms);
+  o.set("max_ms", l.max_ms);
+  o.set("p50_ms", l.p50_ms);
+  o.set("p95_ms", l.p95_ms);
+  o.set("p99_ms", l.p99_ms);
+  return o;
+}
+
+void latency_from_json(const JsonValue& v, LatencySummary* l) {
+  l->count = v.at("count").as_uint64();
+  l->mean_ms = v.at("mean_ms").as_double();
+  l->min_ms = v.at("min_ms").as_double();
+  l->max_ms = v.at("max_ms").as_double();
+  l->p50_ms = v.at("p50_ms").as_double();
+  l->p95_ms = v.at("p95_ms").as_double();
+  l->p99_ms = v.at("p99_ms").as_double();
+}
+
+JsonValue engine_to_json(const EngineStats& e) {
+  JsonValue o = JsonValue::object();
+  o.set("events_processed", e.events_processed);
+  o.set("events_scheduled", e.events_scheduled);
+  o.set("peak_queue_depth", e.peak_queue_depth);
+  o.set("sim_time_sec", e.sim_time_sec);
+  o.set("wall_clock_sec", e.wall_clock_sec);
+  o.set("events_per_sec", e.events_per_sec());
+  return o;
+}
+
+void engine_from_json(const JsonValue& v, EngineStats* e) {
+  e->events_processed = v.at("events_processed").as_uint64();
+  e->events_scheduled = v.at("events_scheduled").as_uint64();
+  e->peak_queue_depth = v.at("peak_queue_depth").as_uint64();
+  e->sim_time_sec = v.at("sim_time_sec").as_double();
+  e->wall_clock_sec = v.at("wall_clock_sec").as_double();
+}
+
+JsonValue derived_metrics_json(const RunMetrics& merged, std::size_t replicas) {
+  const double n = replicas == 0 ? 1.0 : static_cast<double>(replicas);
+  JsonValue o = JsonValue::object();
+  o.set("update_overhead",
+        static_cast<double>(merged.total_update_overhead()) / n);
+  o.set("query_overhead",
+        static_cast<double>(merged.total_query_overhead()) / n);
+  o.set("success_rate", merged.success_rate());
+  o.set("mean_query_latency_ms", merged.query_latency.mean_ms());
+  return o;
+}
+
+JsonValue RunReport::to_json() const {
+  JsonValue o = JsonValue::object();
+  o.set("protocol", protocol);
+  o.set("config", scenario_to_json(config));
+  o.set("metrics", metrics_to_json(metrics));
+  o.set("latency", latency_to_json(latency));
+  o.set("engine", engine_to_json(engine));
+  return o;
+}
+
+bool RunReport::from_json(const JsonValue& v, RunReport* out,
+                          std::string* error) {
+  if (!v.is_object()) {
+    if (error != nullptr) *error = "run report is not a JSON object";
+    return false;
+  }
+  for (const char* key : {"protocol", "config", "metrics", "latency", "engine"}) {
+    if (!v.contains(key)) {
+      if (error != nullptr) {
+        *error = std::string("run report missing field '") + key + "'";
+      }
+      return false;
+    }
+  }
+  if (!v.at("config").is_object() || !v.at("metrics").is_object() ||
+      !v.at("latency").is_object() || !v.at("engine").is_object()) {
+    if (error != nullptr) *error = "run report field has wrong type";
+    return false;
+  }
+  *out = RunReport{};
+  out->protocol = v.at("protocol").as_string();
+  scenario_from_json(v.at("config"), &out->config);
+  metrics_from_json(v.at("metrics"), &out->metrics);
+  latency_from_json(v.at("latency"), &out->latency);
+  engine_from_json(v.at("engine"), &out->engine);
+  return true;
+}
+
+RunReport make_run_report(Protocol protocol, const ScenarioConfig& cfg,
+                          const RunMetrics& metrics, const EngineStats& engine) {
+  RunReport r;
+  r.protocol = protocol_name(protocol);
+  r.config = cfg;
+  r.metrics = metrics;
+  r.latency = LatencySummary::from(metrics.query_latency);
+  r.engine = engine;
+  return r;
+}
+
+}  // namespace hlsrg

@@ -29,7 +29,7 @@ void RlsmpVehicleAgent::send_initial_update() {
   svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
                            VehicleId{}, payload->record.pos, 0});
   svc_->medium().broadcast(node_,
-                           svc_->make_packet(kCellUpdate, node_, payload));
+                           svc_->make_packet(PacketKind::kCellUpdate, node_, payload));
 }
 
 bool RlsmpVehicleAgent::lsc_duty() const {
@@ -85,7 +85,7 @@ void RlsmpVehicleAgent::send_cell_update(CellCoord old_cell,
   svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
                            VehicleId{}, payload->record.pos, 0});
   svc_->medium().broadcast(node_,
-                           svc_->make_packet(kCellUpdate, node_, payload));
+                           svc_->make_packet(PacketKind::kCellUpdate, node_, payload));
 }
 
 void RlsmpVehicleAgent::leave_leader_region() {
@@ -106,7 +106,7 @@ void RlsmpVehicleAgent::leave_leader_region() {
   svc_->metrics().aggregation_packets++;
   svc_->metrics().aggregation_transmissions++;
   svc_->medium().broadcast(node_,
-                           svc_->make_packet(kLeaderHandoff, node_, payload));
+                           svc_->make_packet(PacketKind::kLeaderHandoff, node_, payload));
   cell_table_.clear();
   cluster_table_.clear();
 }
@@ -140,14 +140,14 @@ void RlsmpVehicleAgent::aggregation_tick(std::int64_t period_index) {
   claim->cell = leader_cell_;
   claim->period_index = period_index;
   svc_->metrics().aggregation_transmissions++;
-  svc_->medium().broadcast(node_, svc_->make_packet(kPushClaim, node_, claim));
+  svc_->medium().broadcast(node_, svc_->make_packet(PacketKind::kPushClaim, node_, claim));
 
   auto payload = std::make_shared<CellSummaryPayload>();
   payload->cell = leader_cell_;
   for (const auto& [v, rec] : cell_table_) payload->records.push_back(rec);
   svc_->metrics().aggregation_packets++;
   svc_->gpsr().send(node_, g.cell_center(lsc), std::nullopt,
-                    svc_->make_packet(kCellSummary, node_, payload),
+                    svc_->make_packet(PacketKind::kCellSummary, node_, payload),
                     &svc_->metrics().aggregation_transmissions,
                     /*deliver=*/{}, /*fail=*/{},
                     /*delivery_radius=*/svc_->cfg().leader_radius_m);
@@ -159,7 +159,7 @@ void RlsmpVehicleAgent::aggregation_tick(std::int64_t period_index) {
 
 void RlsmpVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
   switch (packet.kind) {
-    case kCellUpdate: {
+    case PacketKind::kCellUpdate: {
       if (!in_leader_) return;
       const auto& u = payload_as<CellUpdatePayload>(packet);
       if (u.record.cell == leader_cell_) {
@@ -172,7 +172,7 @@ void RlsmpVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       }
       return;
     }
-    case kCellSummary: {
+    case PacketKind::kCellSummary: {
       if (!lsc_duty()) return;
       const auto& s = payload_as<CellSummaryPayload>(packet);
       const CellGrid& g = svc_->cells();
@@ -185,14 +185,14 @@ void RlsmpVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       }
       return;
     }
-    case kPushClaim: {
+    case PacketKind::kPushClaim: {
       const auto& c = payload_as<PushClaimPayload>(packet);
       if (in_leader_ && c.cell == leader_cell_) {
         heard_push_period_ = c.period_index;
       }
       return;
     }
-    case kLeaderHandoff: {
+    case PacketKind::kLeaderHandoff: {
       if (!in_leader_) return;
       const auto& h = payload_as<LeaderHandoffPayload>(packet);
       if (!(h.cell == leader_cell_)) return;
@@ -212,7 +212,7 @@ void RlsmpVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       }
       return;
     }
-    case kRlsmpQuery: {
+    case PacketKind::kRlsmpQuery: {
       const auto& q = payload_as<RlsmpQueryPayload>(packet);
       if (q.to_cell_leader) {
         handle_cell_leader_query(q);
@@ -221,7 +221,7 @@ void RlsmpVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       }
       return;
     }
-    case kRlsmpBatch: {
+    case PacketKind::kRlsmpBatch: {
       if (!lsc_duty()) return;
       const auto& batch = payload_as<RlsmpBatchPayload>(packet);
       // Relay the batch once within the LSC region, then run the normal
@@ -248,7 +248,7 @@ void RlsmpVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       }
       return;
     }
-    case kLscClaim: {
+    case PacketKind::kLscClaim: {
       const auto& c = payload_as<LscClaimPayload>(packet);
       if (auto it = elections_.find(c.query_id); it != elections_.end()) {
         svc_->sim().cancel(it->second);
@@ -257,12 +257,12 @@ void RlsmpVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       settled_elections_.insert(c.query_id);
       return;
     }
-    case kRlsmpNotify: {
+    case PacketKind::kRlsmpNotify: {
       const auto& n = payload_as<RlsmpNotifyPayload>(packet);
       if (n.target == vehicle_) answer_notify(n);
       return;
     }
-    case kRlsmpAck: {
+    case PacketKind::kRlsmpAck: {
       const auto& a = payload_as<RlsmpAckPayload>(packet);
       if (auto it = pending_.find(a.query_id); it != pending_.end()) {
         svc_->sim().cancel(it->second.timeout);
@@ -310,7 +310,7 @@ void RlsmpVehicleAgent::lsc_win_election(QueryId qid,
   auto claim = std::make_shared<LscClaimPayload>();
   claim->query_id = qid;
   svc_->metrics().query_transmissions++;
-  svc_->medium().broadcast(node_, svc_->make_packet(kLscClaim, node_, claim));
+  svc_->medium().broadcast(node_, svc_->make_packet(PacketKind::kLscClaim, node_, claim));
 
   purge_tables();
   if (const CellRecord* rec = cluster_table_.find(query.target)) {
@@ -320,7 +320,7 @@ void RlsmpVehicleAgent::lsc_win_election(QueryId qid,
     fwd->to_cell_leader = true;
     fwd->target_cell = rec->cell;
     svc_->gpsr().send(node_, svc_->cells().cell_center(rec->cell), std::nullopt,
-                      svc_->make_packet(kRlsmpQuery, node_, fwd),
+                      svc_->make_packet(PacketKind::kRlsmpQuery, node_, fwd),
                       &svc_->metrics().query_transmissions,
                       /*deliver=*/{}, /*fail=*/{},
                       /*delivery_radius=*/svc_->cfg().leader_radius_m);
@@ -371,7 +371,7 @@ void RlsmpVehicleAgent::flush_spiral_batch() {
     }
     pending.swap(rest);
     svc_->gpsr().send(node_, g.lsc_center(target), std::nullopt,
-                      svc_->make_packet(kRlsmpBatch, node_, batch),
+                      svc_->make_packet(PacketKind::kRlsmpBatch, node_, batch),
                       &svc_->metrics().query_transmissions,
                       /*deliver=*/{}, /*fail=*/{},
                       /*delivery_radius=*/svc_->cfg().leader_radius_m);
@@ -399,7 +399,7 @@ void RlsmpVehicleAgent::handle_cell_leader_query(
                            query.query_id});
   // Find Dv by flooding its cell (margin covers boundary queueing).
   svc_->geocast().flood(
-      node_, svc_->make_packet(kRlsmpNotify, node_, note),
+      node_, svc_->make_packet(PacketKind::kRlsmpNotify, node_, note),
       GeocastRegion::from_box(svc_->cells().cell_box(query.target_cell), 60.0),
       &svc_->metrics().query_transmissions);
 }
@@ -415,7 +415,7 @@ void RlsmpVehicleAgent::answer_notify(const RlsmpNotifyPayload& notify) {
                            notify.src_vehicle, svc_->vehicle_pos(vehicle_),
                            notify.query_id});
   svc_->gpsr().send(node_, notify.src_pos, notify.src_node,
-                    svc_->make_packet(kRlsmpAck, node_, ack),
+                    svc_->make_packet(PacketKind::kRlsmpAck, node_, ack),
                     &svc_->metrics().query_transmissions);
 }
 
@@ -438,7 +438,7 @@ void RlsmpVehicleAgent::start_query(QueryId qid, VehicleId target) {
   q->spiral_index = 0;
   svc_->metrics().query_packets_originated++;
   svc_->gpsr().send(node_, g.lsc_center(my_cluster), std::nullopt,
-                    svc_->make_packet(kRlsmpQuery, node_, q),
+                    svc_->make_packet(PacketKind::kRlsmpQuery, node_, q),
                     &svc_->metrics().query_transmissions,
                     /*deliver=*/{}, /*fail=*/{},
                     /*delivery_radius=*/svc_->cfg().leader_radius_m);

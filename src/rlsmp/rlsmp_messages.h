@@ -12,17 +12,8 @@
 
 namespace hlsrg {
 
-enum RlsmpKind : int {
-  kCellUpdate = 101,     // vehicle -> cell leader (one-hop broadcast)
-  kCellSummary = 102,    // cell leader -> LSC (GPSR, periodic)
-  kPushClaim = 103,      // aggregation suppression announcement (one-hop)
-  kLeaderHandoff = 104,  // leaving leader-region vehicle -> peers (one-hop)
-  kRlsmpQuery = 105,     // Sv -> LSC; LSC -> LSC (spiral); LSC -> cell leader
-  kLscClaim = 106,       // LSC election winner announcement (one-hop)
-  kRlsmpNotify = 107,    // cell leader -> Dv (region geocast)
-  kRlsmpAck = 108,       // Dv -> Sv (GPSR)
-  kRlsmpBatch = 109,     // LSC -> next LSC: aggregated unresolved queries
-};
+// Packet kinds live in the shared PacketKind enum (net/packet.h); RLSMP uses
+// the kCellUpdate..kRlsmpBatch block.
 
 struct CellRecord {
   VehicleId vehicle;

@@ -64,7 +64,7 @@ void RlsmpService::on_moved(VehicleId v, Vec2 before, Vec2 after) {
   vehicle_agents_[v.index()]->handle_moved(before, after);
 }
 
-Packet RlsmpService::make_packet(int kind, NodeId origin,
+Packet RlsmpService::make_packet(PacketKind kind, NodeId origin,
                                  std::shared_ptr<const PayloadBase> payload) {
   Packet p;
   p.id = packet_ids_.next();

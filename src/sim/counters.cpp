@@ -63,6 +63,14 @@ void LatencyStat::merge(const LatencyStat& other) {
   sorted_ = false;
 }
 
+void EngineStats::merge(const EngineStats& other) {
+  events_processed += other.events_processed;
+  events_scheduled += other.events_scheduled;
+  peak_queue_depth = std::max(peak_queue_depth, other.peak_queue_depth);
+  sim_time_sec += other.sim_time_sec;
+  wall_clock_sec += other.wall_clock_sec;
+}
+
 void RunMetrics::merge(const RunMetrics& other) {
   update_packets_originated += other.update_packets_originated;
   update_transmissions += other.update_transmissions;

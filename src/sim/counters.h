@@ -44,6 +44,30 @@ class LatencyStat {
   mutable bool sorted_ = false;
 };
 
+// Engine-level execution statistics for one run: how much work the
+// discrete-event core did and how fast the host executed it. Protocol
+// metrics (RunMetrics) describe the simulated world; EngineStats describe
+// the simulator itself — the bench reports emit both so perf PRs are
+// measurable.
+struct EngineStats {
+  std::uint64_t events_processed = 0;   // events dispatched by the queue
+  std::uint64_t events_scheduled = 0;   // events ever scheduled
+  std::uint64_t peak_queue_depth = 0;   // pending-event high-water mark
+  double sim_time_sec = 0.0;            // simulated horizon covered
+  double wall_clock_sec = 0.0;          // host time spent running the replica
+
+  // Host throughput; 0 when wall-clock was not captured.
+  [[nodiscard]] double events_per_sec() const {
+    return wall_clock_sec > 0.0
+               ? static_cast<double>(events_processed) / wall_clock_sec
+               : 0.0;
+  }
+
+  // Aggregates replicas: counts and times sum, peak depth takes the max
+  // (replicas run concurrently, so depths never stack in one queue).
+  void merge(const EngineStats& other);
+};
+
 // All metrics for one simulation run. Semantics:
 //   *_originated : packets created by their source (what the paper counts as
 //                  "number of location update packets").

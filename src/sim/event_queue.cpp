@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -12,6 +13,7 @@ EventHandle EventQueue::schedule_at(SimTime when, Action action) {
   const std::uint64_t seq = next_seq_++;
   heap_.push(Entry{when, seq});
   actions_.emplace(seq, std::move(action));
+  peak_depth_ = std::max(peak_depth_, actions_.size());
   return EventHandle{seq};
 }
 
@@ -42,6 +44,7 @@ bool EventQueue::run_one() {
   actions_.erase(it);
   HLSRG_CHECK(entry.when >= now_);
   now_ = entry.when;
+  ++events_dispatched_;
   action();
   return true;
 }

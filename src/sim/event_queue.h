@@ -58,6 +58,18 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return actions_.empty(); }
   [[nodiscard]] std::size_t size() const { return actions_.size(); }
 
+  // --- engine statistics (bench reports) -----------------------------------
+  // Events dispatched (run, not cancelled) since construction.
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return events_dispatched_;
+  }
+  // Events scheduled since construction (includes later-cancelled ones).
+  [[nodiscard]] std::uint64_t events_scheduled() const {
+    return next_seq_ - 1;
+  }
+  // High-water mark of pending (uncancelled) events.
+  [[nodiscard]] std::size_t peak_depth() const { return peak_depth_; }
+
   // Time of the earliest pending event; SimTime::max() when empty.
   [[nodiscard]] SimTime next_time() const;
 
@@ -78,6 +90,8 @@ class EventQueue {
   std::unordered_map<std::uint64_t, Action> actions_;
   SimTime now_;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t events_dispatched_ = 0;
+  std::size_t peak_depth_ = 0;
 };
 
 }  // namespace hlsrg

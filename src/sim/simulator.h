@@ -51,6 +51,17 @@ class Simulator {
   [[nodiscard]] RunMetrics& metrics() { return metrics_; }
   [[nodiscard]] const RunMetrics& metrics() const { return metrics_; }
 
+  // Snapshot of the engine counters (wall_clock_sec is the harness's to
+  // fill; the simulator has no business timing the host).
+  [[nodiscard]] EngineStats engine_stats() const {
+    EngineStats s;
+    s.events_processed = queue_.events_dispatched();
+    s.events_scheduled = queue_.events_scheduled();
+    s.peak_queue_depth = queue_.peak_depth();
+    s.sim_time_sec = queue_.now().sec();
+    return s;
+  }
+
   // Optional event trace: null (default) means tracing is off. The log must
   // outlive the simulation.
   void set_trace(TraceLog* trace) { trace_ = trace; }

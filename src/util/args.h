@@ -1,0 +1,193 @@
+// Minimal command-line flag parser shared by the bench binaries and the
+// example CLIs. One declaration style, one error style, one --help renderer —
+// previously each bench and example hand-rolled its own argv loop.
+//
+//   ArgParser args("runs one scenario");
+//   int replicas = 3;
+//   std::string out;
+//   args.add_int("--replicas", "N", "replicas per point", &replicas);
+//   args.add_string("--out", "FILE", "write JSON report to FILE", &out);
+//   if (!args.parse(argc, argv)) return args.exit_code();
+//
+// Flags always consume a value except those declared with add_flag (boolean
+// presence flags). Unknown flags are errors; `--help` prints usage and sets
+// help_requested().
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hlsrg {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string description)
+      : description_(std::move(description)) {}
+
+  void add_flag(const char* name, const char* help, bool* out) {
+    specs_.push_back({name, "", help, /*takes_value=*/false,
+                      [out](const std::string&) {
+                        *out = true;
+                        return true;
+                      }});
+  }
+
+  void add_string(const char* name, const char* value_name, const char* help,
+                  std::string* out) {
+    specs_.push_back({name, value_name, help, /*takes_value=*/true,
+                      [out](const std::string& v) {
+                        *out = v;
+                        return true;
+                      }});
+  }
+
+  void add_int(const char* name, const char* value_name, const char* help,
+               int* out) {
+    specs_.push_back({name, value_name, help, /*takes_value=*/true,
+                      [out](const std::string& v) {
+                        char* end = nullptr;
+                        const long parsed = std::strtol(v.c_str(), &end, 10);
+                        if (end == v.c_str() || *end != '\0') return false;
+                        *out = static_cast<int>(parsed);
+                        return true;
+                      }});
+  }
+
+  void add_uint64(const char* name, const char* value_name, const char* help,
+                  std::uint64_t* out) {
+    specs_.push_back({name, value_name, help, /*takes_value=*/true,
+                      [out](const std::string& v) {
+                        char* end = nullptr;
+                        const unsigned long long parsed =
+                            std::strtoull(v.c_str(), &end, 10);
+                        if (end == v.c_str() || *end != '\0') return false;
+                        *out = static_cast<std::uint64_t>(parsed);
+                        return true;
+                      }});
+  }
+
+  void add_double(const char* name, const char* value_name, const char* help,
+                  double* out) {
+    specs_.push_back({name, value_name, help, /*takes_value=*/true,
+                      [out](const std::string& v) {
+                        char* end = nullptr;
+                        const double parsed = std::strtod(v.c_str(), &end);
+                        if (end == v.c_str() || *end != '\0') return false;
+                        *out = parsed;
+                        return true;
+                      }});
+  }
+
+  // Enumerated string flag: value must be one of `choices`.
+  void add_choice(const char* name, const char* help,
+                  std::vector<std::string> choices, std::string* out) {
+    std::string value_name;
+    for (const std::string& c : choices) {
+      if (!value_name.empty()) value_name += '|';
+      value_name += c;
+    }
+    specs_.push_back({name, value_name, help, /*takes_value=*/true,
+                      [out, choices = std::move(choices)](const std::string& v) {
+                        for (const std::string& c : choices) {
+                          if (v == c) {
+                            *out = v;
+                            return true;
+                          }
+                        }
+                        return false;
+                      }});
+  }
+
+  // Parses argv. Returns false when parsing should stop (error or --help);
+  // the caller returns exit_code(). Errors print to stderr, --help to stdout.
+  [[nodiscard]] bool parse(int argc, char** argv) {
+    prog_ = argc > 0 ? argv[0] : "prog";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        help_requested_ = true;
+        std::fputs(usage().c_str(), stdout);
+        return false;
+      }
+      const Spec* spec = find(arg);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "unknown flag '%s'\n%s", arg.c_str(),
+                     usage().c_str());
+        exit_code_ = 2;
+        return false;
+      }
+      std::string value;
+      if (spec->takes_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s requires a value (%s)\n", arg.c_str(),
+                       spec->value_name.c_str());
+          exit_code_ = 2;
+          return false;
+        }
+        value = argv[++i];
+      }
+      if (!spec->apply(value)) {
+        std::fprintf(stderr, "invalid value '%s' for %s (expected %s)\n",
+                     value.c_str(), arg.c_str(), spec->value_name.c_str());
+        exit_code_ = 2;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  // 0 after --help, 2 after a parse error.
+  [[nodiscard]] int exit_code() const { return help_requested_ ? 0 : exit_code_; }
+
+  [[nodiscard]] std::string usage() const {
+    std::string out = "usage: " + prog_ + " [options]";
+    if (!description_.empty()) out += "\n" + description_;
+    out += "\n";
+    std::size_t width = std::string("--help").size();
+    for (const Spec& s : specs_) width = std::max(width, lhs(s).size());
+    for (const Spec& s : specs_) {
+      std::string line = "  " + lhs(s);
+      line.append(width + 3 - lhs(s).size(), ' ');
+      line += s.help + "\n";
+      out += line;
+    }
+    out += "  --help";
+    out.append(width + 3 - std::string("--help").size(), ' ');
+    out += "show this message\n";
+    return out;
+  }
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string value_name;
+    std::string help;
+    bool takes_value;
+    std::function<bool(const std::string&)> apply;
+  };
+
+  [[nodiscard]] static std::string lhs(const Spec& s) {
+    return s.takes_value ? s.name + " " + s.value_name : s.name;
+  }
+
+  [[nodiscard]] const Spec* find(const std::string& name) const {
+    for (const Spec& s : specs_) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+  std::string description_;
+  std::string prog_ = "prog";
+  std::vector<Spec> specs_;
+  bool help_requested_ = false;
+  int exit_code_ = 0;
+};
+
+}  // namespace hlsrg

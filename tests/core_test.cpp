@@ -288,7 +288,7 @@ TEST(MessagesTest, PayloadDowncast) {
   auto u = std::make_shared<UpdatePayload>();
   u->record = rec(5, 1.0);
   Packet pkt;
-  pkt.kind = kLocationUpdate;
+  pkt.kind = PacketKind::kLocationUpdate;
   pkt.payload = u;
   EXPECT_EQ(payload_as<UpdatePayload>(pkt).record.vehicle, VehicleId{5u});
 }

@@ -39,7 +39,7 @@ Packet make_test_packet(int value = 7) {
   p->value = value;
   Packet pkt;
   pkt.id = PacketId{std::uint32_t{1}};
-  pkt.kind = 42;
+  pkt.kind = PacketKind::kQueryRequest;
   pkt.payload = p;
   return pkt;
 }

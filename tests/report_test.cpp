@@ -1,0 +1,264 @@
+// Tests for the report subsystem: the JSON document model (writer + parser)
+// and the RunReport serializer round trip.
+#include <gtest/gtest.h>
+
+#include "report/bench_report.h"
+#include "report/json.h"
+#include "report/run_report.h"
+
+namespace hlsrg {
+namespace {
+
+TEST(JsonTest, ScalarsDump) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(std::uint64_t{1234567890123}).dump(), "1234567890123");
+  EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  const auto parsed = JsonValue::parse("\"a\\\"b\\\\c\\nd\\u0041\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "a\"b\\c\ndA");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndReplaces) {
+  JsonValue o = JsonValue::object();
+  o.set("b", 1);
+  o.set("a", 2);
+  o.set("b", 3);  // replace keeps position
+  EXPECT_EQ(o.dump(), "{\"b\":3,\"a\":2}");
+  EXPECT_EQ(o.at("b").as_int(), 3);
+  EXPECT_TRUE(o.at("missing").is_null());
+  EXPECT_FALSE(o.contains("missing"));
+}
+
+TEST(JsonTest, RoundTripNested) {
+  JsonValue o = JsonValue::object();
+  o.set("name", "bench");
+  o.set("n", 3);
+  o.set("ok", true);
+  o.set("nothing", JsonValue());
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back(2.25);
+  JsonValue inner = JsonValue::object();
+  inner.set("x", -7);
+  arr.push_back(std::move(inner));
+  o.set("items", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    const std::string text = o.dump(indent);
+    std::string error;
+    const auto parsed = JsonValue::parse(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->dump(), o.dump());
+  }
+}
+
+TEST(JsonTest, ParseErrors) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("{", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,]", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("123 456", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("tru", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, ParseAcceptsWhitespaceAndNumbers) {
+  const auto v = JsonValue::parse(" { \"a\" : [ -1.5e2 , 0 ] } ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->at("a").items()[0].as_double(), -150.0);
+  EXPECT_DOUBLE_EQ(v->at("a").items()[1].as_double(), 0.0);
+}
+
+RunMetrics sample_metrics() {
+  RunMetrics m;
+  m.update_packets_originated = 553;
+  m.update_transmissions = 1200;
+  m.aggregation_packets = 77;
+  m.aggregation_transmissions = 91;
+  m.queries_issued = 30;
+  m.queries_succeeded = 24;
+  m.queries_failed = 6;
+  m.query_packets_originated = 60;
+  m.query_transmissions = 2055;
+  m.server_lookup_hits = 18;
+  m.server_lookup_misses = 12;
+  m.rsu_lookup_hits = 9;
+  m.rsu_lookup_misses = 3;
+  m.notifications_sent = 24;
+  m.acks_sent = 24;
+  m.radio_broadcasts = 4000;
+  m.radio_unicasts = 900;
+  m.radio_drops = 55;
+  m.wired_messages = 140;
+  m.gpsr_failures = 4;
+  m.query_latency.add(SimTime::from_ms(120.0));
+  m.query_latency.add(SimTime::from_ms(80.0));
+  m.query_latency.add(SimTime::from_ms(500.0));
+  return m;
+}
+
+TEST(RunReportTest, JsonRoundTripFieldEquality) {
+  ScenarioConfig cfg = paper_scenario(450, 77);
+  cfg.map.irregular = true;
+  cfg.partition.target_size = 400.0;
+  cfg.radio.range_m = 450.0;
+  cfg.workload = ScenarioConfig::WorkloadKind::kHotspot;
+  cfg.source_fraction = 0.2;
+  cfg.poisson_rate_per_sec = 2.5;
+  cfg.hotspot_targets = 7;
+  cfg.warmup = SimTime::from_sec(45.0);
+  cfg.query_window = SimTime::from_sec(20.0);
+  cfg.grace = SimTime::from_sec(30.0);
+  cfg.mobility.parked_fraction = 0.25;
+  cfg.hlsrg.use_rsus = false;
+  cfg.hlsrg.suppress_artery_updates = false;
+  cfg.hlsrg.l1_expiry = SimTime::from_sec(90.0);
+
+  EngineStats engine;
+  engine.events_processed = 46121;
+  engine.events_scheduled = 46504;
+  engine.peak_queue_depth = 930;
+  engine.sim_time_sec = 150.0;
+  engine.wall_clock_sec = 0.0625;
+
+  const RunReport report =
+      make_run_report(Protocol::kHlsrg, cfg, sample_metrics(), engine);
+
+  // Serialize, re-parse the text, deserialize, and compare every field.
+  std::string error;
+  const auto doc = JsonValue::parse(report.to_json().dump(2), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  RunReport back;
+  ASSERT_TRUE(RunReport::from_json(*doc, &back, &error)) << error;
+
+  EXPECT_EQ(back.protocol, "HLSRG");
+
+  // Scenario config subset.
+  EXPECT_EQ(back.config.seed, cfg.seed);
+  EXPECT_EQ(back.config.vehicles, cfg.vehicles);
+  EXPECT_DOUBLE_EQ(back.config.map.size_m, cfg.map.size_m);
+  EXPECT_EQ(back.config.map.irregular, cfg.map.irregular);
+  EXPECT_DOUBLE_EQ(back.config.partition.target_size,
+                   cfg.partition.target_size);
+  EXPECT_DOUBLE_EQ(back.config.radio.range_m, cfg.radio.range_m);
+  EXPECT_EQ(back.config.workload, cfg.workload);
+  EXPECT_DOUBLE_EQ(back.config.source_fraction, cfg.source_fraction);
+  EXPECT_DOUBLE_EQ(back.config.poisson_rate_per_sec, cfg.poisson_rate_per_sec);
+  EXPECT_EQ(back.config.hotspot_targets, cfg.hotspot_targets);
+  EXPECT_EQ(back.config.warmup, cfg.warmup);
+  EXPECT_EQ(back.config.query_window, cfg.query_window);
+  EXPECT_EQ(back.config.grace, cfg.grace);
+  EXPECT_DOUBLE_EQ(back.config.mobility.parked_fraction,
+                   cfg.mobility.parked_fraction);
+  EXPECT_EQ(back.config.hlsrg.use_rsus, cfg.hlsrg.use_rsus);
+  EXPECT_EQ(back.config.hlsrg.suppress_artery_updates,
+            cfg.hlsrg.suppress_artery_updates);
+  EXPECT_EQ(back.config.hlsrg.l1_expiry, cfg.hlsrg.l1_expiry);
+
+  // Counters.
+  const RunMetrics& a = report.metrics;
+  const RunMetrics& b = back.metrics;
+  EXPECT_EQ(b.update_packets_originated, a.update_packets_originated);
+  EXPECT_EQ(b.update_transmissions, a.update_transmissions);
+  EXPECT_EQ(b.aggregation_packets, a.aggregation_packets);
+  EXPECT_EQ(b.aggregation_transmissions, a.aggregation_transmissions);
+  EXPECT_EQ(b.queries_issued, a.queries_issued);
+  EXPECT_EQ(b.queries_succeeded, a.queries_succeeded);
+  EXPECT_EQ(b.queries_failed, a.queries_failed);
+  EXPECT_EQ(b.query_packets_originated, a.query_packets_originated);
+  EXPECT_EQ(b.query_transmissions, a.query_transmissions);
+  EXPECT_EQ(b.server_lookup_hits, a.server_lookup_hits);
+  EXPECT_EQ(b.server_lookup_misses, a.server_lookup_misses);
+  EXPECT_EQ(b.rsu_lookup_hits, a.rsu_lookup_hits);
+  EXPECT_EQ(b.rsu_lookup_misses, a.rsu_lookup_misses);
+  EXPECT_EQ(b.notifications_sent, a.notifications_sent);
+  EXPECT_EQ(b.acks_sent, a.acks_sent);
+  EXPECT_EQ(b.radio_broadcasts, a.radio_broadcasts);
+  EXPECT_EQ(b.radio_unicasts, a.radio_unicasts);
+  EXPECT_EQ(b.radio_drops, a.radio_drops);
+  EXPECT_EQ(b.wired_messages, a.wired_messages);
+  EXPECT_EQ(b.gpsr_failures, a.gpsr_failures);
+
+  // Latency digest.
+  EXPECT_EQ(back.latency.count, report.latency.count);
+  EXPECT_DOUBLE_EQ(back.latency.mean_ms, report.latency.mean_ms);
+  EXPECT_DOUBLE_EQ(back.latency.min_ms, report.latency.min_ms);
+  EXPECT_DOUBLE_EQ(back.latency.max_ms, report.latency.max_ms);
+  EXPECT_DOUBLE_EQ(back.latency.p50_ms, report.latency.p50_ms);
+  EXPECT_DOUBLE_EQ(back.latency.p95_ms, report.latency.p95_ms);
+  EXPECT_DOUBLE_EQ(back.latency.p99_ms, report.latency.p99_ms);
+
+  // Engine stats.
+  EXPECT_EQ(back.engine.events_processed, engine.events_processed);
+  EXPECT_EQ(back.engine.events_scheduled, engine.events_scheduled);
+  EXPECT_EQ(back.engine.peak_queue_depth, engine.peak_queue_depth);
+  EXPECT_DOUBLE_EQ(back.engine.sim_time_sec, engine.sim_time_sec);
+  EXPECT_DOUBLE_EQ(back.engine.wall_clock_sec, engine.wall_clock_sec);
+}
+
+TEST(RunReportTest, FromJsonRejectsMalformed) {
+  RunReport out;
+  std::string error;
+  EXPECT_FALSE(RunReport::from_json(JsonValue(3.0), &out, &error));
+  JsonValue incomplete = JsonValue::object();
+  incomplete.set("protocol", "HLSRG");
+  EXPECT_FALSE(RunReport::from_json(incomplete, &out, &error));
+  EXPECT_NE(error.find("missing"), std::string::npos);
+}
+
+TEST(BenchReportTest, SectionsRowsAndResults) {
+  BenchReport report("unit_bench", 2);
+  report.begin_section("section one", "success");
+
+  ReplicaSet set;
+  set.replicas.resize(2);
+  set.engine.resize(2);
+  set.engine[0].events_processed = 10;
+  set.engine[0].wall_clock_sec = 0.5;
+  set.engine[1].events_processed = 30;
+  set.engine[1].wall_clock_sec = 0.25;
+  for (const EngineStats& e : set.engine) set.engine_total.merge(e);
+  set.merged = sample_metrics();
+
+  const ScenarioConfig cfg = paper_scenario(300, 9);
+  report.add_result("point A", "HLSRG", cfg, set);
+  report.add_result("point A", "RLSMP", cfg, set);
+  report.add_result("point B", "HLSRG", cfg, set);
+
+  const JsonValue doc = report.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), kBenchSchema);
+  EXPECT_EQ(doc.at("bench").as_string(), "unit_bench");
+  EXPECT_EQ(doc.at("replicas").as_int(), 2);
+  ASSERT_EQ(doc.at("sections").size(), 1u);
+  const JsonValue& rows = doc.at("sections").items()[0].at("rows");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.items()[0].at("label").as_string(), "point A");
+  EXPECT_EQ(rows.items()[0].at("results").size(), 2u);
+  EXPECT_EQ(rows.items()[1].at("results").size(), 1u);
+
+  const JsonValue& first = rows.items()[0].at("results").items()[0];
+  EXPECT_EQ(first.at("protocol").as_string(), "HLSRG");
+  EXPECT_EQ(first.at("replica_engine").size(), 2u);
+  EXPECT_EQ(first.at("engine").at("events_processed").as_uint64(), 40u);
+  // Merged-over-2-replicas derived value: 553 update packets / 2.
+  EXPECT_DOUBLE_EQ(first.at("derived").at("update_overhead").as_double(),
+                   553.0 / 2.0);
+
+  // The whole document survives a text round trip.
+  const auto parsed = JsonValue::parse(doc.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), doc.dump());
+}
+
+}  // namespace
+}  // namespace hlsrg

@@ -258,6 +258,97 @@ TEST(LatencyStatTest, MergeIntoEmpty) {
   EXPECT_DOUBLE_EQ(a.mean_ms(), 5.0);
 }
 
+TEST(LatencyStatTest, MergeIsAssociative) {
+  // (a ∪ b) ∪ c must equal a ∪ (b ∪ c) in every statistic, including
+  // percentiles over the pooled sample set.
+  LatencyStat a, b, c;
+  for (const int ms : {40, 10}) a.add(SimTime::from_ms(ms));
+  for (const int ms : {90, 20, 70}) b.add(SimTime::from_ms(ms));
+  c.add(SimTime::from_ms(60));
+
+  LatencyStat left = a;   // (a+b)+c
+  left.merge(b);
+  left.merge(c);
+  LatencyStat bc = b;     // a+(b+c)
+  bc.merge(c);
+  LatencyStat right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_DOUBLE_EQ(left.mean_ms(), right.mean_ms());
+  EXPECT_DOUBLE_EQ(left.min_ms(), right.min_ms());
+  EXPECT_DOUBLE_EQ(left.max_ms(), right.max_ms());
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(left.percentile_ms(q), right.percentile_ms(q)) << q;
+  }
+}
+
+TEST(LatencyStatTest, PercentileOfEmptyIsZero) {
+  const LatencyStat s;
+  EXPECT_DOUBLE_EQ(s.percentile_ms(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(1.0), 0.0);
+}
+
+TEST(LatencyStatTest, PercentileSingleSample) {
+  LatencyStat s;
+  s.add(SimTime::from_ms(42));
+  // With one sample, every quantile is that sample.
+  EXPECT_DOUBLE_EQ(s.percentile_ms(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(1.0), 42.0);
+}
+
+TEST(LatencyStatTest, PercentileEndpointsAreMinAndMax) {
+  LatencyStat s;
+  for (const int ms : {70, 10, 30, 50, 90}) s.add(SimTime::from_ms(ms));
+  EXPECT_DOUBLE_EQ(s.percentile_ms(0.0), s.min_ms());
+  EXPECT_DOUBLE_EQ(s.percentile_ms(1.0), s.max_ms());
+  // Nearest-rank median of {10,30,50,70,90}.
+  EXPECT_DOUBLE_EQ(s.percentile_ms(0.5), 50.0);
+}
+
+TEST(EngineStatsTest, MergeSumsCountsAndMaxesPeakDepth) {
+  EngineStats a, b;
+  a.events_processed = 100;
+  a.events_scheduled = 120;
+  a.peak_queue_depth = 40;
+  a.sim_time_sec = 150.0;
+  a.wall_clock_sec = 0.5;
+  b.events_processed = 300;
+  b.events_scheduled = 310;
+  b.peak_queue_depth = 25;
+  b.sim_time_sec = 150.0;
+  b.wall_clock_sec = 1.5;
+  a.merge(b);
+  EXPECT_EQ(a.events_processed, 400u);
+  EXPECT_EQ(a.events_scheduled, 430u);
+  EXPECT_EQ(a.peak_queue_depth, 40u);  // max, not sum
+  EXPECT_DOUBLE_EQ(a.sim_time_sec, 300.0);
+  EXPECT_DOUBLE_EQ(a.wall_clock_sec, 2.0);
+  EXPECT_DOUBLE_EQ(a.events_per_sec(), 200.0);
+}
+
+TEST(EngineStatsTest, EventsPerSecZeroWithoutWallClock) {
+  EngineStats s;
+  s.events_processed = 1000;
+  EXPECT_DOUBLE_EQ(s.events_per_sec(), 0.0);
+}
+
+TEST(EventQueueTest, TracksDispatchAndPeakDepthCounters) {
+  EventQueue q;
+  q.schedule_at(SimTime::from_sec(1), [] {});
+  q.schedule_at(SimTime::from_sec(2), [] {});
+  q.schedule_at(SimTime::from_sec(3), [] {});
+  EXPECT_EQ(q.events_scheduled(), 3u);
+  EXPECT_EQ(q.peak_depth(), 3u);
+  EXPECT_EQ(q.events_dispatched(), 0u);
+  q.run_until(SimTime::from_sec(10));
+  EXPECT_EQ(q.events_dispatched(), 3u);
+  EXPECT_EQ(q.peak_depth(), 3u);  // high-water mark survives the drain
+}
+
 TEST(RunMetricsTest, MergeSumsCounters) {
   RunMetrics a, b;
   a.update_packets_originated = 10;
