@@ -13,6 +13,10 @@
 //   --seed S       override every sweep point's base seed
 //   --threads T    replica-runner thread count (0 = auto)
 //   --out FILE     JSON report path (default BENCH_<name>.json in the cwd)
+//   --audit-determinism
+//                  re-run every measurement's replica set single-threaded
+//                  and fail (exit 2) unless the per-replica state digests
+//                  match the multi-threaded run bit for bit
 #pragma once
 
 #include <cstdio>
@@ -20,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/digest.h"
 #include "harness/runner.h"
 #include "harness/scenario.h"
 #include "report/bench_report.h"
@@ -34,6 +39,7 @@ struct BenchOptions {
   int threads = 0;
   std::uint64_t seed = 0;  // 0 = keep each sweep point's built-in seed
   std::string out;         // JSON report path
+  bool audit_determinism = false;  // cross-check digests vs 1-thread rerun
   bool parse_failed = false;
   int exit_code = 0;
 };
@@ -57,6 +63,9 @@ inline BenchOptions parse_options(int argc, char** argv, const char* name,
   args.add_uint64("--seed", "S", "override the base seed of every point",
                   &seed);
   args.add_string("--out", "FILE", "JSON report path", &opts.out);
+  args.add_flag("--audit-determinism",
+                "verify state digests against a single-threaded rerun",
+                &opts.audit_determinism);
   if (!args.parse(argc, argv)) {
     opts.parse_failed = true;
     opts.exit_code = args.exit_code();
@@ -98,6 +107,9 @@ class SweepDriver {
     const ReplicaSet set =
         run_replicas(effective, protocol, opts_.replicas,
                      static_cast<std::size_t>(opts_.threads));
+    if (opts_.audit_determinism) {
+      check_determinism(label, effective, protocol, set);
+    }
     report_.add_result(label, protocol_name(protocol), effective, set);
     return set;
   }
@@ -149,6 +161,30 @@ class SweepDriver {
   }
 
  private:
+  // --audit-determinism: re-runs the replica set on one thread and compares
+  // per-replica end-state digests. Replicas share no mutable state, so any
+  // mismatch means threading leaked into simulation results (shared RNG,
+  // global state, a race); that invalidates every figure, so the process
+  // exits immediately with status 2.
+  void check_determinism(const std::string& label, const ScenarioConfig& cfg,
+                         Protocol protocol, const ReplicaSet& set) {
+    const ReplicaSet baseline = run_replicas(cfg, protocol, opts_.replicas, 1);
+    const std::size_t bad =
+        first_digest_mismatch(baseline.digests, set.digests);
+    if (bad == static_cast<std::size_t>(-1)) return;
+    const std::uint64_t got =
+        bad < set.digests.size() ? set.digests[bad] : 0;
+    std::fprintf(stderr,
+                 "determinism audit failed: %s %s replica %zu (seed %llu): "
+                 "1-thread digest %016llx, %d-thread digest %016llx\n",
+                 label.c_str(), protocol_name(protocol), bad,
+                 static_cast<unsigned long long>(cfg.seed + bad),
+                 static_cast<unsigned long long>(baseline.digests[bad]),
+                 opts_.threads,
+                 static_cast<unsigned long long>(got));
+    std::exit(2);
+  }
+
   BenchOptions opts_;
   BenchReport report_;
   bool finished_ = false;

@@ -13,8 +13,26 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Static analysis (no-op locally when clang-tidy is absent; real in CI).
+scripts/lint.sh
+
+# Determinism smoke: one bench run twice (multi-threaded vs single-threaded
+# replica execution) must produce bit-identical per-replica state digests.
+./build/bench/fig34_success_rate --replicas 2 --threads 4 \
+  --audit-determinism --out "$(mktemp)"
+
+benches=(build/bench/*)
+found_bench=false
+for b in "${benches[@]}"; do
+  [ -x "$b" ] && [ -f "$b" ] && found_bench=true && break
+done
+if ! $found_bench; then
+  echo "error: no bench executables under build/bench/ — build is broken" >&2
+  exit 1
+fi
+
 reports=()
-for b in build/bench/*; do
+for b in "${benches[@]}"; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   case "$(basename "$b")" in
     micro_*) "$b" ;;  # google-benchmark micro benches: no JSON report

@@ -1,0 +1,57 @@
+#include "audit/audit_runner.h"
+
+#include <cstdio>
+#include <functional>
+
+#include "audit/conservation_audit.h"
+#include "audit/grid_audit.h"
+#include "audit/table_audit.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace hlsrg {
+
+void AuditRunner::add(std::unique_ptr<Auditor> auditor) {
+  HLSRG_CHECK(auditor != nullptr);
+  auditors_.push_back(std::move(auditor));
+}
+
+AuditReport AuditRunner::run(const AuditScope& scope) const {
+  AuditReport report;
+  for (const auto& auditor : auditors_) {
+    auditor->check(scope, &report);
+  }
+  return report;
+}
+
+void AuditRunner::enforce(const AuditScope& scope) const {
+  const AuditReport report = run(scope);
+  if (report.ok()) return;
+  std::fprintf(stderr, "audit failed with %zu violation(s):\n%s",
+               report.violations().size(), report.to_string().c_str());
+  HLSRG_CHECK_MSG(false, "audit violations detected");
+}
+
+void AuditRunner::attach_periodic(Simulator& sim, AuditScope scope,
+                                  SimTime period, SimTime until) const {
+  HLSRG_CHECK(period > SimTime());
+  // Self-rescheduling tick; copies the scope so the caller's goes away.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, &sim, scope, period, until, tick] {
+    enforce(scope);
+    if (sim.now() + period <= until) {
+      sim.schedule_after(period, *tick);
+    }
+  };
+  if (period <= until) sim.schedule_after(period, *tick);
+}
+
+AuditRunner AuditRunner::standard() {
+  AuditRunner runner;
+  runner.add(std::make_unique<GridAuditor>());
+  runner.add(std::make_unique<TableAuditor>());
+  runner.add(std::make_unique<ConservationAuditor>());
+  return runner;
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,48 @@
+// Composes auditors, escalates violations, and self-schedules during runs.
+//
+// AuditRunner::standard() builds the full set (grid, table, conservation).
+// `run` collects violations for inspection (tests); `enforce` aborts the
+// process on the first dirty report, printing every violation first — in a
+// periodic in-run audit that turns a silent state corruption into a loud
+// failure at the tick where it first becomes visible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "sim/time.h"
+
+namespace hlsrg {
+
+class Simulator;
+
+class AuditRunner {
+ public:
+  void add(std::unique_ptr<Auditor> auditor);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Auditor>>& auditors() const {
+    return auditors_;
+  }
+
+  // Runs every auditor; the report holds all violations found.
+  [[nodiscard]] AuditReport run(const AuditScope& scope) const;
+
+  // Runs every auditor and aborts (HLSRG_CHECK) on any violation, after
+  // printing the full report to stderr.
+  void enforce(const AuditScope& scope) const;
+
+  // Schedules a recurring enforce() on `sim` every `period` until `until`
+  // (inclusive of the first tick at now + period). The runner and every
+  // component in `scope` must outlive the simulation.
+  void attach_periodic(Simulator& sim, AuditScope scope, SimTime period,
+                       SimTime until) const;
+
+  // The full standard auditor set: grid, table, conservation.
+  [[nodiscard]] static AuditRunner standard();
+
+ private:
+  std::vector<std::unique_ptr<Auditor>> auditors_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,77 @@
+#include "audit/conservation_audit.h"
+
+#include <sstream>
+
+#include "core/location_service.h"
+#include "sim/simulator.h"
+
+namespace hlsrg {
+
+void ConservationAuditor::check(const AuditScope& scope,
+                                AuditReport* report) const {
+  if (scope.sim == nullptr) return;
+  const Simulator& sim = *scope.sim;
+  const EventQueue& queue = sim.queue();
+  const RunMetrics& m = sim.metrics();
+
+  const std::uint64_t accounted = queue.events_dispatched() +
+                                  queue.events_cancelled() +
+                                  static_cast<std::uint64_t>(queue.size());
+  if (queue.events_scheduled() != accounted) {
+    std::ostringstream os;
+    os << "event queue leaks events: scheduled " << queue.events_scheduled()
+       << " != dispatched " << queue.events_dispatched() << " + cancelled "
+       << queue.events_cancelled() << " + pending " << queue.size();
+    report->add("conservation", os.str());
+  }
+  if (queue.next_time() < queue.now()) {
+    std::ostringstream os;
+    os << "event queue time runs backwards: next event at "
+       << queue.next_time() << " is before now " << queue.now();
+    report->add("conservation", os.str());
+  }
+
+  for (int kind = 0; kind < static_cast<int>(PacketLedger::kSlots); ++kind) {
+    const std::uint64_t offered = m.channel.offered(kind);
+    const std::uint64_t settled =
+        m.channel.delivered(kind) + m.channel.dropped(kind);
+    if (offered != settled) {
+      std::ostringstream os;
+      os << "channel ledger unbalanced for packet kind " << kind
+         << ": offered " << offered << " != delivered "
+         << m.channel.delivered(kind) << " + dropped "
+         << m.channel.dropped(kind);
+      report->add("conservation", os.str());
+    }
+  }
+  // Every ledger drop is a radio drop; radio_drops also counts the
+  // packet-less frame paths, so it can only be larger.
+  if (m.radio_drops < m.channel.total_dropped()) {
+    std::ostringstream os;
+    os << "radio_drops " << m.radio_drops
+       << " is below the channel ledger's dropped total "
+       << m.channel.total_dropped();
+    report->add("conservation", os.str());
+  }
+
+  if (m.queries_succeeded + m.queries_failed > m.queries_issued) {
+    std::ostringstream os;
+    os << "more queries settled than issued: " << m.queries_succeeded
+       << " succeeded + " << m.queries_failed << " failed > "
+       << m.queries_issued << " issued";
+    report->add("conservation", os.str());
+  }
+  if (scope.service != nullptr) {
+    const std::uint64_t outstanding = scope.service->tracker().outstanding();
+    if (m.queries_issued !=
+        m.queries_succeeded + m.queries_failed + outstanding) {
+      std::ostringstream os;
+      os << "query accounting unbalanced: issued " << m.queries_issued
+         << " != succeeded " << m.queries_succeeded << " + failed "
+         << m.queries_failed << " + outstanding " << outstanding;
+      report->add("conservation", os.str());
+    }
+  }
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,21 @@
+// Grid-partition soundness auditor.
+//
+// Verifies that the road-adapted partition and the three-level hierarchy
+// built over it form a proper tiling: boundary lines are strictly ordered
+// and cover the map, cells at every level are positive-area, adjacent
+// without overlap, and exhaustive; every L1 cell nests inside its L2/L3
+// parent; coordinate/id round trips are exact; and every cell has a valid
+// center intersection inside the map.
+#pragma once
+
+#include "audit/auditor.h"
+
+namespace hlsrg {
+
+class GridAuditor final : public Auditor {
+ public:
+  [[nodiscard]] const char* name() const override { return "grid"; }
+  void check(const AuditScope& scope, AuditReport* report) const override;
+};
+
+}  // namespace hlsrg

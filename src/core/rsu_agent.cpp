@@ -83,6 +83,7 @@ void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
 
 void HlsrgRsuAgent::push_summary_to_l3() {
   l2_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
+  full_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
   if (l2_table_.size() > 0) {
     auto payload = std::make_shared<L2SummaryPayload>();
     payload->l2 = coord_;
@@ -100,6 +101,7 @@ void HlsrgRsuAgent::push_summary_to_l3() {
 
 void HlsrgRsuAgent::gossip_to_neighbors() {
   l3_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
+  full_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
   const auto& neighbors = svc_->wired().links_of(node_);
   if (l3_table_.size() > 0 && !neighbors.empty()) {
     auto payload = std::make_shared<L3GossipPayload>();

@@ -34,6 +34,12 @@ class HlsrgRsuAgent final : public PacketSink {
   [[nodiscard]] const L3Table& l3_table() const { return l3_table_; }
   [[nodiscard]] const L1Table& full_table() const { return full_table_; }
 
+  // Mutable table access for tests only: the audit tests corrupt entries in
+  // place to prove the auditors catch them. Protocol code must not use these.
+  [[nodiscard]] L2Table& mutable_l2_table() { return l2_table_; }
+  [[nodiscard]] L3Table& mutable_l3_table() { return l3_table_; }
+  [[nodiscard]] L1Table& mutable_full_table() { return full_table_; }
+
  private:
   using QueryId = QueryTracker::QueryId;
 

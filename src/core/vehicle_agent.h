@@ -34,6 +34,8 @@ class HlsrgVehicleAgent final : public PacketSink {
   // --- introspection (tests) ---------------------------------------------------
   [[nodiscard]] bool in_center() const { return in_center_; }
   [[nodiscard]] const L1Table& table() const { return table_; }
+  // Mutable table access for tests only (audit corruption injection).
+  [[nodiscard]] L1Table& mutable_table() { return table_; }
   [[nodiscard]] VehicleId vehicle() const { return vehicle_; }
   [[nodiscard]] NodeId node() const { return node_; }
 

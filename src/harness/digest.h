@@ -1,0 +1,28 @@
+// Determinism digests: a 64-bit FNV-1a hash over a replica's final state.
+//
+// Two runs of the same (scenario, protocol, seed) must end in bit-identical
+// simulation state regardless of how many host threads ran the replica set —
+// replicas share no mutable state, so thread count can only change digests
+// if something leaks between them (a shared RNG, a global, a data race). The
+// digest walks deterministic state only: simulation clock and event-queue
+// counters, per-vehicle kinematic state, protocol metrics, and (for HLSRG)
+// every location table. Host-side measurements like wall-clock time are
+// excluded by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hlsrg {
+
+class World;
+
+// Digest of `world`'s current deterministic state.
+[[nodiscard]] std::uint64_t state_digest(World& world);
+
+// Index of the first position where the digest vectors differ (in value or
+// length); returns SIZE_MAX when they match.
+[[nodiscard]] std::size_t first_digest_mismatch(
+    const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b);
+
+}  // namespace hlsrg

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "harness/digest.h"
 #include "harness/parallel.h"
 #include "util/check.h"
 
@@ -40,6 +41,7 @@ ReplicaSet run_replicas(const ScenarioConfig& cfg, Protocol protocol,
   ReplicaSet out;
   out.replicas.resize(static_cast<std::size_t>(replicas));
   out.engine.resize(static_cast<std::size_t>(replicas));
+  out.digests.resize(static_cast<std::size_t>(replicas));
   if (threads == 0) {
     threads = default_thread_count(static_cast<std::size_t>(replicas));
   }
@@ -51,6 +53,7 @@ ReplicaSet run_replicas(const ScenarioConfig& cfg, Protocol protocol,
                  World world(replica_cfg, protocol);
                  out.replicas[i] = world.run();
                  const auto stop = std::chrono::steady_clock::now();
+                 out.digests[i] = state_digest(world);
                  out.engine[i] = world.sim().engine_stats();
                  out.engine[i].wall_clock_sec =
                      std::chrono::duration<double>(stop - start).count();

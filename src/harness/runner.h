@@ -17,6 +17,10 @@ struct ReplicaSet {
   std::vector<RunMetrics> replicas;
   // Per-replica engine stats (events processed, wall-clock), same indexing.
   std::vector<EngineStats> engine;
+  // Per-replica end-state digests (harness/digest.h), same indexing. Pure
+  // functions of (cfg, protocol, seed + i): any dependence on thread count
+  // or run interleaving is a determinism bug.
+  std::vector<std::uint64_t> digests;
   // All replicas merged (counts summed, latencies pooled).
   RunMetrics merged;
   // Engine stats aggregated across replicas (counts/times summed, peak

@@ -80,6 +80,26 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
 
   mobility_->start();
   schedule_workload();
+
+#ifdef HLSRG_AUDIT_ENABLED
+  // HLSRG_AUDIT=ON: enforce every invariant periodically during the run so a
+  // corruption aborts at the audit tick where it first becomes visible.
+  auditors_.attach_periodic(sim_, audit_scope(), SimTime::from_sec(10.0),
+                            cfg_.end_time());
+#endif
+}
+
+AuditScope World::audit_scope() {
+  AuditScope scope;
+  scope.sim = &sim_;
+  scope.net = &net_;
+  scope.hierarchy = hierarchy_.get();
+  scope.mobility = mobility_.get();
+  scope.service = service_.get();
+  if (protocol_ == Protocol::kHlsrg) {
+    scope.hlsrg = static_cast<const HlsrgService*>(service_.get());
+  }
+  return scope;
 }
 
 void World::schedule_workload() {
@@ -144,6 +164,9 @@ void World::schedule_workload() {
 
 const RunMetrics& World::run() {
   sim_.run_until(cfg_.end_time());
+#ifdef HLSRG_AUDIT_ENABLED
+  audit_enforce();
+#endif
   return sim_.metrics();
 }
 

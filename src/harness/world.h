@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 
+#include "audit/audit_runner.h"
 #include "core/hlsrg_service.h"
 #include "grid/hierarchy.h"
 #include "harness/scenario.h"
@@ -62,6 +63,16 @@ class World {
   // models an outage — packets to it fall on deaf ears).
   [[nodiscard]] NodeRegistry& registry() { return registry_; }
 
+  // --- invariant auditing (src/audit) ---------------------------------------
+  // The audit view of this world; `hlsrg` is set only under Protocol::kHlsrg.
+  [[nodiscard]] AuditScope audit_scope();
+  // One full pass of the standard auditors against the current state.
+  [[nodiscard]] AuditReport audit_now() { return auditors_.run(audit_scope()); }
+  // Like audit_now but aborts with the violation list on any finding. Under
+  // -DHLSRG_AUDIT=ON the constructor also schedules this periodically and
+  // run() calls it at the end of the horizon.
+  void audit_enforce() { auditors_.enforce(audit_scope()); }
+
  private:
   void schedule_workload();
 
@@ -80,6 +91,7 @@ class World {
   std::unique_ptr<RsuGrid> rsus_;
   std::unique_ptr<CellGrid> cells_;
   std::unique_ptr<LocationService> service_;
+  AuditRunner auditors_ = AuditRunner::standard();
   int planned_queries_ = 0;
 };
 

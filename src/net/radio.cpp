@@ -41,18 +41,25 @@ int RadioMedium::broadcast(NodeId sender, const Packet& pkt) {
   index_.query(sp, cfg_.range_m, sender, &scratch_);
   sim_->metrics().radio_broadcasts++;
   const SimTime delay = hop_delay();
+  const int kind = static_cast<int>(pkt.kind);
   for (NodeId rx : scratch_) {
+    sim_->metrics().channel.add_offered(kind);
     const Vec2 rp = registry_->position(rx);
     const int density = index_.count_within(rp, cfg_.range_m, rx);
     if (sim_->radio_rng().chance(loss_probability(distance(sp, rp), density))) {
       sim_->metrics().radio_drops++;
+      sim_->metrics().channel.add_dropped(kind);
       continue;
     }
+    sim_->metrics().channel.add_delivered(kind);
     deliver(rx, pkt, sender, delay);
   }
   return static_cast<int>(scratch_.size());
 }
 
+// broadcast_each and unicast_frame carry no Packet, so they are invisible to
+// the per-kind channel ledger; the conservation auditor only covers the
+// Packet-bearing paths.
 int RadioMedium::broadcast_each(NodeId sender,
                                 std::function<void(NodeId)> on_deliver) {
   HLSRG_CHECK(on_deliver != nullptr);
@@ -84,14 +91,18 @@ void RadioMedium::try_unicast(NodeId sender, NodeId target, Packet pkt,
   const Vec2 tp = registry_->position(target);
   const double d = distance(sp, tp);
   sim_->metrics().radio_unicasts++;
+  const int kind = static_cast<int>(pkt.kind);
+  sim_->metrics().channel.add_offered(kind);
   if (d <= cfg_.range_m) {
     const int density = index_.count_within(tp, cfg_.range_m, target);
     if (!sim_->radio_rng().chance(loss_probability(d, density))) {
+      sim_->metrics().channel.add_delivered(kind);
       deliver(target, pkt, sender, hop_delay());
       return;
     }
   }
   sim_->metrics().radio_drops++;
+  sim_->metrics().channel.add_dropped(kind);
   if (attempts_left > 0) {
     sim_->schedule_after(
         SimTime::from_ms(cfg_.retry_delay_ms),

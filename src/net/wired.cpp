@@ -44,6 +44,9 @@ bool WiredNetwork::send(NodeId from, NodeId to, const Packet& pkt,
   const int hops = hop_count(from, to);
   if (hops < 0) return false;
   sim_->metrics().wired_messages += static_cast<std::uint64_t>(hops);
+  // The wired plane is lossless: every send is offered and delivered.
+  sim_->metrics().channel.add_offered(static_cast<int>(pkt.kind));
+  sim_->metrics().channel.add_delivered(static_cast<int>(pkt.kind));
   if (tx_counter != nullptr) *tx_counter += static_cast<std::uint64_t>(hops);
   const SimTime latency =
       SimTime::from_ms(cfg_.link_latency_ms * std::max(hops, 1));

@@ -92,6 +92,7 @@ void RunMetrics::merge(const RunMetrics& other) {
   radio_drops += other.radio_drops;
   wired_messages += other.wired_messages;
   gpsr_failures += other.gpsr_failures;
+  channel.merge(other.channel);
   query_latency.merge(other.query_latency);
 }
 

@@ -6,13 +6,73 @@
 // increment, and so the set of metrics is a compile-time-visible contract.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/check.h"
 
 namespace hlsrg {
+
+// Per-packet-kind channel accounting for the conservation auditor. Every
+// channel-level delivery decision is recorded at decision time: a broadcast
+// offers the packet to each in-range receiver, a unicast to its target, a
+// wired send to its destination; each offer settles immediately as either
+// delivered (reception scheduled) or dropped (lost to the channel). The
+// invariant `offered == delivered + dropped` therefore holds per kind at
+// every instant — in-flight packets are counted as pending events by the
+// event-queue conservation law instead. The kind key is the raw PacketKind
+// value (sim cannot depend on net/packet.h); all kinds fit in one byte.
+class PacketLedger {
+ public:
+  static constexpr std::size_t kSlots = 256;
+
+  void add_offered(int kind) { ++offered_[slot(kind)]; }
+  void add_delivered(int kind) { ++delivered_[slot(kind)]; }
+  void add_dropped(int kind) { ++dropped_[slot(kind)]; }
+
+  [[nodiscard]] std::uint64_t offered(int kind) const {
+    return offered_[slot(kind)];
+  }
+  [[nodiscard]] std::uint64_t delivered(int kind) const {
+    return delivered_[slot(kind)];
+  }
+  [[nodiscard]] std::uint64_t dropped(int kind) const {
+    return dropped_[slot(kind)];
+  }
+
+  [[nodiscard]] std::uint64_t total_offered() const { return sum(offered_); }
+  [[nodiscard]] std::uint64_t total_delivered() const {
+    return sum(delivered_);
+  }
+  [[nodiscard]] std::uint64_t total_dropped() const { return sum(dropped_); }
+
+  void merge(const PacketLedger& other) {
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      offered_[i] += other.offered_[i];
+      delivered_[i] += other.delivered_[i];
+      dropped_[i] += other.dropped_[i];
+    }
+  }
+
+ private:
+  [[nodiscard]] static std::size_t slot(int kind) {
+    HLSRG_DCHECK(kind >= 0 && kind < static_cast<int>(kSlots));
+    return static_cast<std::size_t>(kind) % kSlots;
+  }
+  [[nodiscard]] static std::uint64_t sum(
+      const std::array<std::uint64_t, kSlots>& a) {
+    std::uint64_t t = 0;
+    for (std::uint64_t v : a) t += v;
+    return t;
+  }
+
+  std::array<std::uint64_t, kSlots> offered_{};
+  std::array<std::uint64_t, kSlots> delivered_{};
+  std::array<std::uint64_t, kSlots> dropped_{};
+};
 
 // Accumulates latency samples; reports count/mean/min/max and percentiles.
 // Sample counts here are small (one per query), so every sample is kept and
@@ -103,6 +163,10 @@ struct RunMetrics {
   std::uint64_t radio_drops = 0;        // receptions lost to the channel
   std::uint64_t wired_messages = 0;     // RSU backhaul messages
   std::uint64_t gpsr_failures = 0;      // unicast abandoned (no route)
+
+  // Per-kind channel conservation ledger (offered == delivered + dropped),
+  // fed by the radio broadcast/unicast and wired paths that carry a Packet.
+  PacketLedger channel;
 
   LatencyStat query_latency;
 

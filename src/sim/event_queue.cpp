@@ -19,7 +19,9 @@ EventHandle EventQueue::schedule_at(SimTime when, Action action) {
 
 bool EventQueue::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  return actions_.erase(handle.seq_) > 0;
+  if (actions_.erase(handle.seq_) == 0) return false;
+  ++events_cancelled_;
+  return true;
 }
 
 void EventQueue::drop_cancelled() const {

@@ -67,6 +67,12 @@ class EventQueue {
   [[nodiscard]] std::uint64_t events_scheduled() const {
     return next_seq_ - 1;
   }
+  // Events cancelled before firing. Together with the other counters this
+  // closes the queue's conservation law, which the conservation auditor
+  // checks: scheduled == dispatched + cancelled + pending.
+  [[nodiscard]] std::uint64_t events_cancelled() const {
+    return events_cancelled_;
+  }
   // High-water mark of pending (uncancelled) events.
   [[nodiscard]] std::size_t peak_depth() const { return peak_depth_; }
 
@@ -91,6 +97,7 @@ class EventQueue {
   SimTime now_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_dispatched_ = 0;
+  std::uint64_t events_cancelled_ = 0;
   std::size_t peak_depth_ = 0;
 };
 

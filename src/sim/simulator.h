@@ -43,6 +43,7 @@ class Simulator {
   std::size_t run_until(SimTime until) { return queue_.run_until(until); }
 
   [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
   [[nodiscard]] Rng& mobility_rng() { return mobility_rng_; }
   [[nodiscard]] Rng& radio_rng() { return radio_rng_; }
   [[nodiscard]] Rng& protocol_rng() { return protocol_rng_; }

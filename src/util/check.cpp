@@ -3,7 +3,33 @@
 #include <cstdio>
 #include <cstdlib>
 
+// Backtraces make a failed check actionable without rerunning under a
+// debugger; execinfo is glibc-specific, so gate on the header being there.
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define HLSRG_HAVE_EXECINFO 1
+#endif
+#endif
+
 namespace hlsrg::detail {
+
+namespace {
+
+void print_backtrace() {
+#ifdef HLSRG_HAVE_EXECINFO
+  void* frames[64];
+  const int depth = backtrace(frames, 64);
+  if (depth > 0) {
+    std::fputs("backtrace (innermost first; addr2line/llvm-symbolizer "
+               "resolves addresses):\n",
+               stderr);
+    backtrace_symbols_fd(frames, depth, fileno(stderr));
+  }
+#endif
+}
+
+}  // namespace
 
 void check_failed(std::string_view expr, std::string_view file, int line,
                   std::string_view msg) {
@@ -14,6 +40,7 @@ void check_failed(std::string_view expr, std::string_view file, int line,
     std::fprintf(stderr, " — %.*s", static_cast<int>(msg.size()), msg.data());
   }
   std::fputc('\n', stderr);
+  print_backtrace();
   std::abort();
 }
 

@@ -30,3 +30,17 @@ namespace hlsrg::detail {
       ::hlsrg::detail::check_failed(#cond, __FILE__, __LINE__, (msg));     \
     }                                                                      \
   } while (false)
+
+// HLSRG_DCHECK(cond): debug-only invariant check. Active in Debug builds,
+// compiled out under NDEBUG (the condition is still parsed and type-checked,
+// so it cannot rot). Use it on per-element hot-path assertions whose cost
+// would show up in Release benchmarks; use HLSRG_CHECK for everything else.
+#ifdef NDEBUG
+#define HLSRG_DCHECK(cond)       \
+  do {                           \
+    if (false && (cond)) {       \
+    }                            \
+  } while (false)
+#else
+#define HLSRG_DCHECK(cond) HLSRG_CHECK(cond)
+#endif
