@@ -17,6 +17,9 @@
 //                  re-run every measurement's replica set single-threaded
 //                  and fail (exit 2) unless the per-replica state digests
 //                  match the multi-threaded run bit for bit
+//   --trace FILE   capture replica 0 of the first measurement into a
+//                  Chrome-trace JSON (load in Perfetto / chrome://tracing);
+//                  includes wall-clock engine phases of that measurement
 #pragma once
 
 #include <cstdio>
@@ -28,6 +31,8 @@
 #include "harness/runner.h"
 #include "harness/scenario.h"
 #include "report/bench_report.h"
+#include "trace/chrome_trace.h"
+#include "trace/trace.h"
 #include "util/args.h"
 #include "util/format.h"
 
@@ -39,6 +44,7 @@ struct BenchOptions {
   int threads = 0;
   std::uint64_t seed = 0;  // 0 = keep each sweep point's built-in seed
   std::string out;         // JSON report path
+  std::string trace;       // Chrome-trace JSON path ("" = no trace)
   bool audit_determinism = false;  // cross-check digests vs 1-thread rerun
   bool parse_failed = false;
   int exit_code = 0;
@@ -63,6 +69,9 @@ inline BenchOptions parse_options(int argc, char** argv, const char* name,
   args.add_uint64("--seed", "S", "override the base seed of every point",
                   &seed);
   args.add_string("--out", "FILE", "JSON report path", &opts.out);
+  args.add_string("--trace", "FILE",
+                  "Chrome-trace JSON of the first measurement's replica 0",
+                  &opts.trace);
   args.add_flag("--audit-determinism",
                 "verify state digests against a single-threaded rerun",
                 &opts.audit_determinism);
@@ -104,9 +113,22 @@ class SweepDriver {
                  Protocol protocol) {
     ScenarioConfig effective = cfg;
     if (opts_.seed != 0) effective.seed = opts_.seed;
+    // --trace: capture the very first measurement (replica 0) only; later
+    // measurements run untraced.
+    TraceLog* trace = nullptr;
+    if (!opts_.trace.empty() && !trace_captured_) {
+      trace = &trace_log_;
+      trace_captured_ = true;
+    }
     const ReplicaSet set =
         run_replicas(effective, protocol, opts_.replicas,
-                     static_cast<std::size_t>(opts_.threads));
+                     static_cast<std::size_t>(opts_.threads), trace);
+    if (trace != nullptr) {
+      for (const EnginePhase& p : set.phases) {
+        wall_spans_.push_back(
+            WallSpan{p.name, p.replica, p.begin_sec, p.end_sec});
+      }
+    }
     if (opts_.audit_determinism) {
       check_determinism(label, effective, protocol, set);
     }
@@ -150,14 +172,24 @@ class SweepDriver {
   bool finish() {
     if (finished_) return true;
     finished_ = true;
-    if (opts_.out.empty()) return true;
+    bool ok = true;
+    if (trace_captured_ && !opts_.trace.empty()) {
+      std::string error;
+      if (!write_chrome_trace(trace_log_, wall_spans_, opts_.trace, &error)) {
+        std::fprintf(stderr, "bench trace: %s\n", error.c_str());
+        ok = false;
+      } else {
+        std::printf("chrome trace: %s\n", opts_.trace.c_str());
+      }
+    }
+    if (opts_.out.empty()) return ok;
     std::string error;
     if (!report_.write(opts_.out, &error)) {
       std::fprintf(stderr, "bench report: %s\n", error.c_str());
       return false;
     }
     std::printf("json report: %s\n", opts_.out.c_str());
-    return true;
+    return ok;
   }
 
  private:
@@ -187,6 +219,9 @@ class SweepDriver {
 
   BenchOptions opts_;
   BenchReport report_;
+  TraceLog trace_log_;
+  std::vector<WallSpan> wall_spans_;
+  bool trace_captured_ = false;
   bool finished_ = false;
 };
 

@@ -7,6 +7,7 @@
 //   $ ./scenario_cli --workload poisson --no-rsus --trace out.csv
 //   $ ./scenario_cli --map data/demo_irregular_2km.map --irregular
 //   $ ./scenario_cli --replicas 8 --threads 4 --out run.json
+//   $ ./scenario_cli --trace-out=trace.json     # open in Perfetto
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -17,6 +18,8 @@
 #include "harness/world.h"
 #include "report/run_report.h"
 #include "roadnet/map_io.h"
+#include "trace/chrome_trace.h"
+#include "trace/metrics.h"
 #include "util/args.h"
 
 int main(int argc, char** argv) {
@@ -33,6 +36,9 @@ int main(int argc, char** argv) {
   int replicas = 1;
   int threads = 0;
   std::string trace_path;
+  std::string trace_out_path;
+  std::string spans_path;
+  int trace_cap = 0;
   std::string save_map_path;
   std::string out_path;
 
@@ -59,6 +65,13 @@ int main(int argc, char** argv) {
                   &save_map_path);
   args.add_string("--trace", "FILE", "write per-event CSV trace (1 replica)",
                   &trace_path);
+  args.add_string("--trace-out", "FILE",
+                  "write Chrome-trace JSON spans (1 replica; Perfetto-ready)",
+                  &trace_out_path);
+  args.add_string("--spans", "FILE", "write the span-tree text dump (1 replica)",
+                  &spans_path);
+  args.add_int("--trace-cap", "N", "cap trace events/spans at N (0 = default)",
+               &trace_cap);
   args.add_string("--out", "FILE", "write a JSON run report to FILE",
                   &out_path);
   if (!args.parse(argc, argv)) return args.exit_code();
@@ -78,19 +91,27 @@ int main(int argc, char** argv) {
   if (no_rsus) cfg.hlsrg.use_rsus = false;
   if (irregular) cfg.map.irregular = true;
   replicas = std::max(1, replicas);
-  if (replicas > 1 && (!trace_path.empty() || !save_map_path.empty())) {
-    std::fprintf(stderr, "--trace/--save-map need --replicas 1\n");
+  const bool tracing =
+      !trace_path.empty() || !trace_out_path.empty() || !spans_path.empty();
+  if (replicas > 1 && (tracing || !save_map_path.empty())) {
+    std::fprintf(stderr,
+                 "--trace/--trace-out/--spans/--save-map need --replicas 1\n");
     return 1;
   }
 
   RunMetrics metrics;
   EngineStats engine;
   std::vector<EngineStats> replica_engine;
+  MetricsRegistry observability;
   const char* service_name = protocol_name(protocol);
 
   if (replicas == 1) {
     const auto start = std::chrono::steady_clock::now();
+    const double build_begin = 0.0;
     World world(cfg, protocol);
+    const double build_end =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     if (!save_map_path.empty()) {
       std::string error;
       if (!save_map_file(world.network(), save_map_path, &error)) {
@@ -100,14 +121,20 @@ int main(int argc, char** argv) {
       std::printf("map:        wrote %s\n", save_map_path.c_str());
     }
     TraceLog trace;
-    if (!trace_path.empty()) world.attach_trace(&trace);
+    if (trace_cap > 0) {
+      trace.set_capacity(static_cast<std::size_t>(trace_cap),
+                         static_cast<std::size_t>(trace_cap));
+    }
+    if (tracing) world.attach_trace(&trace);
 
     metrics = world.run();
     const auto stop = std::chrono::steady_clock::now();
+    const double run_end = std::chrono::duration<double>(stop - start).count();
     engine = world.sim().engine_stats();
-    engine.wall_clock_sec = std::chrono::duration<double>(stop - start).count();
+    engine.wall_clock_sec = run_end;
     replica_engine.push_back(engine);
     service_name = world.service().name();
+    observability = world.sim().observability();
 
     if (!trace_path.empty()) {
       std::ofstream file(trace_path);
@@ -119,12 +146,43 @@ int main(int argc, char** argv) {
       std::printf("trace:      %zu events -> %s\n", trace.size(),
                   trace_path.c_str());
     }
+    if (!trace_out_path.empty()) {
+      const std::vector<WallSpan> wall = {
+          WallSpan{"build", 0, build_begin, build_end},
+          WallSpan{"run", 0, build_end, run_end},
+      };
+      std::string error;
+      if (!write_chrome_trace(trace, wall, trace_out_path, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      std::printf("trace-out:  %zu spans -> %s\n", trace.span_count(),
+                  trace_out_path.c_str());
+    }
+    if (!spans_path.empty()) {
+      std::ofstream file(spans_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", spans_path.c_str());
+        return 1;
+      }
+      file << trace.span_tree_text();
+      std::printf("spans:      %zu spans -> %s\n", trace.span_count(),
+                  spans_path.c_str());
+    }
+    if (engine.trace_events_dropped + engine.trace_spans_dropped > 0) {
+      std::fprintf(stderr,
+                   "warning: trace capacity hit (%llu events, %llu spans "
+                   "dropped); raise --trace-cap\n",
+                   static_cast<unsigned long long>(engine.trace_events_dropped),
+                   static_cast<unsigned long long>(engine.trace_spans_dropped));
+    }
   } else {
     const ReplicaSet set = run_replicas(cfg, protocol, replicas,
                                         static_cast<std::size_t>(threads));
     metrics = set.merged;
     engine = set.engine_total;
     replica_engine = set.engine;
+    observability = set.observability;
   }
 
   const RunMetrics& m = metrics;
@@ -166,7 +224,8 @@ int main(int argc, char** argv) {
               engine.wall_clock_sec, engine.events_per_sec());
 
   if (!out_path.empty()) {
-    const RunReport report = make_run_report(protocol, cfg, metrics, engine);
+    RunReport report = make_run_report(protocol, cfg, metrics, engine);
+    report.observability = registry_to_json(observability);
     JsonValue doc = report.to_json();
     doc.set("schema", "hlsrg-run/v1");
     doc.set("replicas", replicas);

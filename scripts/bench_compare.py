@@ -10,8 +10,10 @@ see docs/PROTOCOL.md) or by scenario_cli --out ("hlsrg-run/v1"), pairs up
 every (section, row, protocol) result, and compares the numeric fields:
 
   * "derived"  -- headline figures (update/query overhead, success rate,
-                  mean query delay); always compared.
+                  mean query delay and its percentiles); always compared.
   * "metrics"  -- raw protocol counters; always compared.
+  * "latency"  -- delay summary (mean/min/max and p50/p90/p95/p99);
+                  always compared, lower is better.
   * "engine"   -- events_processed / peak_queue_depth, only with
                   --include-engine (deterministic given identical code and
                   seeds, but expected to move whenever the engine changes);
@@ -24,6 +26,11 @@ absolute slack keeps tiny counters (3 -> 4 packets) from tripping the
 relative gate. Improvements and sub-threshold drifts are reported in
 --verbose mode only. Exit status: 0 = no regression, 1 = regression(s),
 2 = usage/schema error.
+
+The nested "observability" object (counters / histograms / time series from
+trace/metrics.h) is carried through reports untouched and never compared —
+its fields duplicate information already gated via "metrics"/"latency" or
+are diagnostic time series with no stable baseline.
 """
 
 import argparse
@@ -39,9 +46,21 @@ PREFERRED_DIRECTION = {
     "update_overhead": -1,
     "query_overhead": -1,
     "mean_query_latency_ms": -1,
+    "query_delay_p50_ms": -1,
+    "query_delay_p90_ms": -1,
+    "query_delay_p95_ms": -1,
+    "query_delay_p99_ms": -1,
+    "mean_ms": -1,
+    "max_ms": -1,
+    "p50_ms": -1,
+    "p90_ms": -1,
+    "p95_ms": -1,
+    "p99_ms": -1,
     "queries_failed": -1,
     "gpsr_failures": -1,
     "radio_drops": -1,
+    "trace_events_dropped": -1,
+    "trace_spans_dropped": -1,
     "wall_clock_sec": -1,
     "events_per_sec": +1,
 }

@@ -62,8 +62,21 @@ QueryTracker::QueryId HlsrgService::issue_query(VehicleId src,
   HLSRG_CHECK(src.index() < vehicle_agents_.size());
   HLSRG_CHECK(dst.index() < vehicle_agents_.size());
   const QueryTracker::QueryId qid = tracker_.issue(src, dst);
+  // Everything the source agent does now (lookup, election, GPSR send)
+  // nests under the query's root span.
+  SpanScope scope(*sim_, tracker_.span_of(qid));
   vehicle_agents_[src.index()]->start_query(qid, dst);
   return qid;
+}
+
+std::size_t HlsrgService::table_records() const {
+  std::size_t n = 0;
+  for (const auto& agent : vehicle_agents_) n += agent->table().size();
+  for (const auto& agent : rsu_agents_) {
+    n += agent->l2_table().size() + agent->l3_table().size() +
+         agent->full_table().size();
+  }
+  return n;
 }
 
 void HlsrgService::on_intersection_pass(VehicleId v, IntersectionId node,
@@ -89,6 +102,13 @@ void HlsrgService::send_notification(NodeId origin,
   metrics().notifications_sent++;
   sim_->trace_event({{}, TraceEventKind::kNotification, query.target,
                      query.src_vehicle, target_record.pos, query.query_id});
+  // Open until the query settles (the notification has no ACK of its own);
+  // the route/flood legs below nest under it.
+  const SpanId note_span = sim_->begin_span(
+      SpanKind::kNotification, query.target.value(), query.src_vehicle.value(),
+      target_record.pos, query.query_id, 1,
+      target_record.on_artery ? "artery_corridor" : "l1_grid_flood");
+  SpanScope scope(*sim_, note_span);
 
   if (target_record.on_artery) {
     // Strategy (1): Dv updated from a main artery — geocast along the road

@@ -41,6 +41,7 @@ class HlsrgService final : public LocationService, public MovementListener {
   [[nodiscard]] const char* name() const override { return "HLSRG"; }
   QueryTracker::QueryId issue_query(VehicleId src, VehicleId dst) override;
   [[nodiscard]] QueryTracker& tracker() override { return tracker_; }
+  [[nodiscard]] std::size_t table_records() const override;
 
   // --- MovementListener -----------------------------------------------------
   void on_intersection_pass(VehicleId v, IntersectionId node, SegmentId in_seg,

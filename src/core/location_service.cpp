@@ -8,6 +8,10 @@ QueryTracker::QueryId QueryTracker::issue(VehicleId src, VehicleId dst) {
   records_.push_back(Record{src, dst, sim_->now(), SimTime{}, false, false});
   sim_->metrics().queries_issued++;
   const auto id = static_cast<QueryId>(records_.size() - 1);
+  // Root of the query's span tree; every leg recorded until the query
+  // settles hangs under it (directly or via propagated context).
+  records_.back().span = sim_->begin_span(
+      SpanKind::kQuery, src.value(), dst.value(), Vec2{}, id);
   sim_->trace_event({{}, TraceEventKind::kQueryIssued, src, dst, {}, id});
   return id;
 }
@@ -21,6 +25,10 @@ void QueryTracker::succeed(QueryId id) {
   r.completed = sim_->now();
   sim_->metrics().queries_succeeded++;
   sim_->metrics().query_latency.add(sim_->now() - r.issued);
+  delay_hist_->record((sim_->now() - r.issued).us());
+  if (TraceLog* trace = sim_->trace()) {
+    trace->end_open_spans_for_query(id, sim_->now(), SpanStatus::kOk);
+  }
   sim_->trace_event({{}, TraceEventKind::kQuerySucceeded, r.src, r.dst, {}, id});
 }
 
@@ -30,6 +38,9 @@ void QueryTracker::fail(QueryId id) {
   if (r.settled) return;
   r.settled = true;
   sim_->metrics().queries_failed++;
+  if (TraceLog* trace = sim_->trace()) {
+    trace->end_open_spans_for_query(id, sim_->now(), SpanStatus::kFailed);
+  }
   sim_->trace_event({{}, TraceEventKind::kQueryFailed, r.src, r.dst, {}, id});
 }
 
@@ -65,6 +76,11 @@ VehicleId QueryTracker::source_of(QueryId id) const {
 VehicleId QueryTracker::target_of(QueryId id) const {
   HLSRG_CHECK(id < records_.size());
   return records_[id].dst;
+}
+
+SpanId QueryTracker::span_of(QueryId id) const {
+  HLSRG_CHECK(id < records_.size());
+  return records_[id].span;
 }
 
 }  // namespace hlsrg

@@ -16,7 +16,9 @@ namespace hlsrg {
 // Tracks outstanding queries and settles them into RunMetrics exactly once.
 class QueryTracker {
  public:
-  explicit QueryTracker(Simulator& sim) : sim_(&sim) {}
+  explicit QueryTracker(Simulator& sim)
+      : sim_(&sim),
+        delay_hist_(sim.observability().histogram("query.delay_us")) {}
 
   using QueryId = std::uint32_t;
 
@@ -39,6 +41,9 @@ class QueryTracker {
   [[nodiscard]] std::size_t outstanding() const;
   [[nodiscard]] VehicleId source_of(QueryId id) const;
   [[nodiscard]] VehicleId target_of(QueryId id) const;
+  // The query's root span (kNoSpan when tracing is off); protocol timers use
+  // this to re-anchor async continuations via SpanScope.
+  [[nodiscard]] SpanId span_of(QueryId id) const;
 
  private:
   struct Record {
@@ -48,8 +53,10 @@ class QueryTracker {
     SimTime completed;
     bool settled = false;
     bool success = false;
+    SpanId span = kNoSpan;
   };
   Simulator* sim_;
+  Histogram* delay_hist_;  // always-on "query.delay_us"
   std::vector<Record> records_;
 };
 
@@ -67,6 +74,11 @@ class LocationService {
   virtual QueryTracker::QueryId issue_query(VehicleId src, VehicleId dst) = 0;
 
   [[nodiscard]] virtual QueryTracker& tracker() = 0;
+
+  // Total location-table entries currently held across the protocol's
+  // servers (vehicles + RSUs); sampled into the "world.table_records" time
+  // series. 0 when a protocol keeps no tables.
+  [[nodiscard]] virtual std::size_t table_records() const { return 0; }
 };
 
 }  // namespace hlsrg

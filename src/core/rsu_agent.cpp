@@ -142,10 +142,14 @@ void HlsrgRsuAgent::forward_down_to_l1(const QueryPayload& query,
 void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
   l2_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
   full_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
+  const Vec2 here = svc_->registry().position(node_);
   if (const L1Record* rec = full_table_.find(query.target)) {
     // Case (1a): the RSU holds the fresh detail itself — "the RSU will ...
     // act as the location server of this request".
     svc_->metrics().rsu_lookup_hits++;
+    svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
+                             node_.value(), query.target.value(), here,
+                             query.query_id, 2, "full_table");
     svc_->send_notification(node_, *rec, query);
     return;
   }
@@ -153,10 +157,16 @@ void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
     // Case (1b): known by summary only — down to the L1 grid center that has
     // the detail.
     svc_->metrics().rsu_lookup_hits++;
+    svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
+                             node_.value(), query.target.value(), here,
+                             query.query_id, 2, "l2_summary");
     forward_down_to_l1(query, s->l1);
     return;
   }
   svc_->metrics().rsu_lookup_misses++;
+  svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kFailed,
+                           node_.value(), query.target.value(), here,
+                           query.query_id, 2);
   // Case (2): unknown — up the hierarchy over the wire.
   auto q = std::make_shared<QueryPayload>(query);
   const GridCoord parent{coord_.col / 2, coord_.row / 2};
@@ -168,9 +178,13 @@ void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
 void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
   l3_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
   full_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
+  const Vec2 here = svc_->registry().position(node_);
   if (const L1Record* rec = full_table_.find(query.target)) {
     // The L3 RSU heard the update itself: serve directly.
     svc_->metrics().rsu_lookup_hits++;
+    svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
+                             node_.value(), query.target.value(), here,
+                             query.query_id, 3, "full_table");
     svc_->send_notification(node_, *rec, query);
     return;
   }
@@ -178,6 +192,9 @@ void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
     // Hit: hand the request to the L2 RSU that reported the vehicle; the
     // wired mesh routes across regions (L3 -> owner L3 -> child L2).
     svc_->metrics().rsu_lookup_hits++;
+    svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
+                             node_.value(), query.target.value(), here,
+                             query.query_id, 3, "l3_summary");
     auto q = std::make_shared<QueryPayload>(query);
     q->from_l3 = true;
     const NodeId l2 = svc_->rsus()->node_at(s->l2, GridLevel::kL2);
@@ -186,6 +203,9 @@ void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
     return;
   }
   svc_->metrics().rsu_lookup_misses++;
+  svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kFailed,
+                           node_.value(), query.target.value(), here,
+                           query.query_id, 3);
   if (query.from_l3) return;  // sideways forwards are answered or dropped
   // Miss from below: ask the wired L3 neighbors (the paper assumes the L3
   // plane collectively knows every vehicle; gossip approximates that, and

@@ -44,8 +44,11 @@ void HlsrgVehicleAgent::send_initial_update() {
   svc_->metrics().update_transmissions++;
   svc_->sim().trace_event(
       {{}, TraceEventKind::kUpdateSent, vehicle_, VehicleId{}, rec.pos, 0});
-  svc_->medium().broadcast(node_,
-                           svc_->make_packet(PacketKind::kLocationUpdate, node_, payload));
+  const int receivers = svc_->medium().broadcast(
+      node_, svc_->make_packet(PacketKind::kLocationUpdate, node_, payload));
+  svc_->sim().instant_span(SpanKind::kUpdate, SpanStatus::kOk,
+                           vehicle_.value(), kNoQuery, rec.pos, kNoQuery, 1,
+                           "ignition", receivers);
 }
 
 void HlsrgVehicleAgent::collection_tick() {
@@ -109,7 +112,10 @@ void HlsrgVehicleAgent::send_update(const UpdateDecision& decision,
   svc_->metrics().update_transmissions++;
   svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
                            VehicleId{}, payload->record.pos, 0});
-  svc_->medium().broadcast(node_, pkt);
+  const int receivers = svc_->medium().broadcast(node_, pkt);
+  svc_->sim().instant_span(SpanKind::kUpdate, SpanStatus::kOk,
+                           vehicle_.value(), kNoQuery, payload->record.pos,
+                           kNoQuery, 1, "crossing", receivers);
 }
 
 // ---------------------------------------------------------------------------
@@ -250,6 +256,8 @@ void HlsrgVehicleAgent::run_election(const QueryPayload& query) {
 }
 
 void HlsrgVehicleAgent::win_election(const QueryPayload& query) {
+  // Election timers fire with no span context; re-anchor to the query root.
+  SpanScope anchor(svc_->sim(), svc_->tracker().span_of(query.query_id));
   elections_.erase(query.dedup_key());
   settled_elections_.insert(query.dedup_key());
   // Announce so other center vehicles stop their back-off.
@@ -263,9 +271,15 @@ void HlsrgVehicleAgent::win_election(const QueryPayload& query) {
   table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
   if (const L1Record* rec = table_.find(query.target)) {
     svc_->metrics().server_lookup_hits++;
+    svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
+                             vehicle_.value(), query.target.value(),
+                             svc_->vehicle_pos(vehicle_), query.query_id, 1);
     serve(*rec, query);
   } else {
     svc_->metrics().server_lookup_misses++;
+    svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kFailed,
+                             vehicle_.value(), query.target.value(),
+                             svc_->vehicle_pos(vehicle_), query.query_id, 1);
     forward_up(query);
   }
 }
@@ -306,6 +320,9 @@ void HlsrgVehicleAgent::start_query(QueryId qid, VehicleId target) {
 
 void HlsrgVehicleAgent::send_request(QueryId qid, VehicleId target,
                                      int attempt) {
+  // Covers the first attempt (already under the root via issue_query) and
+  // retries from the ack-timeout timer, which fire context-free.
+  SpanScope anchor(svc_->sim(), svc_->tracker().span_of(qid));
   const Vec2 my_pos = svc_->vehicle_pos(vehicle_);
   auto q = std::make_shared<QueryPayload>();
   q->query_id = qid;
@@ -399,6 +416,17 @@ void HlsrgVehicleAgent::answer_notification(
                            notification.src_vehicle,
                            svc_->vehicle_pos(vehicle_),
                            notification.query_id});
+  // The ACK leg stays open until the query settles (the source's tracker
+  // closes it); nest it under the propagated context when one survived the
+  // flood, else directly under the query root.
+  Simulator& sim = svc_->sim();
+  SpanScope anchor(sim, sim.active_span() != kNoSpan
+                            ? sim.active_span()
+                            : svc_->tracker().span_of(notification.query_id));
+  const SpanId ack_span = sim.begin_span(
+      SpanKind::kAckLeg, vehicle_.value(), notification.src_vehicle.value(),
+      svc_->vehicle_pos(vehicle_), notification.query_id);
+  SpanScope scope(sim, ack_span);
   svc_->gpsr().send(node_, notification.src_pos, notification.src_node, pkt,
                     &svc_->metrics().query_transmissions);
 }

@@ -70,6 +70,16 @@ void FloodVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       svc_->sim().trace_event({{}, TraceEventKind::kAckSent, vehicle_,
                                p.src_vehicle, svc_->vehicle_pos(vehicle_),
                                p.query_id});
+      // ACK leg back to the querier, open until the query settles. Geocast
+      // floods deliver without span context, so fall back to the query root.
+      Simulator& sim = svc_->sim();
+      SpanScope anchor(sim, sim.active_span() != kNoSpan
+                                ? sim.active_span()
+                                : svc_->tracker().span_of(p.query_id));
+      const SpanId ack_span = sim.begin_span(
+          SpanKind::kAckLeg, vehicle_.value(), p.src_vehicle.value(),
+          svc_->vehicle_pos(vehicle_), p.query_id);
+      SpanScope scope(sim, ack_span);
       svc_->gpsr().send(node_, p.src_pos, p.src_node,
                         svc_->make_packet(PacketKind::kFloodAck, node_, ack),
                         &svc_->metrics().query_transmissions);
@@ -105,6 +115,9 @@ void FloodVehicleAgent::start_query(QueryTracker::QueryId qid,
     // around the cached position, sized by how far the target could have
     // driven since the record was made.
     svc_->metrics().server_lookup_hits++;
+    svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
+                             vehicle_.value(), target.value(), probe->src_pos,
+                             qid, -1, "cache");
     const double age_sec = (svc_->sim().now() - hit->time).sec();
     constexpr double kMaxSpeedMps = 60.0 / 3.6;
     const double drift =
@@ -117,6 +130,9 @@ void FloodVehicleAgent::start_query(QueryTracker::QueryId qid,
   } else {
     // Reactive path: flood the question (LAR-style).
     svc_->metrics().server_lookup_misses++;
+    svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kFailed,
+                             vehicle_.value(), target.value(), probe->src_pos,
+                             qid, -1, "cache");
     svc_->geocast().flood(
         node_, svc_->make_packet(PacketKind::kFloodQuery, node_, probe),
         GeocastRegion::from_box(svc_->map_bounds(), /*margin=*/100.0),

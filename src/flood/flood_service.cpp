@@ -39,8 +39,16 @@ QueryTracker::QueryId FloodService::issue_query(VehicleId src, VehicleId dst) {
   HLSRG_CHECK(src.index() < vehicle_agents_.size());
   HLSRG_CHECK(dst.index() < vehicle_agents_.size());
   const QueryTracker::QueryId qid = tracker_.issue(src, dst);
+  // Nest the source agent's synchronous work under the query root span.
+  SpanScope scope(*sim_, tracker_.span_of(qid));
   vehicle_agents_[src.index()]->start_query(qid, dst);
   return qid;
+}
+
+std::size_t FloodService::table_records() const {
+  std::size_t n = 0;
+  for (const auto& agent : vehicle_agents_) n += agent->cache_size();
+  return n;
 }
 
 void FloodService::on_moved(VehicleId v, Vec2 before, Vec2 after) {

@@ -36,30 +36,52 @@ double ReplicaSet::mean_query_latency_ms() const {
 }
 
 ReplicaSet run_replicas(const ScenarioConfig& cfg, Protocol protocol,
-                        int replicas, std::size_t threads) {
+                        int replicas, std::size_t threads,
+                        TraceLog* trace_replica0) {
   HLSRG_CHECK(replicas >= 1);
   ReplicaSet out;
-  out.replicas.resize(static_cast<std::size_t>(replicas));
-  out.engine.resize(static_cast<std::size_t>(replicas));
-  out.digests.resize(static_cast<std::size_t>(replicas));
+  const auto n = static_cast<std::size_t>(replicas);
+  out.replicas.resize(n);
+  out.engine.resize(n);
+  out.digests.resize(n);
+  // Three phases per replica, written by index — no locking needed.
+  out.phases.resize(n * 3);
+  std::vector<MetricsRegistry> registries(n);
   if (threads == 0) {
-    threads = default_thread_count(static_cast<std::size_t>(replicas));
+    threads = default_thread_count(n);
   }
-  parallel_for(static_cast<std::size_t>(replicas), threads,
-               [&](std::size_t i) {
-                 ScenarioConfig replica_cfg = cfg;
-                 replica_cfg.seed = cfg.seed + i;
-                 const auto start = std::chrono::steady_clock::now();
-                 World world(replica_cfg, protocol);
-                 out.replicas[i] = world.run();
-                 const auto stop = std::chrono::steady_clock::now();
-                 out.digests[i] = state_digest(world);
-                 out.engine[i] = world.sim().engine_stats();
-                 out.engine[i].wall_clock_sec =
-                     std::chrono::duration<double>(stop - start).count();
-               });
+  const auto epoch = std::chrono::steady_clock::now();
+  const auto since_epoch = [epoch] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  };
+  parallel_for(n, threads, [&](std::size_t i) {
+    ScenarioConfig replica_cfg = cfg;
+    replica_cfg.seed = cfg.seed + i;
+    const int rep = static_cast<int>(i);
+    const auto start = std::chrono::steady_clock::now();
+    const double build_begin = since_epoch();
+    World world(replica_cfg, protocol);
+    if (i == 0 && trace_replica0 != nullptr) {
+      world.attach_trace(trace_replica0);
+    }
+    const double build_end = since_epoch();
+    out.phases[i * 3] = EnginePhase{"build", rep, build_begin, build_end};
+    out.replicas[i] = world.run();
+    const auto stop = std::chrono::steady_clock::now();
+    const double run_end = since_epoch();
+    out.phases[i * 3 + 1] = EnginePhase{"run", rep, build_end, run_end};
+    out.digests[i] = state_digest(world);
+    out.phases[i * 3 + 2] = EnginePhase{"digest", rep, run_end, since_epoch()};
+    out.engine[i] = world.sim().engine_stats();
+    out.engine[i].wall_clock_sec =
+        std::chrono::duration<double>(stop - start).count();
+    registries[i] = world.sim().observability();
+  });
   for (const RunMetrics& m : out.replicas) out.merged.merge(m);
   for (const EngineStats& e : out.engine) out.engine_total.merge(e);
+  for (const MetricsRegistry& r : registries) out.observability.merge(r);
   return out;
 }
 

@@ -4,13 +4,25 @@
 // delay figure, and the others stabilize similarly.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "harness/scenario.h"
 #include "harness/world.h"
 #include "sim/counters.h"
+#include "trace/metrics.h"
 
 namespace hlsrg {
+
+// One wall-clock engine phase of a replica (build / run / digest), measured
+// against a common steady_clock epoch taken at run_replicas entry. Feeds the
+// engine track of the Chrome-trace exporter (trace/chrome_trace.h).
+struct EnginePhase {
+  std::string name;
+  int replica = 0;
+  double begin_sec = 0.0;
+  double end_sec = 0.0;
+};
 
 struct ReplicaSet {
   // Per-replica metrics, index i ran with seed cfg.seed + i.
@@ -26,6 +38,12 @@ struct ReplicaSet {
   // Engine stats aggregated across replicas (counts/times summed, peak
   // queue depth maxed).
   EngineStats engine_total;
+  // Wall-clock engine phases (build/run/digest per replica), relative to the
+  // run_replicas entry time.
+  std::vector<EnginePhase> phases;
+  // Observability registries of all replicas, merged (counters summed,
+  // histograms pooled, time series kept from the first replica).
+  MetricsRegistry observability;
 
   [[nodiscard]] double mean_update_overhead() const;
   [[nodiscard]] double mean_query_overhead() const;
@@ -35,9 +53,12 @@ struct ReplicaSet {
 
 // Runs `replicas` worlds of (cfg, protocol); `threads` = 0 picks a default.
 // Each replica's wall-clock time is captured around its World::run().
+// `trace_replica0`, when non-null, is attached to replica 0's world for its
+// whole run (event + span capture for the exporters).
 [[nodiscard]] ReplicaSet run_replicas(const ScenarioConfig& cfg,
                                       Protocol protocol, int replicas,
-                                      std::size_t threads = 0);
+                                      std::size_t threads = 0,
+                                      TraceLog* trace_replica0 = nullptr);
 
 // Paired comparison: same scenario (and seeds) under both protocols.
 struct Comparison {

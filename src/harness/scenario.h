@@ -74,6 +74,10 @@ struct ScenarioConfig {
   // Extra time after the window so in-flight queries settle.
   SimTime grace = SimTime::from_sec(60.0);
 
+  // Period of the observability time-series sampler (live queries, pending
+  // events, table records — see trace/metrics.h). Zero disables sampling.
+  SimTime sample_interval = SimTime::from_sec(5.0);
+
   [[nodiscard]] SimTime end_time() const {
     return warmup + query_window + grace;
   }

@@ -80,6 +80,7 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
 
   mobility_->start();
   schedule_workload();
+  if (cfg_.sample_interval > SimTime{}) schedule_sampler();
 
 #ifdef HLSRG_AUDIT_ENABLED
   // HLSRG_AUDIT=ON: enforce every invariant periodically during the run so a
@@ -160,6 +161,27 @@ void World::schedule_workload() {
     sim_.schedule_at(when, [this, src, dst] { service_->issue_query(src, dst); });
     ++planned_queries_;
   }
+}
+
+void World::schedule_sampler() {
+  // Periodic observability snapshot (trace/metrics.h time series). Samples
+  // read state only — no RNG draws — so enabling them cannot perturb the
+  // event stream or the determinism digests.
+  sim_.schedule_after(cfg_.sample_interval, [this] {
+    MetricsRegistry& obs = sim_.observability();
+    const double now_sec = sim_.now().sec();
+    const RunMetrics& m = sim_.metrics();
+    obs.sample("world.live_queries", now_sec,
+               static_cast<double>(m.queries_issued - m.queries_succeeded -
+                                   m.queries_failed));
+    obs.sample("world.pending_events", now_sec,
+               static_cast<double>(sim_.queue().size()));
+    obs.sample("world.table_records", now_sec,
+               static_cast<double>(service_->table_records()));
+    if (sim_.now() + cfg_.sample_interval <= cfg_.end_time()) {
+      schedule_sampler();
+    }
+  });
 }
 
 const RunMetrics& World::run() {

@@ -75,6 +75,7 @@ class World {
 
  private:
   void schedule_workload();
+  void schedule_sampler();
 
   ScenarioConfig cfg_;
   Protocol protocol_;

@@ -21,11 +21,14 @@ struct GpsrRouter::RouteState {
   std::uint64_t* tx_counter = nullptr;
   DeliverFn deliver;
   FailFn fail;
+  SpanId span = kNoSpan;  // the route's own span (parent of its hop spans)
+  SpanId ctx = kNoSpan;   // caller context, re-established at delivery
 };
 
 GpsrRouter::GpsrRouter(RadioMedium& medium, const NodeRegistry& registry,
                        GpsrConfig cfg)
-    : medium_(&medium), registry_(&registry), cfg_(cfg) {}
+    : medium_(&medium), registry_(&registry), cfg_(cfg),
+      hops_hist_(medium.sim().observability().histogram("gpsr.route_hops")) {}
 
 void GpsrRouter::send(NodeId src, Vec2 dest_pos,
                       std::optional<NodeId> dest_node, Packet pkt,
@@ -40,6 +43,12 @@ void GpsrRouter::send(NodeId src, Vec2 dest_pos,
   st->tx_counter = tx_counter;
   st->deliver = std::move(deliver);
   st->fail = std::move(fail);
+  Simulator& sim = medium_->sim();
+  st->ctx = sim.active_span();
+  st->span = sim.begin_span(
+      SpanKind::kGpsrRoute, src.value(),
+      dest_node.has_value() ? dest_node->value() : kNoQuery,
+      registry_->position(src), kNoQuery, -1, packet_kind_name(st->pkt.kind));
   route_step(src, st);
 }
 
@@ -122,15 +131,15 @@ void GpsrRouter::route_step(NodeId current,
   const double d = distance(cp, st->dest_pos);
 
   // Delivery checks.
-  if (st->dest_node.has_value()) {
-    if (current == *st->dest_node) {
-      if (PacketSink* sink = registry_->sink(current)) {
-        sink->on_receive(st->pkt, st->prev.valid() ? st->prev : current);
-      }
-      if (st->deliver) st->deliver(current);
-      return;
-    }
-  } else if (d <= st->delivery_radius) {
+  const bool at_dest_node =
+      st->dest_node.has_value() && current == *st->dest_node;
+  const bool in_dest_radius =
+      !st->dest_node.has_value() && d <= st->delivery_radius;
+  if (at_dest_node || in_dest_radius) {
+    Simulator& sim = medium_->sim();
+    sim.end_span(st->span, SpanStatus::kOk, cp, st->hops);
+    hops_hist_->record(st->hops);
+    SpanScope scope(sim, st->ctx);
     if (PacketSink* sink = registry_->sink(current)) {
       sink->on_receive(st->pkt, st->prev.valid() ? st->prev : current);
     }
@@ -139,8 +148,13 @@ void GpsrRouter::route_step(NodeId current,
   }
 
   if (++st->hops > cfg_.max_hops) {
-    medium_->sim().metrics().gpsr_failures++;
-    if (st->fail) st->fail();
+    Simulator& sim = medium_->sim();
+    sim.metrics().gpsr_failures++;
+    sim.end_span(st->span, SpanStatus::kFailed, cp, st->hops);
+    if (st->fail) {
+      SpanScope scope(sim, st->ctx);
+      st->fail();
+    }
     return;
   }
 
@@ -179,13 +193,22 @@ void GpsrRouter::route_step(NodeId current,
   }
 
   if (!next.valid()) {
-    medium_->sim().metrics().gpsr_failures++;
-    if (st->fail) st->fail();
+    Simulator& sim = medium_->sim();
+    sim.metrics().gpsr_failures++;
+    sim.end_span(st->span, SpanStatus::kFailed, cp, st->hops);
+    if (st->fail) {
+      SpanScope scope(sim, st->ctx);
+      st->fail();
+    }
     return;
   }
 
   if (st->tx_counter != nullptr) ++*st->tx_counter;
   const NodeId from = current;
+  // Hop spans nest under the route span, and the continuation comes back
+  // with the route span active (the radio re-establishes the context it
+  // captures here around on_delivered).
+  SpanScope scope(medium_->sim(), st->span);
   medium_->unicast_frame(
       current, next,
       /*on_delivered=*/[this, from, next, st] {
@@ -193,8 +216,15 @@ void GpsrRouter::route_step(NodeId current,
         route_step(next, st);
       },
       /*on_lost=*/[this, st] {
-        medium_->sim().metrics().gpsr_failures++;
-        if (st->fail) st->fail();
+        Simulator& sim = medium_->sim();
+        sim.metrics().gpsr_failures++;
+        const Vec2 where = st->prev.valid() ? registry_->position(st->prev)
+                                            : st->dest_pos;
+        sim.end_span(st->span, SpanStatus::kFailed, where, st->hops);
+        if (st->fail) {
+          SpanScope scope(sim, st->ctx);
+          st->fail();
+        }
       });
 }
 

@@ -13,6 +13,7 @@
 
 #include "net/beacons.h"
 #include "net/radio.h"
+#include "trace/metrics.h"
 
 namespace hlsrg {
 
@@ -77,6 +78,9 @@ class GpsrRouter {
   const NodeRegistry* registry_;
   BeaconService* beacons_ = nullptr;
   GpsrConfig cfg_;
+  // Always-on route-length histogram ("gpsr.route_hops"); the pointer is
+  // cached because registry nodes are address-stable.
+  Histogram* hops_hist_;
 };
 
 }  // namespace hlsrg

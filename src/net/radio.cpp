@@ -28,8 +28,12 @@ SimTime RadioMedium::hop_delay() {
 }
 
 void RadioMedium::deliver(NodeId to, const Packet& pkt, NodeId from,
-                          SimTime delay) {
-  sim_->schedule_after(delay, [this, to, pkt, from] {
+                          SimTime delay, SpanId ctx, SpanId span_to_end,
+                          std::int32_t value) {
+  sim_->schedule_after(delay, [this, to, pkt, from, ctx, span_to_end, value] {
+    sim_->end_span(span_to_end, SpanStatus::kOk, registry_->position(to),
+                   value);
+    SpanScope scope(*sim_, ctx);
     if (PacketSink* sink = registry_->sink(to)) sink->on_receive(pkt, from);
   });
 }
@@ -42,6 +46,7 @@ int RadioMedium::broadcast(NodeId sender, const Packet& pkt) {
   sim_->metrics().radio_broadcasts++;
   const SimTime delay = hop_delay();
   const int kind = static_cast<int>(pkt.kind);
+  const SpanId ctx = sim_->active_span();
   for (NodeId rx : scratch_) {
     sim_->metrics().channel.add_offered(kind);
     const Vec2 rp = registry_->position(rx);
@@ -52,7 +57,7 @@ int RadioMedium::broadcast(NodeId sender, const Packet& pkt) {
       continue;
     }
     sim_->metrics().channel.add_delivered(kind);
-    deliver(rx, pkt, sender, delay);
+    deliver(rx, pkt, sender, delay, ctx);
   }
   return static_cast<int>(scratch_.size());
 }
@@ -69,6 +74,7 @@ int RadioMedium::broadcast_each(NodeId sender,
   index_.query(sp, cfg_.range_m, sender, &scratch_);
   sim_->metrics().radio_broadcasts++;
   const SimTime delay = hop_delay();
+  const SpanId ctx = sim_->active_span();
   auto shared_deliver =
       std::make_shared<std::function<void(NodeId)>>(std::move(on_deliver));
   for (NodeId rx : scratch_) {
@@ -78,14 +84,18 @@ int RadioMedium::broadcast_each(NodeId sender,
       sim_->metrics().radio_drops++;
       continue;
     }
-    sim_->schedule_after(delay, [shared_deliver, rx] { (*shared_deliver)(rx); });
+    sim_->schedule_after(delay, [this, shared_deliver, rx, ctx] {
+      SpanScope scope(sim(), ctx);
+      (*shared_deliver)(rx);
+    });
   }
   return static_cast<int>(scratch_.size());
 }
 
 void RadioMedium::try_unicast(NodeId sender, NodeId target, Packet pkt,
                               int attempts_left,
-                              std::function<void()> on_lost) {
+                              std::function<void()> on_lost, SpanId span,
+                              SpanId ctx) {
   index_.refresh(sim_->now());
   const Vec2 sp = registry_->position(sender);
   const Vec2 tp = registry_->position(target);
@@ -93,11 +103,12 @@ void RadioMedium::try_unicast(NodeId sender, NodeId target, Packet pkt,
   sim_->metrics().radio_unicasts++;
   const int kind = static_cast<int>(pkt.kind);
   sim_->metrics().channel.add_offered(kind);
+  const std::int32_t retries_used = cfg_.unicast_retries - attempts_left;
   if (d <= cfg_.range_m) {
     const int density = index_.count_within(tp, cfg_.range_m, target);
     if (!sim_->radio_rng().chance(loss_probability(d, density))) {
       sim_->metrics().channel.add_delivered(kind);
-      deliver(target, pkt, sender, hop_delay());
+      deliver(target, pkt, sender, hop_delay(), ctx, span, retries_used);
       return;
     }
   }
@@ -107,34 +118,52 @@ void RadioMedium::try_unicast(NodeId sender, NodeId target, Packet pkt,
     sim_->schedule_after(
         SimTime::from_ms(cfg_.retry_delay_ms),
         [this, sender, target, pkt = std::move(pkt), attempts_left,
-         on_lost = std::move(on_lost)]() mutable {
+         on_lost = std::move(on_lost), span, ctx]() mutable {
           try_unicast(sender, target, std::move(pkt), attempts_left - 1,
-                      std::move(on_lost));
+                      std::move(on_lost), span, ctx);
         });
-  } else if (on_lost) {
-    on_lost();
+  } else {
+    sim_->end_span(span, SpanStatus::kFailed, tp, retries_used);
+    if (on_lost) {
+      SpanScope scope(*sim_, ctx);
+      on_lost();
+    }
   }
 }
 
 void RadioMedium::unicast(NodeId sender, NodeId target, const Packet& pkt,
                           std::function<void()> on_lost) {
-  try_unicast(sender, target, pkt, cfg_.unicast_retries, std::move(on_lost));
+  // One hop span covering every MAC retry; ends at reception or abandon.
+  const SpanId ctx = sim_->active_span();
+  const SpanId span =
+      sim_->begin_span(SpanKind::kRadioHop, sender.value(), target.value(),
+                       registry_->position(sender), kNoQuery, -1,
+                       packet_kind_name(pkt.kind));
+  try_unicast(sender, target, pkt, cfg_.unicast_retries, std::move(on_lost),
+              span, ctx);
 }
 
 void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
                                     int attempts_left,
                                     std::function<void()> on_delivered,
-                                    std::function<void()> on_lost) {
+                                    std::function<void()> on_lost, SpanId span,
+                                    SpanId ctx) {
   index_.refresh(sim_->now());
   const Vec2 sp = registry_->position(sender);
   const Vec2 tp = registry_->position(target);
   const double d = distance(sp, tp);
   sim_->metrics().radio_unicasts++;
+  const std::int32_t retries_used = cfg_.unicast_retries - attempts_left;
   if (d <= cfg_.range_m) {
     const int density = index_.count_within(tp, cfg_.range_m, target);
     if (!sim_->radio_rng().chance(loss_probability(d, density))) {
-      sim_->schedule_after(hop_delay(),
-                           [cb = std::move(on_delivered)] { cb(); });
+      sim_->schedule_after(
+          hop_delay(), [this, cb = std::move(on_delivered), tp, span, ctx,
+                        retries_used] {
+            sim_->end_span(span, SpanStatus::kOk, tp, retries_used);
+            SpanScope scope(*sim_, ctx);
+            cb();
+          });
       return;
     }
   }
@@ -144,12 +173,17 @@ void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
         SimTime::from_ms(cfg_.retry_delay_ms),
         [this, sender, target, attempts_left,
          on_delivered = std::move(on_delivered),
-         on_lost = std::move(on_lost)]() mutable {
+         on_lost = std::move(on_lost), span, ctx]() mutable {
           try_unicast_frame(sender, target, attempts_left - 1,
-                            std::move(on_delivered), std::move(on_lost));
+                            std::move(on_delivered), std::move(on_lost), span,
+                            ctx);
         });
-  } else if (on_lost) {
-    on_lost();
+  } else {
+    sim_->end_span(span, SpanStatus::kFailed, tp, retries_used);
+    if (on_lost) {
+      SpanScope scope(*sim_, ctx);
+      on_lost();
+    }
   }
 }
 
@@ -157,8 +191,12 @@ void RadioMedium::unicast_frame(NodeId sender, NodeId target,
                                 std::function<void()> on_delivered,
                                 std::function<void()> on_lost) {
   HLSRG_CHECK(on_delivered != nullptr);
+  const SpanId ctx = sim_->active_span();
+  const SpanId span =
+      sim_->begin_span(SpanKind::kRadioHop, sender.value(), target.value(),
+                       registry_->position(sender));
   try_unicast_frame(sender, target, cfg_.unicast_retries,
-                    std::move(on_delivered), std::move(on_lost));
+                    std::move(on_delivered), std::move(on_lost), span, ctx);
 }
 
 void RadioMedium::neighbors_of(NodeId node, std::vector<NodeId>* out) {

@@ -86,12 +86,19 @@ class RadioMedium {
 
  private:
   [[nodiscard]] SimTime hop_delay();
-  void deliver(NodeId to, const Packet& pkt, NodeId from, SimTime delay);
+  // Schedules sink delivery. `ctx` is the span context re-established around
+  // on_receive (so receivers inherit the sender's query context across the
+  // event-queue hop); `span_to_end` is closed kOk at reception time with
+  // `value` (MAC retries used).
+  void deliver(NodeId to, const Packet& pkt, NodeId from, SimTime delay,
+               SpanId ctx = kNoSpan, SpanId span_to_end = kNoSpan,
+               std::int32_t value = -1);
   void try_unicast(NodeId sender, NodeId target, Packet pkt, int attempts_left,
-                   std::function<void()> on_lost);
+                   std::function<void()> on_lost, SpanId span, SpanId ctx);
   void try_unicast_frame(NodeId sender, NodeId target, int attempts_left,
                          std::function<void()> on_delivered,
-                         std::function<void()> on_lost);
+                         std::function<void()> on_lost, SpanId span,
+                         SpanId ctx);
 
   Simulator* sim_;
   const NodeRegistry* registry_;

@@ -9,7 +9,8 @@ namespace hlsrg {
 
 WiredNetwork::WiredNetwork(Simulator& sim, const NodeRegistry& registry,
                            WiredConfig cfg)
-    : sim_(&sim), registry_(&registry), cfg_(cfg) {}
+    : sim_(&sim), registry_(&registry), cfg_(cfg),
+      hops_hist_(sim.observability().histogram("wired.message_hops")) {}
 
 void WiredNetwork::connect(NodeId a, NodeId b) {
   HLSRG_CHECK(a.valid() && b.valid() && a != b);
@@ -48,9 +49,17 @@ bool WiredNetwork::send(NodeId from, NodeId to, const Packet& pkt,
   sim_->metrics().channel.add_offered(static_cast<int>(pkt.kind));
   sim_->metrics().channel.add_delivered(static_cast<int>(pkt.kind));
   if (tx_counter != nullptr) *tx_counter += static_cast<std::uint64_t>(hops);
+  hops_hist_->record(hops);
   const SimTime latency =
       SimTime::from_ms(cfg_.link_latency_ms * std::max(hops, 1));
-  sim_->schedule_after(latency, [this, to, pkt, from] {
+  const SpanId ctx = sim_->active_span();
+  const SpanId span =
+      sim_->begin_span(SpanKind::kWiredHop, from.value(), to.value(),
+                       registry_->position(from), kNoQuery, -1,
+                       packet_kind_name(pkt.kind));
+  sim_->schedule_after(latency, [this, to, pkt, from, ctx, span, hops] {
+    sim_->end_span(span, SpanStatus::kOk, registry_->position(to), hops);
+    SpanScope scope(*sim_, ctx);
     if (PacketSink* sink = registry_->sink(to)) sink->on_receive(pkt, from);
   });
   return true;

@@ -43,6 +43,8 @@ class WiredNetwork {
   Simulator* sim_;
   const NodeRegistry* registry_;
   WiredConfig cfg_;
+  // Always-on backhaul path-length histogram ("wired.message_hops").
+  Histogram* hops_hist_;
   std::unordered_map<NodeId, std::vector<NodeId>> adjacency_;
   std::vector<NodeId> empty_;
 };

@@ -1,5 +1,6 @@
 #include "report/bench_report.h"
 
+#include "trace/metrics.h"
 #include "util/check.h"
 
 namespace hlsrg {
@@ -36,6 +37,7 @@ void BenchReport::add_result(const std::string& label,
   result.report.metrics = set.merged;
   result.report.latency = LatencySummary::from(set.merged.query_latency);
   result.report.engine = set.engine_total;
+  result.report.observability = registry_to_json(set.observability);
   result.replica_engine = set.engine;
   result.derived = derived_metrics_json(set.merged, set.replicas.size());
   row->results.push_back(std::move(result));

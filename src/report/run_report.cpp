@@ -31,6 +31,7 @@ LatencySummary LatencySummary::from(const LatencyStat& stat) {
   s.min_ms = stat.min_ms();
   s.max_ms = stat.max_ms();
   s.p50_ms = stat.p50_ms();
+  s.p90_ms = stat.p90_ms();
   s.p95_ms = stat.p95_ms();
   s.p99_ms = stat.p99_ms();
   return s;
@@ -52,6 +53,7 @@ JsonValue scenario_to_json(const ScenarioConfig& cfg) {
   o.set("warmup_sec", cfg.warmup.sec());
   o.set("query_window_sec", cfg.query_window.sec());
   o.set("grace_sec", cfg.grace.sec());
+  o.set("sample_interval_sec", cfg.sample_interval.sec());
   o.set("parked_fraction", cfg.mobility.parked_fraction);
   o.set("use_rsus", cfg.hlsrg.use_rsus);
   o.set("suppress_artery_updates", cfg.hlsrg.suppress_artery_updates);
@@ -98,6 +100,10 @@ void scenario_from_json(const JsonValue& v, ScenarioConfig* cfg) {
   }
   if (v.contains("grace_sec")) {
     cfg->grace = SimTime::from_sec(v.at("grace_sec").as_double());
+  }
+  if (v.contains("sample_interval_sec")) {
+    cfg->sample_interval =
+        SimTime::from_sec(v.at("sample_interval_sec").as_double());
   }
   if (v.contains("parked_fraction")) {
     cfg->mobility.parked_fraction = v.at("parked_fraction").as_double();
@@ -182,6 +188,7 @@ JsonValue latency_to_json(const LatencySummary& l) {
   o.set("min_ms", l.min_ms);
   o.set("max_ms", l.max_ms);
   o.set("p50_ms", l.p50_ms);
+  o.set("p90_ms", l.p90_ms);
   o.set("p95_ms", l.p95_ms);
   o.set("p99_ms", l.p99_ms);
   return o;
@@ -193,6 +200,8 @@ void latency_from_json(const JsonValue& v, LatencySummary* l) {
   l->min_ms = v.at("min_ms").as_double();
   l->max_ms = v.at("max_ms").as_double();
   l->p50_ms = v.at("p50_ms").as_double();
+  // Added after v1 reports shipped; absent in older files.
+  if (v.contains("p90_ms")) l->p90_ms = v.at("p90_ms").as_double();
   l->p95_ms = v.at("p95_ms").as_double();
   l->p99_ms = v.at("p99_ms").as_double();
 }
@@ -205,6 +214,8 @@ JsonValue engine_to_json(const EngineStats& e) {
   o.set("sim_time_sec", e.sim_time_sec);
   o.set("wall_clock_sec", e.wall_clock_sec);
   o.set("events_per_sec", e.events_per_sec());
+  o.set("trace_events_dropped", e.trace_events_dropped);
+  o.set("trace_spans_dropped", e.trace_spans_dropped);
   return o;
 }
 
@@ -214,6 +225,12 @@ void engine_from_json(const JsonValue& v, EngineStats* e) {
   e->peak_queue_depth = v.at("peak_queue_depth").as_uint64();
   e->sim_time_sec = v.at("sim_time_sec").as_double();
   e->wall_clock_sec = v.at("wall_clock_sec").as_double();
+  if (v.contains("trace_events_dropped")) {
+    e->trace_events_dropped = v.at("trace_events_dropped").as_uint64();
+  }
+  if (v.contains("trace_spans_dropped")) {
+    e->trace_spans_dropped = v.at("trace_spans_dropped").as_uint64();
+  }
 }
 
 JsonValue derived_metrics_json(const RunMetrics& merged, std::size_t replicas) {
@@ -225,6 +242,10 @@ JsonValue derived_metrics_json(const RunMetrics& merged, std::size_t replicas) {
         static_cast<double>(merged.total_query_overhead()) / n);
   o.set("success_rate", merged.success_rate());
   o.set("mean_query_latency_ms", merged.query_latency.mean_ms());
+  o.set("query_delay_p50_ms", merged.query_latency.p50_ms());
+  o.set("query_delay_p90_ms", merged.query_latency.p90_ms());
+  o.set("query_delay_p95_ms", merged.query_latency.p95_ms());
+  o.set("query_delay_p99_ms", merged.query_latency.p99_ms());
   return o;
 }
 
@@ -235,6 +256,7 @@ JsonValue RunReport::to_json() const {
   o.set("metrics", metrics_to_json(metrics));
   o.set("latency", latency_to_json(latency));
   o.set("engine", engine_to_json(engine));
+  if (!observability.is_null()) o.set("observability", observability);
   return o;
 }
 
@@ -263,6 +285,7 @@ bool RunReport::from_json(const JsonValue& v, RunReport* out,
   metrics_from_json(v.at("metrics"), &out->metrics);
   latency_from_json(v.at("latency"), &out->latency);
   engine_from_json(v.at("engine"), &out->engine);
+  if (v.contains("observability")) out->observability = v.at("observability");
   return true;
 }
 

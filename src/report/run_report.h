@@ -26,6 +26,7 @@ struct LatencySummary {
   double min_ms = 0.0;
   double max_ms = 0.0;
   double p50_ms = 0.0;
+  double p90_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
 
@@ -38,6 +39,10 @@ struct RunReport {
   RunMetrics metrics;      // counters only; latency lives in `latency`
   LatencySummary latency;
   EngineStats engine;
+  // Optional observability payload (trace/metrics.h registry_to_json):
+  // counters, gauges, latency histograms, and time series. Null when the run
+  // produced none; carried through to_json/from_json verbatim.
+  JsonValue observability;
 
   [[nodiscard]] JsonValue to_json() const;
   // Inverse of to_json for the serialized field set; unknown fields are

@@ -305,6 +305,8 @@ void RlsmpVehicleAgent::handle_lsc_query(const Packet& packet) {
 
 void RlsmpVehicleAgent::lsc_win_election(QueryId qid,
                                          const RlsmpQueryPayload& query) {
+  // Election timers fire with no span context; re-anchor to the query root.
+  SpanScope anchor(svc_->sim(), svc_->tracker().span_of(qid));
   elections_.erase(qid);
   settled_elections_.insert(qid);
   auto claim = std::make_shared<LscClaimPayload>();
@@ -315,6 +317,10 @@ void RlsmpVehicleAgent::lsc_win_election(QueryId qid,
   purge_tables();
   if (const CellRecord* rec = cluster_table_.find(query.target)) {
     svc_->metrics().server_lookup_hits++;
+    svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
+                             vehicle_.value(), query.target.value(),
+                             svc_->vehicle_pos(vehicle_), qid, -1,
+                             "cluster_table");
     // Known: forward to the cell leader of Dv's cell.
     auto fwd = std::make_shared<RlsmpQueryPayload>(query);
     fwd->to_cell_leader = true;
@@ -329,6 +335,10 @@ void RlsmpVehicleAgent::lsc_win_election(QueryId qid,
   // Unknown: hold for the aggregation window, then spiral onward in a batch
   // ("the LSC will send the aggregated query packets to others LSC").
   svc_->metrics().server_lookup_misses++;
+  svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kFailed,
+                           vehicle_.value(), query.target.value(),
+                           svc_->vehicle_pos(vehicle_), qid, -1,
+                           "cluster_table");
   enqueue_for_spiral(query);
 }
 
@@ -397,6 +407,13 @@ void RlsmpVehicleAgent::handle_cell_leader_query(
   svc_->sim().trace_event({{}, TraceEventKind::kNotification, query.target,
                            query.src_vehicle, svc_->vehicle_pos(vehicle_),
                            query.query_id});
+  // Open until the query settles; the cell flood nests under it. The leader
+  // handles this off a GPSR delivery, so the propagated context (if any) is
+  // the query root.
+  const SpanId note_span = svc_->sim().begin_span(
+      SpanKind::kNotification, query.target.value(), query.src_vehicle.value(),
+      svc_->vehicle_pos(vehicle_), query.query_id, -1, "cell_flood");
+  SpanScope scope(svc_->sim(), note_span);
   // Find Dv by flooding its cell (margin covers boundary queueing).
   svc_->geocast().flood(
       node_, svc_->make_packet(PacketKind::kRlsmpNotify, node_, note),
@@ -414,6 +431,16 @@ void RlsmpVehicleAgent::answer_notify(const RlsmpNotifyPayload& notify) {
   svc_->sim().trace_event({{}, TraceEventKind::kAckSent, vehicle_,
                            notify.src_vehicle, svc_->vehicle_pos(vehicle_),
                            notify.query_id});
+  // ACK leg back to Sv, open until the query settles.
+  Simulator& sim = svc_->sim();
+  SpanScope anchor(sim, sim.active_span() != kNoSpan
+                            ? sim.active_span()
+                            : svc_->tracker().span_of(notify.query_id));
+  const SpanId ack_span =
+      sim.begin_span(SpanKind::kAckLeg, vehicle_.value(),
+                     notify.src_vehicle.value(), svc_->vehicle_pos(vehicle_),
+                     notify.query_id);
+  SpanScope scope(sim, ack_span);
   svc_->gpsr().send(node_, notify.src_pos, notify.src_node,
                     svc_->make_packet(PacketKind::kRlsmpAck, node_, ack),
                     &svc_->metrics().query_transmissions);

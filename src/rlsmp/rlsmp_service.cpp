@@ -56,8 +56,18 @@ QueryTracker::QueryId RlsmpService::issue_query(VehicleId src,
   HLSRG_CHECK(src.index() < vehicle_agents_.size());
   HLSRG_CHECK(dst.index() < vehicle_agents_.size());
   const QueryTracker::QueryId qid = tracker_.issue(src, dst);
+  // Nest the source agent's synchronous work under the query root span.
+  SpanScope scope(*sim_, tracker_.span_of(qid));
   vehicle_agents_[src.index()]->start_query(qid, dst);
   return qid;
+}
+
+std::size_t RlsmpService::table_records() const {
+  std::size_t n = 0;
+  for (const auto& agent : vehicle_agents_) {
+    n += agent->cell_table_size() + agent->cluster_table_size();
+  }
+  return n;
 }
 
 void RlsmpService::on_moved(VehicleId v, Vec2 before, Vec2 after) {

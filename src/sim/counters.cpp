@@ -67,6 +67,8 @@ void EngineStats::merge(const EngineStats& other) {
   events_processed += other.events_processed;
   events_scheduled += other.events_scheduled;
   peak_queue_depth = std::max(peak_queue_depth, other.peak_queue_depth);
+  trace_events_dropped += other.trace_events_dropped;
+  trace_spans_dropped += other.trace_spans_dropped;
   sim_time_sec += other.sim_time_sec;
   wall_clock_sec += other.wall_clock_sec;
 }

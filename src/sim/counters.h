@@ -88,6 +88,7 @@ class LatencyStat {
   // Exact percentile (nearest-rank), q in [0,1]; 0 when empty.
   [[nodiscard]] double percentile_ms(double q) const;
   [[nodiscard]] double p50_ms() const { return percentile_ms(0.50); }
+  [[nodiscard]] double p90_ms() const { return percentile_ms(0.90); }
   [[nodiscard]] double p95_ms() const { return percentile_ms(0.95); }
   [[nodiscard]] double p99_ms() const { return percentile_ms(0.99); }
 
@@ -113,6 +114,8 @@ struct EngineStats {
   std::uint64_t events_processed = 0;   // events dispatched by the queue
   std::uint64_t events_scheduled = 0;   // events ever scheduled
   std::uint64_t peak_queue_depth = 0;   // pending-event high-water mark
+  std::uint64_t trace_events_dropped = 0;  // trace records past the cap
+  std::uint64_t trace_spans_dropped = 0;   // spans past the cap
   double sim_time_sec = 0.0;            // simulated horizon covered
   double wall_clock_sec = 0.0;          // host time spent running the replica
 

@@ -11,7 +11,8 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/time.h"
-#include "sim/trace.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace hlsrg {
 
@@ -60,6 +61,10 @@ class Simulator {
     s.events_scheduled = queue_.events_scheduled();
     s.peak_queue_depth = queue_.peak_depth();
     s.sim_time_sec = queue_.now().sec();
+    if (trace_ != nullptr) {
+      s.trace_events_dropped = trace_->dropped_events();
+      s.trace_spans_dropped = trace_->dropped_spans();
+    }
     return s;
   }
 
@@ -76,15 +81,91 @@ class Simulator {
     }
   }
 
+  // ---- span context ------------------------------------------------------
+  // The active span is the parent for spans begun synchronously under it;
+  // it propagates across event-queue hops by value (captured in transport
+  // closures and re-established with SpanScope around delivery). Everything
+  // here degrades to a null check + integer copies when tracing is off.
+
+  [[nodiscard]] SpanId active_span() const { return active_span_; }
+  void set_active_span(SpanId id) { active_span_ = id; }
+
+  // Opens a span at now() parented under the active span. kNoSpan when
+  // tracing is detached (or the span cap was hit) — safe to thread through
+  // closures and pass back to end_span either way.
+  SpanId begin_span(SpanKind kind, std::uint32_t subject, std::uint32_t other,
+                    Vec2 pos, std::uint32_t query_id = kNoQuery,
+                    int level = -1, const char* detail = nullptr) {
+    if (trace_ == nullptr) return kNoSpan;
+    Span s;
+    s.parent = active_span_;
+    s.kind = kind;
+    s.subject = subject;
+    s.other = other;
+    s.begin_pos = pos;
+    s.end_pos = pos;
+    s.query_id = query_id;
+    s.level = static_cast<std::int8_t>(level);
+    s.detail = detail;
+    return trace_->begin_span(s, now());
+  }
+
+  // Closes a span at now(); idempotent, no-op for kNoSpan / when detached.
+  void end_span(SpanId id, SpanStatus status, Vec2 pos = Vec2{},
+                std::int32_t value = -1) {
+    if (trace_ != nullptr) trace_->end_span(id, now(), status, pos, value);
+  }
+
+  // Zero-duration span (table lookups, update broadcasts).
+  void instant_span(SpanKind kind, SpanStatus status, std::uint32_t subject,
+                    std::uint32_t other, Vec2 pos,
+                    std::uint32_t query_id = kNoQuery, int level = -1,
+                    const char* detail = nullptr, std::int32_t value = -1) {
+    if (trace_ == nullptr) return;
+    const SpanId id = begin_span(kind, subject, other, pos, query_id, level,
+                                 detail);
+    trace_->end_span(id, now(), status, pos, value);
+  }
+
+  // Always-on named metrics (counters/gauges/histograms/series); feeding it
+  // draws no randomness, so it never perturbs determinism digests.
+  [[nodiscard]] MetricsRegistry& observability() { return observability_; }
+  [[nodiscard]] const MetricsRegistry& observability() const {
+    return observability_;
+  }
+
  private:
   EventQueue queue_;
   TraceLog* trace_ = nullptr;
+  SpanId active_span_ = kNoSpan;
+  MetricsRegistry observability_;
   Rng root_rng_;
   Rng mobility_rng_;
   Rng radio_rng_;
   Rng protocol_rng_;
   Rng workload_rng_;
   RunMetrics metrics_;
+};
+
+// RAII span-context guard: makes `span` the active span (the parent for
+// spans begun while in scope) and restores the previous context on exit.
+// Used both to nest synchronous work under a new span and to re-anchor
+// async continuations (timer callbacks, sink deliveries) to the span they
+// logically belong to. Costs two integer copies when tracing is detached.
+class SpanScope {
+ public:
+  SpanScope(Simulator& sim, SpanId span)
+      : sim_(sim), saved_(sim.active_span()) {
+    sim_.set_active_span(span);
+  }
+  ~SpanScope() { sim_.set_active_span(saved_); }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Simulator& sim_;
+  SpanId saved_;
 };
 
 }  // namespace hlsrg

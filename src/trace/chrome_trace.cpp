@@ -1,0 +1,165 @@
+#include "trace/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "report/json.h"
+
+namespace hlsrg {
+namespace {
+
+constexpr int kSimPid = 1;
+constexpr int kEnginePid = 2;
+// tid layout under kSimPid: 999 = instant trace events, 1000 + query_id =
+// per-query span trees, 1 + kind = spans whose root has no query id.
+constexpr std::int64_t kEventsTid = 999;
+constexpr std::int64_t kQueryTidBase = 1000;
+
+std::int64_t track_for(const TraceLog& log, const Span& span) {
+  const Span* root = &span;
+  while (root->parent != kNoSpan) {
+    const Span* parent = log.span(root->parent);
+    if (parent == nullptr) break;
+    root = parent;
+  }
+  if (root->query_id != kNoQuery) return kQueryTidBase + root->query_id;
+  return 1 + static_cast<std::int64_t>(root->kind);
+}
+
+JsonValue span_args(const Span& s) {
+  JsonValue args = JsonValue::object();
+  args.set("status", span_status_name(s.status));
+  if (s.subject != kNoQuery) args.set("subject", std::uint64_t{s.subject});
+  if (s.other != kNoQuery) args.set("other", std::uint64_t{s.other});
+  if (s.query_id != kNoQuery) args.set("query_id", std::uint64_t{s.query_id});
+  if (s.level >= 0) args.set("level", static_cast<int>(s.level));
+  if (s.value != 0) args.set("value", s.value);
+  if (s.detail != nullptr) args.set("detail", s.detail);
+  args.set("begin_x", s.begin_pos.x);
+  args.set("begin_y", s.begin_pos.y);
+  args.set("end_x", s.end_pos.x);
+  args.set("end_y", s.end_pos.y);
+  return args;
+}
+
+JsonValue meta_event(int pid, std::int64_t tid, const char* what,
+                     const std::string& name) {
+  JsonValue e = JsonValue::object();
+  e.set("name", what);
+  e.set("ph", "M");
+  e.set("pid", pid);
+  if (tid >= 0) e.set("tid", tid);
+  JsonValue args = JsonValue::object();
+  args.set("name", name);
+  e.set("args", std::move(args));
+  return e;
+}
+
+}  // namespace
+
+JsonValue chrome_trace_document(const TraceLog& log,
+                                const std::vector<WallSpan>& wall_spans) {
+  JsonValue events = JsonValue::array();
+
+  // Horizon for spans still open at the end of the run.
+  double max_sec = 0.0;
+  for (const Span& s : log.spans()) {
+    max_sec = std::max(max_sec, std::max(s.begin.sec(), s.end.sec()));
+  }
+  for (const TraceEvent& e : log.events()) {
+    max_sec = std::max(max_sec, e.time.sec());
+  }
+
+  std::map<std::int64_t, std::string> sim_threads;
+  for (const Span& s : log.spans()) {
+    const std::int64_t tid = track_for(log, s);
+    if (tid >= kQueryTidBase) {
+      sim_threads.emplace(
+          tid, "query " + std::to_string(tid - kQueryTidBase));
+    } else {
+      sim_threads.emplace(
+          tid, std::string(span_kind_name(s.kind)) + " (no query)");
+    }
+    const double begin_sec = s.begin.sec();
+    const double end_sec =
+        s.status == SpanStatus::kOpen ? max_sec : s.end.sec();
+    JsonValue ev = JsonValue::object();
+    ev.set("name", span_kind_name(s.kind));
+    ev.set("cat", "span");
+    ev.set("pid", kSimPid);
+    ev.set("tid", tid);
+    ev.set("ts", begin_sec * 1e6);
+    if (end_sec > begin_sec) {
+      ev.set("ph", "X");
+      ev.set("dur", (end_sec - begin_sec) * 1e6);
+    } else {
+      ev.set("ph", "i");
+      ev.set("s", "t");
+    }
+    ev.set("args", span_args(s));
+    events.push_back(std::move(ev));
+  }
+
+  if (!log.events().empty()) {
+    sim_threads.emplace(kEventsTid, "events");
+  }
+  for (const TraceEvent& e : log.events()) {
+    JsonValue ev = JsonValue::object();
+    ev.set("name", trace_event_name(e.kind));
+    ev.set("cat", "event");
+    ev.set("ph", "i");
+    ev.set("s", "t");
+    ev.set("pid", kSimPid);
+    ev.set("tid", kEventsTid);
+    ev.set("ts", e.time.sec() * 1e6);
+    JsonValue args = JsonValue::object();
+    if (e.subject.valid()) args.set("subject", std::uint64_t{e.subject.value()});
+    if (e.other.valid()) args.set("other", std::uint64_t{e.other.value()});
+    args.set("query_id", std::uint64_t{e.query_id});
+    args.set("x", e.pos.x);
+    args.set("y", e.pos.y);
+    ev.set("args", std::move(args));
+    events.push_back(std::move(ev));
+  }
+
+  std::map<std::int64_t, std::string> engine_threads;
+  for (const WallSpan& w : wall_spans) {
+    engine_threads.emplace(w.track, "replica " + std::to_string(w.track));
+    JsonValue ev = JsonValue::object();
+    ev.set("name", w.name);
+    ev.set("cat", "engine");
+    ev.set("ph", "X");
+    ev.set("pid", kEnginePid);
+    ev.set("tid", std::int64_t{w.track});
+    ev.set("ts", w.begin_sec * 1e6);
+    ev.set("dur", std::max(0.0, w.end_sec - w.begin_sec) * 1e6);
+    events.push_back(std::move(ev));
+  }
+
+  events.push_back(
+      meta_event(kSimPid, -1, "process_name", "simulation (sim time)"));
+  for (const auto& [tid, name] : sim_threads) {
+    events.push_back(meta_event(kSimPid, tid, "thread_name", name));
+  }
+  if (!wall_spans.empty()) {
+    events.push_back(
+        meta_event(kEnginePid, -1, "process_name", "engine (wall clock)"));
+    for (const auto& [tid, name] : engine_threads) {
+      events.push_back(meta_event(kEnginePid, tid, "thread_name", name));
+    }
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("displayTimeUnit", "ms");
+  doc.set("traceEvents", std::move(events));
+  return doc;
+}
+
+bool write_chrome_trace(const TraceLog& log,
+                        const std::vector<WallSpan>& wall_spans,
+                        const std::string& path, std::string* error) {
+  return write_json_file(chrome_trace_document(log, wall_spans), path, error);
+}
+
+}  // namespace hlsrg

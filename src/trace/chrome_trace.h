@@ -1,0 +1,39 @@
+// Chrome-trace-event exporter (loads in Perfetto / chrome://tracing).
+//
+// Two processes in the output: pid 1 is *simulated* time — one thread track
+// per traced query (named "query <id>") carrying its span tree as complete
+// ("X") events, plus shared tracks for non-query span trees and instant
+// trace events; pid 2 is *wall-clock* engine time — one track per replica
+// worker with the harness phases (build/run/digest). Timestamps are
+// microseconds, as the format requires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace hlsrg {
+
+class JsonValue;
+
+// One wall-clock engine phase, seconds relative to the run's epoch.
+struct WallSpan {
+  std::string name;
+  int track = 0;  // replica index -> tid under pid 2
+  double begin_sec = 0.0;
+  double end_sec = 0.0;
+};
+
+// Builds the full trace document: {"displayTimeUnit": "ms",
+// "traceEvents": [...]}. Dump with .dump() and feed to Perfetto.
+[[nodiscard]] JsonValue chrome_trace_document(
+    const TraceLog& log, const std::vector<WallSpan>& wall_spans = {});
+
+// Convenience: chrome_trace_document(...).dump(...) written to `path`;
+// false + *error on I/O failure.
+bool write_chrome_trace(const TraceLog& log,
+                        const std::vector<WallSpan>& wall_spans,
+                        const std::string& path, std::string* error = nullptr);
+
+}  // namespace hlsrg

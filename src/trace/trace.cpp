@@ -1,0 +1,254 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace hlsrg {
+namespace {
+
+// Fixed-precision float -> string that is byte-stable across platforms: the
+// C locale may use ',' as the decimal separator, so normalize it back to
+// '.' after formatting.
+std::string format_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  for (char* p = buf; *p != '\0'; ++p) {
+    if (*p == ',') *p = '.';
+  }
+  return buf;
+}
+
+// RFC-4180 quoting: wrap fields containing separators/quotes/newlines and
+// double any embedded quotes. Numeric fields never trigger it; it keeps the
+// export safe if a detail/name field ever grows free text.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+const char* trace_event_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kUpdateSent:
+      return "update_sent";
+    case TraceEventKind::kQueryIssued:
+      return "query_issued";
+    case TraceEventKind::kQuerySucceeded:
+      return "query_succeeded";
+    case TraceEventKind::kQueryFailed:
+      return "query_failed";
+    case TraceEventKind::kNotification:
+      return "notification";
+    case TraceEventKind::kAckSent:
+      return "ack_sent";
+    case TraceEventKind::kTableHandoff:
+      return "table_handoff";
+    case TraceEventKind::kTablePush:
+      return "table_push";
+  }
+  return "unknown";
+}
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQuery:
+      return "query";
+    case SpanKind::kUpdate:
+      return "update";
+    case SpanKind::kNotification:
+      return "notification";
+    case SpanKind::kAckLeg:
+      return "ack_leg";
+    case SpanKind::kGpsrRoute:
+      return "gpsr_route";
+    case SpanKind::kRadioHop:
+      return "radio_hop";
+    case SpanKind::kWiredHop:
+      return "wired_hop";
+    case SpanKind::kTableLookup:
+      return "table_lookup";
+  }
+  return "unknown";
+}
+
+const char* span_status_name(SpanStatus status) {
+  switch (status) {
+    case SpanStatus::kOpen:
+      return "open";
+    case SpanStatus::kOk:
+      return "ok";
+    case SpanStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::size_t TraceLog::count(TraceEventKind kind) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceLog::for_vehicle(VehicleId v) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.subject == v || e.other == v) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::for_query(std::uint32_t query_id) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    // query_id 0 is a valid id, so filter by kinds that carry one.
+    switch (e.kind) {
+      case TraceEventKind::kQueryIssued:
+      case TraceEventKind::kQuerySucceeded:
+      case TraceEventKind::kQueryFailed:
+      case TraceEventKind::kNotification:
+      case TraceEventKind::kAckSent:
+        if (e.query_id == query_id) out.push_back(e);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::string TraceLog::to_csv() const {
+  std::string out = "time_s,kind,subject,other,x,y,query_id\n";
+  for (const TraceEvent& e : events_) {
+    out += format_fixed(e.time.sec(), 6);
+    out += ',';
+    out += csv_escape(trace_event_name(e.kind));
+    out += ',';
+    if (e.subject.valid()) out += std::to_string(e.subject.value());
+    out += ',';
+    if (e.other.valid()) out += std::to_string(e.other.value());
+    out += ',';
+    out += format_fixed(e.pos.x, 3);
+    out += ',';
+    out += format_fixed(e.pos.y, 3);
+    out += ',';
+    out += std::to_string(e.query_id);
+    out += '\n';
+  }
+  return out;
+}
+
+SpanId TraceLog::begin_span(Span span, SimTime begin) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_spans_;
+    return kNoSpan;
+  }
+  span.id = static_cast<SpanId>(spans_.size() + 1);
+  span.status = SpanStatus::kOpen;
+  span.begin = begin;
+  span.end = begin;
+  spans_.push_back(span);
+  return span.id;
+}
+
+void TraceLog::end_span(SpanId id, SimTime end, SpanStatus status,
+                        Vec2 end_pos, std::int32_t value) {
+  if (id == kNoSpan || id > spans_.size()) return;
+  Span& s = spans_[id - 1];
+  if (s.status != SpanStatus::kOpen) return;  // first close wins
+  s.status = status;
+  s.end = end;
+  s.end_pos = end_pos;
+  if (value >= 0) s.value = value;
+}
+
+void TraceLog::end_open_spans_for_query(std::uint32_t query_id, SimTime end,
+                                        SpanStatus status) {
+  for (Span& s : spans_) {
+    if (s.query_id != query_id || s.status != SpanStatus::kOpen) continue;
+    s.status = status;
+    s.end = end;
+    s.end_pos = s.begin_pos;
+  }
+}
+
+std::vector<Span> TraceLog::children_of(SpanId parent) const {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (s.parent == parent) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<Span> TraceLog::spans_for_query(std::uint32_t query_id) const {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (s.query_id == query_id) out.push_back(s);
+  }
+  return out;
+}
+
+namespace {
+
+void append_span_line(std::string& out, const TraceLog& log, const Span& s,
+                      int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += span_kind_name(s.kind);
+  out += " [";
+  out += span_status_name(s.status);
+  out += "] ";
+  out += format_fixed(s.begin.sec(), 6);
+  out += "s -> ";
+  out += format_fixed(s.end.sec(), 6);
+  out += 's';
+  if (s.subject != kNoQuery) {
+    out += " subject=";
+    out += std::to_string(s.subject);
+  }
+  if (s.other != kNoQuery) {
+    out += " other=";
+    out += std::to_string(s.other);
+  }
+  if (s.query_id != kNoQuery) {
+    out += " query=";
+    out += std::to_string(s.query_id);
+  }
+  if (s.level >= 0) {
+    out += " level=";
+    out += std::to_string(s.level);
+  }
+  if (s.value != 0) {
+    out += " value=";
+    out += std::to_string(s.value);
+  }
+  if (s.detail != nullptr) {
+    out += " detail=";
+    out += s.detail;
+  }
+  out += '\n';
+  for (const Span& child : log.children_of(s.id)) {
+    append_span_line(out, log, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string TraceLog::span_tree_text() const {
+  std::string out;
+  for (const Span& s : spans_) {
+    if (s.parent == kNoSpan) append_span_line(out, *this, s, 0);
+  }
+  return out;
+}
+
+}  // namespace hlsrg

@@ -108,11 +108,20 @@ class ArgParser {
   [[nodiscard]] bool parse(int argc, char** argv) {
     prog_ = argc > 0 ? argv[0] : "prog";
     for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
+      std::string arg = argv[i];
       if (arg == "--help" || arg == "-h") {
         help_requested_ = true;
         std::fputs(usage().c_str(), stdout);
         return false;
+      }
+      // Accept `--flag=value` as well as `--flag value`.
+      std::string inline_value;
+      bool has_inline_value = false;
+      if (const std::size_t eq = arg.find('=');
+          eq != std::string::npos && arg.rfind("--", 0) == 0) {
+        inline_value = arg.substr(eq + 1);
+        has_inline_value = true;
+        arg.resize(eq);
       }
       const Spec* spec = find(arg);
       if (spec == nullptr) {
@@ -121,15 +130,23 @@ class ArgParser {
         exit_code_ = 2;
         return false;
       }
+      if (has_inline_value && !spec->takes_value) {
+        std::fprintf(stderr, "%s does not take a value\n", arg.c_str());
+        exit_code_ = 2;
+        return false;
+      }
       std::string value;
       if (spec->takes_value) {
-        if (i + 1 >= argc) {
+        if (has_inline_value) {
+          value = inline_value;
+        } else if (i + 1 >= argc) {
           std::fprintf(stderr, "%s requires a value (%s)\n", arg.c_str(),
                        spec->value_name.c_str());
           exit_code_ = 2;
           return false;
+        } else {
+          value = argv[++i];
         }
-        value = argv[++i];
       }
       if (!spec->apply(value)) {
         std::fprintf(stderr, "invalid value '%s' for %s (expected %s)\n",

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/world.h"
-#include "sim/trace.h"
+#include "trace/trace.h"
 
 namespace hlsrg {
 namespace {
