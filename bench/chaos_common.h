@@ -1,0 +1,61 @@
+// Shared scaffolding for the chaos benches: run one fault plan with and
+// without failover and print the robustness metrics (availability among
+// fault-window queries, time-to-recovery, stranded queries, retry/failover
+// counts). The no_failover variant is the control the acceptance gate
+// compares against: graceful degradation must not lose to doing nothing.
+//
+// Chaos benches honor --fault-plan (replaces the bench's inline plan with a
+// file) and --fault-seed like every other bench flag.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace hlsrg::bench {
+
+// Baseline chaos scenario: a 4 km map makes the L3 plane a 2x2 wired mesh,
+// so sibling L3 RSUs exist for crash failover (the paper's 2 km map has a
+// single L3 RSU — nothing to fail over to). Retries are sized to outlast
+// the ~30 s fault windows: 4 attempts at 5 s * 2^(k-1) spans ~75 s.
+inline ScenarioConfig chaos_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg = paper_scenario(/*vehicles=*/400, seed);
+  cfg.map.size_m = 4000.0;
+  cfg.hlsrg.max_attempts = 4;
+  cfg.hlsrg.retry_backoff_base = 2.0;
+  return cfg;
+}
+
+inline void run_chaos(SweepDriver& driver, const std::string& title,
+                      const ScenarioConfig& base) {
+  driver.begin_section(title, "availability");
+  std::printf("== %s ==\n   (%d replicas per variant)\n", title.c_str(),
+              driver.replicas());
+  TextTable table;
+  table.add_row({"variant", "availability", "success", "recovery ms",
+                 "stranded", "retries", "failovers"});
+  for (const bool failover : {true, false}) {
+    ScenarioConfig cfg = base;
+    cfg.hlsrg.enable_failover = failover;
+    const ReplicaSet s = driver.run(failover ? "failover" : "no_failover",
+                                    cfg, Protocol::kHlsrg);
+    const double n = static_cast<double>(s.replicas.size());
+    table.add_row({
+        failover ? "failover" : "no_failover",
+        fmt_percent(static_cast<double>(s.merged.fault_queries_ok),
+                    static_cast<double>(s.merged.fault_queries_issued)),
+        fmt_percent(static_cast<double>(s.merged.queries_succeeded),
+                    static_cast<double>(s.merged.queries_issued)),
+        fmt_double(s.merged.recovery_ms(), 1),
+        fmt_double(static_cast<double>(s.merged.queries_stranded) / n, 2),
+        fmt_double(static_cast<double>(s.merged.query_retries) / n, 1),
+        fmt_double(static_cast<double>(s.merged.query_failovers) / n, 1),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("-- CSV --\n%s\n", table.render_csv().c_str());
+}
+
+}  // namespace hlsrg::bench

@@ -20,6 +20,11 @@
 //   --trace FILE   capture replica 0 of the first measurement into a
 //                  Chrome-trace JSON (load in Perfetto / chrome://tracing);
 //                  includes wall-clock engine phases of that measurement
+//   --fault-plan FILE
+//                  run every measurement under this fault plan (JSON,
+//                  fault/fault_plan.h); replaces any plan the bench builds
+//                  inline
+//   --fault-seed S pin the fault RNG stream (0 = derive from replica seed)
 #pragma once
 
 #include <cstdio>
@@ -45,6 +50,8 @@ struct BenchOptions {
   std::uint64_t seed = 0;  // 0 = keep each sweep point's built-in seed
   std::string out;         // JSON report path
   std::string trace;       // Chrome-trace JSON path ("" = no trace)
+  std::string fault_plan;  // fault-plan JSON path ("" = bench's own plan)
+  std::uint64_t fault_seed = 0;  // nonzero pins the fault RNG stream
   bool audit_determinism = false;  // cross-check digests vs 1-thread rerun
   bool parse_failed = false;
   int exit_code = 0;
@@ -75,6 +82,11 @@ inline BenchOptions parse_options(int argc, char** argv, const char* name,
   args.add_flag("--audit-determinism",
                 "verify state digests against a single-threaded rerun",
                 &opts.audit_determinism);
+  args.add_string("--fault-plan", "FILE",
+                  "fault-plan JSON applied to every measurement",
+                  &opts.fault_plan);
+  args.add_uint64("--fault-seed", "S", "pin the fault RNG stream",
+                  &opts.fault_seed);
   if (!args.parse(argc, argv)) {
     opts.parse_failed = true;
     opts.exit_code = args.exit_code();
@@ -113,6 +125,13 @@ class SweepDriver {
                  Protocol protocol) {
     ScenarioConfig effective = cfg;
     if (opts_.seed != 0) effective.seed = opts_.seed;
+    if (!opts_.fault_plan.empty()) {
+      // External plan replaces whatever the bench built inline; the World
+      // loads the file because the inline plan is now empty.
+      effective.fault_plan = FaultPlan{};
+      effective.fault_plan_file = opts_.fault_plan;
+    }
+    if (opts_.fault_seed != 0) effective.fault_seed = opts_.fault_seed;
     // --trace: capture the very first measurement (replica 0) only; later
     // measurements run untraced.
     TraceLog* trace = nullptr;

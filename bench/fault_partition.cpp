@@ -1,0 +1,29 @@
+// Chaos bench — wired-plane partition.
+//
+// Every backhaul link crossing the west-half boundary goes down for 35 s,
+// splitting the RSU mesh in two while every RSU stays alive. With failover,
+// L3 RSUs push cross-partition answers to the owner L2 over the radio
+// instead of the severed wire; the control variant loses every cross-half
+// lookup until the partition heals.
+#include "chaos_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "fault_partition", 4);
+  if (opts.parse_failed) return opts.exit_code;
+
+  ScenarioConfig base = bench::chaos_scenario(7200);
+  FaultWindow w;
+  w.kind = FaultKind::kPartition;
+  w.begin = SimTime::from_sec(50.0);
+  w.end = SimTime::from_sec(85.0);
+  w.has_box = true;
+  w.box = Aabb{{0.0, 0.0}, {2000.0, 4000.0}};  // west half of the 4 km map
+  base.fault_plan.windows.push_back(w);
+
+  bench::SweepDriver driver(opts);
+  bench::run_chaos(driver, "Chaos: wired partition along the map's midline",
+                   base);
+  return driver.finish() ? 0 : 1;
+}

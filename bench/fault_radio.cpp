@@ -1,0 +1,36 @@
+// Chaos bench — radio degradation + GPS noise.
+//
+// Receivers in the east half take 50 extra percentage points of loss and
+// every position recorded from there carries up to 30 m of per-axis GPS
+// error, across the query window. Stresses the retry/backoff path (updates
+// and request hops drop) and the geocast corridor margins (records point
+// near, not at, the destination). The wired plane stays healthy, so
+// failover plays a smaller role than in the crash/partition benches.
+#include "chaos_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "fault_radio", 4);
+  if (opts.parse_failed) return opts.exit_code;
+
+  ScenarioConfig base = bench::chaos_scenario(7300);
+  FaultWindow loss;
+  loss.kind = FaultKind::kRadioLoss;
+  loss.begin = SimTime::from_sec(50.0);
+  loss.end = SimTime::from_sec(85.0);
+  loss.has_box = true;
+  loss.box = Aabb{{2000.0, 0.0}, {4000.0, 4000.0}};  // east half
+  loss.extra_loss = 0.5;
+  base.fault_plan.windows.push_back(loss);
+  FaultWindow gps;
+  gps.kind = FaultKind::kGpsNoise;
+  gps.begin = SimTime::from_sec(50.0);
+  gps.end = SimTime::from_sec(85.0);
+  gps.sigma_m = 30.0;
+  base.fault_plan.windows.push_back(gps);
+
+  bench::SweepDriver driver(opts);
+  bench::run_chaos(driver, "Chaos: degraded radio half + GPS noise", base);
+  return driver.finish() ? 0 : 1;
+}

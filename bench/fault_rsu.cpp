@@ -1,0 +1,40 @@
+// Chaos bench — RSU crash/reboot.
+//
+// The home L3 RSU of region (0,0) crashes mid-run and never reboots, and
+// one of its child L2 RSUs follows shortly after — an outage longer than
+// the whole retry budget, so waiting it out is not an option. With
+// failover, L2 RSUs that lose their wired uplink escalate requests over
+// the radio to a sibling L3 (whose gossip still covers the dead region),
+// and requesters rotate their direct-to-L3 target on later attempts; the
+// control variant just retries into the dead region until attempts run out.
+#include "chaos_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsrg;
+  const bench::BenchOptions opts =
+      bench::parse_options(argc, argv, "fault_rsu", 4);
+  if (opts.parse_failed) return opts.exit_code;
+
+  ScenarioConfig base = bench::chaos_scenario(7100);
+  FaultWindow l3;
+  l3.kind = FaultKind::kRsuCrash;
+  l3.begin = SimTime::from_sec(55.0);
+  l3.end = SimTime{};  // open-ended: dead for the rest of the run
+  l3.level = 3;
+  l3.col = 0;
+  l3.row = 0;
+  base.fault_plan.windows.push_back(l3);
+  FaultWindow l2;
+  l2.kind = FaultKind::kRsuCrash;
+  l2.begin = SimTime::from_sec(60.0);
+  l2.end = SimTime{};  // open-ended
+  l2.level = 2;
+  l2.col = 0;
+  l2.row = 0;
+  base.fault_plan.windows.push_back(l2);
+
+  bench::SweepDriver driver(opts);
+  bench::run_chaos(driver, "Chaos: L3+L2 RSU crash during the query window",
+                   base);
+  return driver.finish() ? 0 : 1;
+}

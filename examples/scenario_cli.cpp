@@ -41,6 +41,8 @@ int main(int argc, char** argv) {
   int trace_cap = 0;
   std::string save_map_path;
   std::string out_path;
+  std::string fault_plan_path;
+  std::uint64_t fault_seed = 0;
 
   ArgParser args("runs one scenario under any protocol and prints metrics");
   args.add_choice("--protocol", "protocol under test", {"hlsrg", "rlsmp", "flood"},
@@ -74,6 +76,12 @@ int main(int argc, char** argv) {
                &trace_cap);
   args.add_string("--out", "FILE", "write a JSON run report to FILE",
                   &out_path);
+  args.add_string("--fault-plan", "FILE",
+                  "run under a scripted fault plan (JSON, PROTOCOL.md §7)",
+                  &fault_plan_path);
+  args.add_uint64("--fault-seed", "S",
+                  "pin the fault RNG stream (0 = derive from --seed)",
+                  &fault_seed);
   if (!args.parse(argc, argv)) return args.exit_code();
 
   Protocol protocol = Protocol::kHlsrg;
@@ -90,6 +98,8 @@ int main(int argc, char** argv) {
   cfg.grace = SimTime::from_sec(grace);
   if (no_rsus) cfg.hlsrg.use_rsus = false;
   if (irregular) cfg.map.irregular = true;
+  cfg.fault_plan_file = fault_plan_path;
+  cfg.fault_seed = fault_seed;
   replicas = std::max(1, replicas);
   const bool tracing =
       !trace_path.empty() || !trace_out_path.empty() || !spans_path.empty();
@@ -217,6 +227,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(m.radio_unicasts),
               static_cast<unsigned long long>(m.radio_drops),
               static_cast<unsigned long long>(m.gpsr_failures));
+  if (m.fault_plan_digest != 0) {
+    std::printf("faults:     availability %.1f%% (%llu/%llu in-window), "
+                "recovery %.1f ms, %llu stranded\n",
+                100.0 * m.availability(),
+                static_cast<unsigned long long>(m.fault_queries_ok),
+                static_cast<unsigned long long>(m.fault_queries_issued),
+                m.recovery_ms(),
+                static_cast<unsigned long long>(m.queries_stranded));
+    std::printf("resilience: %llu retries, %llu failovers, %llu wired drops, "
+                "%llu suppressed at down RSUs\n",
+                static_cast<unsigned long long>(m.query_retries),
+                static_cast<unsigned long long>(m.query_failovers),
+                static_cast<unsigned long long>(m.wired_drops),
+                static_cast<unsigned long long>(m.rsu_suppressed));
+  }
   std::printf("engine:     %llu events, peak queue %llu, %.2f s wall, "
               "%.0f events/s\n",
               static_cast<unsigned long long>(engine.events_processed),
@@ -229,6 +254,8 @@ int main(int argc, char** argv) {
     JsonValue doc = report.to_json();
     doc.set("schema", "hlsrg-run/v1");
     doc.set("replicas", replicas);
+    doc.set("derived",
+            derived_metrics_json(metrics, static_cast<std::size_t>(replicas)));
     JsonValue per_replica = JsonValue::array();
     for (const EngineStats& e : replica_engine) {
       per_replica.push_back(engine_to_json(e));

@@ -59,6 +59,10 @@ PREFERRED_DIRECTION = {
     "queries_failed": -1,
     "gpsr_failures": -1,
     "radio_drops": -1,
+    "availability": +1,
+    "recovery_ms": -1,
+    "queries_stranded": -1,
+    "wired_drops": -1,
     "trace_events_dropped": -1,
     "trace_spans_dropped": -1,
     "wall_clock_sec": -1,

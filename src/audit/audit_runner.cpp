@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "audit/availability_audit.h"
 #include "audit/conservation_audit.h"
 #include "audit/grid_audit.h"
 #include "audit/table_audit.h"
@@ -51,6 +52,7 @@ AuditRunner AuditRunner::standard() {
   runner.add(std::make_unique<GridAuditor>());
   runner.add(std::make_unique<TableAuditor>());
   runner.add(std::make_unique<ConservationAuditor>());
+  runner.add(std::make_unique<AvailabilityAuditor>());
   return runner;
 }
 

@@ -1,0 +1,39 @@
+#include "audit/availability_audit.h"
+
+#include <string>
+
+#include "core/hlsrg_service.h"
+#include "core/location_service.h"
+#include "core/vehicle_agent.h"
+
+namespace hlsrg {
+
+void AvailabilityAuditor::check(const AuditScope& scope,
+                                AuditReport* report) const {
+  // Pending-retry state lives on the HLSRG vehicle agents; other protocols
+  // have no equivalent introspection, so the auditor covers HLSRG only.
+  if (scope.service == nullptr || scope.hlsrg == nullptr) return;
+  QueryTracker& tracker = scope.service->tracker();
+  const HlsrgConfig& cfg = scope.hlsrg->cfg();
+  const std::size_t n = tracker.count();
+  for (QueryTracker::QueryId id = 0; id < n; ++id) {
+    if (tracker.settled(id)) continue;
+    const VehicleId src = tracker.source_of(id);
+    const HlsrgVehicleAgent& agent = scope.hlsrg->vehicle_agent(src);
+    if (!agent.has_pending(id)) {
+      report->add(name(), "query " + std::to_string(id) +
+                              " unsettled with no retry pending at vehicle " +
+                              std::to_string(src.value()) +
+                              " (silently lost)");
+      continue;
+    }
+    const int attempt = agent.pending_attempt(id);
+    if (attempt > cfg.max_attempts) {
+      report->add(name(), "query " + std::to_string(id) + " on attempt " +
+                              std::to_string(attempt) + " > max_attempts " +
+                              std::to_string(cfg.max_attempts));
+    }
+  }
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,22 @@
+// Query-availability auditor: no query is ever silently lost.
+//
+// Between any two events, every query the tracker still carries as
+// unsettled must have a live retry armed at its source vehicle — the
+// HLSRG requester erases the pending entry and synchronously either fails
+// the query or re-issues it when the ACK timer fires, so "unsettled with
+// no pending retry" can only mean a dropped continuation. Under fault
+// injection (RSU crashes, partitions) this is the invariant that separates
+// "the query failed and we counted it" from "the query vanished".
+#pragma once
+
+#include "audit/auditor.h"
+
+namespace hlsrg {
+
+class AvailabilityAuditor final : public Auditor {
+ public:
+  [[nodiscard]] const char* name() const override { return "availability"; }
+  void check(const AuditScope& scope, AuditReport* report) const override;
+};
+
+}  // namespace hlsrg

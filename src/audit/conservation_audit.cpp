@@ -44,12 +44,13 @@ void ConservationAuditor::check(const AuditScope& scope,
       report->add("conservation", os.str());
     }
   }
-  // Every ledger drop is a radio drop; radio_drops also counts the
-  // packet-less frame paths, so it can only be larger.
-  if (m.radio_drops < m.channel.total_dropped()) {
+  // Every ledger drop is either a radio drop or a wired unreachable drop;
+  // radio_drops also counts the packet-less frame paths, so the pair can
+  // only be larger.
+  if (m.radio_drops + m.wired_drops < m.channel.total_dropped()) {
     std::ostringstream os;
-    os << "radio_drops " << m.radio_drops
-       << " is below the channel ledger's dropped total "
+    os << "radio_drops " << m.radio_drops << " + wired_drops "
+       << m.wired_drops << " is below the channel ledger's dropped total "
        << m.channel.total_dropped();
     report->add("conservation", os.str());
   }

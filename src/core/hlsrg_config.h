@@ -53,6 +53,17 @@ struct HlsrgConfig {
   // Attempts before the query is declared failed: first try to the nearest
   // level center, then the direct-to-L3 fallback.
   int max_attempts = 2;
+  // Retry backoff: attempt k waits ack_timeout * base^(k-1), capped. Base
+  // 1.0 (the paper's flat 5 s) keeps timings bit-identical to the
+  // pre-backoff protocol; chaos plans raise it so retries outlast outages.
+  double retry_backoff_base = 1.0;
+  SimTime retry_backoff_cap = SimTime::from_sec(30.0);
+  // Failure escalation: when the wired plane cannot reach the home RSU the
+  // sender reroutes over the radio to a sibling L3 (RSU side), and from the
+  // third attempt on the requester rotates its direct-to-L3 target across
+  // L3 RSUs by distance. Only ever exercised after a wired send fails or on
+  // attempt > 2, so fault-free runs are untouched by the flag.
+  bool enable_failover = true;
 
   // --- ablation switches ----------------------------------------------------
   // Paper rules suppress updates from vehicles driving straight on selected
@@ -65,5 +76,17 @@ struct HlsrgConfig {
   // die and queries can only be served from L1 centers (A2 ablation).
   bool use_rsus = true;
 };
+
+// Timeout armed for query attempt k (1-based): ack_timeout * base^(k-1),
+// capped. Exactly ack_timeout for every attempt when base == 1.0.
+[[nodiscard]] inline SimTime retry_timeout(const HlsrgConfig& cfg,
+                                           int attempt) {
+  if (cfg.retry_backoff_base == 1.0) return cfg.ack_timeout;
+  double scale = 1.0;
+  for (int k = 1; k < attempt; ++k) scale *= cfg.retry_backoff_base;
+  const double us = static_cast<double>(cfg.ack_timeout.us()) * scale;
+  const double cap = static_cast<double>(cfg.retry_backoff_cap.us());
+  return SimTime::from_us(static_cast<std::int64_t>(us < cap ? us : cap));
+}
 
 }  // namespace hlsrg

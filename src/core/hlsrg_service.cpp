@@ -69,6 +69,11 @@ QueryTracker::QueryId HlsrgService::issue_query(VehicleId src,
   return qid;
 }
 
+void HlsrgService::set_rsu_up(RsuId id, bool up) {
+  if (id.index() >= rsu_agents_.size()) return;  // no RSUs (A2 ablation)
+  rsu_agents_[id.index()]->set_up(up);
+}
+
 std::size_t HlsrgService::table_records() const {
   std::size_t n = 0;
   for (const auto& agent : vehicle_agents_) n += agent->table().size();

@@ -3,6 +3,7 @@
 // end). One HlsrgService instance runs one protocol world.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -81,6 +82,20 @@ class HlsrgService final : public LocationService, public MovementListener {
   void send_notification(NodeId origin, const L1Record& target_record,
                          const QueryPayload& query);
 
+  // --- fault layer hooks ------------------------------------------------------
+  // Crash/reboot an RSU agent (FaultInjector callback). No-op without RSUs.
+  void set_rsu_up(RsuId id, bool up);
+  // GPS error model: every position written into a protocol record passes
+  // through this transform (identity when unset). Installed by the fault
+  // layer for gps_noise windows; the map-matched L1 grid/road fields stay
+  // topology-derived and are NOT perturbed.
+  void set_gps_transform(std::function<Vec2(Vec2)> transform) {
+    gps_transform_ = std::move(transform);
+  }
+  [[nodiscard]] Vec2 observed_pos(Vec2 p) const {
+    return gps_transform_ ? gps_transform_(p) : p;
+  }
+
   // Test/diagnostic access.
   [[nodiscard]] const HlsrgVehicleAgent& vehicle_agent(VehicleId v) const {
     return *vehicle_agents_[v.index()];
@@ -113,6 +128,7 @@ class HlsrgService final : public LocationService, public MovementListener {
   std::vector<NodeId> vehicle_nodes_;
   std::vector<std::unique_ptr<HlsrgVehicleAgent>> vehicle_agents_;
   std::vector<std::unique_ptr<HlsrgRsuAgent>> rsu_agents_;
+  std::function<Vec2(Vec2)> gps_transform_;
 };
 
 }  // namespace hlsrg

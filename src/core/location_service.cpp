@@ -37,6 +37,7 @@ void QueryTracker::fail(QueryId id) {
   Record& r = records_[id];
   if (r.settled) return;
   r.settled = true;
+  r.completed = sim_->now();
   sim_->metrics().queries_failed++;
   if (TraceLog* trace = sim_->trace()) {
     trace->end_open_spans_for_query(id, sim_->now(), SpanStatus::kFailed);
@@ -76,6 +77,16 @@ VehicleId QueryTracker::source_of(QueryId id) const {
 VehicleId QueryTracker::target_of(QueryId id) const {
   HLSRG_CHECK(id < records_.size());
   return records_[id].dst;
+}
+
+SimTime QueryTracker::issued_at(QueryId id) const {
+  HLSRG_CHECK(id < records_.size());
+  return records_[id].issued;
+}
+
+SimTime QueryTracker::completed_at(QueryId id) const {
+  HLSRG_CHECK(id < records_.size());
+  return records_[id].completed;
 }
 
 SpanId QueryTracker::span_of(QueryId id) const {

@@ -33,6 +33,9 @@ class QueryTracker {
   // versa — first settle wins).
   void fail(QueryId id);
 
+  // Number of queries ever issued; ids are dense in [0, count()).
+  [[nodiscard]] std::size_t count() const { return records_.size(); }
+
   [[nodiscard]] bool settled(QueryId id) const;
   // True iff the query settled successfully.
   [[nodiscard]] bool succeeded(QueryId id) const;
@@ -41,6 +44,9 @@ class QueryTracker {
   [[nodiscard]] std::size_t outstanding() const;
   [[nodiscard]] VehicleId source_of(QueryId id) const;
   [[nodiscard]] VehicleId target_of(QueryId id) const;
+  [[nodiscard]] SimTime issued_at(QueryId id) const;
+  // Settle time; zero for unsettled queries.
+  [[nodiscard]] SimTime completed_at(QueryId id) const;
   // The query's root span (kNoSpan when tracing is off); protocol timers use
   // this to re-anchor async continuations via SpanScope.
   [[nodiscard]] SpanId span_of(QueryId id) const;

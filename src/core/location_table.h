@@ -42,6 +42,7 @@ class L2Table {
   [[nodiscard]] std::vector<L2Summary> snapshot() const;
   void merge(const std::vector<L2Summary>& records);
   [[nodiscard]] std::size_t size() const { return table_.size(); }
+  void clear() { table_.clear(); }
   [[nodiscard]] auto begin() const { return table_.begin(); }
   [[nodiscard]] auto end() const { return table_.end(); }
 
@@ -58,6 +59,7 @@ class L3Table {
   [[nodiscard]] std::vector<L3Summary> snapshot() const;
   void merge(const std::vector<L3Summary>& records);
   [[nodiscard]] std::size_t size() const { return table_.size(); }
+  void clear() { table_.clear(); }
   [[nodiscard]] auto begin() const { return table_.begin(); }
   [[nodiscard]] auto end() const { return table_.end(); }
 

@@ -21,7 +21,28 @@ void HlsrgRsuAgent::start_timers() {
   }
 }
 
+void HlsrgRsuAgent::set_up(bool up) {
+  if (up && !up_) {
+    // Reboot loses everything: tables rebuild from child re-registration
+    // (update broadcasts, table pushes, summaries, gossip), and the query
+    // dedup set resets so re-issued requests get served, not swallowed.
+    l2_table_.clear();
+    l3_table_.clear();
+    full_table_.clear();
+    seen_queries_.clear();
+  }
+  up_ = up;
+}
+
 void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
+  if (!up_) {
+    // Crashed: the packet reached the radio/wire but nobody is listening.
+    // Channel-level accounting already settled at the sender, so this is a
+    // sink-side suppression, not a ledger event.
+    svc_->metrics().rsu_suppressed++;
+    svc_->sim().observability().add("fault.rsu_suppressed");
+    return;
+  }
   switch (packet.kind) {
     case PacketKind::kLocationUpdate: {
       // RSUs are always-on receivers at grid corners: any update broadcast
@@ -82,6 +103,11 @@ void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
 // ---------------------------------------------------------------------------
 
 void HlsrgRsuAgent::push_summary_to_l3() {
+  if (!up_) {  // idle while crashed; keep the timer cadence
+    svc_->sim().schedule_after(svc_->cfg().l2_push_period,
+                               [this] { push_summary_to_l3(); });
+    return;
+  }
   l2_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
   full_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
   if (l2_table_.size() > 0) {
@@ -100,6 +126,11 @@ void HlsrgRsuAgent::push_summary_to_l3() {
 }
 
 void HlsrgRsuAgent::gossip_to_neighbors() {
+  if (!up_) {  // idle while crashed; keep the timer cadence
+    svc_->sim().schedule_after(svc_->cfg().l3_gossip_period,
+                               [this] { gossip_to_neighbors(); });
+    return;
+  }
   l3_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
   full_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
   const auto& neighbors = svc_->wired().links_of(node_);
@@ -171,8 +202,46 @@ void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
   auto q = std::make_shared<QueryPayload>(query);
   const GridCoord parent{coord_.col / 2, coord_.row / 2};
   const NodeId l3 = svc_->rsus()->node_at(parent, GridLevel::kL3);
-  svc_->wired().send(node_, l3, svc_->make_packet(PacketKind::kQueryRequest, node_, q),
-                     &svc_->metrics().query_transmissions);
+  const bool sent = svc_->wired().send(
+      node_, l3, svc_->make_packet(PacketKind::kQueryRequest, node_, q),
+      &svc_->metrics().query_transmissions);
+  if (!sent && svc_->cfg().enable_failover) {
+    // Home L3 unreachable (crashed, or every wired path cut): escalate over
+    // the radio to the nearest L3 RSU still up — L3 gossip means any
+    // sibling region may own the target's summary.
+    escalate_to_l3_by_radio(query);
+  }
+}
+
+void HlsrgRsuAgent::escalate_to_l3_by_radio(const QueryPayload& query) {
+  const Vec2 here = svc_->registry().position(node_);
+  NodeId best;
+  double best_d = 0.0;
+  for (const RsuGrid::Rsu& r : svc_->rsus()->all()) {
+    if (r.level != GridLevel::kL3) continue;
+    if (!svc_->wired().node_up(r.node)) continue;  // crashed RSUs stay silent
+    const double d = distance(here, r.pos);
+    if (!best.valid() || d < best_d ||
+        (d == best_d && r.node.value() < best.value())) {
+      best = r.node;
+      best_d = d;
+    }
+  }
+  if (!best.valid()) return;  // every L3 down: the requester's retry covers it
+  auto q = std::make_shared<QueryPayload>(query);
+  escalate_by_radio(svc_->make_packet(PacketKind::kQueryRequest, node_, q),
+                    best, "l2_to_sibling_l3");
+}
+
+void HlsrgRsuAgent::escalate_by_radio(const Packet& pkt, NodeId target,
+                                      const char* route) {
+  svc_->metrics().query_failovers++;
+  svc_->sim().observability().add("query.failovers");
+  svc_->sim().instant_span(SpanKind::kFailover, SpanStatus::kOk, node_.value(),
+                           target.value(), svc_->registry().position(node_),
+                           kNoQuery, static_cast<int>(level_), route);
+  svc_->gpsr().send(node_, svc_->registry().position(target), target, pkt,
+                    &svc_->metrics().query_transmissions);
 }
 
 void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
@@ -198,8 +267,16 @@ void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
     auto q = std::make_shared<QueryPayload>(query);
     q->from_l3 = true;
     const NodeId l2 = svc_->rsus()->node_at(s->l2, GridLevel::kL2);
-    svc_->wired().send(node_, l2, svc_->make_packet(PacketKind::kQueryRequest, node_, q),
-                       &svc_->metrics().query_transmissions);
+    const Packet pkt = svc_->make_packet(PacketKind::kQueryRequest, node_, q);
+    const bool sent =
+        svc_->wired().send(node_, l2, pkt,
+                           &svc_->metrics().query_transmissions);
+    if (!sent && svc_->cfg().enable_failover &&
+        svc_->wired().node_up(l2)) {
+      // Wired path to the owner L2 is cut but the RSU itself is alive:
+      // push the request over the radio instead.
+      escalate_by_radio(pkt, l2, "l3_to_l2_radio");
+    }
     return;
   }
   svc_->metrics().rsu_lookup_misses++;

@@ -28,6 +28,15 @@ class HlsrgRsuAgent final : public PacketSink {
   // Schedules the periodic push (L2) or gossip (L3) timer.
   void start_timers();
 
+  // Crash/reboot hook (fault layer, via HlsrgService::set_rsu_up). Down, the
+  // RSU counts and discards every arriving packet and its timers idle (they
+  // keep rescheduling so the event cadence is stable). Rebooting loses all
+  // state — tables and query dedup — and the RSU refills from child
+  // re-registration: update broadcasts, grid-center pushes, L2 summaries,
+  // and L3 gossip.
+  void set_up(bool up);
+  [[nodiscard]] bool up() const { return up_; }
+
   [[nodiscard]] GridLevel level() const { return level_; }
   [[nodiscard]] GridCoord coord() const { return coord_; }
   [[nodiscard]] const L2Table& l2_table() const { return l2_table_; }
@@ -49,12 +58,18 @@ class HlsrgRsuAgent final : public PacketSink {
   void gossip_to_neighbors();
   // Forwards a request down to the L1 grid center holding the detail.
   void forward_down_to_l1(const QueryPayload& query, GridCoord l1);
+  // Wired-plane failover: when the backhaul send failed, escalate the
+  // request over the radio — to the nearest reachable L3 RSU (L2 side) or
+  // straight to `target` (L3 side).
+  void escalate_to_l3_by_radio(const QueryPayload& query);
+  void escalate_by_radio(const Packet& pkt, NodeId target, const char* route);
 
   HlsrgService* svc_;
   RsuId rsu_;
   GridLevel level_;
   GridCoord coord_;
   NodeId node_;
+  bool up_ = true;
   L2Table l2_table_;
   L3Table l3_table_;
   // Full-record cache at L2 RSUs. The pushed tables carry full records and

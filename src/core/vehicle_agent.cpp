@@ -1,5 +1,9 @@
 #include "core/vehicle_agent.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "core/hlsrg_service.h"
 #include "util/check.h"
 
@@ -31,7 +35,7 @@ void HlsrgVehicleAgent::send_initial_update() {
   auto payload = std::make_shared<UpdatePayload>();
   L1Record rec;
   rec.vehicle = vehicle_;
-  rec.pos = pos;
+  rec.pos = svc_->observed_pos(pos);  // GPS reading; noisy under fault plans
   rec.dir = mob.heading(vehicle_);
   rec.time = svc_->sim().now();
   rec.l1 = svc_->hierarchy().l1_at(pos);
@@ -82,7 +86,10 @@ L1Record HlsrgVehicleAgent::record_at_crossing(GridCoord l1,
   const Segment& out = net.segment(out_seg);
   L1Record rec;
   rec.vehicle = vehicle_;
-  rec.pos = net.position(node);
+  // GPS reading of the intersection; noisy under fault plans. The l1 cell
+  // stays the rule engine's (road-topology) decision — map-matching keeps
+  // grid bookkeeping consistent even when the reported fix wanders.
+  rec.pos = svc_->observed_pos(net.position(node));
   rec.dir = out.unit_dir;
   rec.time = svc_->sim().now();
   rec.l1 = l1;
@@ -354,6 +361,27 @@ void HlsrgVehicleAgent::send_request(QueryId qid, VehicleId target,
       // directly".
       to_l1_center = false;
       rsu_node = l3_node;
+      if (attempt > 3 && svc_->cfg().enable_failover) {
+        // Late retries rotate across L3 RSUs by distance (attempt 4 hits
+        // the second-nearest, and so on) — if the home L3 is down, some
+        // sibling still owns the target's region via L3 gossip. Rotation
+        // waits until the home L3 has eaten two direct attempts: abandoning
+        // a *healthy* home L3 (whose region summaries are freshest) costs
+        // more than one extra timeout against a dead one.
+        std::vector<std::pair<double, NodeId>> l3s;
+        for (const RsuGrid::Rsu& r : svc_->rsus()->all()) {
+          if (r.level == GridLevel::kL3) {
+            l3s.emplace_back(distance(my_pos, r.pos), r.node);
+          }
+        }
+        std::sort(l3s.begin(), l3s.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first != b.first ? a.first < b.first
+                                              : a.second.value() < b.second.value();
+                  });
+        rsu_node = l3s[static_cast<std::size_t>(attempt - 3) % l3s.size()]
+                       .second;
+      }
     } else {
       // Nearest level center (L1 center vs L2 RSU vs L3 RSU).
       const double d1 = distance(my_pos, dest_pos);
@@ -367,6 +395,14 @@ void HlsrgVehicleAgent::send_request(QueryId qid, VehicleId target,
         rsu_node = l3_node;
       }
     }
+  }
+
+  if (attempt > 1) {
+    svc_->metrics().query_retries++;
+    svc_->sim().observability().add("query.retries");
+    svc_->sim().instant_span(SpanKind::kRetry, SpanStatus::kOk,
+                             vehicle_.value(), target.value(), my_pos, qid, -1,
+                             to_l1_center ? "center" : "l3_direct", attempt);
   }
 
   if (to_l1_center) {
@@ -383,7 +419,7 @@ void HlsrgVehicleAgent::send_request(QueryId qid, VehicleId target,
   pending.target = target;
   pending.attempt = attempt;
   pending.timeout = svc_->sim().schedule_after(
-      svc_->cfg().ack_timeout,
+      retry_timeout(svc_->cfg(), attempt),
       [this, qid, target, attempt] { on_ack_timeout(qid, target, attempt); });
   pending_[qid] = pending;
 }

@@ -38,6 +38,17 @@ class HlsrgVehicleAgent final : public PacketSink {
   [[nodiscard]] L1Table& mutable_table() { return table_; }
   [[nodiscard]] VehicleId vehicle() const { return vehicle_; }
   [[nodiscard]] NodeId node() const { return node_; }
+  // True while an own-query attempt has its retry timer armed. Between any
+  // two events, every unsettled query this vehicle originated has a pending
+  // entry — the invariant the AvailabilityAuditor enforces.
+  [[nodiscard]] bool has_pending(QueryTracker::QueryId qid) const {
+    return pending_.contains(qid);
+  }
+  // Attempt number of the armed retry; 0 when none pending.
+  [[nodiscard]] int pending_attempt(QueryTracker::QueryId qid) const {
+    const auto it = pending_.find(qid);
+    return it == pending_.end() ? 0 : it->second.attempt;
+  }
 
  private:
   using QueryId = QueryTracker::QueryId;

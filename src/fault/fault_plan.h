@@ -1,0 +1,111 @@
+// Scripted fault schedule: the what/when/where of injected failures.
+//
+// A FaultPlan is pure data — a list of fault windows over the sim clock plus
+// optional protocol-parameter overrides — parsed from JSON ("hlsrg-fault/v1"
+// schema, see PROTOCOL.md §7) or built programmatically by the chaos
+// benches. The FaultInjector (fault_injector.h) turns a plan into scheduled
+// events against a live world; the plan itself knows nothing about
+// simulators, so it can be round-tripped, digested, and diffed in tests.
+//
+// Window semantics: a window is active on [begin, end); end <= begin means
+// open-ended (the fault never clears). Target addressing uses raw grid
+// coordinates (level 2 or 3, col/row) so the plan model does not depend on
+// the grid library; col = -1 means "every RSU at that level".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "report/json.h"
+#include "sim/time.h"
+
+namespace hlsrg {
+
+enum class FaultKind : std::uint8_t {
+  kRsuCrash,   // RSU halts: tables lost, radio silent, wired node down;
+               // reboot at window end restarts it with empty tables
+  kLinkCut,    // one wired link (target RSU <-> peer RSU) goes down
+  kPartition,  // every wired link crossing the box boundary goes down
+  kRadioLoss,  // receivers inside the box take extra_loss additional loss
+  kGpsNoise,   // positions reported from inside the box (or anywhere, if no
+               // box) get uniform per-axis noise in [-sigma_m, +sigma_m]
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+// nullopt for an unknown name.
+[[nodiscard]] std::optional<FaultKind> fault_kind_from_name(
+    const std::string& name);
+
+struct FaultWindow {
+  FaultKind kind = FaultKind::kRsuCrash;
+  SimTime begin;
+  SimTime end;  // end <= begin: open-ended
+  // RSU addressing (kRsuCrash, kLinkCut): grid level 2 or 3; col/row of the
+  // RSU's cell at that level; col < 0 targets every RSU at `level`.
+  int level = 3;
+  int col = -1;
+  int row = -1;
+  // Peer RSU (kLinkCut only).
+  int peer_level = 3;
+  int peer_col = -1;
+  int peer_row = -1;
+  // Region (kPartition, kRadioLoss, optional for kGpsNoise).
+  bool has_box = false;
+  Aabb box;
+  double extra_loss = 0.0;  // kRadioLoss
+  double sigma_m = 0.0;     // kGpsNoise
+
+  [[nodiscard]] bool open_ended() const { return end <= begin; }
+  [[nodiscard]] bool active_at(SimTime t) const {
+    return t >= begin && (open_ended() || t < end);
+  }
+};
+
+// Protocol-parameter overrides a plan may carry, applied by the harness to
+// HlsrgConfig before the world is built. Only fields present in the JSON are
+// set, so a plan can tweak one knob without freezing the others' defaults.
+struct FaultProtocolOverrides {
+  std::optional<int> max_attempts;
+  std::optional<double> ack_timeout_sec;
+  std::optional<double> retry_backoff_base;
+  std::optional<double> retry_backoff_cap_sec;
+  std::optional<double> l1_expiry_sec;
+  std::optional<double> l2_expiry_sec;
+  std::optional<double> l3_expiry_sec;
+
+  [[nodiscard]] bool any() const {
+    return max_attempts || ack_timeout_sec || retry_backoff_base ||
+           retry_backoff_cap_sec || l1_expiry_sec || l2_expiry_sec ||
+           l3_expiry_sec;
+  }
+};
+
+struct FaultPlan {
+  // Nonzero: the injector derives its RNG from this instead of the replica
+  // seed, so the same fault randomness replays across seed sweeps.
+  std::uint64_t fault_seed = 0;
+  std::vector<FaultWindow> windows;
+  FaultProtocolOverrides overrides;
+
+  [[nodiscard]] bool empty() const {
+    return windows.empty() && !overrides.any();
+  }
+
+  // FNV-1a over the full schedule + overrides; 0 only for an empty plan.
+  // Folded into run digests so --audit-determinism covers fault schedules.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  [[nodiscard]] JsonValue to_json() const;
+  // Strict parse of the "hlsrg-fault/v1" schema; false + *error on any
+  // unknown kind, bad box, or malformed field.
+  [[nodiscard]] static bool from_json(const JsonValue& v, FaultPlan* out,
+                                      std::string* error);
+  // Convenience: read_json_file + from_json.
+  [[nodiscard]] static bool load(const std::string& path, FaultPlan* out,
+                                 std::string* error);
+};
+
+}  // namespace hlsrg

@@ -66,6 +66,15 @@ void mix_metrics(Fnv& f, const RunMetrics& m) {
   f.mix_u64(m.channel.total_dropped());
   f.mix_u64(m.query_latency.count());
   f.mix_double(m.query_latency.mean_ms());
+  // Fault accounting joins the digest only when a fault schedule is active:
+  // a zero-fault run must hash byte-identically to a fault-unaware build.
+  if (m.fault_plan_digest != 0) {
+    f.mix_u64(m.fault_plan_digest);
+    f.mix_u64(m.wired_drops);
+    f.mix_u64(m.rsu_suppressed);
+    f.mix_u64(m.query_retries);
+    f.mix_u64(m.query_failovers);
+  }
 }
 
 void mix_hlsrg_tables(Fnv& f, const HlsrgService& svc,

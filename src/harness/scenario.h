@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/hlsrg_config.h"
+#include "fault/fault_plan.h"
 #include "flood/flood_config.h"
 #include "grid/partition.h"
 #include "mobility/mobility_model.h"
@@ -77,6 +78,17 @@ struct ScenarioConfig {
   // Period of the observability time-series sampler (live queries, pending
   // events, table records — see trace/metrics.h). Zero disables sampling.
   SimTime sample_interval = SimTime::from_sec(5.0);
+
+  // --- fault injection -------------------------------------------------------
+  // Scripted fault schedule (fault/fault_plan.h). An empty plan is the
+  // default and is behaviorally inert: no injector is built, no fault RNG is
+  // drawn, and determinism digests match a fault-free build. When
+  // `fault_plan_file` is non-empty and the inline `fault_plan` is empty, the
+  // World loads the plan from that file. A nonzero `fault_seed` overrides
+  // the plan's own seed after loading.
+  FaultPlan fault_plan;
+  std::string fault_plan_file;
+  std::uint64_t fault_seed = 0;
 
   [[nodiscard]] SimTime end_time() const {
     return warmup + query_window + grace;

@@ -10,6 +10,10 @@ namespace hlsrg {
 
 World::World(const ScenarioConfig& cfg, Protocol protocol)
     : cfg_(cfg), protocol_(protocol), sim_(cfg.seed) {
+  // Fault plan first: its protocol overrides must land in cfg_.hlsrg before
+  // the service snapshots the config.
+  resolve_fault_plan();
+
   // Map: loaded from file when requested, generated otherwise. The
   // generator's own randomness (irregular variant) keys off the scenario
   // seed so replicas with different seeds get different irregular maps.
@@ -76,6 +80,26 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
     beacons_ = std::make_unique<BeaconService>(*medium_, registry_,
                                                cfg_.beacons);
     gpsr_->set_beacons(beacons_.get());
+  }
+
+  // Fault injection: only a non-empty plan builds an injector (an empty
+  // plan must leave the world event-for-event identical to a fault-unaware
+  // build — see fault_injector.h).
+  if (!cfg_.fault_plan.empty()) {
+    fault_ = std::make_unique<FaultInjector>(sim_, cfg_.fault_plan,
+                                             wired_.get(), medium_.get(),
+                                             rsus_.get());
+    if (protocol_ == Protocol::kHlsrg) {
+      auto* hlsrg = static_cast<HlsrgService*>(service_.get());
+      fault_->set_rsu_hook(
+          [hlsrg](RsuId id, bool up) { hlsrg->set_rsu_up(id, up); });
+      if (fault_->has_gps_noise()) {
+        hlsrg->set_gps_transform(
+            [this](Vec2 p) { return fault_->observed_pos(p); });
+      }
+    }
+    fault_->arm(cfg_.end_time());
+    sim_.metrics().fault_plan_digest = cfg_.fault_plan.digest();
   }
 
   mobility_->start();
@@ -163,6 +187,76 @@ void World::schedule_workload() {
   }
 }
 
+void World::resolve_fault_plan() {
+  if (cfg_.fault_plan.empty() && !cfg_.fault_plan_file.empty()) {
+    std::string error;
+    const bool ok =
+        FaultPlan::load(cfg_.fault_plan_file, &cfg_.fault_plan, &error);
+    HLSRG_CHECK_MSG(ok, error.c_str());
+  }
+  if (cfg_.fault_seed != 0) cfg_.fault_plan.fault_seed = cfg_.fault_seed;
+  const FaultProtocolOverrides& ov = cfg_.fault_plan.overrides;
+  if (!ov.any()) return;
+  HlsrgConfig& h = cfg_.hlsrg;
+  if (ov.max_attempts) {
+    h.max_attempts = std::max(1, std::min(*ov.max_attempts, 8));
+  }
+  if (ov.ack_timeout_sec) h.ack_timeout = SimTime::from_sec(*ov.ack_timeout_sec);
+  if (ov.retry_backoff_base) h.retry_backoff_base = *ov.retry_backoff_base;
+  if (ov.retry_backoff_cap_sec) {
+    h.retry_backoff_cap = SimTime::from_sec(*ov.retry_backoff_cap_sec);
+  }
+  if (ov.l1_expiry_sec) h.l1_expiry = SimTime::from_sec(*ov.l1_expiry_sec);
+  if (ov.l2_expiry_sec) h.l2_expiry = SimTime::from_sec(*ov.l2_expiry_sec);
+  if (ov.l3_expiry_sec) h.l3_expiry = SimTime::from_sec(*ov.l3_expiry_sec);
+}
+
+void World::finalize_fault_summary() {
+  if (fault_ == nullptr) return;
+  RunMetrics& m = sim_.metrics();
+  QueryTracker& tracker = service_->tracker();
+  const std::size_t n = tracker.count();
+  for (QueryTracker::QueryId id = 0; id < n; ++id) {
+    if (!tracker.settled(id)) {
+      // A query neither succeeded nor failed by the horizon. The
+      // AvailabilityAuditor separately proves a retry is still armed for it
+      // (it was not silently lost); here it just counts as stranded.
+      m.queries_stranded++;
+      continue;
+    }
+    if (fault_->fault_active_at(tracker.issued_at(id))) {
+      m.fault_queries_issued++;
+      if (tracker.succeeded(id)) m.fault_queries_ok++;
+    }
+  }
+  // Time-to-recovery: for each finite window end T, the delay until the
+  // first query success completing at or after T. Windows nothing recovered
+  // after (no later success) are left out of the average.
+  for (SimTime end : fault_->finite_window_ends()) {
+    SimTime best;
+    bool found = false;
+    for (QueryTracker::QueryId id = 0; id < n; ++id) {
+      if (!tracker.succeeded(id)) continue;
+      const SimTime done = tracker.completed_at(id);
+      if (done < end) continue;
+      const SimTime delta = done - end;
+      if (!found || delta < best) {
+        best = delta;
+        found = true;
+      }
+    }
+    if (found) {
+      m.recovery_time_us += best.us();
+      m.recovery_windows++;
+    }
+  }
+  MetricsRegistry& obs = sim_.observability();
+  obs.set_gauge("fault.queries_stranded",
+                static_cast<double>(m.queries_stranded));
+  obs.set_gauge("fault.recovery_ms", m.recovery_ms());
+  obs.set_gauge("fault.availability", m.availability());
+}
+
 void World::schedule_sampler() {
   // Periodic observability snapshot (trace/metrics.h time series). Samples
   // read state only — no RNG draws — so enabling them cannot perturb the
@@ -178,6 +272,15 @@ void World::schedule_sampler() {
                static_cast<double>(sim_.queue().size()));
     obs.sample("world.table_records", now_sec,
                static_cast<double>(service_->table_records()));
+    if (fault_ != nullptr) {
+      // Availability over time: the success rate among settled queries so
+      // far. The chaos benches read the dip and recovery off this series.
+      const std::uint64_t settled = m.queries_succeeded + m.queries_failed;
+      obs.sample("avail.success_rate", now_sec,
+                 settled == 0
+                     ? 1.0
+                     : static_cast<double>(m.queries_succeeded) / settled);
+    }
     if (sim_.now() + cfg_.sample_interval <= cfg_.end_time()) {
       schedule_sampler();
     }
@@ -186,6 +289,7 @@ void World::schedule_sampler() {
 
 const RunMetrics& World::run() {
   sim_.run_until(cfg_.end_time());
+  finalize_fault_summary();
 #ifdef HLSRG_AUDIT_ENABLED
   audit_enforce();
 #endif

@@ -8,6 +8,7 @@
 
 #include "audit/audit_runner.h"
 #include "core/hlsrg_service.h"
+#include "fault/fault_injector.h"
 #include "grid/hierarchy.h"
 #include "harness/scenario.h"
 #include "infra/rsu_grid.h"
@@ -51,6 +52,8 @@ class World {
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] const RsuGrid* rsus() const { return rsus_.get(); }
   [[nodiscard]] const CellGrid* cells() const { return cells_.get(); }
+  // Null unless the scenario carries a non-empty fault plan.
+  [[nodiscard]] const FaultInjector* fault() const { return fault_.get(); }
 
   // Number of queries the workload will issue.
   [[nodiscard]] int planned_queries() const { return planned_queries_; }
@@ -76,6 +79,13 @@ class World {
  private:
   void schedule_workload();
   void schedule_sampler();
+  // Resolves the effective fault plan (inline vs file) into cfg_.fault_plan
+  // and applies its protocol overrides to cfg_.hlsrg. Ctor-only, before the
+  // service is built.
+  void resolve_fault_plan();
+  // Post-run fault bookkeeping: per-query availability split, stranded-query
+  // count, and time-to-recovery per finite window end (see counters.h).
+  void finalize_fault_summary();
 
   ScenarioConfig cfg_;
   Protocol protocol_;
@@ -92,6 +102,7 @@ class World {
   std::unique_ptr<RsuGrid> rsus_;
   std::unique_ptr<CellGrid> cells_;
   std::unique_ptr<LocationService> service_;
+  std::unique_ptr<FaultInjector> fault_;
   AuditRunner auditors_ = AuditRunner::standard();
   int planned_queries_ = 0;
 };

@@ -21,6 +21,18 @@ double RadioMedium::loss_probability(double dist, int local_neighbors) const {
   return std::clamp(p, 0.0, cfg_.max_loss);
 }
 
+double RadioMedium::loss_probability(double dist, int local_neighbors,
+                                     Vec2 receiver_pos) const {
+  double extra = 0.0;
+  for (const RadioLossZone& z : loss_zones_) {
+    if (z.box.contains(receiver_pos)) extra += z.extra_loss;
+  }
+  if (extra <= 0.0) return loss_probability(dist, local_neighbors);
+  // Zones may exceed max_loss up to certain loss (a fully jammed region),
+  // which Rng::chance resolves without a draw.
+  return std::clamp(loss_probability(dist, local_neighbors) + extra, 0.0, 1.0);
+}
+
 SimTime RadioMedium::hop_delay() {
   const double ms =
       cfg_.base_delay_ms + sim_->radio_rng().uniform(0.0, cfg_.jitter_ms);
@@ -51,7 +63,8 @@ int RadioMedium::broadcast(NodeId sender, const Packet& pkt) {
     sim_->metrics().channel.add_offered(kind);
     const Vec2 rp = registry_->position(rx);
     const int density = index_.count_within(rp, cfg_.range_m, rx);
-    if (sim_->radio_rng().chance(loss_probability(distance(sp, rp), density))) {
+    if (sim_->radio_rng().chance(
+            loss_probability(distance(sp, rp), density, rp))) {
       sim_->metrics().radio_drops++;
       sim_->metrics().channel.add_dropped(kind);
       continue;
@@ -80,7 +93,8 @@ int RadioMedium::broadcast_each(NodeId sender,
   for (NodeId rx : scratch_) {
     const Vec2 rp = registry_->position(rx);
     const int density = index_.count_within(rp, cfg_.range_m, rx);
-    if (sim_->radio_rng().chance(loss_probability(distance(sp, rp), density))) {
+    if (sim_->radio_rng().chance(
+            loss_probability(distance(sp, rp), density, rp))) {
       sim_->metrics().radio_drops++;
       continue;
     }
@@ -106,7 +120,7 @@ void RadioMedium::try_unicast(NodeId sender, NodeId target, Packet pkt,
   const std::int32_t retries_used = cfg_.unicast_retries - attempts_left;
   if (d <= cfg_.range_m) {
     const int density = index_.count_within(tp, cfg_.range_m, target);
-    if (!sim_->radio_rng().chance(loss_probability(d, density))) {
+    if (!sim_->radio_rng().chance(loss_probability(d, density, tp))) {
       sim_->metrics().channel.add_delivered(kind);
       deliver(target, pkt, sender, hop_delay(), ctx, span, retries_used);
       return;
@@ -156,7 +170,7 @@ void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
   const std::int32_t retries_used = cfg_.unicast_retries - attempts_left;
   if (d <= cfg_.range_m) {
     const int density = index_.count_within(tp, cfg_.range_m, target);
-    if (!sim_->radio_rng().chance(loss_probability(d, density))) {
+    if (!sim_->radio_rng().chance(loss_probability(d, density, tp))) {
       sim_->schedule_after(
           hop_delay(), [this, cb = std::move(on_delivered), tp, span, ctx,
                         retries_used] {

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "geom/aabb.h"
 #include "net/neighbor_index.h"
 #include "net/node_registry.h"
 #include "net/packet.h"
@@ -39,6 +40,14 @@ struct RadioConfig {
   // as in 802.11).
   int unicast_retries = 2;
   double retry_delay_ms = 1.0;
+};
+
+// Region of degraded radio reception (jamming, interference, weather): any
+// reception whose receiver sits inside `box` takes `extra_loss` additional
+// loss probability. Installed/cleared by the fault layer at window edges.
+struct RadioLossZone {
+  Aabb box;
+  double extra_loss = 0.0;
 };
 
 class RadioMedium {
@@ -83,6 +92,19 @@ class RadioMedium {
   // Loss probability for a hop of length `dist` with `local_neighbors`
   // stations audible at the receiver. Exposed for tests.
   [[nodiscard]] double loss_probability(double dist, int local_neighbors) const;
+  // Same, with the receiver position folded against any active loss zones.
+  // With no zones this is exactly the two-argument form.
+  [[nodiscard]] double loss_probability(double dist, int local_neighbors,
+                                        Vec2 receiver_pos) const;
+
+  // Replaces the active degraded-reception zones. Zero zones restores the
+  // nominal channel bit-for-bit (no extra RNG draws, same loss values).
+  void set_loss_zones(std::vector<RadioLossZone> zones) {
+    loss_zones_ = std::move(zones);
+  }
+  [[nodiscard]] const std::vector<RadioLossZone>& loss_zones() const {
+    return loss_zones_;
+  }
 
  private:
   [[nodiscard]] SimTime hop_delay();
@@ -104,6 +126,7 @@ class RadioMedium {
   const NodeRegistry* registry_;
   RadioConfig cfg_;
   NeighborIndex index_;
+  std::vector<RadioLossZone> loss_zones_;
   std::vector<NodeId> scratch_;
 };
 

@@ -63,6 +63,10 @@ JsonValue scenario_to_json(const ScenarioConfig& cfg) {
   o.set("l3_expiry_sec", cfg.hlsrg.l3_expiry.sec());
   o.set("beacons_enabled", cfg.beacons.enabled);
   o.set("beacon_interval_sec", cfg.beacons.interval_sec);
+  if (!cfg.fault_plan_file.empty()) {
+    o.set("fault_plan_file", cfg.fault_plan_file);
+  }
+  if (cfg.fault_seed != 0) o.set("fault_seed", cfg.fault_seed);
   return o;
 }
 
@@ -131,6 +135,12 @@ void scenario_from_json(const JsonValue& v, ScenarioConfig* cfg) {
   if (v.contains("beacon_interval_sec")) {
     cfg->beacons.interval_sec = v.at("beacon_interval_sec").as_double();
   }
+  if (v.contains("fault_plan_file")) {
+    cfg->fault_plan_file = v.at("fault_plan_file").as_string();
+  }
+  if (v.contains("fault_seed")) {
+    cfg->fault_seed = v.at("fault_seed").as_uint64();
+  }
 }
 
 JsonValue metrics_to_json(const RunMetrics& m) {
@@ -155,6 +165,16 @@ JsonValue metrics_to_json(const RunMetrics& m) {
   o.set("radio_drops", m.radio_drops);
   o.set("wired_messages", m.wired_messages);
   o.set("gpsr_failures", m.gpsr_failures);
+  o.set("wired_drops", m.wired_drops);
+  o.set("rsu_suppressed", m.rsu_suppressed);
+  o.set("query_retries", m.query_retries);
+  o.set("query_failovers", m.query_failovers);
+  o.set("queries_stranded", m.queries_stranded);
+  o.set("fault_queries_issued", m.fault_queries_issued);
+  o.set("fault_queries_ok", m.fault_queries_ok);
+  o.set("recovery_time_us", m.recovery_time_us);
+  o.set("recovery_windows", m.recovery_windows);
+  o.set("fault_plan_digest", m.fault_plan_digest);
   return o;
 }
 
@@ -179,6 +199,18 @@ void metrics_from_json(const JsonValue& v, RunMetrics* m) {
   m->radio_drops = v.at("radio_drops").as_uint64();
   m->wired_messages = v.at("wired_messages").as_uint64();
   m->gpsr_failures = v.at("gpsr_failures").as_uint64();
+  // Fault fields arrived after v1 reports shipped; absent in older files
+  // (at() yields null and the typed reads fall back to 0).
+  m->wired_drops = v.at("wired_drops").as_uint64();
+  m->rsu_suppressed = v.at("rsu_suppressed").as_uint64();
+  m->query_retries = v.at("query_retries").as_uint64();
+  m->query_failovers = v.at("query_failovers").as_uint64();
+  m->queries_stranded = v.at("queries_stranded").as_uint64();
+  m->fault_queries_issued = v.at("fault_queries_issued").as_uint64();
+  m->fault_queries_ok = v.at("fault_queries_ok").as_uint64();
+  m->recovery_time_us = v.at("recovery_time_us").as_uint64();
+  m->recovery_windows = v.at("recovery_windows").as_uint64();
+  m->fault_plan_digest = v.at("fault_plan_digest").as_uint64();
 }
 
 JsonValue latency_to_json(const LatencySummary& l) {
@@ -246,6 +278,13 @@ JsonValue derived_metrics_json(const RunMetrics& merged, std::size_t replicas) {
   o.set("query_delay_p90_ms", merged.query_latency.p90_ms());
   o.set("query_delay_p95_ms", merged.query_latency.p95_ms());
   o.set("query_delay_p99_ms", merged.query_latency.p99_ms());
+  if (merged.fault_plan_digest != 0) {
+    // Fault-run derived block: only present when a fault plan ran, so
+    // fault-free reports are byte-identical to pre-fault builds.
+    o.set("availability", merged.availability());
+    o.set("recovery_ms", merged.recovery_ms());
+    o.set("queries_stranded", static_cast<double>(merged.queries_stranded) / n);
+  }
   return o;
 }
 

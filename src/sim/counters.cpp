@@ -94,6 +94,17 @@ void RunMetrics::merge(const RunMetrics& other) {
   radio_drops += other.radio_drops;
   wired_messages += other.wired_messages;
   gpsr_failures += other.gpsr_failures;
+  wired_drops += other.wired_drops;
+  rsu_suppressed += other.rsu_suppressed;
+  query_retries += other.query_retries;
+  query_failovers += other.query_failovers;
+  queries_stranded += other.queries_stranded;
+  fault_queries_issued += other.fault_queries_issued;
+  fault_queries_ok += other.fault_queries_ok;
+  recovery_time_us += other.recovery_time_us;
+  recovery_windows += other.recovery_windows;
+  // Replicas of one sweep share a plan; keep the (common) nonzero digest.
+  fault_plan_digest = std::max(fault_plan_digest, other.fault_plan_digest);
   channel.merge(other.channel);
   query_latency.merge(other.query_latency);
 }

@@ -167,6 +167,25 @@ struct RunMetrics {
   std::uint64_t wired_messages = 0;     // RSU backhaul messages
   std::uint64_t gpsr_failures = 0;      // unicast abandoned (no route)
 
+  // --- fault + degradation accounting (src/fault) ---
+  std::uint64_t wired_drops = 0;        // wired sends lost: no path, cut
+                                        // link, or down endpoint
+  std::uint64_t rsu_suppressed = 0;     // packets arriving at a crashed RSU
+  std::uint64_t query_retries = 0;      // request re-issues (attempt > 1)
+  std::uint64_t query_failovers = 0;    // sends escalated around a dead
+                                        // component (RSU / wired path)
+  std::uint64_t queries_stranded = 0;   // unsettled at the run horizon
+  std::uint64_t fault_queries_issued = 0;  // issued during a fault window
+  std::uint64_t fault_queries_ok = 0;      // ... of those, succeeded
+  std::uint64_t recovery_time_us = 0;   // sum of fault-clear -> first-success
+                                        // gaps over recovered windows
+  std::uint64_t recovery_windows = 0;   // finite fault windows with a
+                                        // post-clearance success
+  // FNV digest of the active fault schedule; 0 = no faults scheduled. Folded
+  // into the determinism digest only when nonzero, so zero-fault runs stay
+  // byte-identical with fault-unaware builds.
+  std::uint64_t fault_plan_digest = 0;
+
   // Per-kind channel conservation ledger (offered == delivered + dropped),
   // fed by the radio broadcast/unicast and wired paths that carry a Packet.
   PacketLedger channel;
@@ -188,6 +207,22 @@ struct RunMetrics {
                ? 0.0
                : static_cast<double>(queries_succeeded) /
                      static_cast<double>(queries_issued);
+  }
+  // Success rate restricted to queries issued while a fault window was
+  // active; falls back to the overall rate when no query overlapped a fault.
+  [[nodiscard]] double availability() const {
+    return fault_queries_issued == 0
+               ? success_rate()
+               : static_cast<double>(fault_queries_ok) /
+                     static_cast<double>(fault_queries_issued);
+  }
+  // Mean time from a fault window clearing to the first query success at or
+  // after the clearance; 0 when no finite window recovered.
+  [[nodiscard]] double recovery_ms() const {
+    return recovery_windows == 0
+               ? 0.0
+               : static_cast<double>(recovery_time_us) /
+                     static_cast<double>(recovery_windows) * 1e-3;
   }
 
   [[nodiscard]] std::string summary() const;

@@ -18,15 +18,18 @@ namespace hlsrg {
 
 class Simulator {
  public:
-  // `seed` determines every stochastic choice in the run. The four streams
+  // `seed` determines every stochastic choice in the run. The five streams
   // are split from it so subsystems cannot perturb each other's draws:
-  // protocol changes leave mobility trajectories identical.
+  // protocol changes leave mobility trajectories identical, and fault
+  // injection (src/fault) draws from its own stream so a scripted fault
+  // plan cannot shift radio/mobility/workload draw order.
   explicit Simulator(std::uint64_t seed)
       : root_rng_(seed),
         mobility_rng_(root_rng_.split(1)),
         radio_rng_(root_rng_.split(2)),
         protocol_rng_(root_rng_.split(3)),
-        workload_rng_(root_rng_.split(4)) {}
+        workload_rng_(root_rng_.split(4)),
+        fault_rng_(root_rng_.split(5)) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -49,6 +52,7 @@ class Simulator {
   [[nodiscard]] Rng& radio_rng() { return radio_rng_; }
   [[nodiscard]] Rng& protocol_rng() { return protocol_rng_; }
   [[nodiscard]] Rng& workload_rng() { return workload_rng_; }
+  [[nodiscard]] Rng& fault_rng() { return fault_rng_; }
 
   [[nodiscard]] RunMetrics& metrics() { return metrics_; }
   [[nodiscard]] const RunMetrics& metrics() const { return metrics_; }
@@ -144,6 +148,7 @@ class Simulator {
   Rng radio_rng_;
   Rng protocol_rng_;
   Rng workload_rng_;
+  Rng fault_rng_;
   RunMetrics metrics_;
 };
 

@@ -33,6 +33,10 @@ enum class SpanKind : std::uint8_t {
   kRadioHop,      // one unicast hop incl. MAC retries, value = retries used
   kWiredHop,      // one backhaul message, value = wired hop count
   kTableLookup,   // instant: location-table probe, ok = hit / failed = miss
+  kRetry,         // instant: a query request re-issued after an ACK timeout,
+                  // value = attempt number
+  kFailover,      // instant: a send escalated around a dead component
+                  // (crashed RSU, cut wired path); detail names the route
 };
 
 [[nodiscard]] const char* span_kind_name(SpanKind kind);

@@ -76,6 +76,10 @@ const char* span_kind_name(SpanKind kind) {
       return "wired_hop";
     case SpanKind::kTableLookup:
       return "table_lookup";
+    case SpanKind::kRetry:
+      return "retry";
+    case SpanKind::kFailover:
+      return "failover";
   }
   return "unknown";
 }

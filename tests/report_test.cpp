@@ -2,6 +2,7 @@
 // and the RunReport serializer round trip.
 #include <gtest/gtest.h>
 
+#include "fault/fault_plan.h"
 #include "report/bench_report.h"
 #include "report/json.h"
 #include "report/run_report.h"
@@ -258,6 +259,67 @@ TEST(BenchReportTest, SectionsRowsAndResults) {
   const auto parsed = JsonValue::parse(doc.dump(2));
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->dump(), doc.dump());
+}
+
+TEST(FaultPlanReportTest, PlanSurvivesAFileRoundTrip) {
+  FaultPlan plan;
+  plan.fault_seed = 1234;
+  plan.overrides.retry_backoff_base = 2.0;
+  FaultWindow w;
+  w.kind = FaultKind::kRadioLoss;
+  w.begin = SimTime::from_sec(50.0);
+  w.end = SimTime::from_sec(85.0);
+  w.has_box = true;
+  w.box = Aabb{{2000.0, 0.0}, {4000.0, 4000.0}};
+  w.extra_loss = 0.5;
+  plan.windows.push_back(w);
+
+  const std::string path =
+      ::testing::TempDir() + "/hlsrg_fault_plan_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(write_json_file(plan.to_json(), path, &error)) << error;
+  FaultPlan back;
+  ASSERT_TRUE(FaultPlan::load(path, &back, &error)) << error;
+  EXPECT_EQ(back.digest(), plan.digest());
+  EXPECT_EQ(back.fault_seed, 1234u);
+  ASSERT_EQ(back.windows.size(), 1u);
+  EXPECT_TRUE(back.windows[0].has_box);
+  EXPECT_DOUBLE_EQ(back.windows[0].box.hi.x, 4000.0);
+}
+
+TEST(FaultPlanReportTest, RunReportRoundTripsFaultMetrics) {
+  RunReport report;
+  report.protocol = "HLSRG";
+  report.config = paper_scenario(100, 3);
+  report.config.fault_plan_file = "plans/chaos.json";
+  report.config.fault_seed = 7;
+  report.metrics.queries_issued = 10;
+  report.metrics.wired_drops = 4;
+  report.metrics.rsu_suppressed = 6;
+  report.metrics.query_retries = 5;
+  report.metrics.query_failovers = 2;
+  report.metrics.queries_stranded = 1;
+  report.metrics.fault_queries_issued = 8;
+  report.metrics.fault_queries_ok = 6;
+  report.metrics.recovery_time_us = 1500000;
+  report.metrics.recovery_windows = 2;
+  report.metrics.fault_plan_digest = 0xabcdef;
+
+  RunReport back;
+  std::string error;
+  ASSERT_TRUE(RunReport::from_json(report.to_json(), &back, &error)) << error;
+  EXPECT_EQ(back.config.fault_plan_file, "plans/chaos.json");
+  EXPECT_EQ(back.config.fault_seed, 7u);
+  EXPECT_EQ(back.metrics.wired_drops, 4u);
+  EXPECT_EQ(back.metrics.rsu_suppressed, 6u);
+  EXPECT_EQ(back.metrics.query_retries, 5u);
+  EXPECT_EQ(back.metrics.query_failovers, 2u);
+  EXPECT_EQ(back.metrics.queries_stranded, 1u);
+  EXPECT_EQ(back.metrics.fault_queries_issued, 8u);
+  EXPECT_EQ(back.metrics.fault_queries_ok, 6u);
+  EXPECT_EQ(back.metrics.fault_plan_digest, 0xabcdefu);
+  EXPECT_DOUBLE_EQ(back.metrics.availability(), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(back.metrics.recovery_ms(), 750.0);
 }
 
 }  // namespace
