@@ -5,7 +5,35 @@
 // constant vehicle density) exercises the full hierarchy: cross-region
 // queries must resolve through L3 gossip and the compass mesh. RLSMP scales
 // by spiralling across more clusters.
+//
+// HLSRG_SCALE_SIZES limits the sweep to a comma-separated subset of the map
+// sizes in metres (e.g. HLSRG_SCALE_SIZES=2000 for the CI perf-smoke run).
 #include "common.h"
+
+#include <cstring>
+
+namespace {
+
+// True when `size` appears in the comma-separated HLSRG_SCALE_SIZES list
+// (or the variable is unset/empty, which keeps the full sweep).
+bool size_selected(double size) {
+  const char* env = std::getenv("HLSRG_SCALE_SIZES");
+  if (env == nullptr || *env == '\0') return true;
+  const std::string want = std::to_string(static_cast<int>(size));
+  const char* p = env;
+  while (*p != '\0') {
+    const char* comma = std::strchr(p, ',');
+    const std::size_t len = comma != nullptr
+                                ? static_cast<std::size_t>(comma - p)
+                                : std::strlen(p);
+    if (want.compare(0, std::string::npos, p, len) == 0) return true;
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
@@ -15,6 +43,7 @@ int main(int argc, char** argv) {
 
   std::vector<bench::SweepRow> rows;
   for (double size : {2000.0, 3000.0, 4000.0}) {
+    if (!size_selected(size)) continue;
     // Constant density: 500 vehicles on 2 km ^ 2.
     const int vehicles = static_cast<int>(500.0 * (size * size) / (2000.0 * 2000.0));
     ScenarioConfig cfg = paper_scenario(vehicles, 9950);

@@ -4,6 +4,7 @@
 Usage:
     bench_compare.py OLD.json NEW.json [--threshold FRAC] [--abs-slack N]
                      [--include-engine] [--include-timing] [--verbose]
+                     [--groups LIST]
 
 Reads two files produced by the bench binaries (schema "hlsrg-bench/v1",
 see docs/PROTOCOL.md) or by scenario_cli --out ("hlsrg-run/v1"), pairs up
@@ -19,6 +20,13 @@ every (section, row, protocol) result, and compares the numeric fields:
                   seeds, but expected to move whenever the engine changes);
                   wall_clock_sec / events_per_sec only with
                   --include-timing (machine-dependent).
+
+--groups restricts the comparison to a comma-separated subset of the four
+groups above (default "derived,metrics,latency,engine"). The CI perf-smoke
+job uses "--groups engine --include-engine --include-timing" to gate
+throughput alone: functional counters can drift across compilers/libm
+(Poisson workload timing goes through std::log) without being perf
+regressions, and they are already gated deterministically elsewhere.
 
 A field regresses when it moves against its preferred direction by more
 than threshold (relative) AND more than abs-slack (absolute) -- the
@@ -67,9 +75,12 @@ PREFERRED_DIRECTION = {
     "trace_spans_dropped": -1,
     "wall_clock_sec": -1,
     "events_per_sec": +1,
+    "broadcasts_per_sec": +1,
+    "peak_rss_bytes": -1,
 }
 
-TIMING_FIELDS = {"wall_clock_sec", "events_per_sec", "sim_time_sec"}
+TIMING_FIELDS = {"wall_clock_sec", "events_per_sec", "broadcasts_per_sec",
+                 "sim_time_sec", "peak_rss_bytes"}
 
 
 def fail(msg):
@@ -102,13 +113,16 @@ def iter_results(doc):
                 yield key, result
 
 
-def numeric_fields(result, include_engine, include_timing):
+def numeric_fields(result, include_engine, include_timing, groups):
     """Yields (field_path, value) pairs subject to comparison."""
-    groups = ["derived", "metrics", "latency"]
-    for group in groups:
+    for group in ["derived", "metrics", "latency"]:
+        if group not in groups:
+            continue
         for name, value in result.get(group, {}).items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 yield f"{group}.{name}", float(value)
+    if "engine" not in groups:
+        return
     engine = result.get("engine", {})
     for name, value in engine.items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -138,7 +152,14 @@ def main():
                     help="also gate on wall-clock and events/sec")
     ap.add_argument("--verbose", action="store_true",
                     help="print every compared field, not just regressions")
+    ap.add_argument("--groups", default="derived,metrics,latency,engine",
+                    help="comma-separated field groups to compare "
+                         "(default: derived,metrics,latency,engine)")
     args = ap.parse_args()
+    groups = {g.strip() for g in args.groups.split(",") if g.strip()}
+    known = {"derived", "metrics", "latency", "engine"}
+    if not groups or not groups <= known:
+        fail(f"--groups must name a subset of {sorted(known)}")
 
     old_doc, new_doc = load(args.old), load(args.new)
     old_results = dict(iter_results(old_doc))
@@ -156,9 +177,9 @@ def main():
     compared = 0
     for key in shared:
         old_fields = dict(numeric_fields(old_results[key], args.include_engine,
-                                         args.include_timing))
+                                         args.include_timing, groups))
         new_fields = dict(numeric_fields(new_results[key], args.include_engine,
-                                         args.include_timing))
+                                         args.include_timing, groups))
         for field in sorted(set(old_fields) & set(new_fields)):
             old_v, new_v = old_fields[field], new_fields[field]
             compared += 1

@@ -35,7 +35,7 @@ reports=()
 for b in "${benches[@]}"; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   case "$(basename "$b")" in
-    micro_*) "$b" ;;  # google-benchmark micro benches: no JSON report
+    kernel_*) "$b" ;;  # google-benchmark kernel micro benches: no JSON report
     *)
       out="BENCH_$(basename "$b").json"
       "$b" --out "$out"

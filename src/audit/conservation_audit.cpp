@@ -44,13 +44,13 @@ void ConservationAuditor::check(const AuditScope& scope,
       report->add("conservation", os.str());
     }
   }
-  // Every ledger drop is either a radio drop or a wired unreachable drop;
-  // radio_drops also counts the packet-less frame paths, so the pair can
-  // only be larger.
-  if (m.radio_drops + m.wired_drops < m.channel.total_dropped()) {
+  // Every ledger drop is either a radio drop or a wired unreachable drop,
+  // and every drop path (including the packet-less frame paths) is ledgered,
+  // so the totals must agree exactly.
+  if (m.radio_drops + m.wired_drops != m.channel.total_dropped()) {
     std::ostringstream os;
     os << "radio_drops " << m.radio_drops << " + wired_drops "
-       << m.wired_drops << " is below the channel ledger's dropped total "
+       << m.wired_drops << " disagrees with the channel ledger's dropped total "
        << m.channel.total_dropped();
     report->add("conservation", os.str());
   }

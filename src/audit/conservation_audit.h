@@ -7,8 +7,8 @@
 //    earliest pending event is never in the past;
 //  - packet channel, per kind:  offered == delivered + dropped (in-flight
 //    packets are pending events, so they live in the queue identity, not
-//    this one), with radio_drops + wired_drops covering at least every
-//    ledger drop;
+//    this one), with radio_drops + wired_drops equal to the ledger's total
+//    drops (every drop path is ledgered, frame paths included);
 //  - queries:  issued == succeeded + failed + outstanding.
 #pragma once
 

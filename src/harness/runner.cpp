@@ -2,11 +2,35 @@
 
 #include <chrono>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "harness/digest.h"
 #include "harness/parallel.h"
 #include "util/check.h"
 
 namespace hlsrg {
+
+namespace {
+
+// Process-wide resident-set high-water mark; 0 where unsupported.
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in KiB, macOS in bytes.
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 double ReplicaSet::mean_update_overhead() const {
   if (replicas.empty()) return 0.0;
@@ -77,6 +101,7 @@ ReplicaSet run_replicas(const ScenarioConfig& cfg, Protocol protocol,
     out.engine[i] = world.sim().engine_stats();
     out.engine[i].wall_clock_sec =
         std::chrono::duration<double>(stop - start).count();
+    out.engine[i].peak_rss_bytes = peak_rss_bytes();
     registries[i] = world.sim().observability();
   });
   for (const RunMetrics& m : out.replicas) out.merged.merge(m);

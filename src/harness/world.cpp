@@ -46,6 +46,7 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
 
   mobility_ = std::make_unique<MobilityModel>(sim_, net_, cfg_.mobility);
   mobility_->place_random_vehicles(cfg_.vehicles);
+  mobility_->add_listener(&tick_bridge_);
 
   switch (protocol_) {
     case Protocol::kHlsrg: {

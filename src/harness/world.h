@@ -65,6 +65,9 @@ class World {
   // Node directory (failure injection in tests: silencing a node's sink
   // models an outage — packets to it fall on deaf ears).
   [[nodiscard]] NodeRegistry& registry() { return registry_; }
+  // The shared radio (tests flip its reference-density seam to prove the
+  // cached contention path is behavior-neutral).
+  [[nodiscard]] RadioMedium& medium() { return *medium_; }
 
   // --- invariant auditing (src/audit) ---------------------------------------
   // The audit view of this world; `hlsrg` is set only under Protocol::kHlsrg.
@@ -77,6 +80,23 @@ class World {
   void audit_enforce() { auditors_.enforce(audit_scope()); }
 
  private:
+  // Bridges mobility position writes to the registry's position generation.
+  // Positions are pulled through callbacks, so writes are invisible to the
+  // registry; without this bump a neighbor index built earlier in the same
+  // timestamp (protocol agents broadcast from inside the movement listeners,
+  // mid-tick) would be reused, stale, by everything ordered after the write.
+  class TickGenerationBridge final : public MovementListener {
+   public:
+    explicit TickGenerationBridge(NodeRegistry& registry)
+        : registry_(&registry) {}
+    void on_moved(VehicleId, Vec2, Vec2) override {
+      registry_->bump_position_generation();
+    }
+
+   private:
+    NodeRegistry* registry_;
+  };
+
   void schedule_workload();
   void schedule_sampler();
   // Resolves the effective fault plan (inline vs file) into cfg_.fault_plan
@@ -99,6 +119,7 @@ class World {
   std::unique_ptr<GeocastService> geocast_;
   std::unique_ptr<WiredNetwork> wired_;
   std::unique_ptr<MobilityModel> mobility_;
+  TickGenerationBridge tick_bridge_{registry_};
   std::unique_ptr<RsuGrid> rsus_;
   std::unique_ptr<CellGrid> cells_;
   std::unique_ptr<LocationService> service_;

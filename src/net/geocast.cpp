@@ -62,7 +62,7 @@ void GeocastService::step(NodeId node, const std::shared_ptr<FloodState>& st) {
   if (st->transmissions >= cfg_.max_transmissions) return;
   ++st->transmissions;
   if (st->tx_counter != nullptr) ++*st->tx_counter;
-  medium_->broadcast_each(node, [this, node, st](NodeId rx) {
+  medium_->broadcast_each(node, st->pkt.kind, [this, node, st](NodeId rx) {
     if (!st->seen.insert(rx).second) return;
     if (!st->region.contains(registry_->position(rx))) return;
     if (PacketSink* sink = registry_->sink(rx)) sink->on_receive(st->pkt, node);

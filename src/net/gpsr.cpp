@@ -210,7 +210,7 @@ void GpsrRouter::route_step(NodeId current,
   // captures here around on_delivered).
   SpanScope scope(medium_->sim(), st->span);
   medium_->unicast_frame(
-      current, next,
+      current, next, st->pkt.kind,
       /*on_delivered=*/[this, from, next, st] {
         st->prev = from;
         route_step(next, st);

@@ -5,6 +5,7 @@
 // vehicles report their live mobility pose, RSUs a constant.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -39,12 +40,23 @@ class NodeRegistry {
     return nodes_[id.index()].sink;
   }
 
+  // Positions are pulled through callbacks, so writes are invisible to the
+  // registry itself; mutators (the mobility tick, fault window edges) bump
+  // this generation instead. Consumers that cache positions — the neighbor
+  // index — key their rebuild on it, so a position change that does not
+  // advance the clock still invalidates the cache.
+  void bump_position_generation() { ++position_generation_; }
+  [[nodiscard]] std::uint64_t position_generation() const {
+    return position_generation_;
+  }
+
  private:
   struct Entry {
     PositionFn position;
     PacketSink* sink = nullptr;
   };
   std::vector<Entry> nodes_;
+  std::uint64_t position_generation_ = 0;
 };
 
 }  // namespace hlsrg

@@ -50,6 +50,8 @@ const char* packet_kind_name(PacketKind kind) {
       return "flood_query";
     case PacketKind::kFloodAck:
       return "flood_ack";
+    case PacketKind::kHello:
+      return "hello";
   }
   return "unknown";
 }

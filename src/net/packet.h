@@ -50,6 +50,9 @@ enum class PacketKind : int {
   kFloodProbe = 202,   // src -> cached position of target (GPSR)
   kFloodQuery = 203,   // network-wide reactive search (cache miss)
   kFloodAck = 204,     // target -> src (GPSR)
+
+  // --- Link layer ----------------------------------------------------------
+  kHello = 240,  // periodic one-hop HELLO beacon (neighbor discovery)
 };
 
 // Stable lower_snake name for traces and JSON reports; "unknown" for values

@@ -1,6 +1,7 @@
 #include "net/radio.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
@@ -9,7 +10,10 @@ namespace hlsrg {
 RadioMedium::RadioMedium(Simulator& sim, const NodeRegistry& registry,
                          RadioConfig cfg)
     : sim_(&sim), registry_(&registry), cfg_(cfg),
-      index_(registry, cfg.range_m) {
+      // The index serves contention densities straight from its per-node
+      // cache; counts at or below the contention-free threshold are
+      // loss-equivalent however they were obtained (see neighbor_index.h).
+      index_(registry, cfg.range_m, cfg.contention_free_neighbors) {
   HLSRG_CHECK(cfg.range_m > 0.0);
 }
 
@@ -39,65 +43,90 @@ SimTime RadioMedium::hop_delay() {
   return SimTime::from_ms(ms);
 }
 
-void RadioMedium::deliver(NodeId to, const Packet& pkt, NodeId from,
-                          SimTime delay, SpanId ctx, SpanId span_to_end,
-                          std::int32_t value) {
-  sim_->schedule_after(delay, [this, to, pkt, from, ctx, span_to_end, value] {
+int RadioMedium::density_at(NodeId rx) {
+  if (reference_density_) return index_.exact_density(rx);
+  return index_.local_density(rx);
+}
+
+void RadioMedium::deliver(NodeId to, std::shared_ptr<const Packet> pkt,
+                          NodeId from, SimTime delay, SpanId ctx,
+                          SpanId span_to_end, std::int32_t value) {
+  sim_->schedule_after(delay, [this, to, pkt = std::move(pkt), from, ctx,
+                               span_to_end, value] {
     sim_->end_span(span_to_end, SpanStatus::kOk, registry_->position(to),
                    value);
     SpanScope scope(*sim_, ctx);
-    if (PacketSink* sink = registry_->sink(to)) sink->on_receive(pkt, from);
+    if (PacketSink* sink = registry_->sink(to)) sink->on_receive(*pkt, from);
   });
 }
 
 int RadioMedium::broadcast(NodeId sender, const Packet& pkt) {
   index_.refresh(sim_->now());
   scratch_.clear();
+  density_scratch_.clear();
   const Vec2 sp = registry_->position(sender);
-  index_.query(sp, cfg_.range_m, sender, &scratch_);
+  if (reference_density_) {
+    index_.query(sp, cfg_.range_m, sender, &scratch_);
+    for (NodeId rx : scratch_) density_scratch_.push_back(density_at(rx));
+  } else {
+    index_.query_with_density(sp, cfg_.range_m, sender, &scratch_,
+                              &density_scratch_);
+  }
   sim_->metrics().radio_broadcasts++;
   const SimTime delay = hop_delay();
   const int kind = static_cast<int>(pkt.kind);
   const SpanId ctx = sim_->active_span();
-  for (NodeId rx : scratch_) {
+  // One immutable copy shared by every surviving receiver's delivery
+  // closure; the per-delivery state is just (to, from, ctx).
+  std::shared_ptr<const Packet> shared;
+  for (std::size_t i = 0; i < scratch_.size(); ++i) {
+    const NodeId rx = scratch_[i];
     sim_->metrics().channel.add_offered(kind);
     const Vec2 rp = registry_->position(rx);
-    const int density = index_.count_within(rp, cfg_.range_m, rx);
     if (sim_->radio_rng().chance(
-            loss_probability(distance(sp, rp), density, rp))) {
+            loss_probability(distance(sp, rp), density_scratch_[i], rp))) {
       sim_->metrics().radio_drops++;
       sim_->metrics().channel.add_dropped(kind);
       continue;
     }
     sim_->metrics().channel.add_delivered(kind);
-    deliver(rx, pkt, sender, delay, ctx);
+    if (shared == nullptr) shared = std::make_shared<const Packet>(pkt);
+    deliver(rx, shared, sender, delay, ctx);
   }
   return static_cast<int>(scratch_.size());
 }
 
-// broadcast_each and unicast_frame carry no Packet, so they are invisible to
-// the per-kind channel ledger; the conservation auditor only covers the
-// Packet-bearing paths.
-int RadioMedium::broadcast_each(NodeId sender,
+int RadioMedium::broadcast_each(NodeId sender, PacketKind pkt_kind,
                                 std::function<void(NodeId)> on_deliver) {
   HLSRG_CHECK(on_deliver != nullptr);
   index_.refresh(sim_->now());
   scratch_.clear();
+  density_scratch_.clear();
   const Vec2 sp = registry_->position(sender);
-  index_.query(sp, cfg_.range_m, sender, &scratch_);
+  if (reference_density_) {
+    index_.query(sp, cfg_.range_m, sender, &scratch_);
+    for (NodeId rx : scratch_) density_scratch_.push_back(density_at(rx));
+  } else {
+    index_.query_with_density(sp, cfg_.range_m, sender, &scratch_,
+                              &density_scratch_);
+  }
   sim_->metrics().radio_broadcasts++;
   const SimTime delay = hop_delay();
+  const int kind = static_cast<int>(pkt_kind);
   const SpanId ctx = sim_->active_span();
   auto shared_deliver =
       std::make_shared<std::function<void(NodeId)>>(std::move(on_deliver));
-  for (NodeId rx : scratch_) {
+  for (std::size_t i = 0; i < scratch_.size(); ++i) {
+    const NodeId rx = scratch_[i];
+    sim_->metrics().channel.add_offered(kind);
     const Vec2 rp = registry_->position(rx);
-    const int density = index_.count_within(rp, cfg_.range_m, rx);
     if (sim_->radio_rng().chance(
-            loss_probability(distance(sp, rp), density, rp))) {
+            loss_probability(distance(sp, rp), density_scratch_[i], rp))) {
       sim_->metrics().radio_drops++;
+      sim_->metrics().channel.add_dropped(kind);
       continue;
     }
+    sim_->metrics().channel.add_delivered(kind);
     sim_->schedule_after(delay, [this, shared_deliver, rx, ctx] {
       SpanScope scope(sim(), ctx);
       (*shared_deliver)(rx);
@@ -106,7 +135,8 @@ int RadioMedium::broadcast_each(NodeId sender,
   return static_cast<int>(scratch_.size());
 }
 
-void RadioMedium::try_unicast(NodeId sender, NodeId target, Packet pkt,
+void RadioMedium::try_unicast(NodeId sender, NodeId target,
+                              std::shared_ptr<const Packet> pkt,
                               int attempts_left,
                               std::function<void()> on_lost, SpanId span,
                               SpanId ctx) {
@@ -115,14 +145,15 @@ void RadioMedium::try_unicast(NodeId sender, NodeId target, Packet pkt,
   const Vec2 tp = registry_->position(target);
   const double d = distance(sp, tp);
   sim_->metrics().radio_unicasts++;
-  const int kind = static_cast<int>(pkt.kind);
+  const int kind = static_cast<int>(pkt->kind);
   sim_->metrics().channel.add_offered(kind);
   const std::int32_t retries_used = cfg_.unicast_retries - attempts_left;
   if (d <= cfg_.range_m) {
-    const int density = index_.count_within(tp, cfg_.range_m, target);
+    const int density = density_at(target);
     if (!sim_->radio_rng().chance(loss_probability(d, density, tp))) {
       sim_->metrics().channel.add_delivered(kind);
-      deliver(target, pkt, sender, hop_delay(), ctx, span, retries_used);
+      deliver(target, std::move(pkt), sender, hop_delay(), ctx, span,
+              retries_used);
       return;
     }
   }
@@ -153,12 +184,13 @@ void RadioMedium::unicast(NodeId sender, NodeId target, const Packet& pkt,
       sim_->begin_span(SpanKind::kRadioHop, sender.value(), target.value(),
                        registry_->position(sender), kNoQuery, -1,
                        packet_kind_name(pkt.kind));
-  try_unicast(sender, target, pkt, cfg_.unicast_retries, std::move(on_lost),
-              span, ctx);
+  // One immutable copy shared across the whole retry chain.
+  try_unicast(sender, target, std::make_shared<const Packet>(pkt),
+              cfg_.unicast_retries, std::move(on_lost), span, ctx);
 }
 
 void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
-                                    int attempts_left,
+                                    PacketKind pkt_kind, int attempts_left,
                                     std::function<void()> on_delivered,
                                     std::function<void()> on_lost, SpanId span,
                                     SpanId ctx) {
@@ -167,10 +199,13 @@ void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
   const Vec2 tp = registry_->position(target);
   const double d = distance(sp, tp);
   sim_->metrics().radio_unicasts++;
+  const int kind = static_cast<int>(pkt_kind);
+  sim_->metrics().channel.add_offered(kind);
   const std::int32_t retries_used = cfg_.unicast_retries - attempts_left;
   if (d <= cfg_.range_m) {
-    const int density = index_.count_within(tp, cfg_.range_m, target);
+    const int density = density_at(target);
     if (!sim_->radio_rng().chance(loss_probability(d, density, tp))) {
+      sim_->metrics().channel.add_delivered(kind);
       sim_->schedule_after(
           hop_delay(), [this, cb = std::move(on_delivered), tp, span, ctx,
                         retries_used] {
@@ -182,13 +217,14 @@ void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
     }
   }
   sim_->metrics().radio_drops++;
+  sim_->metrics().channel.add_dropped(kind);
   if (attempts_left > 0) {
     sim_->schedule_after(
         SimTime::from_ms(cfg_.retry_delay_ms),
-        [this, sender, target, attempts_left,
+        [this, sender, target, pkt_kind, attempts_left,
          on_delivered = std::move(on_delivered),
          on_lost = std::move(on_lost), span, ctx]() mutable {
-          try_unicast_frame(sender, target, attempts_left - 1,
+          try_unicast_frame(sender, target, pkt_kind, attempts_left - 1,
                             std::move(on_delivered), std::move(on_lost), span,
                             ctx);
         });
@@ -201,7 +237,7 @@ void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
   }
 }
 
-void RadioMedium::unicast_frame(NodeId sender, NodeId target,
+void RadioMedium::unicast_frame(NodeId sender, NodeId target, PacketKind kind,
                                 std::function<void()> on_delivered,
                                 std::function<void()> on_lost) {
   HLSRG_CHECK(on_delivered != nullptr);
@@ -209,7 +245,7 @@ void RadioMedium::unicast_frame(NodeId sender, NodeId target,
   const SpanId span =
       sim_->begin_span(SpanKind::kRadioHop, sender.value(), target.value(),
                        registry_->position(sender));
-  try_unicast_frame(sender, target, cfg_.unicast_retries,
+  try_unicast_frame(sender, target, kind, cfg_.unicast_retries,
                     std::move(on_delivered), std::move(on_lost), span, ctx);
 }
 

@@ -8,9 +8,17 @@
 // turns on: long hops and dense areas lose packets, so multi-hop
 // vehicle-to-vehicle paths across "vast areas" are unreliable while short
 // hops and wired RSUs are not.
+//
+// Hot-path shape: a broadcast does ONE index walk (query_with_density
+// returns receivers and their cached contention densities together), draws
+// per-receiver loss in a single pass over that batch, and shares one
+// immutable Packet copy across every per-receiver delivery closure instead
+// of copying the Packet into each.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "geom/aabb.h"
@@ -62,8 +70,11 @@ class RadioMedium {
   // One-hop broadcast delivering to a callback instead of node sinks; the
   // geocast layer uses this to run region-limited floods with its own
   // duplicate suppression. Loss/delay semantics match broadcast(). The
-  // callback fires at reception time, once per surviving receiver.
-  int broadcast_each(NodeId sender, std::function<void(NodeId)> on_deliver);
+  // callback fires at reception time, once per surviving receiver. `kind`
+  // feeds the per-kind channel ledger (the frame carries no Packet, but the
+  // conservation auditor still covers it).
+  int broadcast_each(NodeId sender, PacketKind kind,
+                     std::function<void(NodeId)> on_deliver);
 
   // One-hop unicast with MAC retries. `target` must currently be in range;
   // if it is not, or every retry is lost, `on_lost` fires (if provided).
@@ -73,8 +84,9 @@ class RadioMedium {
   // One-hop unicast of a bare frame: channel semantics (range check, loss,
   // retries, delay) without sink delivery. Routing layers use this for
   // intermediate hops so forwarders do not consume the packet; exactly one
-  // of the callbacks fires, at delivery/abandon time.
-  void unicast_frame(NodeId sender, NodeId target,
+  // of the callbacks fires, at delivery/abandon time. `kind` is the packet
+  // kind the frame is carrying, for the channel ledger.
+  void unicast_frame(NodeId sender, NodeId target, PacketKind kind,
                      std::function<void()> on_delivered,
                      std::function<void()> on_lost = {});
 
@@ -106,21 +118,31 @@ class RadioMedium {
     return loss_zones_;
   }
 
+  // Test seam: forces the exact per-receiver density recount (bypassing the
+  // cell-sum shortcut and the per-node cache), so digest-equality tests can
+  // prove the cached path is behavior-neutral. Never set outside tests.
+  void set_reference_density_for_test(bool on) { reference_density_ = on; }
+
  private:
   [[nodiscard]] SimTime hop_delay();
-  // Schedules sink delivery. `ctx` is the span context re-established around
-  // on_receive (so receivers inherit the sender's query context across the
-  // event-queue hop); `span_to_end` is closed kOk at reception time with
-  // `value` (MAC retries used).
-  void deliver(NodeId to, const Packet& pkt, NodeId from, SimTime delay,
-               SpanId ctx = kNoSpan, SpanId span_to_end = kNoSpan,
-               std::int32_t value = -1);
-  void try_unicast(NodeId sender, NodeId target, Packet pkt, int attempts_left,
+  // Schedules sink delivery of the shared packet. `ctx` is the span context
+  // re-established around on_receive (so receivers inherit the sender's
+  // query context across the event-queue hop); `span_to_end` is closed kOk
+  // at reception time with `value` (MAC retries used).
+  void deliver(NodeId to, std::shared_ptr<const Packet> pkt, NodeId from,
+               SimTime delay, SpanId ctx = kNoSpan,
+               SpanId span_to_end = kNoSpan, std::int32_t value = -1);
+  void try_unicast(NodeId sender, NodeId target,
+                   std::shared_ptr<const Packet> pkt, int attempts_left,
                    std::function<void()> on_lost, SpanId span, SpanId ctx);
-  void try_unicast_frame(NodeId sender, NodeId target, int attempts_left,
+  void try_unicast_frame(NodeId sender, NodeId target, PacketKind kind,
+                         int attempts_left,
                          std::function<void()> on_delivered,
                          std::function<void()> on_lost, SpanId span,
                          SpanId ctx);
+  // Receiver-side contention density for the loss model: the cached batched
+  // value normally, the exact recount under the reference seam.
+  [[nodiscard]] int density_at(NodeId rx);
 
   Simulator* sim_;
   const NodeRegistry* registry_;
@@ -128,6 +150,8 @@ class RadioMedium {
   NeighborIndex index_;
   std::vector<RadioLossZone> loss_zones_;
   std::vector<NodeId> scratch_;
+  std::vector<std::int32_t> density_scratch_;
+  bool reference_density_ = false;
 };
 
 }  // namespace hlsrg

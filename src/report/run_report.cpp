@@ -246,6 +246,9 @@ JsonValue engine_to_json(const EngineStats& e) {
   o.set("sim_time_sec", e.sim_time_sec);
   o.set("wall_clock_sec", e.wall_clock_sec);
   o.set("events_per_sec", e.events_per_sec());
+  o.set("broadcasts", e.broadcasts);
+  o.set("broadcasts_per_sec", e.broadcasts_per_sec());
+  o.set("peak_rss_bytes", e.peak_rss_bytes);
   o.set("trace_events_dropped", e.trace_events_dropped);
   o.set("trace_spans_dropped", e.trace_spans_dropped);
   return o;
@@ -262,6 +265,13 @@ void engine_from_json(const JsonValue& v, EngineStats* e) {
   }
   if (v.contains("trace_spans_dropped")) {
     e->trace_spans_dropped = v.at("trace_spans_dropped").as_uint64();
+  }
+  // Added after v1 reports shipped; absent in older files.
+  if (v.contains("broadcasts")) {
+    e->broadcasts = v.at("broadcasts").as_uint64();
+  }
+  if (v.contains("peak_rss_bytes")) {
+    e->peak_rss_bytes = v.at("peak_rss_bytes").as_uint64();
   }
 }
 

@@ -1,6 +1,8 @@
 #include "roadnet/road_network.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "util/check.h"
@@ -70,6 +72,34 @@ void RoadNetwork::finalize() {
     }
   }
   finalized_ = true;
+  build_intersection_grid();
+}
+
+void RoadNetwork::build_intersection_grid() {
+  if (intersections_.empty()) return;
+  const Aabb box = bounds();
+  grid_origin_ = box.lo;
+  // Target ~1 intersection per cell so ring walks touch O(1) points.
+  const double extent = std::max(box.width(), box.height());
+  const double target =
+      std::ceil(std::sqrt(static_cast<double>(intersections_.size())));
+  grid_cell_ = std::max(1.0, extent / std::max(1.0, target));
+  grid_nx_ = static_cast<std::int32_t>(box.width() / grid_cell_) + 1;
+  grid_ny_ = static_cast<std::int32_t>(box.height() / grid_cell_) + 1;
+  grid_cells_.assign(
+      static_cast<std::size_t>(grid_nx_) * static_cast<std::size_t>(grid_ny_),
+      {});
+  for (std::size_t i = 0; i < intersections_.size(); ++i) {
+    const Vec2 p = intersections_[i].pos;
+    const auto cx = std::min<std::int32_t>(
+        grid_nx_ - 1,
+        static_cast<std::int32_t>((p.x - grid_origin_.x) / grid_cell_));
+    const auto cy = std::min<std::int32_t>(
+        grid_ny_ - 1,
+        static_cast<std::int32_t>((p.y - grid_origin_.y) / grid_cell_));
+    grid_cells_[static_cast<std::size_t>(cy) * grid_nx_ + cx].push_back(
+        static_cast<std::uint32_t>(i));
+  }
 }
 
 Vec2 RoadNetwork::point_on(SegmentId id, double offset) const {
@@ -78,7 +108,7 @@ Vec2 RoadNetwork::point_on(SegmentId id, double offset) const {
   return position(s.from) + s.unit_dir * offset;
 }
 
-IntersectionId RoadNetwork::nearest_intersection(Vec2 p) const {
+IntersectionId RoadNetwork::nearest_intersection_linear(Vec2 p) const {
   HLSRG_CHECK(!intersections_.empty());
   IntersectionId best{std::size_t{0}};
   double best_d2 = std::numeric_limits<double>::max();
@@ -90,6 +120,60 @@ IntersectionId RoadNetwork::nearest_intersection(Vec2 p) const {
     }
   }
   return best;
+}
+
+IntersectionId RoadNetwork::nearest_intersection(Vec2 p) const {
+  HLSRG_CHECK(!intersections_.empty());
+  if (grid_cells_.empty()) return nearest_intersection_linear(p);
+
+  // Expanding Chebyshev rings around p's (unclamped) cell. A point in a
+  // ring-r cell is at Euclidean distance >= (r - 1) * cell from p, so once
+  // best_d2 < (r * cell)^2 after finishing ring r, no farther ring can hold
+  // a closer point — nor an equidistant one that would win the lowest-index
+  // tie-break (a tie needs d2 == best_d2, excluded by the strict compare).
+  const auto cx =
+      static_cast<std::int32_t>(std::floor((p.x - grid_origin_.x) / grid_cell_));
+  const auto cy =
+      static_cast<std::int32_t>(std::floor((p.y - grid_origin_.y) / grid_cell_));
+  const std::int32_t max_r =
+      std::max(std::max(std::abs(cx), std::abs(cx - (grid_nx_ - 1))),
+               std::max(std::abs(cy), std::abs(cy - (grid_ny_ - 1))));
+  std::uint32_t best = 0;
+  double best_d2 = std::numeric_limits<double>::max();
+  bool found = false;
+  auto scan_cell = [&](std::int32_t x, std::int32_t y) {
+    if (x < 0 || x >= grid_nx_ || y < 0 || y >= grid_ny_) return;
+    const auto& cell =
+        grid_cells_[static_cast<std::size_t>(y) * grid_nx_ + x];
+    for (std::uint32_t i : cell) {
+      const double d2 = distance2(p, intersections_[i].pos);
+      // Lex-min on (d2, index): cell lists ascend, but rings visit cells in
+      // no particular index order, so break distance ties explicitly.
+      if (d2 < best_d2 || (d2 == best_d2 && i < best)) {
+        best_d2 = d2;
+        best = i;
+        found = true;
+      }
+    }
+  };
+  for (std::int32_t r = 0; r <= max_r; ++r) {
+    if (r == 0) {
+      scan_cell(cx, cy);
+    } else {
+      for (std::int32_t x = cx - r; x <= cx + r; ++x) {
+        scan_cell(x, cy - r);
+        scan_cell(x, cy + r);
+      }
+      for (std::int32_t y = cy - r + 1; y <= cy + r - 1; ++y) {
+        scan_cell(cx - r, y);
+        scan_cell(cx + r, y);
+      }
+    }
+    const double ring_reach = static_cast<double>(r) * grid_cell_;
+    if (found && best_d2 < ring_reach * ring_reach) break;
+  }
+  HLSRG_CHECK(found);
+  return IntersectionId{static_cast<std::size_t>(best)};
 }
 
 std::vector<IntersectionId> RoadNetwork::intersections_within(

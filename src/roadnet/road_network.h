@@ -99,7 +99,9 @@ class RoadNetwork {
   }
 
   // --- queries ------------------------------------------------------------
-  // Nearest intersection to p (linear scan; maps here have <10^3 nodes).
+  // Nearest intersection to p; ties (equal distance) resolve to the lowest
+  // index. After finalize() this walks an expanding ring of grid cells
+  // (O(points near p)); before it, a linear scan.
   [[nodiscard]] IntersectionId nearest_intersection(Vec2 p) const;
 
   // All intersections within `radius` of p.
@@ -127,10 +129,23 @@ class RoadNetwork {
   [[nodiscard]] const std::vector<Road>& roads() const { return roads_; }
 
  private:
+  [[nodiscard]] IntersectionId nearest_intersection_linear(Vec2 p) const;
+  // Builds the nearest-intersection grid; finalize()-only.
+  void build_intersection_grid();
+
   std::vector<Intersection> intersections_;
   std::vector<Segment> segments_;
   std::vector<Road> roads_;
   bool finalized_ = false;
+
+  // Uniform grid over bounds() for nearest_intersection: cell (x, y) at
+  // index y * grid_nx_ + x holds the ascending intersection indices whose
+  // position falls in it. Sized so the average cell holds ~1 intersection.
+  Vec2 grid_origin_;
+  double grid_cell_ = 0.0;
+  std::int32_t grid_nx_ = 0;
+  std::int32_t grid_ny_ = 0;
+  std::vector<std::vector<std::uint32_t>> grid_cells_;
 };
 
 }  // namespace hlsrg

@@ -67,6 +67,8 @@ void EngineStats::merge(const EngineStats& other) {
   events_processed += other.events_processed;
   events_scheduled += other.events_scheduled;
   peak_queue_depth = std::max(peak_queue_depth, other.peak_queue_depth);
+  broadcasts += other.broadcasts;
+  peak_rss_bytes = std::max(peak_rss_bytes, other.peak_rss_bytes);
   trace_events_dropped += other.trace_events_dropped;
   trace_spans_dropped += other.trace_spans_dropped;
   sim_time_sec += other.sim_time_sec;

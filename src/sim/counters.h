@@ -114,6 +114,8 @@ struct EngineStats {
   std::uint64_t events_processed = 0;   // events dispatched by the queue
   std::uint64_t events_scheduled = 0;   // events ever scheduled
   std::uint64_t peak_queue_depth = 0;   // pending-event high-water mark
+  std::uint64_t broadcasts = 0;         // radio broadcast transmissions
+  std::uint64_t peak_rss_bytes = 0;     // process RSS high-water mark
   std::uint64_t trace_events_dropped = 0;  // trace records past the cap
   std::uint64_t trace_spans_dropped = 0;   // spans past the cap
   double sim_time_sec = 0.0;            // simulated horizon covered
@@ -125,9 +127,15 @@ struct EngineStats {
                ? static_cast<double>(events_processed) / wall_clock_sec
                : 0.0;
   }
+  [[nodiscard]] double broadcasts_per_sec() const {
+    return wall_clock_sec > 0.0
+               ? static_cast<double>(broadcasts) / wall_clock_sec
+               : 0.0;
+  }
 
-  // Aggregates replicas: counts and times sum, peak depth takes the max
-  // (replicas run concurrently, so depths never stack in one queue).
+  // Aggregates replicas: counts and times sum, peaks take the max (replicas
+  // run concurrently, so depths never stack in one queue, and RSS is a
+  // process-wide high-water mark to begin with).
   void merge(const EngineStats& other);
 };
 

@@ -7,25 +7,49 @@
 
 namespace hlsrg {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  slots_[slot].seq = 0;
+  slots_[slot].action.reset();
+  free_slots_.push_back(slot);
+}
+
 EventHandle EventQueue::schedule_at(SimTime when, Action action) {
   HLSRG_CHECK_MSG(when >= now_, "cannot schedule into the past");
   HLSRG_CHECK(action != nullptr);
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
-  actions_.emplace(seq, std::move(action));
-  peak_depth_ = std::max(peak_depth_, actions_.size());
-  return EventHandle{seq};
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].seq = seq;
+  slots_[slot].action = std::move(action);
+  heap_.push(Entry{when, seq, slot});
+  ++live_;
+  peak_depth_ = std::max(peak_depth_, live_);
+  return EventHandle{seq, slot};
 }
 
 bool EventQueue::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  if (actions_.erase(handle.seq_) == 0) return false;
+  if (handle.slot_ >= slots_.size()) return false;
+  // The slot may have been recycled for a newer event; the seq match proves
+  // the handle's event is the one still pending.
+  if (slots_[handle.slot_].seq != handle.seq_) return false;
+  release_slot(handle.slot_);
+  --live_;
   ++events_cancelled_;
   return true;
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && !actions_.contains(heap_.top().seq)) {
+  while (!heap_.empty() && slots_[heap_.top().slot].seq != heap_.top().seq) {
     heap_.pop();
   }
 }
@@ -40,10 +64,12 @@ bool EventQueue::run_one() {
   if (heap_.empty()) return false;
   const Entry entry = heap_.top();
   heap_.pop();
-  auto it = actions_.find(entry.seq);
-  HLSRG_CHECK(it != actions_.end());
-  Action action = std::move(it->second);
-  actions_.erase(it);
+  HLSRG_DCHECK(slots_[entry.slot].seq == entry.seq);
+  // Move the action out before running: the action may schedule new events,
+  // growing `slots_` and recycling this very slot.
+  Action action = std::move(slots_[entry.slot].action);
+  release_slot(entry.slot);
+  --live_;
   HLSRG_CHECK(entry.when >= now_);
   now_ = entry.when;
   ++events_dispatched_;

@@ -4,19 +4,22 @@
 // monotonically increasing sequence number). Without the tie-break, heap
 // order for equal keys would be unspecified and runs would not reproduce.
 //
-// Actions live in a side map keyed by sequence number; the heap holds only
-// (time, seq) pairs. Cancellation erases from the map and the heap entry is
-// skipped lazily at pop time, so cancel() is O(1) and has exact semantics:
-// it returns true iff the event was still pending.
+// Actions live in a slab of small-buffer-optimized callback slots recycled
+// through a freelist, so steady-state schedule/cancel/pop never allocate
+// (the old design kept an unordered_map<seq, std::function> beside the heap
+// and paid a node plus a closure allocation per event). The heap holds
+// (time, seq, slot) triples; a handle remembers both its slot and its seq,
+// and since seqs are never reused a recycled slot simply fails the seq match
+// — cancel keeps its exact semantics: it returns true iff the event was
+// still pending, and a cancelled heap entry is skipped lazily at pop time.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/small_fn.h"
 
 namespace hlsrg {
 
@@ -30,13 +33,17 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  EventHandle(std::uint64_t seq, std::uint32_t slot)
+      : seq_(seq), slot_(slot) {}
   std::uint64_t seq_ = 0;
+  std::uint32_t slot_ = 0;
 };
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  // Sized so a Slot (seq + callback) spans two cache lines; captures beyond
+  // this spill to the heap (see util/small_fn.h).
+  using Action = SmallFn<104>;
 
   // Schedules `action` at absolute time `when`. `when` must not be earlier
   // than the current simulation time.
@@ -55,8 +62,8 @@ class EventQueue {
   std::size_t run_until(SimTime until);
 
   [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] bool empty() const { return actions_.empty(); }
-  [[nodiscard]] std::size_t size() const { return actions_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   // --- engine statistics (bench reports) -----------------------------------
   // Events dispatched (run, not cancelled) since construction.
@@ -83,17 +90,30 @@ class EventQueue {
   struct Entry {
     SimTime when;
     std::uint64_t seq;
+    std::uint32_t slot;
     bool operator>(const Entry& o) const {
       if (when != o.when) return when > o.when;
       return seq > o.seq;
     }
   };
 
-  // Pops heap entries whose actions were cancelled (lazy deletion).
+  // One slab cell: `seq` identifies the event currently occupying the cell
+  // (0 = free) and disambiguates stale heap entries and handles after reuse.
+  struct Slot {
+    std::uint64_t seq = 0;
+    Action action;
+  };
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  // Pops heap entries whose slots were cancelled (lazy deletion).
   void drop_cancelled() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Action> actions_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   SimTime now_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_dispatched_ = 0;

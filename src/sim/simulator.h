@@ -57,13 +57,14 @@ class Simulator {
   [[nodiscard]] RunMetrics& metrics() { return metrics_; }
   [[nodiscard]] const RunMetrics& metrics() const { return metrics_; }
 
-  // Snapshot of the engine counters (wall_clock_sec is the harness's to
-  // fill; the simulator has no business timing the host).
+  // Snapshot of the engine counters (wall_clock_sec and peak_rss_bytes are
+  // the harness's to fill; the simulator has no business probing the host).
   [[nodiscard]] EngineStats engine_stats() const {
     EngineStats s;
     s.events_processed = queue_.events_dispatched();
     s.events_scheduled = queue_.events_scheduled();
     s.peak_queue_depth = queue_.peak_depth();
+    s.broadcasts = metrics_.radio_broadcasts;
     s.sim_time_sec = queue_.now().sec();
     if (trace_ != nullptr) {
       s.trace_events_dropped = trace_->dropped_events();

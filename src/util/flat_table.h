@@ -1,14 +1,25 @@
-// A small sorted-vector map keyed by a TaggedId.
+// Flat (vector-backed) associative containers.
 //
-// Location tables hold a few hundred entries that are scanned far more often
-// than they are mutated (every query checks the table; expiry sweeps walk it).
-// A sorted std::vector beats node-based maps here: one allocation, contiguous
-// scans, O(log n) lookup (Core Guidelines Per.14/Per.16/Per.19).
+// FlatTable: a small sorted-vector map keyed by a TaggedId. Location tables
+// hold a few hundred entries that are scanned far more often than they are
+// mutated (every query checks the table; expiry sweeps walk it). A sorted
+// std::vector beats node-based maps here: one allocation, contiguous scans,
+// O(log n) lookup (Core Guidelines Per.14/Per.16/Per.19).
+//
+// OpenAddressMap: a linear-probing hash map over trivially copyable keys and
+// values for hot lookup paths (the neighbor index's cell table). One
+// contiguous slot array, power-of-two capacity, no tombstones — the callers
+// that need deletion rebuild instead.
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/check.h"
 
 namespace hlsrg {
 
@@ -85,6 +96,115 @@ class FlatTable {
   }
 
   std::vector<Entry> entries_;
+};
+
+// Mixes a 64-bit key into a table index (SplitMix64 finalizer); good enough
+// for packed coordinates and ids, and fully deterministic.
+struct U64KeyHash {
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t k) const {
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+    return k ^ (k >> 31);
+  }
+};
+
+// Open-addressing hash map: linear probing, power-of-two capacity, grows at
+// ~70% load. Insert-only by design (no erase, no tombstones): the hot users
+// key on spatial cells whose set only grows within a run and rebuild via
+// clear() when the world changes shape. Key and Value must be trivially
+// copyable. One `empty_key` value marks free slots in the array; an entry
+// under that exact key is still legal — it lives in a dedicated side slot so
+// the full key space stays usable (packed cell coordinates hit every bit
+// pattern, including the sentinel).
+template <typename Key, typename Value, typename Hash = U64KeyHash>
+class OpenAddressMap {
+  static_assert(std::is_trivially_copyable_v<Key>);
+  static_assert(std::is_trivially_copyable_v<Value>);
+
+ public:
+  explicit OpenAddressMap(Key empty_key = static_cast<Key>(-1))
+      : empty_key_(empty_key) {}
+
+  // Returns the value slot for `key`, inserting `fallback` first if absent.
+  Value& find_or_insert(Key key, Value fallback) {
+    if (key == empty_key_) {
+      if (!has_empty_key_) {
+        empty_key_value_ = fallback;
+        has_empty_key_ = true;
+      }
+      return empty_key_value_;
+    }
+    if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash_(key)) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key) return s.value;
+      if (s.key == empty_key_) {
+        s.key = key;
+        s.value = fallback;
+        ++size_;
+        return s.value;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Pointer to the value for `key`, or nullptr.
+  [[nodiscard]] const Value* find(Key key) const {
+    if (key == empty_key_) {
+      return has_empty_key_ ? &empty_key_value_ : nullptr;
+    }
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash_(key)) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == empty_key_) return nullptr;
+      i = (i + 1) & mask;
+    }
+  }
+
+  [[nodiscard]] Value* find(Key key) {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_ + (has_empty_key_ ? 1 : 0);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  // Drops every entry; keeps the slot array's capacity.
+  void clear() {
+    for (Slot& s : slots_) s.key = empty_key_;
+    size_ = 0;
+    has_empty_key_ = false;
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    Value value;
+  };
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const std::size_t cap = old.empty() ? 16 : old.size() * 2;
+    slots_.assign(cap, Slot{empty_key_, Value{}});
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.key != empty_key_) find_or_insert(s.key, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;  // entries in slots_, excluding the side slot
+  Key empty_key_;
+  // Side slot for the one key the slot array cannot represent.
+  Value empty_key_value_{};
+  bool has_empty_key_ = false;
+  Hash hash_;
 };
 
 }  // namespace hlsrg

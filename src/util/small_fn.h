@@ -1,0 +1,138 @@
+// Move-only callable with small-buffer optimization.
+//
+// The event queue stores one callback per pending event; with std::function
+// every schedule that captures more than two pointers heap-allocates, and a
+// dense scenario schedules millions of events. SmallFn inlines captures up
+// to `InlineBytes` into the slot itself (a manual vtable of invoke /
+// relocate / destroy keeps the object trivially movable between slab slots),
+// falling back to the heap only for oversized captures. Move-only on
+// purpose: actions are consumed exactly once, and demanding copyability
+// would force every capture to be copyable the way std::function does.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace hlsrg {
+
+template <std::size_t InlineBytes = 104>
+class SmallFn {
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() {
+    HLSRG_DCHECK(vtable_ != nullptr);
+    vtable_->invoke(&storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+  friend bool operator==(const SmallFn& f, std::nullptr_t) {
+    return f.vtable_ == nullptr;
+  }
+  friend bool operator!=(const SmallFn& f, std::nullptr_t) {
+    return f.vtable_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(&storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    // Move-construct into `dst` from `src` storage, destroying `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= InlineBytes &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using Decayed = std::decay_t<F>;
+    if constexpr (fits_inline<Decayed>()) {
+      ::new (static_cast<void*>(&storage_)) Decayed(std::forward<F>(fn));
+      static const VTable vt{
+          [](void* s) { (*std::launder(reinterpret_cast<Decayed*>(s)))(); },
+          [](void* dst, void* src) noexcept {
+            auto* from = std::launder(reinterpret_cast<Decayed*>(src));
+            ::new (dst) Decayed(std::move(*from));
+            from->~Decayed();
+          },
+          [](void* s) noexcept {
+            std::launder(reinterpret_cast<Decayed*>(s))->~Decayed();
+          }};
+      vtable_ = &vt;
+    } else {
+      // Heap fallback: the slot stores one owning pointer.
+      auto* heap = new Decayed(std::forward<F>(fn));
+      ::new (static_cast<void*>(&storage_)) Decayed*(heap);
+      static const VTable vt{
+          [](void* s) {
+            (**std::launder(reinterpret_cast<Decayed**>(s)))();
+          },
+          [](void* dst, void* src) noexcept {
+            auto* slot = std::launder(reinterpret_cast<Decayed**>(src));
+            ::new (dst) Decayed*(*slot);
+          },
+          [](void* s) noexcept {
+            delete *std::launder(reinterpret_cast<Decayed**>(s));
+          }};
+      vtable_ = &vt;
+    }
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(&storage_, &other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+};
+
+}  // namespace hlsrg

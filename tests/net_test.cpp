@@ -275,7 +275,8 @@ TEST(RadioTest, UnicastFrameCallsExactlyOneCallback) {
   const NodeId b = net.add({100, 0});
   int delivered = 0, lost = 0;
   for (int i = 0; i < 50; ++i) {
-    net.medium().unicast_frame(a, b, [&] { ++delivered; }, [&] { ++lost; });
+    net.medium().unicast_frame(a, b, PacketKind::kAck, [&] { ++delivered; },
+                               [&] { ++lost; });
   }
   sim.run_until(SimTime::from_sec(2));
   EXPECT_EQ(delivered + lost, 50);
