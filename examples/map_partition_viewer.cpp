@@ -2,33 +2,28 @@
 // partition (L1/L2/L3 boundaries), grid centers, RSU sites, and a snapshot
 // of vehicle positions as an SVG you can open in any browser.
 //
-//   $ ./map_partition_viewer out.svg [size_m] [--irregular] [seed]
+//   $ ./map_partition_viewer out.svg [--size-m 2000] [--irregular] [--seed 7]
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 
 #include "harness/scenario.h"
 #include "harness/visualize.h"
 #include "harness/world.h"
+#include "util/args.h"
 
 int main(int argc, char** argv) {
   using namespace hlsrg;
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s out.svg [size_m] [--irregular] [seed]\n", argv[0]);
-    return 1;
-  }
-  const char* out_path = argv[1];
   ScenarioConfig cfg = paper_scenario(300, 7);
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--irregular") == 0) {
-      cfg.map.irregular = true;
-    } else if (double v = std::atof(argv[i]); v >= 500.0) {
-      cfg.map.size_m = v;
-    } else if (int s = std::atoi(argv[i]); s > 0) {
-      cfg.seed = static_cast<std::uint64_t>(s);
-    }
-  }
+  std::string out_path;
+  std::uint64_t seed = cfg.seed;
+  ArgParser args("renders the map, partition, RSUs, and vehicles as SVG");
+  args.add_positional("out.svg", "output SVG path", &out_path);
+  args.add_double("--size-m", "M", "map edge length in meters", &cfg.map.size_m);
+  args.add_flag("--irregular", "perturb the grid into an irregular map",
+                &cfg.map.irregular);
+  args.add_uint64("--seed", "N", "scenario seed", &seed);
+  if (!args.parse(argc, argv)) return args.exit_code();
+  cfg.seed = seed;
 
   World world(cfg, Protocol::kHlsrg);
   world.run_until(SimTime::from_sec(30.0));  // let traffic spread out
@@ -41,13 +36,13 @@ int main(int argc, char** argv) {
 
   std::ofstream file(out_path);
   if (!file) {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
   file << svg;
 
   const auto& h = world.hierarchy();
-  std::printf("wrote %s\n", out_path);
+  std::printf("wrote %s\n", out_path.c_str());
   std::printf("  map: %.0f m %s, %zu intersections, %zu road segments\n",
               cfg.map.size_m, cfg.map.irregular ? "(irregular)" : "(regular)",
               world.network().intersection_count(),

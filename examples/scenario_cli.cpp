@@ -82,7 +82,26 @@ int main(int argc, char** argv) {
   args.add_uint64("--fault-seed", "S",
                   "pin the fault RNG stream (0 = derive from --seed)",
                   &fault_seed);
+  args.add_flag("--service-tier",
+                "enable the heavy-traffic service tier (src/service)",
+                &cfg.service.enabled);
+  args.add_double("--open-loop-rate", "R",
+                  "open-loop Poisson arrivals per second (needs --service-tier)",
+                  &cfg.service.open_loop_rate_per_sec);
+  args.add_double("--open-loop-ramp", "R",
+                  "open-loop rate ramp in arrivals/s^2",
+                  &cfg.service.open_loop_ramp_per_sec2);
+  int max_outstanding = static_cast<int>(cfg.service.max_outstanding);
+  args.add_int("--max-outstanding", "N",
+               "shed queries above N outstanding (0 = never shed)",
+               &max_outstanding);
+  args.add_flag("--batching", "batch co-destined queries at L2/L3 RSUs",
+                &cfg.service.batching);
+  args.add_flag("--caching", "hot-destination location cache at RSUs",
+                &cfg.service.caching);
   if (!args.parse(argc, argv)) return args.exit_code();
+  cfg.service.max_outstanding =
+      static_cast<std::size_t>(std::max(0, max_outstanding));
 
   Protocol protocol = Protocol::kHlsrg;
   if (protocol_str == "rlsmp") protocol = Protocol::kRlsmp;
@@ -242,6 +261,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.wired_drops),
                 static_cast<unsigned long long>(m.rsu_suppressed));
   }
+  if (cfg.service.enabled) {
+    std::printf("service:    %llu offered, %llu shed (+%llu retry sheds), "
+                "served %.1f%%, peak %llu outstanding\n",
+                static_cast<unsigned long long>(m.queries_offered),
+                static_cast<unsigned long long>(m.queries_shed),
+                static_cast<unsigned long long>(m.retries_shed),
+                100.0 * m.served_rate(),
+                static_cast<unsigned long long>(m.peak_outstanding));
+    std::printf("tier:       %llu cache hits / %llu misses, %llu invalidations; "
+                "%llu queries in %llu batch flushes\n",
+                static_cast<unsigned long long>(m.cache_hits),
+                static_cast<unsigned long long>(m.cache_misses),
+                static_cast<unsigned long long>(m.cache_invalidations),
+                static_cast<unsigned long long>(m.batched_queries),
+                static_cast<unsigned long long>(m.batch_flushes));
+  }
   std::printf("engine:     %llu events, peak queue %llu, %.2f s wall, "
               "%.0f events/s\n",
               static_cast<unsigned long long>(engine.events_processed),
@@ -255,7 +290,8 @@ int main(int argc, char** argv) {
     doc.set("schema", "hlsrg-run/v1");
     doc.set("replicas", replicas);
     doc.set("derived",
-            derived_metrics_json(metrics, static_cast<std::size_t>(replicas)));
+            derived_metrics_json(metrics, cfg.service.enabled,
+                                 static_cast<std::size_t>(replicas)));
     JsonValue per_replica = JsonValue::array();
     for (const EngineStats& e : replica_engine) {
       per_replica.push_back(engine_to_json(e));

@@ -68,6 +68,12 @@ PREFERRED_DIRECTION = {
     "gpsr_failures": -1,
     "radio_drops": -1,
     "availability": +1,
+    "served_rate": +1,
+    "shed_rate": -1,
+    "cache_hit_rate": +1,
+    "queries_shed": -1,
+    "retries_shed": -1,
+    "peak_outstanding": -1,
     "recovery_ms": -1,
     "queries_stranded": -1,
     "wired_drops": -1,

@@ -55,6 +55,32 @@ void ConservationAuditor::check(const AuditScope& scope,
     report->add("conservation", os.str());
   }
 
+  // Service-tier shedding happens before issuance: a shed query never reaches
+  // the tracker, so every offered query is either issued or shed. Inequality
+  // form because tests may call issue_query directly, bypassing the admission
+  // seam (issued then exceeds offered, which is fine; the reverse is a leak).
+  if (m.queries_shed > m.queries_offered) {
+    std::ostringstream os;
+    os << "more queries shed than offered: " << m.queries_shed << " shed > "
+       << m.queries_offered << " offered";
+    report->add("conservation", os.str());
+  }
+  if (m.queries_offered > m.queries_issued + m.queries_shed) {
+    std::ostringstream os;
+    os << "admission leaks queries: offered " << m.queries_offered
+       << " > issued " << m.queries_issued << " + shed " << m.queries_shed;
+    report->add("conservation", os.str());
+  }
+  // Every shed recorded in the packet ledger's shed column came from either
+  // a fresh-query shed or a retry shed — the totals must agree exactly.
+  if (m.channel.total_shed() != m.queries_shed + m.retries_shed) {
+    std::ostringstream os;
+    os << "shed ledger unbalanced: channel shed total "
+       << m.channel.total_shed() << " != queries_shed " << m.queries_shed
+       << " + retries_shed " << m.retries_shed;
+    report->add("conservation", os.str());
+  }
+
   if (m.queries_succeeded + m.queries_failed > m.queries_issued) {
     std::ostringstream os;
     os << "more queries settled than issued: " << m.queries_succeeded

@@ -74,14 +74,49 @@ void HlsrgService::set_rsu_up(RsuId id, bool up) {
   rsu_agents_[id.index()]->set_up(up);
 }
 
-std::size_t HlsrgService::table_records() const {
-  std::size_t n = 0;
-  for (const auto& agent : vehicle_agents_) n += agent->table().size();
-  for (const auto& agent : rsu_agents_) {
-    n += agent->l2_table().size() + agent->l3_table().size() +
-         agent->full_table().size();
+void HlsrgService::configure_tier(const ServiceTierConfig& cfg) {
+  tier_ = cfg;
+  for (const auto& agent : rsu_agents_) agent->configure_tier(cfg);
+}
+
+std::optional<QueryTracker::QueryId> HlsrgService::serve_cached(
+    VehicleId src, VehicleId dst) {
+  if (!tier_.enabled || !tier_.caching || rsus_ == nullptr || !cfg_.use_rsus) {
+    return std::nullopt;
   }
-  return n;
+  // Only the source's home L2 RSU is worth a detour: the first attempt
+  // already passes near it, so a warm cache there turns the whole hierarchy
+  // walk into one radio round-trip.
+  const Vec2 pos = vehicle_pos(src);
+  const GridCoord l2 =
+      GridHierarchy::parent(hierarchy_->l1_at(pos), GridLevel::kL2);
+  const RsuId id = rsus_->rsu_at(l2, GridLevel::kL2);
+  HlsrgRsuAgent& agent = *rsu_agents_[id.index()];
+  if (!agent.up() || !agent.cache_fresh(dst)) return std::nullopt;
+  const QueryTracker::QueryId qid = tracker_.issue(src, dst);
+  SpanScope scope(*sim_, tracker_.span_of(qid));
+  // Route the request straight at the warm RSU. Physics still applies — the
+  // request rides GPSR and can be lost, and the retry path then walks the
+  // normal hierarchy.
+  vehicle_agents_[src.index()]->start_query(qid, dst, rsus_->rsu(id).node);
+  return qid;
+}
+
+ServiceStats HlsrgService::service_stats() const {
+  ServiceStats s;
+  for (const auto& agent : vehicle_agents_) s.table_records += agent->table().size();
+  for (const auto& agent : rsu_agents_) {
+    s.table_records += agent->l2_table().size() + agent->l3_table().size() +
+                       agent->full_table().size();
+  }
+  const RunMetrics& m = sim_->metrics();
+  s.cache_hits = m.cache_hits;
+  s.cache_misses = m.cache_misses;
+  s.cache_invalidations = m.cache_invalidations;
+  s.batched_queries = m.batched_queries;
+  s.batch_flushes = m.batch_flushes;
+  s.shed_queries = m.queries_shed + m.retries_shed;
+  return s;
 }
 
 void HlsrgService::on_intersection_pass(VehicleId v, IntersectionId node,

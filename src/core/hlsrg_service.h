@@ -18,6 +18,7 @@
 #include "net/gpsr.h"
 #include "net/radio.h"
 #include "net/wired.h"
+#include "service/service_config.h"
 #include "sim/simulator.h"
 
 namespace hlsrg {
@@ -42,7 +43,14 @@ class HlsrgService final : public LocationService, public MovementListener {
   [[nodiscard]] const char* name() const override { return "HLSRG"; }
   QueryTracker::QueryId issue_query(VehicleId src, VehicleId dst) override;
   [[nodiscard]] QueryTracker& tracker() override { return tracker_; }
-  [[nodiscard]] std::size_t table_records() const override;
+  [[nodiscard]] ServiceStats service_stats() const override;
+  [[nodiscard]] PacketKind query_kind() const override {
+    return PacketKind::kQueryRequest;
+  }
+  void configure_tier(const ServiceTierConfig& cfg) override;
+  void on_overload(bool overloaded) override { overloaded_ = overloaded; }
+  std::optional<QueryTracker::QueryId> serve_cached(VehicleId src,
+                                                    VehicleId dst) override;
 
   // --- MovementListener -----------------------------------------------------
   void on_intersection_pass(VehicleId v, IntersectionId node, SegmentId in_seg,
@@ -62,6 +70,10 @@ class HlsrgService final : public LocationService, public MovementListener {
   [[nodiscard]] GeocastService& geocast() { return *geocast_; }
   [[nodiscard]] WiredNetwork& wired() { return *wired_; }
   [[nodiscard]] const RsuGrid* rsus() const { return rsus_; }
+  // Heavy-traffic tier knobs (default-constructed = tier off) and the
+  // current admission-control regime; RSU/vehicle agents consult both.
+  [[nodiscard]] const ServiceTierConfig& tier() const { return tier_; }
+  [[nodiscard]] bool overloaded() const { return overloaded_; }
 
   [[nodiscard]] NodeId node_of(VehicleId v) const {
     return vehicle_nodes_[v.index()];
@@ -121,6 +133,8 @@ class HlsrgService final : public LocationService, public MovementListener {
   WiredNetwork* wired_;
   const RsuGrid* rsus_;
   HlsrgConfig cfg_;
+  ServiceTierConfig tier_;
+  bool overloaded_ = false;
   UpdateRuleEngine rules_;
   QueryTracker tracker_;
   PacketIdSource packet_ids_;

@@ -13,6 +13,11 @@ QueryTracker::QueryId QueryTracker::issue(VehicleId src, VehicleId dst) {
   records_.back().span = sim_->begin_span(
       SpanKind::kQuery, src.value(), dst.value(), Vec2{}, id);
   sim_->trace_event({{}, TraceEventKind::kQueryIssued, src, dst, {}, id});
+  const std::size_t out = records_.size() - settled_count_;
+  if (out > peak_outstanding_) {
+    peak_outstanding_ = out;
+    sim_->metrics().peak_outstanding = out;
+  }
   return id;
 }
 
@@ -21,6 +26,7 @@ void QueryTracker::succeed(QueryId id) {
   Record& r = records_[id];
   if (r.settled) return;
   r.settled = true;
+  ++settled_count_;
   r.success = true;
   r.completed = sim_->now();
   sim_->metrics().queries_succeeded++;
@@ -37,6 +43,7 @@ void QueryTracker::fail(QueryId id) {
   Record& r = records_[id];
   if (r.settled) return;
   r.settled = true;
+  ++settled_count_;
   r.completed = sim_->now();
   sim_->metrics().queries_failed++;
   if (TraceLog* trace = sim_->trace()) {
@@ -62,11 +69,7 @@ SimTime QueryTracker::latency(QueryId id) const {
 }
 
 std::size_t QueryTracker::outstanding() const {
-  std::size_t n = 0;
-  for (const Record& r : records_) {
-    if (!r.settled) ++n;
-  }
-  return n;
+  return records_.size() - settled_count_;
 }
 
 VehicleId QueryTracker::source_of(QueryId id) const {

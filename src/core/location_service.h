@@ -7,11 +7,16 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
+#include "net/packet.h"
 #include "sim/simulator.h"
 #include "util/tagged_id.h"
 
 namespace hlsrg {
+
+class QueryAdmission;
+struct ServiceTierConfig;
 
 // Tracks outstanding queries and settles them into RunMetrics exactly once.
 class QueryTracker {
@@ -47,6 +52,10 @@ class QueryTracker {
   [[nodiscard]] SimTime issued_at(QueryId id) const;
   // Settle time; zero for unsettled queries.
   [[nodiscard]] SimTime completed_at(QueryId id) const;
+  // Unsettled-query high-water mark over the run so far.
+  [[nodiscard]] std::size_t peak_outstanding() const {
+    return peak_outstanding_;
+  }
   // The query's root span (kNoSpan when tracing is off); protocol timers use
   // this to re-anchor async continuations via SpanScope.
   [[nodiscard]] SpanId span_of(QueryId id) const;
@@ -64,6 +73,29 @@ class QueryTracker {
   Simulator* sim_;
   Histogram* delay_hist_;  // always-on "query.delay_us"
   std::vector<Record> records_;
+  // outstanding() is on the admission hot path (every submit under load), so
+  // settles are counted as they happen instead of rescanning records_.
+  std::size_t settled_count_ = 0;
+  std::size_t peak_outstanding_ = 0;
+};
+
+// Structured observability snapshot of a LocationService: table occupancy
+// plus the service-tier counters. One value type instead of the old
+// table_records() grab-bag so adding a field is a compile-visible change at
+// every sampler, not a silently-zero default.
+struct ServiceStats {
+  // Location-table entries currently held across the protocol's servers
+  // (vehicles + RSUs); 0 for protocols that keep no tables.
+  std::size_t table_records = 0;
+  // Hot-destination cache traffic (HLSRG RSU tier; 0 elsewhere).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;
+  // Batching-window traffic.
+  std::uint64_t batched_queries = 0;
+  std::uint64_t batch_flushes = 0;
+  // Queries and retries refused by admission control.
+  std::uint64_t shed_queries = 0;
 };
 
 // The public face of a location service protocol.
@@ -81,10 +113,45 @@ class LocationService {
 
   [[nodiscard]] virtual QueryTracker& tracker() = 0;
 
-  // Total location-table entries currently held across the protocol's
-  // servers (vehicles + RSUs); sampled into the "world.table_records" time
-  // series. 0 when a protocol keeps no tables.
-  [[nodiscard]] virtual std::size_t table_records() const { return 0; }
+  // Observability snapshot: table occupancy plus service-tier counters.
+  // Sampled periodically by the World; the default reports an empty service.
+  [[nodiscard]] virtual ServiceStats service_stats() const { return {}; }
+
+  // Wire discriminator of this protocol's query-request packet; admission
+  // control books shed queries under it in the PacketLedger.
+  [[nodiscard]] virtual PacketKind query_kind() const {
+    return PacketKind::kNone;
+  }
+
+  // ---- service-tier hooks (no-op defaults) -------------------------------
+  // Applies heavy-traffic tier knobs (batching window, cache TTL, overload
+  // response). Protocols without a serving tier ignore it.
+  virtual void configure_tier(const ServiceTierConfig& cfg) { (void)cfg; }
+
+  // Admission control edge transition: entered (true) or left (false) the
+  // overloaded regime. Protocols may shed secondary radio work while set.
+  virtual void on_overload(bool overloaded) { (void)overloaded; }
+
+  // Fast path consulted by admission before the full protocol machinery:
+  // serve `src`'s query for `dst` from a warm service-tier cache if one
+  // holds a fresh record. Must issue and (eventually) settle a tracked
+  // query when it returns an id; nullopt = no cached answer, run the full
+  // path.
+  virtual std::optional<QueryTracker::QueryId> serve_cached(VehicleId src,
+                                                            VehicleId dst) {
+    (void)src;
+    (void)dst;
+    return std::nullopt;
+  }
+
+  // The admission seam this service's retry path should consult; null until
+  // the harness installs one (tests that drive issue_query directly never
+  // need it).
+  void set_admission(QueryAdmission* admission) { admission_ = admission; }
+  [[nodiscard]] QueryAdmission* admission() const { return admission_; }
+
+ private:
+  QueryAdmission* admission_ = nullptr;
 };
 
 }  // namespace hlsrg

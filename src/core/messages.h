@@ -84,12 +84,30 @@ struct QueryPayload final : PayloadBase {
   // True when this request is an L3->L3 forward (such requests are answered
   // from the receiver's own table and never re-forwarded sideways).
   bool from_l3 = false;
+  // First L2 RSU that forwarded the request upward; the answering RSU sends
+  // a kCacheFill back here so the hot-destination cache warms on the reverse
+  // path. Invalid when the request never crossed an L2 RSU.
+  NodeId via_rsu;
 
   // Deduplication key distinguishing retry attempts of the same query.
   [[nodiscard]] std::uint64_t dedup_key() const {
     return (static_cast<std::uint64_t>(query_id) << 8) |
            static_cast<std::uint64_t>(attempt & 0xff);
   }
+};
+
+// Service-tier batching window (kQueryBatch): co-destined requests held at
+// an L2/L3 RSU and flushed as one wired lookup. The receiver unbatches and
+// runs each request through its normal dedup + handling path.
+struct BatchedQueryPayload final : PayloadBase {
+  VehicleId target;
+  std::vector<QueryPayload> queries;
+};
+
+// Service-tier cache fill (kCacheFill): the answering RSU hands the record
+// it served back to the first L2 RSU on the query's path.
+struct CacheFillPayload final : PayloadBase {
+  L1Record record;
 };
 
 struct ServerClaimPayload final : PayloadBase {

@@ -21,7 +21,33 @@ void HlsrgRsuAgent::start_timers() {
   }
 }
 
+void HlsrgRsuAgent::configure_tier(const ServiceTierConfig& cfg) {
+  if (cfg.enabled && cfg.caching) {
+    cache_.configure(cfg.cache_ttl, cfg.cache_capacity);
+  } else {
+    cache_.configure(cfg.cache_ttl, 0);  // capacity 0 = never fills
+  }
+}
+
+bool HlsrgRsuAgent::cache_fresh(VehicleId dst) {
+  return cache_.probe(dst, svc_->sim().now()) != nullptr;
+}
+
 void HlsrgRsuAgent::set_up(bool up) {
+  if (!up && up_) {
+    // Crash mid-window: every pending batch dies with the RSU. Cancel the
+    // window timers and fail their spans; the held queries' sources recover
+    // through the normal ACK-timeout retry path — the requests were already
+    // channel-accounted when they arrived here, so nothing leaks in the
+    // conservation ledger.
+    for (QueryBatcher::Batch& b : batcher_.drain_all()) {
+      svc_->sim().cancel(b.timer);
+      svc_->sim().end_span(b.span, SpanStatus::kFailed,
+                           svc_->registry().position(node_),
+                           static_cast<std::int32_t>(b.queries.size()));
+    }
+    cache_.clear();
+  }
   if (up && !up_) {
     // Reboot loses everything: tables rebuild from child re-registration
     // (update broadcasts, table pushes, summaries, gossip), and the query
@@ -30,6 +56,8 @@ void HlsrgRsuAgent::set_up(bool up) {
     l3_table_.clear();
     full_table_.clear();
     seen_queries_.clear();
+    cache_.clear();
+    busy_until_ = SimTime{};
   }
   up_ = up;
 }
@@ -50,6 +78,7 @@ void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       // grid-center collection path ("data aggregation" role, paper 2.1.2).
       const auto& u = payload_as<UpdatePayload>(packet);
       full_table_.record(u.record);
+      invalidate_cache(u.record.vehicle, u.record.time);
       if (level_ == GridLevel::kL2) {
         l2_table_.record(
             L2Summary{u.record.vehicle, u.record.time, u.record.l1});
@@ -65,6 +94,7 @@ void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       const auto& t = payload_as<TablePayload>(packet);
       for (const L1Record& r : t.records) {
         l2_table_.record(L2Summary{r.vehicle, r.time, r.l1});
+        invalidate_cache(r.vehicle, r.time);
       }
       full_table_.merge(t.records);
       return;
@@ -86,15 +116,162 @@ void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
     case PacketKind::kQueryRequest: {
       const auto& q = payload_as<QueryPayload>(packet);
       if (!seen_queries_.insert(q.dedup_key()).second) return;
-      if (level_ == GridLevel::kL2) {
-        handle_query_l2(q);
-      } else {
-        handle_query_l3(q);
+      schedule_lookup([this, q] { dispatch_query(q); });
+      return;
+    }
+    case PacketKind::kQueryBatch: {
+      // One wired lookup carrying a whole batching window: unbatch and run
+      // each request through the exact dedup + handling path a lone
+      // kQueryRequest takes. The whole batch occupies ONE lookup slot —
+      // that is the capacity the batching window buys.
+      const auto& batch = payload_as<BatchedQueryPayload>(packet);
+      std::vector<QueryPayload> fresh;
+      fresh.reserve(batch.queries.size());
+      for (const QueryPayload& q : batch.queries) {
+        if (seen_queries_.insert(q.dedup_key()).second) fresh.push_back(q);
       }
+      if (fresh.empty()) return;
+      schedule_lookup([this, fresh = std::move(fresh)] {
+        for (const QueryPayload& q : fresh) dispatch_query(q);
+      });
+      return;
+    }
+    case PacketKind::kCacheFill: {
+      const auto& fill = payload_as<CacheFillPayload>(packet);
+      cache_.fill(fill.record, svc_->sim().now());
       return;
     }
     default:
       return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service tier: hot-destination cache + batching window
+// ---------------------------------------------------------------------------
+
+void HlsrgRsuAgent::dispatch_query(const QueryPayload& query) {
+  if (level_ == GridLevel::kL2) {
+    handle_query_l2(query);
+  } else {
+    handle_query_l3(query);
+  }
+}
+
+void HlsrgRsuAgent::schedule_lookup(std::function<void()> lookup) {
+  const SimTime cost =
+      svc_->tier().enabled ? svc_->tier().rsu_lookup_time : SimTime{};
+  if (!(cost > SimTime{})) {
+    lookup();
+    return;
+  }
+  const SimTime now = svc_->sim().now();
+  const SimTime start = busy_until_ > now ? busy_until_ : now;
+  busy_until_ = start + cost;
+  svc_->sim().schedule_at(busy_until_, [this, lookup = std::move(lookup)] {
+    if (!up_) {
+      // Crashed while the lookup waited in the work queue: the request dies
+      // here; the source's ACK-timeout retry covers it.
+      svc_->metrics().rsu_suppressed++;
+      svc_->sim().observability().add("fault.rsu_suppressed");
+      return;
+    }
+    lookup();
+  });
+}
+
+void HlsrgRsuAgent::invalidate_cache(VehicleId vehicle, SimTime fresh_time) {
+  if (cache_.invalidate_if_stale(vehicle, fresh_time)) {
+    svc_->metrics().cache_invalidations++;
+    svc_->sim().observability().add("service.cache_invalidations");
+  }
+}
+
+void HlsrgRsuAgent::send_cache_fill(const L1Record& record,
+                                    const QueryPayload& query) {
+  if (!svc_->tier().enabled || !svc_->tier().caching) return;
+  if (!query.via_rsu.valid() || query.via_rsu == node_) return;
+  auto fill = std::make_shared<CacheFillPayload>();
+  fill->record = record;
+  svc_->wired().send(node_, query.via_rsu,
+                     svc_->make_packet(PacketKind::kCacheFill, node_, fill),
+                     &svc_->metrics().query_transmissions);
+}
+
+void HlsrgRsuAgent::send_query_wired(const QueryPayload& query, NodeId dest) {
+  if (svc_->tier().enabled && svc_->tier().batching) {
+    enqueue_for_batch(query, dest);
+    return;
+  }
+  auto q = std::make_shared<QueryPayload>(query);
+  const bool sent = svc_->wired().send(
+      node_, dest, svc_->make_packet(PacketKind::kQueryRequest, node_, q),
+      &svc_->metrics().query_transmissions);
+  if (!sent) wired_query_failed(query, dest);
+}
+
+void HlsrgRsuAgent::enqueue_for_batch(const QueryPayload& query, NodeId dest) {
+  const QueryBatcher::Enqueue action =
+      batcher_.add(dest, query.target, query, svc_->tier().max_batch);
+  QueryBatcher::Batch* b = batcher_.find(dest, query.target);
+  HLSRG_CHECK(b != nullptr);
+  switch (action) {
+    case QueryBatcher::Enqueue::kArmWindow: {
+      b->span = svc_->sim().begin_span(
+          SpanKind::kBatch, node_.value(), query.target.value(),
+          svc_->registry().position(node_), kNoQuery,
+          static_cast<int>(level_), "window");
+      const VehicleId target = query.target;
+      b->timer = svc_->sim().schedule_after(
+          svc_->tier().batch_window,
+          [this, dest, target] { flush_batch(dest, target); });
+      return;
+    }
+    case QueryBatcher::Enqueue::kHeld:
+      return;
+    case QueryBatcher::Enqueue::kFlushNow:
+      svc_->sim().cancel(b->timer);
+      flush_batch(dest, query.target);
+      return;
+  }
+}
+
+void HlsrgRsuAgent::flush_batch(NodeId dest, VehicleId target) {
+  QueryBatcher::Batch batch = batcher_.take(dest, target);
+  if (batch.queries.empty()) return;  // drained by a crash meanwhile
+  auto payload = std::make_shared<BatchedQueryPayload>();
+  payload->target = target;
+  payload->queries = std::move(batch.queries);
+  svc_->metrics().batch_flushes++;
+  svc_->metrics().batched_queries += payload->queries.size();
+  svc_->sim().observability().add("service.batch_flushes");
+  svc_->sim().end_span(batch.span, SpanStatus::kOk,
+                       svc_->registry().position(node_),
+                       static_cast<std::int32_t>(payload->queries.size()));
+  const bool sent = svc_->wired().send(
+      node_, dest, svc_->make_packet(PacketKind::kQueryBatch, node_, payload),
+      &svc_->metrics().query_transmissions);
+  if (!sent) {
+    // The whole window failed in one shot; escalate each query on the same
+    // failover route an unbatched send would have taken.
+    for (const QueryPayload& q : payload->queries) wired_query_failed(q, dest);
+  }
+}
+
+void HlsrgRsuAgent::wired_query_failed(const QueryPayload& query, NodeId dest) {
+  if (!svc_->cfg().enable_failover) return;
+  if (level_ == GridLevel::kL2) {
+    // Home L3 unreachable (crashed, or every wired path cut): escalate over
+    // the radio to the nearest L3 RSU still up.
+    escalate_to_l3_by_radio(query);
+    return;
+  }
+  if (svc_->wired().node_up(dest)) {
+    // Wired path to the owner L2 is cut but the RSU itself is alive: push
+    // the request over the radio instead.
+    auto q = std::make_shared<QueryPayload>(query);
+    escalate_by_radio(svc_->make_packet(PacketKind::kQueryRequest, node_, q),
+                      dest, "l3_to_l2_radio");
   }
 }
 
@@ -181,6 +358,8 @@ void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
     svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
                              node_.value(), query.target.value(), here,
                              query.query_id, 2, "full_table");
+    cache_.fill(*rec, svc_->sim().now());
+    send_cache_fill(*rec, query);
     svc_->send_notification(node_, *rec, query);
     return;
   }
@@ -194,23 +373,34 @@ void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
     forward_down_to_l1(query, s->l1);
     return;
   }
+  // Service tier: before climbing the hierarchy, try the hot-destination
+  // cache — a fresh remote record here turns the wired walk into a local
+  // serve. Local tables stay authoritative (checked above); the cache only
+  // shortcuts what would otherwise leave this RSU.
+  if (svc_->tier().enabled && svc_->tier().caching) {
+    if (const L1Record* rec = cache_.probe(query.target, svc_->sim().now())) {
+      svc_->metrics().cache_hits++;
+      svc_->sim().observability().add("service.cache_hits");
+      svc_->sim().instant_span(SpanKind::kCacheHit, SpanStatus::kOk,
+                               node_.value(), query.target.value(), here,
+                               query.query_id, 2);
+      svc_->send_notification(node_, *rec, query);
+      return;
+    }
+    svc_->metrics().cache_misses++;
+  }
   svc_->metrics().rsu_lookup_misses++;
   svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kFailed,
                            node_.value(), query.target.value(), here,
                            query.query_id, 2);
-  // Case (2): unknown — up the hierarchy over the wire.
-  auto q = std::make_shared<QueryPayload>(query);
+  // Case (2): unknown — up the hierarchy over the wire (through the
+  // batching window when the tier enables it). Stamp this RSU as the
+  // query's reverse-path cache target if none is set yet.
+  QueryPayload q = query;
+  if (!q.via_rsu.valid()) q.via_rsu = node_;
   const GridCoord parent{coord_.col / 2, coord_.row / 2};
   const NodeId l3 = svc_->rsus()->node_at(parent, GridLevel::kL3);
-  const bool sent = svc_->wired().send(
-      node_, l3, svc_->make_packet(PacketKind::kQueryRequest, node_, q),
-      &svc_->metrics().query_transmissions);
-  if (!sent && svc_->cfg().enable_failover) {
-    // Home L3 unreachable (crashed, or every wired path cut): escalate over
-    // the radio to the nearest L3 RSU still up — L3 gossip means any
-    // sibling region may own the target's summary.
-    escalate_to_l3_by_radio(query);
-  }
+  send_query_wired(q, l3);
 }
 
 void HlsrgRsuAgent::escalate_to_l3_by_radio(const QueryPayload& query) {
@@ -254,29 +444,38 @@ void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
     svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
                              node_.value(), query.target.value(), here,
                              query.query_id, 3, "full_table");
+    cache_.fill(*rec, svc_->sim().now());
+    send_cache_fill(*rec, query);
     svc_->send_notification(node_, *rec, query);
     return;
   }
+  // Service tier: a fresh cached record beats another wired leg to the
+  // owner L2 (see handle_query_l2 for the probe-order rationale).
+  if (svc_->tier().enabled && svc_->tier().caching) {
+    if (const L1Record* rec = cache_.probe(query.target, svc_->sim().now())) {
+      svc_->metrics().cache_hits++;
+      svc_->sim().observability().add("service.cache_hits");
+      svc_->sim().instant_span(SpanKind::kCacheHit, SpanStatus::kOk,
+                               node_.value(), query.target.value(), here,
+                               query.query_id, 3);
+      send_cache_fill(*rec, query);
+      svc_->send_notification(node_, *rec, query);
+      return;
+    }
+    svc_->metrics().cache_misses++;
+  }
   if (const L3Summary* s = l3_table_.find(query.target)) {
     // Hit: hand the request to the L2 RSU that reported the vehicle; the
-    // wired mesh routes across regions (L3 -> owner L3 -> child L2).
+    // wired mesh routes across regions (L3 -> owner L3 -> child L2),
+    // through the batching window when the tier enables it.
     svc_->metrics().rsu_lookup_hits++;
     svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
                              node_.value(), query.target.value(), here,
                              query.query_id, 3, "l3_summary");
-    auto q = std::make_shared<QueryPayload>(query);
-    q->from_l3 = true;
+    QueryPayload q = query;
+    q.from_l3 = true;
     const NodeId l2 = svc_->rsus()->node_at(s->l2, GridLevel::kL2);
-    const Packet pkt = svc_->make_packet(PacketKind::kQueryRequest, node_, q);
-    const bool sent =
-        svc_->wired().send(node_, l2, pkt,
-                           &svc_->metrics().query_transmissions);
-    if (!sent && svc_->cfg().enable_failover &&
-        svc_->wired().node_up(l2)) {
-      // Wired path to the owner L2 is cut but the RSU itself is alive:
-      // push the request over the radio instead.
-      escalate_by_radio(pkt, l2, "l3_to_l2_radio");
-    }
+    send_query_wired(q, l2);
     return;
   }
   svc_->metrics().rsu_lookup_misses++;

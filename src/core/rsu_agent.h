@@ -8,11 +8,15 @@
 // mesh.
 #pragma once
 
+#include <functional>
 #include <unordered_set>
 
 #include "core/location_table.h"
 #include "core/messages.h"
 #include "net/node_registry.h"
+#include "service/batcher.h"
+#include "service/hot_cache.h"
+#include "service/service_config.h"
 
 namespace hlsrg {
 
@@ -36,6 +40,17 @@ class HlsrgRsuAgent final : public PacketSink {
   // and L3 gossip.
   void set_up(bool up);
   [[nodiscard]] bool up() const { return up_; }
+
+  // Service-tier knobs (HlsrgService::configure_tier fan-out).
+  void configure_tier(const ServiceTierConfig& cfg);
+  // Peek: a fresh hot-destination cache entry for `dst` exists right now.
+  // Does not count as a probe (admission uses it to pick the fast path; the
+  // hit/miss is booked when the query actually arrives here).
+  [[nodiscard]] bool cache_fresh(VehicleId dst);
+  [[nodiscard]] std::size_t cached_records() const { return cache_.size(); }
+  [[nodiscard]] std::size_t pending_batches() const {
+    return batcher_.pending_batches();
+  }
 
   [[nodiscard]] GridLevel level() const { return level_; }
   [[nodiscard]] GridCoord coord() const { return coord_; }
@@ -64,6 +79,25 @@ class HlsrgRsuAgent final : public PacketSink {
   void escalate_to_l3_by_radio(const QueryPayload& query);
   void escalate_by_radio(const Packet& pkt, NodeId target, const char* route);
 
+  // --- service tier ---------------------------------------------------------
+  // Sends a query request over the wire, through the batching window when
+  // the tier enables it; failed sends run the normal failover escalation.
+  void send_query_wired(const QueryPayload& query, NodeId dest);
+  void enqueue_for_batch(const QueryPayload& query, NodeId dest);
+  void flush_batch(NodeId dest, VehicleId target);
+  // Failover path shared by direct and batched sends.
+  void wired_query_failed(const QueryPayload& query, NodeId dest);
+  // Fresh record arrived on the update plane: drop any staler cache entry.
+  void invalidate_cache(VehicleId vehicle, SimTime fresh_time);
+  // Serving side: warm the first L2 RSU on the query's path.
+  void send_cache_fill(const L1Record& record, const QueryPayload& query);
+  // Routes one request to the level handler.
+  void dispatch_query(const QueryPayload& query);
+  // Serving capacity: runs `lookup` after this RSU's serial work queue
+  // drains (rsu_lookup_time per lookup; a whole batch is one lookup).
+  // Immediate when the tier is off or the lookup time is zero.
+  void schedule_lookup(std::function<void()> lookup);
+
   HlsrgService* svc_;
   RsuId rsu_;
   GridLevel level_;
@@ -81,6 +115,13 @@ class HlsrgRsuAgent final : public PacketSink {
   // Requests already processed here, keyed by QueryPayload::dedup_key()
   // (duplicate suppression across the mesh, per attempt).
   std::unordered_set<std::uint64_t> seen_queries_;
+  // Service tier: hot-destination cache + batching window. Both idle (and
+  // cost nothing) until configure_tier enables them.
+  HotDestinationCache cache_;
+  QueryBatcher batcher_;
+  // Serving capacity: when this RSU's serial lookup queue drains. Lookups
+  // scheduled while busy start here (FIFO by arrival order).
+  SimTime busy_until_{};
 };
 
 }  // namespace hlsrg

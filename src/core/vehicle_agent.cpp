@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/hlsrg_service.h"
+#include "service/admission.h"
 #include "util/check.h"
 
 namespace hlsrg {
@@ -239,8 +240,11 @@ void HlsrgVehicleAgent::handle_center_request(const Packet& packet) {
     return;
   }
   // First receiver relays the request once within the intersection so every
-  // center vehicle participates in the back-off election.
-  if (relayed_requests_.insert(q.dedup_key()).second) {
+  // center vehicle participates in the back-off election. Under admission
+  // overload the relay is suppressed — shedding radio airtime is the
+  // protocol-side half of load shedding; the election still runs from
+  // whatever centers heard the original send.
+  if (relayed_requests_.insert(q.dedup_key()).second && !svc_->overloaded()) {
     svc_->metrics().query_transmissions++;
     svc_->medium().broadcast(node_, packet);
   }
@@ -321,12 +325,13 @@ void HlsrgVehicleAgent::forward_up(const QueryPayload& query) {
 // Own queries (paper 2.3.1 + the 5 s fallback)
 // ---------------------------------------------------------------------------
 
-void HlsrgVehicleAgent::start_query(QueryId qid, VehicleId target) {
-  send_request(qid, target, /*attempt=*/1);
+void HlsrgVehicleAgent::start_query(QueryId qid, VehicleId target,
+                                    NodeId preferred) {
+  send_request(qid, target, /*attempt=*/1, preferred);
 }
 
 void HlsrgVehicleAgent::send_request(QueryId qid, VehicleId target,
-                                     int attempt) {
+                                     int attempt, NodeId preferred) {
   // Covers the first attempt (already under the root via issue_query) and
   // retries from the ack-timeout timer, which fire context-free.
   SpanScope anchor(svc_->sim(), svc_->tracker().span_of(qid));
@@ -344,12 +349,16 @@ void HlsrgVehicleAgent::send_request(QueryId qid, VehicleId target,
   const GridHierarchy& h = svc_->hierarchy();
   const GridCoord l1 = h.l1_at(my_pos);
 
-  // Destination of this attempt: nearest level center for the first try,
-  // the L3 RSU directly for the fallback.
+  // Destination of this attempt: the caller's pinned RSU when given
+  // (service-tier cached serve), else the nearest level center for the
+  // first try and the L3 RSU directly for the fallback.
   bool to_l1_center = true;
   NodeId rsu_node;
   Vec2 dest_pos = h.center_pos(l1, GridLevel::kL1);
-  if (svc_->cfg().use_rsus && svc_->rsus() != nullptr) {
+  if (preferred.valid()) {
+    to_l1_center = false;
+    rsu_node = preferred;
+  } else if (svc_->cfg().use_rsus && svc_->rsus() != nullptr) {
     const NodeId l2_node =
         svc_->rsus()->node_at(GridHierarchy::parent(l1, GridLevel::kL2),
                               GridLevel::kL2);
@@ -428,6 +437,13 @@ void HlsrgVehicleAgent::on_ack_timeout(QueryId qid, VehicleId target,
                                        int attempt) {
   pending_.erase(qid);
   if (attempt >= svc_->cfg().max_attempts) {
+    svc_->tracker().fail(qid);
+    return;
+  }
+  // Admission seam for the retry path: a shed retry fails the query right
+  // here — counted, settled, never silently stranded.
+  if (QueryAdmission* adm = svc_->admission();
+      adm != nullptr && !adm->admit_retry(qid, attempt + 1)) {
     svc_->tracker().fail(qid);
     return;
   }

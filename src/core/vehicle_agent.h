@@ -29,7 +29,11 @@ class HlsrgVehicleAgent final : public PacketSink {
   void handle_moved(Vec2 before, Vec2 after);
 
   // --- query origination ------------------------------------------------------
-  void start_query(QueryTracker::QueryId qid, VehicleId target);
+  // `preferred` (when valid) pins the first attempt's destination — used by
+  // the service-tier cached-serve fast path to aim straight at the RSU whose
+  // cache is warm. Retries fall back to the normal destination choice.
+  void start_query(QueryTracker::QueryId qid, VehicleId target,
+                   NodeId preferred = NodeId{});
 
   // --- introspection (tests) ---------------------------------------------------
   [[nodiscard]] bool in_center() const { return in_center_; }
@@ -84,7 +88,8 @@ class HlsrgVehicleAgent final : public PacketSink {
   void push_table_to_l2();
 
   // Own-query lifecycle.
-  void send_request(QueryId qid, VehicleId target, int attempt);
+  void send_request(QueryId qid, VehicleId target, int attempt,
+                    NodeId preferred = NodeId{});
   void on_ack_timeout(QueryId qid, VehicleId target, int attempt);
 
   // Dv side.

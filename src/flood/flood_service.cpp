@@ -45,10 +45,12 @@ QueryTracker::QueryId FloodService::issue_query(VehicleId src, VehicleId dst) {
   return qid;
 }
 
-std::size_t FloodService::table_records() const {
-  std::size_t n = 0;
-  for (const auto& agent : vehicle_agents_) n += agent->cache_size();
-  return n;
+ServiceStats FloodService::service_stats() const {
+  ServiceStats s;
+  for (const auto& agent : vehicle_agents_) s.table_records += agent->cache_size();
+  // FLOOD has no serving tier; only admission shedding can apply.
+  s.shed_queries = sim_->metrics().queries_shed + sim_->metrics().retries_shed;
+  return s;
 }
 
 void FloodService::on_moved(VehicleId v, Vec2 before, Vec2 after) {

@@ -19,6 +19,7 @@
 #include "net/wired.h"
 #include "rlsmp/rlsmp_config.h"
 #include "roadnet/map_builder.h"
+#include "service/service_config.h"
 #include "sim/time.h"
 
 namespace hlsrg {
@@ -78,6 +79,13 @@ struct ScenarioConfig {
   // Period of the observability time-series sampler (live queries, pending
   // events, table records — see trace/metrics.h). Zero disables sampling.
   SimTime sample_interval = SimTime::from_sec(5.0);
+
+  // --- heavy-traffic service tier (src/service) ------------------------------
+  // Open-loop load, RSU query batching, hot-destination caching, and load
+  // shedding. Disabled by default: the default config is behaviorally inert
+  // (no extra RNG draws, no extra events), so paper scenarios match
+  // tier-unaware builds event for event.
+  ServiceTierConfig service;
 
   // --- fault injection -------------------------------------------------------
   // Scripted fault schedule (fault/fault_plan.h). An empty plan is the

@@ -75,6 +75,18 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
     }
   }
 
+  // Service tier: the admission seam is always built (it is the single
+  // query-issuance entry point), but with a disabled tier it neither draws
+  // RNG nor schedules events, so seed-level behavior matches older builds.
+  service_->configure_tier(cfg_.service);
+  admission_ = std::make_unique<QueryAdmission>(sim_, *service_, cfg_.service);
+  if (cfg_.service.enabled && (cfg_.service.open_loop_rate_per_sec > 0.0 ||
+                               cfg_.service.open_loop_ramp_per_sec2 > 0.0)) {
+    open_loop_ = std::make_unique<OpenLoopGenerator>(
+        sim_, *admission_, cfg_.service, cfg_.vehicles,
+        std::max(1, std::min(cfg_.hotspot_targets, cfg_.vehicles - 1)));
+  }
+
   // Beacon-based neighbor discovery must start after every node (vehicles
   // and RSUs) is registered.
   if (cfg_.beacons.enabled) {
@@ -105,6 +117,9 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
 
   mobility_->start();
   schedule_workload();
+  if (open_loop_ != nullptr) {
+    open_loop_->start(cfg_.warmup, cfg_.warmup + cfg_.query_window);
+  }
   if (cfg_.sample_interval > SimTime{}) schedule_sampler();
 
 #ifdef HLSRG_AUDIT_ENABLED
@@ -154,8 +169,9 @@ void World::schedule_workload() {
                       : VehicleId{static_cast<std::uint32_t>(
                             rng.uniform_int(0, n - 1))};
       } while (dst == src);
-      sim_.schedule_at(SimTime::from_sec(t),
-                       [this, src, dst] { service_->issue_query(src, dst); });
+      sim_.schedule_at(SimTime::from_sec(t), [this, src, dst] {
+        admission_->submit(src, dst, QueryOrigin::kClosedLoop);
+      });
       ++planned_queries_;
     }
     return;
@@ -183,7 +199,9 @@ void World::schedule_workload() {
     const SimTime when =
         cfg_.warmup + SimTime::from_us(static_cast<std::int64_t>(
                           rng.uniform(0.0, cfg_.query_window.sec()) * 1e6));
-    sim_.schedule_at(when, [this, src, dst] { service_->issue_query(src, dst); });
+    sim_.schedule_at(when, [this, src, dst] {
+      admission_->submit(src, dst, QueryOrigin::kClosedLoop);
+    });
     ++planned_queries_;
   }
 }
@@ -271,8 +289,19 @@ void World::schedule_sampler() {
                                    m.queries_failed));
     obs.sample("world.pending_events", now_sec,
                static_cast<double>(sim_.queue().size()));
+    const ServiceStats stats = service_->service_stats();
     obs.sample("world.table_records", now_sec,
-               static_cast<double>(service_->table_records()));
+               static_cast<double>(stats.table_records));
+    if (cfg_.service.enabled) {
+      obs.sample("service.cache_hits", now_sec,
+                 static_cast<double>(stats.cache_hits));
+      obs.sample("service.batch_flushes", now_sec,
+                 static_cast<double>(stats.batch_flushes));
+      obs.sample("service.shed_queries", now_sec,
+                 static_cast<double>(stats.shed_queries));
+      obs.sample("service.outstanding", now_sec,
+                 static_cast<double>(service_->tracker().outstanding()));
+    }
     if (fault_ != nullptr) {
       // Availability over time: the success rate among settled queries so
       // far. The chaos benches read the dip and recovery off this series.
@@ -288,9 +317,26 @@ void World::schedule_sampler() {
   });
 }
 
+void World::finalize_service_summary() {
+  if (!cfg_.service.enabled) return;
+  const RunMetrics& m = sim_.metrics();
+  MetricsRegistry& obs = sim_.observability();
+  obs.set_gauge("service.queries_offered",
+                static_cast<double>(m.queries_offered));
+  obs.set_gauge("service.queries_shed", static_cast<double>(m.queries_shed));
+  obs.set_gauge("service.retries_shed", static_cast<double>(m.retries_shed));
+  obs.set_gauge("service.cache_hits", static_cast<double>(m.cache_hits));
+  obs.set_gauge("service.batched_queries",
+                static_cast<double>(m.batched_queries));
+  obs.set_gauge("service.peak_outstanding",
+                static_cast<double>(m.peak_outstanding));
+  obs.set_gauge("service.served_rate", m.served_rate());
+}
+
 const RunMetrics& World::run() {
   sim_.run_until(cfg_.end_time());
   finalize_fault_summary();
+  finalize_service_summary();
 #ifdef HLSRG_AUDIT_ENABLED
   audit_enforce();
 #endif

@@ -23,6 +23,8 @@
 #include "rlsmp/cell_grid.h"
 #include "rlsmp/rlsmp_service.h"
 #include "roadnet/road_network.h"
+#include "service/admission.h"
+#include "service/open_loop.h"
 #include "sim/simulator.h"
 
 namespace hlsrg {
@@ -54,6 +56,16 @@ class World {
   [[nodiscard]] const CellGrid* cells() const { return cells_.get(); }
   // Null unless the scenario carries a non-empty fault plan.
   [[nodiscard]] const FaultInjector* fault() const { return fault_.get(); }
+
+  // The single query-issuance seam: closed-loop workload, the open-loop
+  // generator, and fault-retry admission all pass through here (see
+  // service/admission.h). Always constructed, even when the tier is
+  // disabled — with the default config submit() is a plain issue_query.
+  [[nodiscard]] QueryAdmission& admission() { return *admission_; }
+  // Null unless the service tier's open-loop generator is configured.
+  [[nodiscard]] const OpenLoopGenerator* open_loop() const {
+    return open_loop_.get();
+  }
 
   // Number of queries the workload will issue.
   [[nodiscard]] int planned_queries() const { return planned_queries_; }
@@ -106,6 +118,9 @@ class World {
   // Post-run fault bookkeeping: per-query availability split, stranded-query
   // count, and time-to-recovery per finite window end (see counters.h).
   void finalize_fault_summary();
+  // Post-run service-tier gauges (offered/shed/cache/batch counters); no-op
+  // when the tier is disabled.
+  void finalize_service_summary();
 
   ScenarioConfig cfg_;
   Protocol protocol_;
@@ -123,6 +138,8 @@ class World {
   std::unique_ptr<RsuGrid> rsus_;
   std::unique_ptr<CellGrid> cells_;
   std::unique_ptr<LocationService> service_;
+  std::unique_ptr<QueryAdmission> admission_;
+  std::unique_ptr<OpenLoopGenerator> open_loop_;
   std::unique_ptr<FaultInjector> fault_;
   AuditRunner auditors_ = AuditRunner::standard();
   int planned_queries_ = 0;

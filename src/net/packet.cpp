@@ -24,6 +24,10 @@ const char* packet_kind_name(PacketKind kind) {
       return "notification";
     case PacketKind::kAck:
       return "ack";
+    case PacketKind::kQueryBatch:
+      return "query_batch";
+    case PacketKind::kCacheFill:
+      return "cache_fill";
     case PacketKind::kCellUpdate:
       return "cell_update";
     case PacketKind::kCellSummary:

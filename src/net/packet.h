@@ -33,6 +33,10 @@ enum class PacketKind : int {
   kServerClaim = 7,     // election winner announcement (one-hop)
   kNotification = 8,    // location server -> Dv (geocast)
   kAck = 9,             // Dv -> Sv (GPSR)
+  kQueryBatch = 10,     // L2/L3 RSU -> RSU: co-destined queries, one wired
+                        // lookup (service-tier batching window)
+  kCacheFill = 11,      // answering RSU -> querying RSU: record for the
+                        // hot-destination cache (wired, reverse path)
 
   // --- RLSMP ---------------------------------------------------------------
   kCellUpdate = 101,     // vehicle -> cell leader (one-hop broadcast)

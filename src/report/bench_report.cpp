@@ -39,7 +39,8 @@ void BenchReport::add_result(const std::string& label,
   result.report.engine = set.engine_total;
   result.report.observability = registry_to_json(set.observability);
   result.replica_engine = set.engine;
-  result.derived = derived_metrics_json(set.merged, set.replicas.size());
+  result.derived = derived_metrics_json(set.merged, cfg.service.enabled,
+                                      set.replicas.size());
   row->results.push_back(std::move(result));
 }
 

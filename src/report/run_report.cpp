@@ -67,6 +67,23 @@ JsonValue scenario_to_json(const ScenarioConfig& cfg) {
     o.set("fault_plan_file", cfg.fault_plan_file);
   }
   if (cfg.fault_seed != 0) o.set("fault_seed", cfg.fault_seed);
+  if (cfg.service.enabled) {
+    // Service-tier block only when the tier runs, so tier-free reports stay
+    // byte-identical to pre-tier builds.
+    o.set("service_enabled", cfg.service.enabled);
+    o.set("open_loop_rate_per_sec", cfg.service.open_loop_rate_per_sec);
+    o.set("open_loop_ramp_per_sec2", cfg.service.open_loop_ramp_per_sec2);
+    o.set("hotspot_fraction", cfg.service.hotspot_fraction);
+    o.set("rsu_lookup_sec", cfg.service.rsu_lookup_time.sec());
+    o.set("max_outstanding", cfg.service.max_outstanding);
+    o.set("shed_retries", cfg.service.shed_retries);
+    o.set("batching", cfg.service.batching);
+    o.set("batch_window_sec", cfg.service.batch_window.sec());
+    o.set("max_batch", cfg.service.max_batch);
+    o.set("caching", cfg.service.caching);
+    o.set("cache_ttl_sec", cfg.service.cache_ttl.sec());
+    o.set("cache_capacity", cfg.service.cache_capacity);
+  }
   return o;
 }
 
@@ -141,6 +158,50 @@ void scenario_from_json(const JsonValue& v, ScenarioConfig* cfg) {
   if (v.contains("fault_seed")) {
     cfg->fault_seed = v.at("fault_seed").as_uint64();
   }
+  if (v.contains("service_enabled")) {
+    cfg->service.enabled = v.at("service_enabled").as_bool();
+    if (v.contains("open_loop_rate_per_sec")) {
+      cfg->service.open_loop_rate_per_sec =
+          v.at("open_loop_rate_per_sec").as_double();
+    }
+    if (v.contains("open_loop_ramp_per_sec2")) {
+      cfg->service.open_loop_ramp_per_sec2 =
+          v.at("open_loop_ramp_per_sec2").as_double();
+    }
+    if (v.contains("hotspot_fraction")) {
+      cfg->service.hotspot_fraction = v.at("hotspot_fraction").as_double();
+    }
+    if (v.contains("rsu_lookup_sec")) {
+      cfg->service.rsu_lookup_time =
+          SimTime::from_sec(v.at("rsu_lookup_sec").as_double());
+    }
+    if (v.contains("max_outstanding")) {
+      cfg->service.max_outstanding = v.at("max_outstanding").as_int();
+    }
+    if (v.contains("shed_retries")) {
+      cfg->service.shed_retries = v.at("shed_retries").as_bool();
+    }
+    if (v.contains("batching")) {
+      cfg->service.batching = v.at("batching").as_bool();
+    }
+    if (v.contains("batch_window_sec")) {
+      cfg->service.batch_window =
+          SimTime::from_sec(v.at("batch_window_sec").as_double());
+    }
+    if (v.contains("max_batch")) {
+      cfg->service.max_batch = v.at("max_batch").as_int();
+    }
+    if (v.contains("caching")) {
+      cfg->service.caching = v.at("caching").as_bool();
+    }
+    if (v.contains("cache_ttl_sec")) {
+      cfg->service.cache_ttl =
+          SimTime::from_sec(v.at("cache_ttl_sec").as_double());
+    }
+    if (v.contains("cache_capacity")) {
+      cfg->service.cache_capacity = v.at("cache_capacity").as_int();
+    }
+  }
 }
 
 JsonValue metrics_to_json(const RunMetrics& m) {
@@ -175,6 +236,15 @@ JsonValue metrics_to_json(const RunMetrics& m) {
   o.set("recovery_time_us", m.recovery_time_us);
   o.set("recovery_windows", m.recovery_windows);
   o.set("fault_plan_digest", m.fault_plan_digest);
+  o.set("queries_offered", m.queries_offered);
+  o.set("queries_shed", m.queries_shed);
+  o.set("retries_shed", m.retries_shed);
+  o.set("cache_hits", m.cache_hits);
+  o.set("cache_misses", m.cache_misses);
+  o.set("cache_invalidations", m.cache_invalidations);
+  o.set("batched_queries", m.batched_queries);
+  o.set("batch_flushes", m.batch_flushes);
+  o.set("peak_outstanding", m.peak_outstanding);
   return o;
 }
 
@@ -211,6 +281,16 @@ void metrics_from_json(const JsonValue& v, RunMetrics* m) {
   m->recovery_time_us = v.at("recovery_time_us").as_uint64();
   m->recovery_windows = v.at("recovery_windows").as_uint64();
   m->fault_plan_digest = v.at("fault_plan_digest").as_uint64();
+  // Service-tier fields arrived after the fault fields; same null-fallback.
+  m->queries_offered = v.at("queries_offered").as_uint64();
+  m->queries_shed = v.at("queries_shed").as_uint64();
+  m->retries_shed = v.at("retries_shed").as_uint64();
+  m->cache_hits = v.at("cache_hits").as_uint64();
+  m->cache_misses = v.at("cache_misses").as_uint64();
+  m->cache_invalidations = v.at("cache_invalidations").as_uint64();
+  m->batched_queries = v.at("batched_queries").as_uint64();
+  m->batch_flushes = v.at("batch_flushes").as_uint64();
+  m->peak_outstanding = v.at("peak_outstanding").as_uint64();
 }
 
 JsonValue latency_to_json(const LatencySummary& l) {
@@ -251,6 +331,7 @@ JsonValue engine_to_json(const EngineStats& e) {
   o.set("peak_rss_bytes", e.peak_rss_bytes);
   o.set("trace_events_dropped", e.trace_events_dropped);
   o.set("trace_spans_dropped", e.trace_spans_dropped);
+  o.set("peak_outstanding_queries", e.peak_outstanding_queries);
   return o;
 }
 
@@ -273,9 +354,14 @@ void engine_from_json(const JsonValue& v, EngineStats* e) {
   if (v.contains("peak_rss_bytes")) {
     e->peak_rss_bytes = v.at("peak_rss_bytes").as_uint64();
   }
+  if (v.contains("peak_outstanding_queries")) {
+    e->peak_outstanding_queries =
+        v.at("peak_outstanding_queries").as_uint64();
+  }
 }
 
-JsonValue derived_metrics_json(const RunMetrics& merged, std::size_t replicas) {
+JsonValue derived_metrics_json(const RunMetrics& merged, bool service_tier,
+                               std::size_t replicas) {
   const double n = replicas == 0 ? 1.0 : static_cast<double>(replicas);
   JsonValue o = JsonValue::object();
   o.set("update_overhead",
@@ -294,6 +380,19 @@ JsonValue derived_metrics_json(const RunMetrics& merged, std::size_t replicas) {
     o.set("availability", merged.availability());
     o.set("recovery_ms", merged.recovery_ms());
     o.set("queries_stranded", static_cast<double>(merged.queries_stranded) / n);
+  }
+  if (service_tier && merged.queries_offered > 0) {
+    // Service-tier derived block: only present when the tier ran, so
+    // tier-free reports stay byte-identical to pre-tier builds.
+    o.set("served_rate", merged.served_rate());
+    o.set("shed_rate", static_cast<double>(merged.queries_shed) /
+                           static_cast<double>(merged.queries_offered));
+    o.set("cache_hit_rate",
+          merged.cache_hits + merged.cache_misses == 0
+              ? 0.0
+              : static_cast<double>(merged.cache_hits) /
+                    static_cast<double>(merged.cache_hits +
+                                        merged.cache_misses));
   }
   return o;
 }

@@ -70,7 +70,11 @@ void engine_from_json(const JsonValue& v, EngineStats* e);
 
 // The headline derived metrics every figure plots, as a JSON object:
 // update_overhead, query_overhead, success_rate, mean_query_latency_ms.
+// `service_tier` gates the served/shed/cache-hit rate block: the admission
+// seam counts offered load even with the tier off, so the config flag (not
+// the counter) decides whether tier fields appear in the report.
 [[nodiscard]] JsonValue derived_metrics_json(const RunMetrics& merged,
+                                             bool service_tier,
                                              std::size_t replicas);
 
 }  // namespace hlsrg

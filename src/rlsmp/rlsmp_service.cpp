@@ -62,12 +62,14 @@ QueryTracker::QueryId RlsmpService::issue_query(VehicleId src,
   return qid;
 }
 
-std::size_t RlsmpService::table_records() const {
-  std::size_t n = 0;
+ServiceStats RlsmpService::service_stats() const {
+  ServiceStats s;
   for (const auto& agent : vehicle_agents_) {
-    n += agent->cell_table_size() + agent->cluster_table_size();
+    s.table_records += agent->cell_table_size() + agent->cluster_table_size();
   }
-  return n;
+  // RLSMP has no RSU serving tier; only admission shedding can apply.
+  s.shed_queries = sim_->metrics().queries_shed + sim_->metrics().retries_shed;
+  return s;
 }
 
 void RlsmpService::on_moved(VehicleId v, Vec2 before, Vec2 after) {

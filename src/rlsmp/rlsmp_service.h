@@ -30,7 +30,10 @@ class RlsmpService final : public LocationService, public MovementListener {
   [[nodiscard]] const char* name() const override { return "RLSMP"; }
   QueryTracker::QueryId issue_query(VehicleId src, VehicleId dst) override;
   [[nodiscard]] QueryTracker& tracker() override { return tracker_; }
-  [[nodiscard]] std::size_t table_records() const override;
+  [[nodiscard]] ServiceStats service_stats() const override;
+  [[nodiscard]] PacketKind query_kind() const override {
+    return PacketKind::kRlsmpQuery;
+  }
 
   // --- MovementListener -----------------------------------------------------
   void on_moved(VehicleId v, Vec2 before, Vec2 after) override;

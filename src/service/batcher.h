@@ -1,0 +1,84 @@
+// Batching window for co-destined queries at an RSU (service tier).
+//
+// The first query toward a (wired destination, target vehicle) pair arms a
+// window; queries for the same pair arriving inside it are held and the
+// whole set leaves as a single kQueryBatch wired lookup when the window
+// closes or the batch hits its size cap. Replies fan back out per query on
+// the normal notification path, so batching changes wired-message count,
+// never query semantics.
+//
+// The batcher is pure state: the owning RSU agent arms/cancels the window
+// timers (it knows about crashes and the simulator), the batcher just keeps
+// the pending sets keyed by destination.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/messages.h"
+#include "sim/event_queue.h"
+#include "trace/span.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+class QueryBatcher {
+ public:
+  struct Batch {
+    std::vector<QueryPayload> queries;
+    EventHandle timer{};
+    SpanId span = kNoSpan;  // kBatch span: armed -> flushed
+  };
+
+  enum class Enqueue {
+    kArmWindow,  // first query of a new batch: caller arms the window timer
+    kHeld,       // joined an existing open batch
+    kFlushNow,   // batch reached max size: caller takes and sends it
+  };
+
+  Enqueue add(NodeId dest, VehicleId target, const QueryPayload& query,
+              int max_batch) {
+    Batch& b = pending_[key(dest, target)];
+    b.queries.push_back(query);
+    if (static_cast<int>(b.queries.size()) >= max_batch) {
+      return Enqueue::kFlushNow;
+    }
+    return b.queries.size() == 1 ? Enqueue::kArmWindow : Enqueue::kHeld;
+  }
+
+  [[nodiscard]] Batch* find(NodeId dest, VehicleId target) {
+    auto it = pending_.find(key(dest, target));
+    return it == pending_.end() ? nullptr : &it->second;
+  }
+
+  // Removes and returns the batch for (dest, target); empty when none.
+  [[nodiscard]] Batch take(NodeId dest, VehicleId target) {
+    auto it = pending_.find(key(dest, target));
+    if (it == pending_.end()) return {};
+    Batch b = std::move(it->second);
+    pending_.erase(it);
+    return b;
+  }
+
+  // Removes every pending batch (crash path); the caller cancels the timers
+  // and lets the sources' retry machinery recover the held queries.
+  [[nodiscard]] std::vector<Batch> drain_all() {
+    std::vector<Batch> out;
+    out.reserve(pending_.size());
+    for (auto& [k, b] : pending_) out.push_back(std::move(b));
+    pending_.clear();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t pending_batches() const { return pending_.size(); }
+
+ private:
+  [[nodiscard]] static std::uint64_t key(NodeId dest, VehicleId target) {
+    return (static_cast<std::uint64_t>(dest.value()) << 32) |
+           static_cast<std::uint64_t>(target.value());
+  }
+  std::unordered_map<std::uint64_t, Batch> pending_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,84 @@
+// Hot-destination location cache for RSUs (service tier).
+//
+// Holds full L1 records for recently-served destinations so repeat queries
+// for hot targets (the workload's `hotspot_targets` skew) are answered at
+// the first RSU instead of walking the wired hierarchy. Entries expire by
+// TTL and are explicitly invalidated when a fresher record for the vehicle
+// arrives on the update plane — a cache must never outlive the table truth
+// it shadows. Bounded capacity with oldest-first eviction; the cache is
+// pure bookkeeping (no RNG, no events), so enabling it shifts only the
+// packets it short-circuits.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "core/messages.h"
+#include "sim/time.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+class HotDestinationCache {
+ public:
+  void configure(SimTime ttl, std::size_t capacity) {
+    ttl_ = ttl;
+    capacity_ = capacity;
+  }
+
+  // Fresh record for `dst` if one is cached and inside the TTL; expired
+  // entries are erased on probe. The pointer is valid until the next
+  // non-const call.
+  [[nodiscard]] const L1Record* probe(VehicleId dst, SimTime now) {
+    auto it = entries_.find(dst);
+    if (it == entries_.end()) return nullptr;
+    if (now - it->second.inserted > ttl_) {
+      entries_.erase(it);
+      return nullptr;
+    }
+    return &it->second.record;
+  }
+
+  // Inserts or refreshes a record; evicts the oldest entry at capacity.
+  void fill(const L1Record& record, SimTime now) {
+    if (capacity_ == 0) return;
+    auto it = entries_.find(record.vehicle);
+    if (it != entries_.end()) {
+      it->second = Entry{record, now};
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      auto oldest = entries_.begin();
+      for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
+        if (cur->second.inserted < oldest->second.inserted) oldest = cur;
+      }
+      entries_.erase(oldest);
+    }
+    entries_.emplace(record.vehicle, Entry{record, now});
+  }
+
+  // Drops the entry for `vehicle` if the cached record is older than
+  // `fresh_time` (a newer update just arrived). Returns true when an entry
+  // was actually invalidated.
+  bool invalidate_if_stale(VehicleId vehicle, SimTime fresh_time) {
+    auto it = entries_.find(vehicle);
+    if (it == entries_.end()) return false;
+    if (it->second.record.time >= fresh_time) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    L1Record record;
+    SimTime inserted;
+  };
+  SimTime ttl_ = SimTime::from_sec(10.0);
+  std::size_t capacity_ = 256;
+  std::unordered_map<VehicleId, Entry> entries_;
+};
+
+}  // namespace hlsrg

@@ -1,0 +1,36 @@
+#include "service/knee.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hlsrg {
+
+KneeResult find_knee(const std::vector<LoadPoint>& points,
+                     double p99_budget_ms, double min_served) {
+  KneeResult result;
+  if (points.empty()) return result;
+
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&points](std::size_t a, std::size_t b) {
+                     return points[a].offered_rate < points[b].offered_rate;
+                   });
+
+  for (std::size_t i : order) {
+    const LoadPoint& p = points[i];
+    const bool admissible = p.p99_ms <= p99_budget_ms &&
+                            p.served_rate >= min_served;
+    if (!admissible) continue;
+    if (!result.found || p.offered_rate >= result.knee_rate) {
+      result.found = true;
+      result.knee_index = i;
+      result.knee_rate = p.offered_rate;
+      result.p99_at_knee_ms = p.p99_ms;
+    }
+    result.sustained_goodput = std::max(result.sustained_goodput, p.goodput);
+  }
+  return result;
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,41 @@
+// Knee-point analysis for open-loop rate sweeps.
+//
+// A single-rate average hides saturation: goodput climbs with offered rate
+// until queueing blows the tail delay up, then collapses. bench/load_knee
+// sweeps offered rates and this module reduces the curve to its knee — the
+// highest offered rate the service sustains while the p99 delay stays under
+// a budget — so the report carries one comparable "sustained goodput"
+// number per tier configuration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hlsrg {
+
+// One point of a rate sweep (aggregated over replicas).
+struct LoadPoint {
+  double offered_rate = 0.0;  // queries/sec submitted to admission
+  double goodput = 0.0;       // queries/sec answered successfully
+  double p99_ms = 0.0;        // p99 query delay at this rate
+  double served_rate = 0.0;   // succeeded / offered (shed included)
+  double availability = 0.0;  // success rate inside fault windows
+};
+
+struct KneeResult {
+  bool found = false;          // false when even the lowest rate busts p99
+  std::size_t knee_index = 0;  // index into the (rate-sorted) points
+  double knee_rate = 0.0;      // offered rate at the knee
+  double sustained_goodput = 0.0;  // best goodput at or below the knee
+  double p99_at_knee_ms = 0.0;
+};
+
+// Finds the knee of `points` under a p99 budget: the highest offered rate
+// whose p99 delay is <= p99_budget_ms and whose served rate is >=
+// min_served. Points are evaluated in offered-rate order (the input need
+// not be sorted). `sustained_goodput` is the best goodput among admissible
+// points, which tolerates non-monotone goodput near saturation.
+[[nodiscard]] KneeResult find_knee(const std::vector<LoadPoint>& points,
+                                   double p99_budget_ms, double min_served);
+
+}  // namespace hlsrg

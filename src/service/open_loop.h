@@ -1,0 +1,58 @@
+// Open-loop Poisson workload generator (service tier).
+//
+// The scenario's closed-loop requester issues a query, waits for it to
+// settle, and only its retry cadence applies back-pressure — it cannot push
+// a protocol past its saturation knee, because a slow service slows the
+// offered load down with it. The open-loop generator has no such feedback:
+// arrivals follow a (possibly ramped) Poisson process whether or not any
+// earlier query ever settled, which is what exposes the knee that
+// bench/load_knee sweeps for.
+//
+// Arrivals are scheduled one at a time (no precomputed arrival list, so
+// memory is O(1) in the horizon) by thinning against the peak rate of the
+// ramp, drawing exclusively from Simulator::open_loop_rng — enabling the
+// generator never perturbs the mobility, radio, protocol, or closed-loop
+// workload streams.
+#pragma once
+
+#include <cstdint>
+
+#include "service/admission.h"
+#include "service/service_config.h"
+#include "sim/simulator.h"
+
+namespace hlsrg {
+
+class OpenLoopGenerator {
+ public:
+  // `vehicles` is the fleet size; sources are uniform over it, destinations
+  // follow the hotspot skew over the first `hotspot_targets` vehicles.
+  OpenLoopGenerator(Simulator& sim, QueryAdmission& admission,
+                    const ServiceTierConfig& cfg, std::size_t vehicles,
+                    std::size_t hotspot_targets);
+
+  // Starts the arrival process over [begin, end). No-op when the configured
+  // base rate is zero.
+  void start(SimTime begin, SimTime end);
+
+  // Instantaneous arrival rate at `t` (clamped at zero for negative ramps).
+  [[nodiscard]] double rate_at(SimTime t) const;
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+
+ private:
+  void schedule_next(SimTime from);
+  void fire();
+
+  Simulator* sim_;
+  QueryAdmission* admission_;
+  ServiceTierConfig cfg_;
+  std::size_t vehicles_;
+  std::size_t hotspot_targets_;
+  SimTime begin_;
+  SimTime end_;
+  double peak_rate_ = 0.0;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace hlsrg

@@ -71,6 +71,8 @@ void EngineStats::merge(const EngineStats& other) {
   peak_rss_bytes = std::max(peak_rss_bytes, other.peak_rss_bytes);
   trace_events_dropped += other.trace_events_dropped;
   trace_spans_dropped += other.trace_spans_dropped;
+  peak_outstanding_queries =
+      std::max(peak_outstanding_queries, other.peak_outstanding_queries);
   sim_time_sec += other.sim_time_sec;
   wall_clock_sec += other.wall_clock_sec;
 }
@@ -107,6 +109,16 @@ void RunMetrics::merge(const RunMetrics& other) {
   recovery_windows += other.recovery_windows;
   // Replicas of one sweep share a plan; keep the (common) nonzero digest.
   fault_plan_digest = std::max(fault_plan_digest, other.fault_plan_digest);
+  queries_offered += other.queries_offered;
+  queries_shed += other.queries_shed;
+  retries_shed += other.retries_shed;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_invalidations += other.cache_invalidations;
+  batched_queries += other.batched_queries;
+  batch_flushes += other.batch_flushes;
+  // Replicas run in separate worlds; the fleet-wide peak is the worst one.
+  peak_outstanding = std::max(peak_outstanding, other.peak_outstanding);
   channel.merge(other.channel);
   query_latency.merge(other.query_latency);
 }

@@ -32,6 +32,10 @@ class PacketLedger {
   void add_offered(int kind) { ++offered_[slot(kind)]; }
   void add_delivered(int kind) { ++delivered_[slot(kind)]; }
   void add_dropped(int kind) { ++dropped_[slot(kind)]; }
+  // Shed packets were refused by admission control *before* reaching a
+  // channel, so they are deliberately outside the offered/delivered/dropped
+  // law; the auditor reconciles them against the RunMetrics shed counters.
+  void add_shed(int kind) { ++shed_[slot(kind)]; }
 
   [[nodiscard]] std::uint64_t offered(int kind) const {
     return offered_[slot(kind)];
@@ -42,18 +46,21 @@ class PacketLedger {
   [[nodiscard]] std::uint64_t dropped(int kind) const {
     return dropped_[slot(kind)];
   }
+  [[nodiscard]] std::uint64_t shed(int kind) const { return shed_[slot(kind)]; }
 
   [[nodiscard]] std::uint64_t total_offered() const { return sum(offered_); }
   [[nodiscard]] std::uint64_t total_delivered() const {
     return sum(delivered_);
   }
   [[nodiscard]] std::uint64_t total_dropped() const { return sum(dropped_); }
+  [[nodiscard]] std::uint64_t total_shed() const { return sum(shed_); }
 
   void merge(const PacketLedger& other) {
     for (std::size_t i = 0; i < kSlots; ++i) {
       offered_[i] += other.offered_[i];
       delivered_[i] += other.delivered_[i];
       dropped_[i] += other.dropped_[i];
+      shed_[i] += other.shed_[i];
     }
   }
 
@@ -72,6 +79,7 @@ class PacketLedger {
   std::array<std::uint64_t, kSlots> offered_{};
   std::array<std::uint64_t, kSlots> delivered_{};
   std::array<std::uint64_t, kSlots> dropped_{};
+  std::array<std::uint64_t, kSlots> shed_{};
 };
 
 // Accumulates latency samples; reports count/mean/min/max and percentiles.
@@ -118,6 +126,8 @@ struct EngineStats {
   std::uint64_t peak_rss_bytes = 0;     // process RSS high-water mark
   std::uint64_t trace_events_dropped = 0;  // trace records past the cap
   std::uint64_t trace_spans_dropped = 0;   // spans past the cap
+  std::uint64_t peak_outstanding_queries = 0;  // unsettled-query high-water
+                                               // mark (admission pressure)
   double sim_time_sec = 0.0;            // simulated horizon covered
   double wall_clock_sec = 0.0;          // host time spent running the replica
 
@@ -194,6 +204,18 @@ struct RunMetrics {
   // byte-identical with fault-unaware builds.
   std::uint64_t fault_plan_digest = 0;
 
+  // --- service-tier accounting (src/service) ---
+  std::uint64_t queries_offered = 0;    // submissions seen by QueryAdmission
+  std::uint64_t queries_shed = 0;       // new queries refused under overload
+  std::uint64_t retries_shed = 0;       // retry attempts refused (the query
+                                        // then fails, never hangs silently)
+  std::uint64_t cache_hits = 0;         // RSU hot-destination cache answered
+  std::uint64_t cache_misses = 0;       // cache probed, no fresh entry
+  std::uint64_t cache_invalidations = 0;  // entries evicted by fresher update
+  std::uint64_t batched_queries = 0;    // queries that rode a batch flush
+  std::uint64_t batch_flushes = 0;      // wired batch lookups sent
+  std::uint64_t peak_outstanding = 0;   // unsettled-query high-water mark
+
   // Per-kind channel conservation ledger (offered == delivered + dropped),
   // fed by the radio broadcast/unicast and wired paths that carry a Packet.
   PacketLedger channel;
@@ -215,6 +237,15 @@ struct RunMetrics {
                ? 0.0
                : static_cast<double>(queries_succeeded) /
                      static_cast<double>(queries_issued);
+  }
+  // Goodput against *offered* load: successes over everything submitted,
+  // shed included. Falls back to success_rate() for runs that bypass the
+  // admission seam (direct issue_query callers in tests).
+  [[nodiscard]] double served_rate() const {
+    return queries_offered == 0
+               ? success_rate()
+               : static_cast<double>(queries_succeeded) /
+                     static_cast<double>(queries_offered);
   }
   // Success rate restricted to queries issued while a fault window was
   // active; falls back to the overall rate when no query overlapped a fault.

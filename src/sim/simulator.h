@@ -18,18 +18,21 @@ namespace hlsrg {
 
 class Simulator {
  public:
-  // `seed` determines every stochastic choice in the run. The five streams
+  // `seed` determines every stochastic choice in the run. The six streams
   // are split from it so subsystems cannot perturb each other's draws:
-  // protocol changes leave mobility trajectories identical, and fault
-  // injection (src/fault) draws from its own stream so a scripted fault
-  // plan cannot shift radio/mobility/workload draw order.
+  // protocol changes leave mobility trajectories identical, fault injection
+  // (src/fault) draws from its own stream so a scripted fault plan cannot
+  // shift radio/mobility/workload draw order, and the open-loop generator
+  // (src/service) is decoupled from the closed-loop workload stream so
+  // enabling it never re-times the paper-scenario queries.
   explicit Simulator(std::uint64_t seed)
       : root_rng_(seed),
         mobility_rng_(root_rng_.split(1)),
         radio_rng_(root_rng_.split(2)),
         protocol_rng_(root_rng_.split(3)),
         workload_rng_(root_rng_.split(4)),
-        fault_rng_(root_rng_.split(5)) {}
+        fault_rng_(root_rng_.split(5)),
+        open_loop_rng_(root_rng_.split(6)) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -53,6 +56,7 @@ class Simulator {
   [[nodiscard]] Rng& protocol_rng() { return protocol_rng_; }
   [[nodiscard]] Rng& workload_rng() { return workload_rng_; }
   [[nodiscard]] Rng& fault_rng() { return fault_rng_; }
+  [[nodiscard]] Rng& open_loop_rng() { return open_loop_rng_; }
 
   [[nodiscard]] RunMetrics& metrics() { return metrics_; }
   [[nodiscard]] const RunMetrics& metrics() const { return metrics_; }
@@ -65,6 +69,7 @@ class Simulator {
     s.events_scheduled = queue_.events_scheduled();
     s.peak_queue_depth = queue_.peak_depth();
     s.broadcasts = metrics_.radio_broadcasts;
+    s.peak_outstanding_queries = metrics_.peak_outstanding;
     s.sim_time_sec = queue_.now().sec();
     if (trace_ != nullptr) {
       s.trace_events_dropped = trace_->dropped_events();
@@ -150,6 +155,7 @@ class Simulator {
   Rng protocol_rng_;
   Rng workload_rng_;
   Rng fault_rng_;
+  Rng open_loop_rng_;
   RunMetrics metrics_;
 };
 

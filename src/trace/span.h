@@ -37,6 +37,11 @@ enum class SpanKind : std::uint8_t {
                   // value = attempt number
   kFailover,      // instant: a send escalated around a dead component
                   // (crashed RSU, cut wired path); detail names the route
+  kBatch,         // batching window at an RSU: armed -> flushed,
+                  // value = queries in the batch
+  kCacheHit,      // instant: RSU hot-destination cache answered a query
+  kShed,          // instant: admission control refused a query or retry,
+                  // detail names which
 };
 
 [[nodiscard]] const char* span_kind_name(SpanKind kind);

@@ -80,6 +80,12 @@ const char* span_kind_name(SpanKind kind) {
       return "retry";
     case SpanKind::kFailover:
       return "failover";
+    case SpanKind::kBatch:
+      return "batch";
+    case SpanKind::kCacheHit:
+      return "cache_hit";
+    case SpanKind::kShed:
+      return "shed";
   }
   return "unknown";
 }

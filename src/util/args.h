@@ -10,8 +10,12 @@
 //   if (!args.parse(argc, argv)) return args.exit_code();
 //
 // Flags always consume a value except those declared with add_flag (boolean
-// presence flags). Unknown flags are errors; `--help` prints usage and sets
-// help_requested().
+// presence flags). Unknown flags are errors (with a did-you-mean suggestion
+// when a registered flag is close); `--help` prints usage and sets
+// help_requested(). Positional operands are declared with add_positional /
+// add_positional_opt and filled in declaration order; a bare non-flag
+// argument with no positional slot left is an error. Registering the same
+// flag name twice aborts at startup — that is always a programming bug.
 #pragma once
 
 #include <algorithm>
@@ -30,57 +34,57 @@ class ArgParser {
       : description_(std::move(description)) {}
 
   void add_flag(const char* name, const char* help, bool* out) {
-    specs_.push_back({name, "", help, /*takes_value=*/false,
-                      [out](const std::string&) {
-                        *out = true;
-                        return true;
-                      }});
+    add_spec({name, "", help, /*takes_value=*/false,
+              [out](const std::string&) {
+                *out = true;
+                return true;
+              }});
   }
 
   void add_string(const char* name, const char* value_name, const char* help,
                   std::string* out) {
-    specs_.push_back({name, value_name, help, /*takes_value=*/true,
-                      [out](const std::string& v) {
-                        *out = v;
-                        return true;
-                      }});
+    add_spec({name, value_name, help, /*takes_value=*/true,
+              [out](const std::string& v) {
+                *out = v;
+                return true;
+              }});
   }
 
   void add_int(const char* name, const char* value_name, const char* help,
                int* out) {
-    specs_.push_back({name, value_name, help, /*takes_value=*/true,
-                      [out](const std::string& v) {
-                        char* end = nullptr;
-                        const long parsed = std::strtol(v.c_str(), &end, 10);
-                        if (end == v.c_str() || *end != '\0') return false;
-                        *out = static_cast<int>(parsed);
-                        return true;
-                      }});
+    add_spec({name, value_name, help, /*takes_value=*/true,
+              [out](const std::string& v) {
+                char* end = nullptr;
+                const long parsed = std::strtol(v.c_str(), &end, 10);
+                if (end == v.c_str() || *end != '\0') return false;
+                *out = static_cast<int>(parsed);
+                return true;
+              }});
   }
 
   void add_uint64(const char* name, const char* value_name, const char* help,
                   std::uint64_t* out) {
-    specs_.push_back({name, value_name, help, /*takes_value=*/true,
-                      [out](const std::string& v) {
-                        char* end = nullptr;
-                        const unsigned long long parsed =
-                            std::strtoull(v.c_str(), &end, 10);
-                        if (end == v.c_str() || *end != '\0') return false;
-                        *out = static_cast<std::uint64_t>(parsed);
-                        return true;
-                      }});
+    add_spec({name, value_name, help, /*takes_value=*/true,
+              [out](const std::string& v) {
+                char* end = nullptr;
+                const unsigned long long parsed =
+                    std::strtoull(v.c_str(), &end, 10);
+                if (end == v.c_str() || *end != '\0') return false;
+                *out = static_cast<std::uint64_t>(parsed);
+                return true;
+              }});
   }
 
   void add_double(const char* name, const char* value_name, const char* help,
                   double* out) {
-    specs_.push_back({name, value_name, help, /*takes_value=*/true,
-                      [out](const std::string& v) {
-                        char* end = nullptr;
-                        const double parsed = std::strtod(v.c_str(), &end);
-                        if (end == v.c_str() || *end != '\0') return false;
-                        *out = parsed;
-                        return true;
-                      }});
+    add_spec({name, value_name, help, /*takes_value=*/true,
+              [out](const std::string& v) {
+                char* end = nullptr;
+                const double parsed = std::strtod(v.c_str(), &end);
+                if (end == v.c_str() || *end != '\0') return false;
+                *out = parsed;
+                return true;
+              }});
   }
 
   // Enumerated string flag: value must be one of `choices`.
@@ -91,28 +95,54 @@ class ArgParser {
       if (!value_name.empty()) value_name += '|';
       value_name += c;
     }
-    specs_.push_back({name, value_name, help, /*takes_value=*/true,
-                      [out, choices = std::move(choices)](const std::string& v) {
-                        for (const std::string& c : choices) {
-                          if (v == c) {
-                            *out = v;
-                            return true;
-                          }
-                        }
-                        return false;
-                      }});
+    add_spec({name, value_name, help, /*takes_value=*/true,
+              [out, choices = std::move(choices)](const std::string& v) {
+                for (const std::string& c : choices) {
+                  if (v == c) {
+                    *out = v;
+                    return true;
+                  }
+                }
+                return false;
+              }});
+  }
+
+  // Required positional operand (filled in declaration order). parse() fails
+  // when it is missing.
+  void add_positional(const char* value_name, const char* help,
+                      std::string* out) {
+    positionals_.push_back({value_name, help, /*required=*/true, out});
+  }
+
+  // Optional positional operand; left untouched when absent. Optional
+  // positionals must be declared after every required one.
+  void add_positional_opt(const char* value_name, const char* help,
+                          std::string* out) {
+    positionals_.push_back({value_name, help, /*required=*/false, out});
   }
 
   // Parses argv. Returns false when parsing should stop (error or --help);
   // the caller returns exit_code(). Errors print to stderr, --help to stdout.
   [[nodiscard]] bool parse(int argc, char** argv) {
     prog_ = argc > 0 ? argv[0] : "prog";
+    std::size_t next_positional = 0;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--help" || arg == "-h") {
         help_requested_ = true;
         std::fputs(usage().c_str(), stdout);
         return false;
+      }
+      if (arg.rfind("-", 0) != 0 || arg == "-") {
+        // Bare operand: fill the next declared positional slot.
+        if (next_positional >= positionals_.size()) {
+          std::fprintf(stderr, "unexpected argument '%s'\n%s", arg.c_str(),
+                       usage().c_str());
+          exit_code_ = 2;
+          return false;
+        }
+        *positionals_[next_positional++].out = arg;
+        continue;
       }
       // Accept `--flag=value` as well as `--flag value`.
       std::string inline_value;
@@ -125,8 +155,14 @@ class ArgParser {
       }
       const Spec* spec = find(arg);
       if (spec == nullptr) {
-        std::fprintf(stderr, "unknown flag '%s'\n%s", arg.c_str(),
-                     usage().c_str());
+        const std::string near = nearest(arg);
+        if (!near.empty()) {
+          std::fprintf(stderr, "unknown flag '%s' (did you mean '%s'?)\n%s",
+                       arg.c_str(), near.c_str(), usage().c_str());
+        } else {
+          std::fprintf(stderr, "unknown flag '%s'\n%s", arg.c_str(),
+                       usage().c_str());
+        }
         exit_code_ = 2;
         return false;
       }
@@ -155,6 +191,14 @@ class ArgParser {
         return false;
       }
     }
+    for (std::size_t p = next_positional; p < positionals_.size(); ++p) {
+      if (positionals_[p].required) {
+        std::fprintf(stderr, "missing required argument %s\n%s",
+                     positionals_[p].value_name.c_str(), usage().c_str());
+        exit_code_ = 2;
+        return false;
+      }
+    }
     return true;
   }
 
@@ -164,10 +208,22 @@ class ArgParser {
 
   [[nodiscard]] std::string usage() const {
     std::string out = "usage: " + prog_ + " [options]";
+    for (const Positional& p : positionals_) {
+      out += p.required ? " " + p.value_name : " [" + p.value_name + "]";
+    }
     if (!description_.empty()) out += "\n" + description_;
     out += "\n";
     std::size_t width = std::string("--help").size();
+    for (const Positional& p : positionals_) {
+      width = std::max(width, p.value_name.size());
+    }
     for (const Spec& s : specs_) width = std::max(width, lhs(s).size());
+    for (const Positional& p : positionals_) {
+      std::string line = "  " + p.value_name;
+      line.append(width + 3 - p.value_name.size(), ' ');
+      line += p.help + "\n";
+      out += line;
+    }
     for (const Spec& s : specs_) {
       std::string line = "  " + lhs(s);
       line.append(width + 3 - lhs(s).size(), ' ');
@@ -189,6 +245,22 @@ class ArgParser {
     std::function<bool(const std::string&)> apply;
   };
 
+  struct Positional {
+    std::string value_name;
+    std::string help;
+    bool required;
+    std::string* out;
+  };
+
+  void add_spec(Spec spec) {
+    if (find(spec.name) != nullptr) {
+      std::fprintf(stderr, "ArgParser: duplicate flag registration '%s'\n",
+                   spec.name.c_str());
+      std::abort();
+    }
+    specs_.push_back(std::move(spec));
+  }
+
   [[nodiscard]] static std::string lhs(const Spec& s) {
     return s.takes_value ? s.name + " " + s.value_name : s.name;
   }
@@ -200,9 +272,43 @@ class ArgParser {
     return nullptr;
   }
 
+  // Closest registered flag by edit distance, or "" when nothing is within
+  // a third of the typed name's length (suggesting wildly unrelated flags
+  // is worse than no suggestion).
+  [[nodiscard]] std::string nearest(const std::string& name) const {
+    std::string best;
+    std::size_t best_dist = name.size() / 3 + 1;
+    for (const Spec& s : specs_) {
+      const std::size_t d = edit_distance(name, s.name);
+      if (d < best_dist) {
+        best_dist = d;
+        best = s.name;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] static std::size_t edit_distance(const std::string& a,
+                                                 const std::string& b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      std::size_t prev = row[0];
+      row[0] = i;
+      for (std::size_t j = 1; j <= b.size(); ++j) {
+        const std::size_t cur = row[j];
+        row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                           prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+        prev = cur;
+      }
+    }
+    return row[b.size()];
+  }
+
   std::string description_;
   std::string prog_ = "prog";
   std::vector<Spec> specs_;
+  std::vector<Positional> positionals_;
   bool help_requested_ = false;
   int exit_code_ = 0;
 };

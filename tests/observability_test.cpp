@@ -411,7 +411,7 @@ TEST(ObservabilityReportTest, RunReportCarriesObservabilityAndPercentiles) {
   EXPECT_EQ(back.latency.p90_ms, report.latency.p90_ms);
 
   // Derived metrics expose the delay percentiles the figures want.
-  const JsonValue derived = derived_metrics_json(set.merged, 2);
+  const JsonValue derived = derived_metrics_json(set.merged, false, 2);
   for (const char* key : {"query_delay_p50_ms", "query_delay_p90_ms",
                           "query_delay_p95_ms", "query_delay_p99_ms"}) {
     ASSERT_TRUE(derived.contains(key)) << key;

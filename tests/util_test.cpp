@@ -4,7 +4,9 @@
 #include <sstream>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
+#include "util/args.h"
 #include "util/flat_table.h"
 #include "util/format.h"
 #include "util/tagged_id.h"
@@ -138,6 +140,127 @@ TEST(FormatTest, FmtDouble) {
 TEST(FormatTest, FmtPercentHandlesZeroDenominator) {
   EXPECT_EQ(fmt_percent(1, 0), "n/a");
   EXPECT_EQ(fmt_percent(1, 2, 1), "50.0%");
+}
+
+// --- ArgParser --------------------------------------------------------------
+
+// argv helper: gtest-owned storage so the char** stays valid for the call.
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> out;
+  for (std::string& a : args) out.push_back(a.data());
+  return out;
+}
+
+TEST(ArgParserTest, FlagsAndValuesParse) {
+  ArgParser p("test");
+  bool flag = false;
+  int n = 0;
+  double x = 0.0;
+  std::string s;
+  p.add_flag("--flag", "a flag", &flag);
+  p.add_int("--n", "N", "an int", &n);
+  p.add_double("--x", "X", "a double", &x);
+  p.add_string("--s", "S", "a string", &s);
+  std::vector<std::string> args = {"prog", "--flag", "--n", "7",
+                                   "--x=2.5", "--s", "hi"};
+  std::vector<char*> argv = argv_of(args);
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(n, 7);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hi");
+}
+
+TEST(ArgParserTest, PositionalsFillInDeclarationOrder) {
+  ArgParser p("test");
+  std::string in, out = "unset";
+  int n = 0;
+  p.add_positional("IN", "input file", &in);
+  p.add_positional_opt("OUT", "output file", &out);
+  p.add_int("--n", "N", "an int", &n);
+  std::vector<std::string> args = {"prog", "a.svg", "--n", "3", "b.svg"};
+  std::vector<char*> argv = argv_of(args);
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(in, "a.svg");
+  EXPECT_EQ(out, "b.svg");
+  EXPECT_EQ(n, 3);
+}
+
+TEST(ArgParserTest, MissingRequiredPositionalFails) {
+  ArgParser p("test");
+  std::string in;
+  p.add_positional("IN", "input file", &in);
+  std::vector<std::string> args = {"prog"};
+  std::vector<char*> argv = argv_of(args);
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.exit_code(), 2);
+}
+
+TEST(ArgParserTest, AbsentOptionalPositionalLeftUntouched) {
+  ArgParser p("test");
+  std::string out = "default.svg";
+  p.add_positional_opt("OUT", "output file", &out);
+  std::vector<std::string> args = {"prog"};
+  std::vector<char*> argv = argv_of(args);
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(out, "default.svg");
+}
+
+TEST(ArgParserTest, ExtraOperandWithNoSlotFails) {
+  ArgParser p("test");
+  std::string in;
+  p.add_positional("IN", "input file", &in);
+  std::vector<std::string> args = {"prog", "a.svg", "stray"};
+  std::vector<char*> argv = argv_of(args);
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.exit_code(), 2);
+}
+
+TEST(ArgParserTest, UnknownFlagSuggestsNearMiss) {
+  ArgParser p("test");
+  int replicas = 0;
+  p.add_int("--replicas", "N", "replicas", &replicas);
+  std::vector<std::string> args = {"prog", "--replica", "3"};
+  std::vector<char*> argv = argv_of(args);
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("did you mean '--replicas'"), std::string::npos) << err;
+  EXPECT_EQ(p.exit_code(), 2);
+}
+
+TEST(ArgParserTest, WildlyUnrelatedFlagGetsNoSuggestion) {
+  ArgParser p("test");
+  int replicas = 0;
+  p.add_int("--replicas", "N", "replicas", &replicas);
+  std::vector<std::string> args = {"prog", "--frobnicate"};
+  std::vector<char*> argv = argv_of(args);
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("did you mean"), std::string::npos) << err;
+}
+
+TEST(ArgParserTest, DuplicateRegistrationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ArgParser p("test");
+        bool a = false;
+        bool b = false;
+        p.add_flag("--same", "first", &a);
+        p.add_flag("--same", "second", &b);
+      },
+      "duplicate flag registration");
+}
+
+TEST(ArgParserTest, UsageListsPositionalsInSynopsis) {
+  ArgParser p("demo");
+  std::string in, out;
+  p.add_positional("IN", "input", &in);
+  p.add_positional_opt("OUT", "output", &out);
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("IN [OUT]"), std::string::npos) << usage;
 }
 
 }  // namespace
