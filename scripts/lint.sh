@@ -1,17 +1,49 @@
 #!/usr/bin/env bash
-# clang-tidy gate over src/ using the curated check set in .clang-tidy.
+# Static-analysis gate over src/, in two layers:
 #
-# Builds a compile-command database (separate build tree so it never
-# perturbs build/), then runs clang-tidy with warnings-as-errors on every
-# translation unit under src/. Exits nonzero on any finding.
+#   1. Determinism lint (tools/lint/determinism_lint.py) — zero-dependency
+#      Python, ALWAYS runs, ALWAYS a hard gate. Enforces the project rules
+#      that protect replayability before the engine goes multi-shard:
+#      unordered-iteration, pointer-keyed-container, rng-discipline,
+#      wall-clock, send-kind (see DESIGN.md §12).
 #
-# clang-tidy is not part of the minimal toolchain image; when it is absent
-# this script prints a notice and exits 0 so local `scripts/check.sh` runs
-# stay green. CI installs clang-tidy and gets the real gate.
+#   2. clang-tidy with the curated check set in .clang-tidy. clang-tidy is
+#      not part of the minimal toolchain image; when absent this layer
+#      prints a notice and is skipped so local runs stay green. Pass
+#      --require (CI does) to turn a missing clang-tidy into a failure
+#      instead of a skip.
+#
+# Usage: scripts/lint.sh [--require] [--report FILE.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+require_tidy=false
+report_args=()
+for arg in "$@"; do
+  case "$arg" in
+    --require) require_tidy=true ;;
+    --report)  report_args+=(--report) ;;
+    *)         report_args+=("$arg") ;;
+  esac
+done
+
+echo "== determinism lint"
+python3 tools/lint/determinism_lint.py "${report_args[@]}"
+
+echo "== determinism lint fixtures"
+python3 tools/lint/test_lint.py >/dev/null || {
+  echo "lint: fixture self-test failed — a rule stopped firing" >&2
+  python3 tools/lint/test_lint.py | grep '^FAIL' >&2 || true
+  exit 1
+}
+echo "fixtures: all rules fire, clean counterparts pass"
+
+echo "== clang-tidy"
 if ! command -v clang-tidy >/dev/null 2>&1; then
+  if $require_tidy; then
+    echo "lint: clang-tidy required (--require) but not found" >&2
+    exit 1
+  fi
   echo "lint: clang-tidy not found; skipping (install clang-tidy to run the gate)"
   exit 0
 fi

@@ -95,10 +95,10 @@ void TableAuditor::check(const AuditScope& scope, AuditReport* report) const {
         coord_str(agent->coord());
 
     // Tables live only at their level.
-    if (agent->level() == GridLevel::kL2 && agent->l3_table().size() != 0) {
+    if (agent->level() == GridLevel::kL2 && !agent->l3_table().empty()) {
       report->add("table", where + " holds an L3 table");
     }
-    if (agent->level() == GridLevel::kL3 && agent->l2_table().size() != 0) {
+    if (agent->level() == GridLevel::kL3 && !agent->l2_table().empty()) {
       report->add("table", where + " holds an L2 table");
     }
 
@@ -163,7 +163,7 @@ void TableAuditor::check(const AuditScope& scope, AuditReport* report) const {
   for (std::size_t i = 0; i < ctx.vehicle_count; ++i) {
     const HlsrgVehicleAgent& agent = svc->vehicle_agent(VehicleId{i});
     if (!agent.in_center()) {
-      if (agent.table().size() != 0) {
+      if (!agent.table().empty()) {
         std::ostringstream os;
         os << "vehicle " << agent.vehicle()
            << " holds an L1 table without center duty";

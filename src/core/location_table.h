@@ -25,6 +25,7 @@ class L1Table {
   [[nodiscard]] std::vector<L1Record> snapshot() const;
   void merge(const std::vector<L1Record>& records);
   [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] bool empty() const { return table_.empty(); }
   void clear() { table_.clear(); }
   [[nodiscard]] auto begin() const { return table_.begin(); }
   [[nodiscard]] auto end() const { return table_.end(); }
@@ -42,6 +43,7 @@ class L2Table {
   [[nodiscard]] std::vector<L2Summary> snapshot() const;
   void merge(const std::vector<L2Summary>& records);
   [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] bool empty() const { return table_.empty(); }
   void clear() { table_.clear(); }
   [[nodiscard]] auto begin() const { return table_.begin(); }
   [[nodiscard]] auto end() const { return table_.end(); }
@@ -59,6 +61,7 @@ class L3Table {
   [[nodiscard]] std::vector<L3Summary> snapshot() const;
   void merge(const std::vector<L3Summary>& records);
   [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] bool empty() const { return table_.empty(); }
   void clear() { table_.clear(); }
   [[nodiscard]] auto begin() const { return table_.begin(); }
   [[nodiscard]] auto end() const { return table_.end(); }

@@ -287,7 +287,7 @@ void HlsrgRsuAgent::push_summary_to_l3() {
   }
   l2_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
   full_table_.purge(svc_->sim().now(), svc_->cfg().l2_expiry);
-  if (l2_table_.size() > 0) {
+  if (!l2_table_.empty()) {
     auto payload = std::make_shared<L2SummaryPayload>();
     payload->l2 = coord_;
     payload->records = l2_table_.snapshot();
@@ -311,7 +311,7 @@ void HlsrgRsuAgent::gossip_to_neighbors() {
   l3_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
   full_table_.purge(svc_->sim().now(), svc_->cfg().l3_expiry);
   const auto& neighbors = svc_->wired().links_of(node_);
-  if (l3_table_.size() > 0 && !neighbors.empty()) {
+  if (!l3_table_.empty() && !neighbors.empty()) {
     auto payload = std::make_shared<L3GossipPayload>();
     payload->records = l3_table_.snapshot();
     const Packet pkt = svc_->make_packet(PacketKind::kL3Gossip, node_, payload);

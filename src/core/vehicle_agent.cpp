@@ -59,7 +59,7 @@ void HlsrgVehicleAgent::send_initial_update() {
 void HlsrgVehicleAgent::collection_tick() {
   if (in_center_) {
     table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
-    if (table_.size() > 0) push_table_to_l2();
+    if (!table_.empty()) push_table_to_l2();
   }
   svc_->sim().schedule_after(svc_->cfg().l2_push_period,
                              [this] { collection_tick(); });
@@ -149,7 +149,7 @@ void HlsrgVehicleAgent::leave_center() {
   HLSRG_CHECK(in_center_);
   in_center_ = false;
   table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
-  if (table_.size() == 0) {
+  if (table_.empty()) {
     table_.clear();
     return;
   }
@@ -306,7 +306,7 @@ void HlsrgVehicleAgent::forward_up(const QueryPayload& query) {
   const NodeId rsu = svc_->rsus()->node_at(l2, GridLevel::kL2);
   // "send its own table and the Sv's request packet to its corresponding
   // Level 2 RSU".
-  if (table_.size() > 0) {
+  if (!table_.empty()) {
     auto tbl = std::make_shared<TablePayload>();
     tbl->l1 = center_cell_;
     tbl->records = table_.snapshot();

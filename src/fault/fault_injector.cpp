@@ -12,8 +12,10 @@ FaultInjector::FaultInjector(Simulator& sim, const FaultPlan& plan,
     : sim_(&sim), plan_(plan), wired_(wired), medium_(medium), rsus_(rsus),
       // A pinned fault seed replays identical fault randomness across
       // replica-seed sweeps; either way the draws come off the fault stream.
+      // HLSRG_LINT_ALLOW(rng-discipline): fault_seed != 0 is an explicit
+      // user override that must bypass the world streams by design.
       rng_(plan.fault_seed != 0 ? Rng(plan.fault_seed)
-                                : sim.fault_rng().split(5)),
+                                : sim.fault_rng().split(RngStreamId::kFault)),
       active_(plan_.windows.size(), 0),
       cut_links_(plan_.windows.size()),
       edges_counter_(&sim.observability().counter("fault.window_edges")) {}

@@ -13,6 +13,8 @@ struct GpsrRouter::RouteState {
   Vec2 dest_pos;
   std::optional<NodeId> dest_node;
   double delivery_radius = 0.0;
+  // HLSRG_LINT_ALLOW(send-kind): carrier slot — holds the caller's
+  // fully-formed packet (kind set by its make_packet factory) for the hops.
   Packet pkt;
   int hops = 0;
   bool perimeter = false;
@@ -222,7 +224,7 @@ void GpsrRouter::route_step(NodeId current,
                                             : st->dest_pos;
         sim.end_span(st->span, SpanStatus::kFailed, where, st->hops);
         if (st->fail) {
-          SpanScope scope(sim, st->ctx);
+          SpanScope fail_scope(sim, st->ctx);
           st->fail();
         }
       });

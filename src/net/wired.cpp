@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "util/check.h"
+#include "util/ordered.h"
 
 namespace hlsrg {
 
@@ -111,9 +112,11 @@ const std::vector<NodeId>& WiredNetwork::links_of(NodeId n) const {
 
 std::vector<std::pair<NodeId, NodeId>> WiredNetwork::links() const {
   std::vector<std::pair<NodeId, NodeId>> out;
-  for (const auto& [node, peers] : adjacency_) {
-    for (NodeId peer : peers) {
-      if (node.value() < peer.value()) out.emplace_back(node, peer);
+  for (const auto* entry : det::sorted_view(adjacency_)) {
+    for (NodeId peer : entry->second) {
+      if (entry->first.value() < peer.value()) {
+        out.emplace_back(entry->first, peer);
+      }
     }
   }
   std::sort(out.begin(), out.end(),

@@ -93,7 +93,7 @@ void RlsmpVehicleAgent::leave_leader_region() {
   const bool was_lsc = lsc_duty();
   in_leader_ = false;
   purge_tables();
-  if (cell_table_.size() == 0 && cluster_table_.size() == 0) return;
+  if (cell_table_.empty() && cluster_table_.empty()) return;
   auto payload = std::make_shared<LeaderHandoffPayload>();
   payload->cell = leader_cell_;
   for (const auto& [v, rec] : cell_table_) payload->cell_records.push_back(rec);
@@ -118,7 +118,7 @@ void RlsmpVehicleAgent::leave_leader_region() {
 void RlsmpVehicleAgent::aggregation_tick(std::int64_t period_index) {
   if (!in_leader_) return;
   purge_tables();
-  if (cell_table_.size() == 0) return;
+  if (cell_table_.empty()) return;
 
   const CellGrid& g = svc_->cells();
   const CellCoord lsc = g.lsc_cell(g.cluster_of(leader_cell_));

@@ -19,6 +19,7 @@
 #include "core/messages.h"
 #include "sim/event_queue.h"
 #include "trace/span.h"
+#include "util/ordered.h"
 #include "util/tagged_id.h"
 
 namespace hlsrg {
@@ -62,11 +63,15 @@ class QueryBatcher {
   }
 
   // Removes every pending batch (crash path); the caller cancels the timers
-  // and lets the sources' retry machinery recover the held queries.
+  // and lets the sources' retry machinery recover the held queries. Drained
+  // in (destination, target) key order: the caller re-dispatches these, so
+  // drain order is digest-affecting and must not depend on hash layout.
   [[nodiscard]] std::vector<Batch> drain_all() {
     std::vector<Batch> out;
     out.reserve(pending_.size());
-    for (auto& [k, b] : pending_) out.push_back(std::move(b));
+    for (auto* entry : det::sorted_view(pending_)) {
+      out.push_back(std::move(entry->second));
+    }
     pending_.clear();
     return out;
   }

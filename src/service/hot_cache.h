@@ -10,6 +10,7 @@
 // packets it short-circuits.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <unordered_map>
 
@@ -48,11 +49,16 @@ class HotDestinationCache {
       return;
     }
     if (entries_.size() >= capacity_) {
-      auto oldest = entries_.begin();
-      for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
-        if (cur->second.inserted < oldest->second.inserted) oldest = cur;
-      }
-      entries_.erase(oldest);
+      // HLSRG_LINT_ALLOW(unordered-iteration): min over (inserted, key) is
+      // iteration-order-insensitive — the key tie-break makes the evicted
+      // entry independent of hash-table layout.
+      entries_.erase(std::min_element(
+          entries_.begin(), entries_.end(),
+          [](const auto& a, const auto& b) {
+            return a.second.inserted != b.second.inserted
+                       ? a.second.inserted < b.second.inserted
+                       : a.first < b.first;
+          }));
     }
     entries_.emplace(record.vehicle, Entry{record, now});
   }

@@ -16,6 +16,36 @@
 
 namespace hlsrg {
 
+// Named RNG stream ids. Every subsystem stream is split from the root
+// generator under one of these tags; the numeric values are frozen (they
+// feed SplitMix64 directly, so renumbering changes every digest in the
+// repo). The determinism lint (tools/lint, rule `rng-discipline`) rejects
+// `split(<bare integer>)` — a named id documents which subsystem owns the
+// stream and keeps tag collisions impossible by construction, which is
+// what lets per-shard streams merge deterministically once the engine
+// shards by L3 region.
+enum class RngStreamId : std::uint64_t {
+  kMobility = 1,  // vehicle trajectories (turns, speeds, spawn jitter)
+  kRadio = 2,     // per-reception loss draws
+  kProtocol = 3,  // protocol back-off and election jitter
+  kWorkload = 4,  // closed-loop query generation
+  kFault = 5,     // fault-plan window edge jitter (src/fault)
+  kOpenLoop = 6,  // open-loop Poisson arrivals (src/service)
+};
+
+// Stable lower_snake name for traces and error messages.
+[[nodiscard]] constexpr const char* rng_stream_name(RngStreamId id) {
+  switch (id) {
+    case RngStreamId::kMobility: return "mobility";
+    case RngStreamId::kRadio: return "radio";
+    case RngStreamId::kProtocol: return "protocol";
+    case RngStreamId::kWorkload: return "workload";
+    case RngStreamId::kFault: return "fault";
+    case RngStreamId::kOpenLoop: return "open_loop";
+  }
+  return "unknown";
+}
+
 // SplitMix64: used only to expand a user seed into generator state.
 class SplitMix64 {
  public:
@@ -104,8 +134,12 @@ class Rng {
     return uniform() < p;
   }
 
-  // Derives an independent child stream; used to split one scenario seed into
-  // per-subsystem streams (mobility, radio, protocol, workload).
+  // Derives an independent child stream. The named overload is the public
+  // spelling — one RngStreamId per subsystem, enforced by the determinism
+  // lint. The raw-tag overload stays for derived sub-streams whose tag is a
+  // computed value (e.g. a per-shard offset), never a bare literal.
+  Rng split(RngStreamId id) { return split(static_cast<std::uint64_t>(id)); }
+
   Rng split(std::uint64_t stream_tag) {
     SplitMix64 sm(next() ^ (0x6a09e667f3bcc909ULL + stream_tag));
     return Rng(sm.next());

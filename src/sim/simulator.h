@@ -27,12 +27,12 @@ class Simulator {
   // enabling it never re-times the paper-scenario queries.
   explicit Simulator(std::uint64_t seed)
       : root_rng_(seed),
-        mobility_rng_(root_rng_.split(1)),
-        radio_rng_(root_rng_.split(2)),
-        protocol_rng_(root_rng_.split(3)),
-        workload_rng_(root_rng_.split(4)),
-        fault_rng_(root_rng_.split(5)),
-        open_loop_rng_(root_rng_.split(6)) {}
+        mobility_rng_(root_rng_.split(RngStreamId::kMobility)),
+        radio_rng_(root_rng_.split(RngStreamId::kRadio)),
+        protocol_rng_(root_rng_.split(RngStreamId::kProtocol)),
+        workload_rng_(root_rng_.split(RngStreamId::kWorkload)),
+        fault_rng_(root_rng_.split(RngStreamId::kFault)),
+        open_loop_rng_(root_rng_.split(RngStreamId::kOpenLoop)) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;

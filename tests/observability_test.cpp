@@ -227,7 +227,9 @@ class SpanRunTest : public ::testing::Test {
         EXPECT_LE(p->begin, s.begin);
       }
       // Every settled span has a nonnegative duration.
-      if (s.status != SpanStatus::kOpen) EXPECT_GE(s.end, s.begin);
+      if (s.status != SpanStatus::kOpen) {
+        EXPECT_GE(s.end, s.begin);
+      }
       if (s.kind == SpanKind::kQuery) {
         ++roots;
         EXPECT_EQ(s.parent, kNoSpan);

@@ -1,0 +1,22 @@
+// Fixture: stable-id keys (the TaggedId idiom) and pointer *values* are
+// fine — only pointer *keys* order state by address. Zero findings.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Agent {};
+
+struct AgentId {
+  std::uint32_t value;
+};
+
+struct State {
+  std::unordered_map<std::uint32_t, Agent*> by_id;             // ptr value: ok
+  std::map<std::uint64_t, std::shared_ptr<Agent>> by_seq;      // ptr value: ok
+  std::unordered_map<std::uint32_t, std::unique_ptr<Agent>> owned;
+};
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: the blessed RNG idiom — named streams split from the simulator's
+// root, plus an annotated escape hatch. Zero findings.
+
+namespace fixture {
+
+enum class RngStreamId : unsigned long long { kMobility = 1, kRadio = 2 };
+
+class Rng {
+ public:
+  Rng split(RngStreamId) { return *this; }
+  Rng split(unsigned long long) { return *this; }
+  double uniform() { return 0.5; }
+};
+
+struct Simulator {
+  Rng& mobility_rng() { return rng_; }
+  Rng rng_;
+};
+
+inline double draw(Simulator& sim) {
+  Rng stream = sim.mobility_rng().split(RngStreamId::kRadio);
+  return stream.uniform();
+}
+
+inline Rng computed_tag(Rng& root, unsigned long long shard) {
+  // A computed tag (no bare literal) is how per-shard sub-streams derive.
+  return root.split(shard * 2 + 1);
+}
+
+inline Rng pinned_seed() {
+  // HLSRG_LINT_ALLOW(rng-discipline): replay tooling takes a user-pinned
+  // seed by definition.
+  return Rng{};
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Fixture: ledger-disciplined packet construction and sends. Zero findings.
+
+namespace fixture {
+
+enum class PacketKind : int { kNone = 0, kHello = 240 };
+
+struct Packet {
+  PacketKind kind = PacketKind::kNone;
+  int payload = 0;
+};
+
+struct NodeId {
+  unsigned value = 0;
+};
+
+struct Medium {
+  template <typename Fn>
+  int broadcast_each(NodeId, PacketKind, Fn) { return 0; }
+  template <typename Fn>
+  void unicast_frame(NodeId, NodeId, PacketKind, Fn) {}
+};
+
+// The factory idiom: a bare Packet is fine when .kind is assigned in the
+// statements immediately following.
+inline Packet make_packet(PacketKind kind, int payload) {
+  Packet p;
+  p.kind = kind;
+  p.payload = payload;
+  return p;
+}
+
+struct RouteState {
+  // HLSRG_LINT_ALLOW(send-kind): carrier slot — holds a packet the caller
+  // already built through its factory.
+  Packet pkt;
+};
+
+inline void sends(Medium& m, NodeId a, NodeId b, const RouteState& st) {
+  m.broadcast_each(a, PacketKind::kHello, [](NodeId) {});
+  m.unicast_frame(a, b, st.pkt.kind, [](NodeId) {});
+  (void)make_packet(PacketKind::kHello, 7);
+}
+
+}  // namespace fixture

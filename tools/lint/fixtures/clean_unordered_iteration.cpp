@@ -1,0 +1,44 @@
+// Fixture: the blessed ways to touch unordered containers — lookup and
+// membership (order-free), det:: sorted snapshot views, and an annotated
+// order-insensitive loop. Must produce zero findings.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/ordered.h"
+
+namespace fixture {
+
+struct Digest {
+  void mix(int) {}
+};
+
+struct State {
+  std::unordered_map<int, double> table;
+  std::unordered_set<int> members;
+};
+
+inline bool lookup_only(const State& s, int k) {
+  // find/contains never observe iteration order.
+  return s.table.find(k) != s.table.end() && s.members.contains(k);
+}
+
+inline void sorted_snapshot(State& s, Digest& d) {
+  for (const auto* entry : hlsrg::det::sorted_view(s.table)) {
+    d.mix(entry->first);
+  }
+  for (int m : hlsrg::det::sorted_keys(s.members)) {
+    d.mix(m);
+  }
+}
+
+inline int annotated_order_free(const State& s) {
+  int sum = 0;
+  // HLSRG_LINT_ALLOW(unordered-iteration): integer sum commutes, so the
+  // result is identical under any iteration order.
+  for (const auto& [k, v] : s.table) {
+    sum += k;
+  }
+  return sum;
+}
+
+}  // namespace fixture

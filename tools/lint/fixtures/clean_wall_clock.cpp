@@ -1,0 +1,27 @@
+// Fixture: sim-time reads and time-like identifiers that must NOT trip the
+// wall-clock rule. Zero findings.
+
+namespace fixture {
+
+struct SimTime {
+  long long us = 0;
+};
+
+struct Simulator {
+  SimTime now() const { return now_; }
+  SimTime now_;
+};
+
+struct Scenario {
+  SimTime end_time() const { return SimTime{}; }   // _time( is not time(
+  SimTime next_time() const { return SimTime{}; }
+};
+
+inline void mix_time(SimTime) {}  // identifier merely containing "time"
+
+inline long long sim_now(const Simulator& sim, const Scenario& sc) {
+  mix_time(sc.end_time());
+  return sim.now().us + sc.next_time().us;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: pointer- and smart-pointer-keyed associative containers.
+// Addresses differ run to run, so hashing or ordering over them is
+// nondeterministic by construction.
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Agent {};
+
+struct State {
+  std::unordered_map<Agent*, int> by_raw_ptr;              // line 15
+  std::map<const Agent*, int> by_const_ptr;                // line 16
+  std::unordered_set<Agent*> ptr_members;                  // line 17
+  std::set<std::shared_ptr<Agent>> by_shared_ptr;          // line 18
+  std::unordered_map<std::shared_ptr<Agent>, int> shared;  // line 19
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: every banned way of minting randomness. Reproducibility demands
+// one seeded root; any of these forks an unseeded or colliding stream.
+// (Rng is declared, not defined, so the only `Rng(` tokens here are the
+// violating construction sites themselves.)
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+class Rng;
+Rng& root_stream();
+
+inline unsigned long long entropy() {
+  std::random_device rd;  // line 14: hardware entropy
+  return rd();
+}
+
+inline int mersenne() {
+  std::mt19937 gen(42);  // line 19: ad-hoc engine seeding
+  return static_cast<int>(gen());
+}
+
+inline int libc_rand() {
+  srand(7);               // line 24: global libc state
+  return rand();          // line 25
+}
+
+inline void direct_construction() {
+  auto* leaked = new Rng(1234);  // line 29: bypasses the stream tree
+  (void)leaked;
+}
+
+inline void bare_tag() {
+  (void)root_stream().split(7);  // line 34: anonymous stream tag
+}
+
+}  // namespace fixture

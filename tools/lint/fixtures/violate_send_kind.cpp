@@ -1,0 +1,37 @@
+// Fixture: packet send sites that dodge the per-kind channel ledger — the
+// exact class of bug the PR-5 channel-ledger fix closed ad hoc.
+
+namespace fixture {
+
+enum class PacketKind : int { kNone = 0, kHello = 240 };
+
+struct Packet {
+  PacketKind kind = PacketKind::kNone;
+  int payload = 0;
+};
+
+struct NodeId {
+  unsigned value = 0;
+};
+
+struct Medium {
+  template <typename Fn>
+  int broadcast_each(NodeId, Fn) { return 0; }  // kind-less overload (bad)
+  template <typename Fn>
+  int broadcast_each(NodeId, PacketKind, Fn) { return 0; }
+  template <typename Fn>
+  void unicast_frame(NodeId, NodeId, Fn) {}     // kind-less overload (bad)
+};
+
+inline Packet make_packet(int payload) {
+  Packet anonymous;  // line 27: kind defaults to kNone and stays there
+  anonymous.payload = payload;
+  return anonymous;
+}
+
+inline void sends(Medium& m, NodeId a, NodeId b) {
+  m.broadcast_each(a, [](NodeId) {});   // line 33: no PacketKind argument
+  m.unicast_frame(a, b, [](NodeId) {}); // line 34: no PacketKind argument
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Fixture: every form of unordered iteration the rule must catch.
+// Linted with --all-rules-everywhere (fixtures sit outside src/).
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Digest {
+  void mix(int) {}
+};
+
+struct State {
+  std::unordered_map<int, double> table;
+  std::unordered_set<int> members;
+};
+
+inline void range_for_over_map(State& s, Digest& d) {
+  for (const auto& [k, v] : s.table) {  // line 18: range-for over member
+    d.mix(k);
+  }
+}
+
+inline void range_for_over_set(State& s, Digest& d) {
+  for (int m : s.members) {  // line 24: range-for over unordered_set
+    d.mix(m);
+  }
+}
+
+inline void iterator_walk(State& s, Digest& d) {
+  for (auto it = s.table.begin(); it != s.table.end(); ++it) {  // line 30
+    d.mix(it->first);
+  }
+}
+
+inline void via_alias(Digest& d) {
+  using Index = std::unordered_map<int, int>;
+  Index idx;
+  for (const auto& [k, v] : idx) {  // line 38: alias-typed local
+    d.mix(k);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: wall-clock reads in sim code. Real time varies run to run and
+// host to host; simulation time comes from Simulator::now() alone.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+inline long long epoch_steady() {
+  return std::chrono::steady_clock::now()  // line 9
+      .time_since_epoch()
+      .count();
+}
+
+inline long long epoch_system() {
+  return std::chrono::system_clock::now()  // line 15
+      .time_since_epoch()
+      .count();
+}
+
+inline long long epoch_hires() {
+  auto t = std::chrono::high_resolution_clock::now();  // line 21
+  return t.time_since_epoch().count();
+}
+
+inline long long libc_time() {
+  return static_cast<long long>(time(nullptr));  // line 26
+}
+
+inline long long libc_clock() {
+  return static_cast<long long>(clock());  // line 30
+}
+
+}  // namespace fixture

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Self-test for the determinism lint: every rule must fire on its violation
+fixture at exactly the expected (rule, line) sites, every clean fixture must
+come back with zero unsuppressed findings, and the suppression machinery
+must reject malformed ALLOW annotations. Run from anywhere:
+
+    python3 tools/lint/test_lint.py
+
+Registered in ctest as `determinism_lint_fixtures`; CI fails if any rule
+stops firing (a silently-dead rule is worse than no rule).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import determinism_lint as dl  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+# Exact expected findings per violation fixture: {(rule, line), ...}.
+EXPECTED = {
+    "violate_unordered_iteration.cpp": {
+        ("unordered-iteration", 18),  # range-for over member map
+        ("unordered-iteration", 24),  # range-for over member set
+        ("unordered-iteration", 30),  # iterator walk
+        ("unordered-iteration", 38),  # range-for over alias-typed local
+    },
+    "violate_pointer_key.cpp": {
+        ("pointer-keyed-container", 15),  # unordered_map<Agent*, …>
+        ("pointer-keyed-container", 16),  # map<const Agent*, …>
+        ("pointer-keyed-container", 17),  # unordered_set<Agent*>
+        ("pointer-keyed-container", 18),  # set<shared_ptr<…>>
+        ("pointer-keyed-container", 19),  # unordered_map<shared_ptr<…>, …>
+    },
+    "violate_rng_discipline.cpp": {
+        ("rng-discipline", 14),  # std::random_device
+        ("rng-discipline", 19),  # std::mt19937
+        ("rng-discipline", 24),  # srand()
+        ("rng-discipline", 25),  # rand()
+        ("rng-discipline", 29),  # direct Rng construction
+        ("rng-discipline", 34),  # split(<bare integer>)
+    },
+    "violate_wall_clock.cpp": {
+        ("wall-clock", 9),   # steady_clock
+        ("wall-clock", 15),  # system_clock
+        ("wall-clock", 21),  # high_resolution_clock
+        ("wall-clock", 26),  # time(nullptr)
+        ("wall-clock", 30),  # clock()
+    },
+    "violate_send_kind.cpp": {
+        ("send-kind", 19),  # kind-less broadcast_each overload
+        ("send-kind", 23),  # kind-less unicast_frame overload
+        ("send-kind", 26),  # make_packet without a PacketKind first arg
+        ("send-kind", 27),  # bare `Packet p;` never assigning .kind
+        ("send-kind", 33),  # broadcast_each call without a kind
+        ("send-kind", 34),  # unicast_frame call without a kind
+    },
+}
+
+CLEAN = (
+    "clean_unordered_iteration.cpp",
+    "clean_pointer_key.cpp",
+    "clean_rng_discipline.cpp",
+    "clean_wall_clock.cpp",
+    "clean_send_kind.cpp",
+)
+
+# Suppressions the clean fixtures must carry (proves ALLOW parsing end to
+# end, including reasons that wrap across comment lines).
+EXPECTED_SUPPRESSED = {
+    ("clean_unordered_iteration.cpp", "unordered-iteration"),
+    ("clean_rng_discipline.cpp", "rng-discipline"),
+    ("clean_send_kind.cpp", "send-kind"),
+}
+
+failures = []
+
+
+def check(cond, message):
+    if not cond:
+        failures.append(message)
+        print(f"FAIL: {message}")
+    else:
+        print(f"ok:   {message}")
+
+
+def lint(path, root=None):
+    linter = dl.Linter(root or os.path.dirname(path),
+                       force_digest_scope=True)
+    linter.lint_file(os.path.basename(path) if root is None else
+                     os.path.relpath(path, root))
+    active = {(f.rule, f.line) for f in linter.findings if not f.suppressed}
+    suppressed = [f for f in linter.findings if f.suppressed]
+    return active, suppressed
+
+
+def main():
+    for name, expected in sorted(EXPECTED.items()):
+        active, _ = lint(os.path.join(FIXTURES, name))
+        check(active == expected,
+              f"{name}: findings {sorted(active)} == expected "
+              f"{sorted(expected)}")
+
+    all_suppressed = set()
+    for name in CLEAN:
+        active, suppressed = lint(os.path.join(FIXTURES, name))
+        check(active == set(), f"{name}: zero unsuppressed findings "
+                               f"(got {sorted(active)})")
+        for f in suppressed:
+            all_suppressed.add((name, f.rule))
+            check(bool(f.reason.strip()),
+                  f"{name}:{f.line}: suppression carries a reason")
+    check(EXPECTED_SUPPRESSED <= all_suppressed,
+          f"clean fixtures exercise ALLOW for "
+          f"{sorted(r for _, r in EXPECTED_SUPPRESSED)}")
+
+    # Malformed ALLOWs are findings in their own right.
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = os.path.join(tmp, "bad_allow.cpp")
+        with open(bad, "w", encoding="utf-8") as f:
+            f.write(
+                "// HLSRG_LINT_ALLOW(not-a-rule): whatever\n"
+                "// HLSRG_LINT_ALLOW(wall-clock):\n"
+                "int x;\n")
+        active, _ = lint(bad)
+        check(("bad-allow", 1) in active, "unknown rule id in ALLOW flagged")
+        check(("bad-allow", 2) in active, "reason-less ALLOW flagged")
+
+    # The real tree must be clean — the gate CI enforces.
+    linter = dl.Linter(REPO_ROOT)
+    for rel in dl.gather_sources(REPO_ROOT, ["src"]):
+        linter.lint_file(rel)
+    active = [f for f in linter.findings if not f.suppressed]
+    check(not active,
+          "src/ lints clean ("
+          + "; ".join(f"{f.path}:{f.line} {f.rule}" for f in active[:5])
+          + (" …" if len(active) > 5 else "") + ")" if active
+          else "src/ lints clean")
+    for f in linter.findings:
+        if f.suppressed:
+            check(bool(f.reason.strip()),
+                  f"{f.path}:{f.line}: ALLOW({f.rule}) carries a reason")
+
+    print(f"\n{len(failures)} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
