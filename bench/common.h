@@ -19,7 +19,13 @@
 //                  match the multi-threaded run bit for bit
 //   --trace FILE   capture replica 0 of the first measurement into a
 //                  Chrome-trace JSON (load in Perfetto / chrome://tracing);
-//                  includes wall-clock engine phases of that measurement
+//                  includes wall-clock engine phases of that measurement and,
+//                  under --obs-out, the pid-3 phase-profile flame track
+//   --obs-out FILE write the first measurement's region observatory document
+//                  (per-L3-region telemetry + traffic matrix + phase
+//                  profile; schema hlsrg-obs/v1) and enable the wall-clock
+//                  profiler for that measurement — digests are unaffected
+//                  (render with scripts/obs_dashboard.py)
 //   --fault-plan FILE
 //                  run every measurement under this fault plan (JSON,
 //                  fault/fault_plan.h); replaces any plan the bench builds
@@ -50,6 +56,7 @@ struct BenchOptions {
   std::uint64_t seed = 0;  // 0 = keep each sweep point's built-in seed
   std::string out;         // JSON report path
   std::string trace;       // Chrome-trace JSON path ("" = no trace)
+  std::string obs_out;     // region-observatory JSON path ("" = off)
   std::string fault_plan;  // fault-plan JSON path ("" = bench's own plan)
   std::uint64_t fault_seed = 0;  // nonzero pins the fault RNG stream
   bool audit_determinism = false;  // cross-check digests vs 1-thread rerun
@@ -79,6 +86,10 @@ inline BenchOptions parse_options(int argc, char** argv, const char* name,
   args.add_string("--trace", "FILE",
                   "Chrome-trace JSON of the first measurement's replica 0",
                   &opts.trace);
+  args.add_string("--obs-out", "FILE",
+                  "region observatory JSON of the first measurement "
+                  "(implies profiling it)",
+                  &opts.obs_out);
   args.add_flag("--audit-determinism",
                 "verify state digests against a single-threaded rerun",
                 &opts.audit_determinism);
@@ -132,12 +143,19 @@ class SweepDriver {
       effective.fault_plan_file = opts_.fault_plan;
     }
     if (opts_.fault_seed != 0) effective.fault_seed = opts_.fault_seed;
-    // --trace: capture the very first measurement (replica 0) only; later
-    // measurements run untraced.
+    // --trace / --obs-out: capture the very first measurement only; later
+    // measurements run untraced and unprofiled.
     TraceLog* trace = nullptr;
     if (!opts_.trace.empty() && !trace_captured_) {
       trace = &trace_log_;
       trace_captured_ = true;
+    }
+    const bool capture_obs = !opts_.obs_out.empty() && !obs_captured_;
+    if (capture_obs) {
+      // Profiling is digest-neutral (counters/timers only), so flipping it
+      // on for this measurement cannot change any reported metric.
+      effective.profile = true;
+      obs_captured_ = true;
     }
     const ReplicaSet set =
         run_replicas(effective, protocol, opts_.replicas,
@@ -147,6 +165,10 @@ class SweepDriver {
         wall_spans_.push_back(
             WallSpan{p.name, p.replica, p.begin_sec, p.end_sec});
       }
+    }
+    if (capture_obs) {
+      obs_regions_ = set.regions;
+      obs_profile_ = set.profile;
     }
     if (opts_.audit_determinism) {
       check_determinism(label, effective, protocol, set);
@@ -194,11 +216,24 @@ class SweepDriver {
     bool ok = true;
     if (trace_captured_ && !opts_.trace.empty()) {
       std::string error;
-      if (!write_chrome_trace(trace_log_, wall_spans_, opts_.trace, &error)) {
+      if (!write_chrome_trace(trace_log_, wall_spans_, opts_.trace, &error,
+                              obs_profile_.empty() ? nullptr : &obs_profile_)) {
         std::fprintf(stderr, "bench trace: %s\n", error.c_str());
         ok = false;
       } else {
         std::printf("chrome trace: %s\n", opts_.trace.c_str());
+      }
+    }
+    if (obs_captured_ && !opts_.obs_out.empty()) {
+      std::string error;
+      if (!write_json_file(
+              obs_document(obs_regions_,
+                           obs_profile_.empty() ? nullptr : &obs_profile_),
+              opts_.obs_out, &error)) {
+        std::fprintf(stderr, "bench obs: %s\n", error.c_str());
+        ok = false;
+      } else {
+        std::printf("obs document: %s\n", opts_.obs_out.c_str());
       }
     }
     if (opts_.out.empty()) return ok;
@@ -240,7 +275,10 @@ class SweepDriver {
   BenchReport report_;
   TraceLog trace_log_;
   std::vector<WallSpan> wall_spans_;
+  RegionTelemetry obs_regions_;
+  PhaseProfiler obs_profile_;
   bool trace_captured_ = false;
+  bool obs_captured_ = false;
   bool finished_ = false;
 };
 

@@ -135,7 +135,8 @@ int main(int argc, char** argv) {
   std::vector<LoadPoint> tier_points;
   TextTable table;
   table.add_row({"rate/s", "naive good/s", "naive p99 ms", "naive served",
-                 "tier good/s", "tier p99 ms", "tier served", "tier shed"});
+                 "tier good/s", "tier p99 ms", "tier served", "tier shed",
+                 "naive imb cv", "tier imb cv"});
   for (const double rate : rates) {
     ScenarioConfig naive_cfg = base_scenario(vehicles);
     naive_cfg.service.open_loop_rate_per_sec = rate;
@@ -156,7 +157,11 @@ int main(int argc, char** argv) {
                    fmt_double(np.served_rate, 3), fmt_double(tp.goodput, 2),
                    fmt_double(tp.p99_ms, 1), fmt_double(tp.served_rate, 3),
                    std::to_string(tier.merged.queries_shed +
-                                  tier.merged.retries_shed)});
+                                  tier.merged.retries_shed),
+                   // Per-L3-region delivery-load spread (obs telemetry):
+                   // does shedding/batching also flatten the hot regions?
+                   fmt_double(naive.regions.load_imbalance().cv, 3),
+                   fmt_double(tier.regions.load_imbalance().cv, 3)});
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf("-- CSV --\n%s\n", table.render_csv().c_str());

@@ -60,5 +60,12 @@ int main(int argc, char** argv) {
                     [](const ReplicaSet& s) {
                       return s.mean_query_latency_ms();
                     });
+  // Region observatory: does a bigger map spread delivery load evenly over
+  // the L3 regions, or concentrate it (coefficient of variation of the
+  // per-region delivered packets; 0 = perfectly uniform)?
+  driver.comparison("Extension: map scaling (region load imbalance)",
+                    "load cv", rows, [](const ReplicaSet& s) {
+                      return s.regions.load_imbalance().cv;
+                    });
   return driver.finish() ? 0 : 1;
 }

@@ -8,12 +8,14 @@
 //   $ ./scenario_cli --map data/demo_irregular_2km.map --irregular
 //   $ ./scenario_cli --replicas 8 --threads 4 --out run.json
 //   $ ./scenario_cli --trace-out=trace.json     # open in Perfetto
-#include <chrono>
+//   $ ./scenario_cli --obs-out=obs.json         # region observatory document
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "harness/runner.h"
+#include "obs/profiler.h"
+#include "obs/region_telemetry.h"
 #include "harness/scenario.h"
 #include "harness/world.h"
 #include "report/run_report.h"
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
   int trace_cap = 0;
   std::string save_map_path;
   std::string out_path;
+  std::string obs_out_path;
   std::string fault_plan_path;
   std::uint64_t fault_seed = 0;
 
@@ -76,6 +79,14 @@ int main(int argc, char** argv) {
                &trace_cap);
   args.add_string("--out", "FILE", "write a JSON run report to FILE",
                   &out_path);
+  args.add_flag("--profile",
+                "wall-clock phase profiler (digest-neutral; adds a profile "
+                "blob to --out and a flame track to --trace-out)",
+                &cfg.profile);
+  args.add_string("--obs-out", "FILE",
+                  "write the region observatory JSON (telemetry + traffic "
+                  "matrix + profile; implies --profile)",
+                  &obs_out_path);
   args.add_string("--fault-plan", "FILE",
                   "run under a scripted fault plan (JSON, PROTOCOL.md §7)",
                   &fault_plan_path);
@@ -120,8 +131,17 @@ int main(int argc, char** argv) {
   cfg.fault_plan_file = fault_plan_path;
   cfg.fault_seed = fault_seed;
   replicas = std::max(1, replicas);
+  if (!obs_out_path.empty()) cfg.profile = true;
   const bool tracing =
       !trace_path.empty() || !trace_out_path.empty() || !spans_path.empty();
+  if (trace_cap > 0 && !tracing) {
+    // Fail fast instead of silently ignoring the cap: without a trace sink
+    // the TraceLog is never attached, so the flag would do nothing.
+    std::fprintf(stderr,
+                 "--trace-cap has no effect without a trace output; add "
+                 "--trace, --trace-out, or --spans\n");
+    return 1;
+  }
   if (replicas > 1 && (tracing || !save_map_path.empty())) {
     std::fprintf(stderr,
                  "--trace/--trace-out/--spans/--save-map need --replicas 1\n");
@@ -132,15 +152,15 @@ int main(int argc, char** argv) {
   EngineStats engine;
   std::vector<EngineStats> replica_engine;
   MetricsRegistry observability;
+  RegionTelemetry regions;
+  PhaseProfiler profile;
   const char* service_name = protocol_name(protocol);
 
   if (replicas == 1) {
-    const auto start = std::chrono::steady_clock::now();
+    const double start = monotonic_now_sec();
     const double build_begin = 0.0;
     World world(cfg, protocol);
-    const double build_end =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    const double build_end = monotonic_now_sec() - start;
     if (!save_map_path.empty()) {
       std::string error;
       if (!save_map_file(world.network(), save_map_path, &error)) {
@@ -157,13 +177,14 @@ int main(int argc, char** argv) {
     if (tracing) world.attach_trace(&trace);
 
     metrics = world.run();
-    const auto stop = std::chrono::steady_clock::now();
-    const double run_end = std::chrono::duration<double>(stop - start).count();
+    const double run_end = monotonic_now_sec() - start;
     engine = world.sim().engine_stats();
     engine.wall_clock_sec = run_end;
     replica_engine.push_back(engine);
     service_name = world.service().name();
     observability = world.sim().observability();
+    regions = world.regions();
+    if (world.profiler() != nullptr) profile = *world.profiler();
 
     if (!trace_path.empty()) {
       std::ofstream file(trace_path);
@@ -181,7 +202,8 @@ int main(int argc, char** argv) {
           WallSpan{"run", 0, build_end, run_end},
       };
       std::string error;
-      if (!write_chrome_trace(trace, wall, trace_out_path, &error)) {
+      if (!write_chrome_trace(trace, wall, trace_out_path, &error,
+                              profile.empty() ? nullptr : &profile)) {
         std::fprintf(stderr, "%s\n", error.c_str());
         return 1;
       }
@@ -212,6 +234,8 @@ int main(int argc, char** argv) {
     engine = set.engine_total;
     replica_engine = set.engine;
     observability = set.observability;
+    regions = set.regions;
+    profile = set.profile;
   }
 
   const RunMetrics& m = metrics;
@@ -282,10 +306,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(engine.events_processed),
               static_cast<unsigned long long>(engine.peak_queue_depth),
               engine.wall_clock_sec, engine.events_per_sec());
+  if (regions.configured()) {
+    const RegionTelemetry::Imbalance imb = regions.load_imbalance();
+    std::printf("regions:    %dx%d L3, load max/mean %.2f, cv %.2f\n",
+                regions.cols(), regions.rows(), imb.max_over_mean, imb.cv);
+  }
+
+  if (!obs_out_path.empty()) {
+    std::string error;
+    if (!write_json_file(
+            obs_document(regions, profile.empty() ? nullptr : &profile),
+            obs_out_path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("obs:        %s\n", obs_out_path.c_str());
+  }
 
   if (!out_path.empty()) {
     RunReport report = make_run_report(protocol, cfg, metrics, engine);
     report.observability = registry_to_json(observability);
+    if (!profile.empty()) report.profile = profile.to_json();
     JsonValue doc = report.to_json();
     doc.set("schema", "hlsrg-run/v1");
     doc.set("replicas", replicas);

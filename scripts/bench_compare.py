@@ -83,6 +83,10 @@ PREFERRED_DIRECTION = {
     "events_per_sec": +1,
     "broadcasts_per_sec": +1,
     "peak_rss_bytes": -1,
+    # Region observatory (src/obs): hotter-than-mean regions and a wider
+    # spread of per-region load are both regressions.
+    "region_load_max_over_mean": -1,
+    "region_imbalance_cv": -1,
 }
 
 TIMING_FIELDS = {"wall_clock_sec", "events_per_sec", "broadcasts_per_sec",

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Render a region-observatory document (schema "hlsrg-obs/v1") as a
+terminal dashboard or a self-contained HTML page. Zero dependencies.
+
+The input is what `scenario_cli --obs-out` / the bench `--obs-out` flag
+write: per-L3-region counters, the directed cross-region wired traffic
+matrix, sampled time series, a load-imbalance summary, and (when the run
+was profiled) the wall-clock phase tree.
+
+Usage:
+    obs_dashboard.py OBS.json                 # terminal dashboard
+    obs_dashboard.py OBS.json --html OUT.html # static HTML page
+    obs_dashboard.py OBS.json --check         # schema validation only
+
+Exit status: 0 = ok, 1 = malformed document, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import sys
+
+SCHEMA = "hlsrg-obs/v1"
+PROFILE_SCHEMA = "hlsrg-profile/v1"
+
+# Per-region counters in display order (name, short column header).
+COUNTER_COLUMNS = (
+    ("load", "load"),
+    ("radio_broadcasts", "bcast"),
+    ("radio_unicasts", "ucast"),
+    ("radio_delivered", "delivrd"),
+    ("radio_dropped", "dropped"),
+    ("wired_out", "w.out"),
+    ("wired_in", "w.in"),
+    ("wired_dropped", "w.drop"),
+    ("updates", "updates"),
+    ("queries_served", "served"),
+    ("cache_hits", "cache"),
+    ("queries_shed", "shed"),
+)
+
+SHADES = " ░▒▓█"
+
+
+def fail(msg):
+    print(f"obs_dashboard: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(doc):
+    """Structural check of the document; fail()s with a pointed message."""
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    tel = doc.get("telemetry")
+    if not isinstance(tel, dict):
+        fail("missing telemetry object")
+    cols, rows = tel.get("l3_cols"), tel.get("l3_rows")
+    if not (isinstance(cols, (int, float)) and isinstance(rows, (int, float))
+            and int(cols) > 0 and int(rows) > 0):
+        fail("telemetry.l3_cols/l3_rows missing or non-positive")
+    n = int(cols) * int(rows)
+    regions = tel.get("regions")
+    if not isinstance(regions, list) or len(regions) != n:
+        fail(f"telemetry.regions has {len(regions or [])} entries, "
+             f"expected {n}")
+    for key, _ in COUNTER_COLUMNS:
+        for r in regions:
+            if key not in r:
+                fail(f"region {r.get('id')} missing counter {key!r}")
+    matrix = tel.get("matrix")
+    if not isinstance(matrix, dict):
+        fail("missing telemetry.matrix")
+    for key in ("packets", "hops", "bytes"):
+        m = matrix.get(key)
+        if (not isinstance(m, list) or len(m) != n
+                or any(not isinstance(row, list) or len(row) != n
+                       for row in m)):
+            fail(f"matrix.{key} is not {n}x{n}")
+    if "imbalance" not in tel:
+        fail("missing telemetry.imbalance")
+    profile = doc.get("profile")
+    if profile is not None:
+        if (not isinstance(profile, dict)
+                or profile.get("schema") != PROFILE_SCHEMA
+                or not isinstance(profile.get("root"), dict)):
+            fail(f"profile present but not a {PROFILE_SCHEMA!r} tree")
+    return doc
+
+
+def heatmap_rows(tel):
+    """Rows of (shade_char, load) for the region grid, row 0 first."""
+    cols, rows = int(tel["l3_cols"]), int(tel["l3_rows"])
+    loads = {int(r["id"]): int(r["load"]) for r in tel["regions"]}
+    peak = max(loads.values()) or 1
+    out = []
+    for row in range(rows):
+        cells = []
+        for col in range(cols):
+            load = loads[row * cols + col]
+            shade = SHADES[min(len(SHADES) - 1,
+                               (load * (len(SHADES) - 1) + peak - 1) // peak)]
+            cells.append((shade, load))
+        out.append(cells)
+    return out
+
+
+def render_terminal(doc):
+    tel = doc["telemetry"]
+    cols, rows = int(tel["l3_cols"]), int(tel["l3_rows"])
+    imb = tel["imbalance"]
+    print(f"region observatory — {cols}x{rows} L3 regions, "
+          f"{tel.get('replicas', 1)} replica(s)")
+    print(f"load: total {int(imb['total_load'])}, "
+          f"max/mean {imb['load_max_over_mean']:.2f}, "
+          f"cv {imb['load_cv']:.2f}")
+
+    print("\nload heatmap (row 0 = south):")
+    for cells in reversed(heatmap_rows(tel)):
+        bar = "  ".join(f"{shade * 2}{load:>8}" for shade, load in cells)
+        print(f"  {bar}")
+
+    print("\nper-region counters:")
+    header = "  region " + " ".join(f"{h:>8}" for _, h in COUNTER_COLUMNS)
+    print(header)
+    for r in tel["regions"]:
+        vals = " ".join(f"{int(r[key]):>8}" for key, _ in COUNTER_COLUMNS)
+        print(f"  r{int(r['row'])}c{int(r['col'])}   {vals}")
+
+    packets = tel["matrix"]["packets"]
+    if any(any(row) for row in packets):
+        print("\nwired traffic matrix (packets, source row -> dest col):")
+        n = len(packets)
+        print("  from\\to " + " ".join(f"{j:>7}" for j in range(n)))
+        for i, row in enumerate(packets):
+            print(f"  {i:>7} " + " ".join(f"{int(v):>7}" for v in row))
+
+    times = tel.get("series", {}).get("times_sec", [])
+    if times:
+        print(f"\nsampled series: {len(times)} ticks, "
+              f"t = {times[0]:g}s .. {times[-1]:g}s "
+              "(vehicles / table_records / queue_depth per region)")
+
+    profile = doc.get("profile")
+    if profile is not None:
+        print("\nphase profile (inclusive wall time):")
+        print_profile_node(profile["root"], depth=0)
+    else:
+        print("\nphase profile: not captured (run with --profile/--obs-out)")
+
+
+def print_profile_node(node, depth):
+    inc_ms = node["inclusive_ns"] / 1e6
+    exc_ms = node["exclusive_ns"] / 1e6
+    name = node["name"]
+    if depth == 0 and name == "root" and not node["calls"]:
+        # The synthetic root carries no timing of its own.
+        print(f"  root ({len(node['children'])} top-level phase(s))")
+    else:
+        print(f"  {'  ' * depth}{name}: {inc_ms:.3f} ms inclusive, "
+              f"{exc_ms:.3f} ms self, {int(node['calls'])} call(s)")
+    for child in node["children"]:
+        print_profile_node(child, depth + 1)
+
+
+def html_profile_node(node, out):
+    out.append("<li><code>{}</code> — {:.3f} ms inclusive, {:.3f} ms self, "
+               "{} call(s)".format(html.escape(str(node["name"])),
+                                   node["inclusive_ns"] / 1e6,
+                                   node["exclusive_ns"] / 1e6,
+                                   int(node["calls"])))
+    if node["children"]:
+        out.append("<ul>")
+        for child in node["children"]:
+            html_profile_node(child, out)
+        out.append("</ul>")
+    out.append("</li>")
+
+
+def render_html(doc, path):
+    tel = doc["telemetry"]
+    cols, rows = int(tel["l3_cols"]), int(tel["l3_rows"])
+    imb = tel["imbalance"]
+    loads = {int(r["id"]): int(r["load"]) for r in tel["regions"]}
+    peak = max(loads.values()) or 1
+
+    out = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>HLSRG region observatory</title><style>",
+        "body{font-family:sans-serif;margin:2em;}",
+        "table{border-collapse:collapse;margin:1em 0;}",
+        "td,th{border:1px solid #999;padding:4px 8px;text-align:right;}",
+        "th{background:#eee;}",
+        ".heat td{width:72px;height:48px;text-align:center;color:#111;}",
+        "</style></head><body>",
+        f"<h1>Region observatory — {cols}×{rows} L3 regions</h1>",
+        f"<p>{tel.get('replicas', 1)} replica(s); total load "
+        f"{int(imb['total_load'])}, max/mean "
+        f"{imb['load_max_over_mean']:.2f}, cv {imb['load_cv']:.2f}</p>",
+        "<h2>Load heatmap</h2><table class='heat'>",
+    ]
+    for row in reversed(range(rows)):
+        out.append("<tr>")
+        for col in range(cols):
+            load = loads[row * cols + col]
+            # White -> red ramp on the load fraction.
+            frac = load / peak
+            g = int(255 * (1.0 - 0.75 * frac))
+            out.append(f"<td style='background:rgb(255,{g},{g})'>"
+                       f"{load}</td>")
+        out.append("</tr>")
+    out.append("</table>")
+
+    out.append("<h2>Per-region counters</h2><table><tr><th>region</th>")
+    out.extend(f"<th>{h}</th>" for _, h in COUNTER_COLUMNS)
+    out.append("</tr>")
+    for r in tel["regions"]:
+        out.append(f"<tr><td>r{int(r['row'])}c{int(r['col'])}</td>")
+        out.extend(f"<td>{int(r[key])}</td>" for key, _ in COUNTER_COLUMNS)
+        out.append("</tr>")
+    out.append("</table>")
+
+    packets = tel["matrix"]["packets"]
+    if any(any(row) for row in packets):
+        n = len(packets)
+        out.append("<h2>Wired traffic matrix (packets, source row → dest "
+                   "col)</h2><table><tr><th>from\\to</th>")
+        out.extend(f"<th>{j}</th>" for j in range(n))
+        out.append("</tr>")
+        for i, row in enumerate(packets):
+            out.append(f"<tr><th>{i}</th>")
+            out.extend(f"<td>{int(v)}</td>" for v in row)
+            out.append("</tr>")
+        out.append("</table>")
+
+    profile = doc.get("profile")
+    if profile is not None:
+        out.append("<h2>Phase profile</h2><ul>")
+        html_profile_node(profile["root"], out)
+        out.append("</ul>")
+
+    out.append("</body></html>")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(out))
+    print(f"wrote {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render an hlsrg-obs/v1 document.")
+    parser.add_argument("obs_json", help="document from --obs-out")
+    parser.add_argument("--html", metavar="FILE",
+                        help="write a self-contained HTML page instead")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the schema and exit")
+    args = parser.parse_args()
+
+    try:
+        with open(args.obs_json, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(str(e))
+    validate(doc)
+    if args.check:
+        print(f"{args.obs_json}: valid {SCHEMA}")
+        return 0
+    if args.html:
+        render_html(doc, args.html)
+    else:
+        render_terminal(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        sys.exit(0)

@@ -18,6 +18,8 @@ void AuditRunner::add(std::unique_ptr<Auditor> auditor) {
 }
 
 AuditReport AuditRunner::run(const AuditScope& scope) const {
+  ProfileScope profile(scope.sim != nullptr ? scope.sim->profiler() : nullptr,
+                       "audit");
   AuditReport report;
   for (const auto& auditor : auditors_) {
     auditor->check(scope, &report);

@@ -119,6 +119,26 @@ ServiceStats HlsrgService::service_stats() const {
   return s;
 }
 
+void HlsrgService::sample_region_stats(
+    const RegionTelemetry& regions, std::vector<std::uint64_t>& table_records,
+    std::vector<std::uint64_t>& queue_depth) const {
+  // Vehicle-held L1 tables land in the holder's current region; RSU tables
+  // and the batching-window backlog land in the RSU's (fixed) region.
+  for (std::size_t i = 0; i < vehicle_agents_.size(); ++i) {
+    const int r = regions.region_of(mobility_->position(VehicleId{i}));
+    table_records[static_cast<std::size_t>(r)] +=
+        vehicle_agents_[i]->table().size();
+  }
+  if (rsus_ == nullptr) return;
+  for (const RsuGrid::Rsu& rsu : rsus_->all()) {
+    const HlsrgRsuAgent& agent = *rsu_agents_[rsu.id.index()];
+    const auto r = static_cast<std::size_t>(regions.region_of(rsu.pos));
+    table_records[r] += agent.l2_table().size() + agent.l3_table().size() +
+                        agent.full_table().size();
+    queue_depth[r] += agent.pending_batches();
+  }
+}
+
 void HlsrgService::on_intersection_pass(VehicleId v, IntersectionId node,
                                         SegmentId in_seg, SegmentId out_seg) {
   vehicle_agents_[v.index()]->handle_intersection_pass(node, in_seg, out_seg);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/simulator.h"
@@ -116,6 +117,27 @@ class LocationService {
   // Observability snapshot: table occupancy plus service-tier counters.
   // Sampled periodically by the World; the default reports an empty service.
   [[nodiscard]] virtual ServiceStats service_stats() const { return {}; }
+
+  // Current position of a vehicle as the protocol sees it; region telemetry
+  // attributes admission decisions (sheds) to the source's region with it.
+  // The origin default only matters for bespoke test stubs with no mobility.
+  [[nodiscard]] virtual Vec2 vehicle_position(VehicleId v) const {
+    (void)v;
+    return Vec2{};
+  }
+
+  // Per-region gauge sampling for the World's periodic sampler: adds this
+  // service's table records and pending-work depth into the per-region rows
+  // (both pre-sized to regions.region_count()). Protocols without tables
+  // keep the default no-op.
+  virtual void sample_region_stats(
+      const RegionTelemetry& regions,
+      std::vector<std::uint64_t>& table_records,
+      std::vector<std::uint64_t>& queue_depth) const {
+    (void)regions;
+    (void)table_records;
+    (void)queue_depth;
+  }
 
   // Wire discriminator of this protocol's query-request packet; admission
   // control books shed queries under it in the PacketLedger.

@@ -63,6 +63,7 @@ void HlsrgRsuAgent::set_up(bool up) {
 }
 
 void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
+  ProfileScope profile(svc_->sim().profiler(), "rsu_handle");
   if (!up_) {
     // Crashed: the packet reached the radio/wire but nobody is listening.
     // Channel-level accounting already settled at the sender, so this is a
@@ -237,6 +238,7 @@ void HlsrgRsuAgent::enqueue_for_batch(const QueryPayload& query, NodeId dest) {
 }
 
 void HlsrgRsuAgent::flush_batch(NodeId dest, VehicleId target) {
+  ProfileScope profile(svc_->sim().profiler(), "batch_flush");
   QueryBatcher::Batch batch = batcher_.take(dest, target);
   if (batch.queries.empty()) return;  // drained by a crash meanwhile
   auto payload = std::make_shared<BatchedQueryPayload>();
@@ -355,6 +357,7 @@ void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
     // Case (1a): the RSU holds the fresh detail itself — "the RSU will ...
     // act as the location server of this request".
     svc_->metrics().rsu_lookup_hits++;
+    svc_->sim().count_region_served(here);
     svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
                              node_.value(), query.target.value(), here,
                              query.query_id, 2, "full_table");
@@ -367,6 +370,7 @@ void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
     // Case (1b): known by summary only — down to the L1 grid center that has
     // the detail.
     svc_->metrics().rsu_lookup_hits++;
+    svc_->sim().count_region_served(here);
     svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
                              node_.value(), query.target.value(), here,
                              query.query_id, 2, "l2_summary");
@@ -380,6 +384,7 @@ void HlsrgRsuAgent::handle_query_l2(const QueryPayload& query) {
   if (svc_->tier().enabled && svc_->tier().caching) {
     if (const L1Record* rec = cache_.probe(query.target, svc_->sim().now())) {
       svc_->metrics().cache_hits++;
+      svc_->sim().count_region_cache_hit(here);
       svc_->sim().observability().add("service.cache_hits");
       svc_->sim().instant_span(SpanKind::kCacheHit, SpanStatus::kOk,
                                node_.value(), query.target.value(), here,
@@ -441,6 +446,7 @@ void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
   if (const L1Record* rec = full_table_.find(query.target)) {
     // The L3 RSU heard the update itself: serve directly.
     svc_->metrics().rsu_lookup_hits++;
+    svc_->sim().count_region_served(here);
     svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
                              node_.value(), query.target.value(), here,
                              query.query_id, 3, "full_table");
@@ -454,6 +460,7 @@ void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
   if (svc_->tier().enabled && svc_->tier().caching) {
     if (const L1Record* rec = cache_.probe(query.target, svc_->sim().now())) {
       svc_->metrics().cache_hits++;
+      svc_->sim().count_region_cache_hit(here);
       svc_->sim().observability().add("service.cache_hits");
       svc_->sim().instant_span(SpanKind::kCacheHit, SpanStatus::kOk,
                                node_.value(), query.target.value(), here,
@@ -469,6 +476,7 @@ void HlsrgRsuAgent::handle_query_l3(const QueryPayload& query) {
     // wired mesh routes across regions (L3 -> owner L3 -> child L2),
     // through the batching window when the tier enables it.
     svc_->metrics().rsu_lookup_hits++;
+    svc_->sim().count_region_served(here);
     svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
                              node_.value(), query.target.value(), here,
                              query.query_id, 3, "l3_summary");

@@ -46,6 +46,7 @@ void HlsrgVehicleAgent::send_initial_update() {
   payload->old_l1 = rec.l1;
   payload->grid_changed = false;
   svc_->metrics().update_packets_originated++;
+  svc_->sim().count_region_update(rec.pos);
   svc_->metrics().update_transmissions++;
   svc_->sim().trace_event(
       {{}, TraceEventKind::kUpdateSent, vehicle_, VehicleId{}, rec.pos, 0});
@@ -117,6 +118,7 @@ void HlsrgVehicleAgent::send_update(const UpdateDecision& decision,
   payload->grid_changed = decision.grid_changed;
   const Packet pkt = svc_->make_packet(PacketKind::kLocationUpdate, node_, payload);
   svc_->metrics().update_packets_originated++;
+  svc_->sim().count_region_update(payload->record.pos);
   svc_->metrics().update_transmissions++;
   svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
                            VehicleId{}, payload->record.pos, 0});
@@ -282,6 +284,7 @@ void HlsrgVehicleAgent::win_election(const QueryPayload& query) {
   table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
   if (const L1Record* rec = table_.find(query.target)) {
     svc_->metrics().server_lookup_hits++;
+    svc_->sim().count_region_served(svc_->vehicle_pos(vehicle_));
     svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
                              vehicle_.value(), query.target.value(),
                              svc_->vehicle_pos(vehicle_), query.query_id, 1);

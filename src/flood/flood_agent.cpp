@@ -30,6 +30,7 @@ void FloodVehicleAgent::flood_own_location() {
   payload->pos = svc_->vehicle_pos(vehicle_);
   payload->time = svc_->sim().now();
   svc_->metrics().update_packets_originated++;
+  svc_->sim().count_region_update(payload->pos);
   svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
                            VehicleId{}, payload->pos, 0});
   svc_->geocast().flood(
@@ -111,6 +112,7 @@ void FloodVehicleAgent::start_query(QueryTracker::QueryId qid,
   svc_->metrics().query_packets_originated++;
 
   if (const CacheEntry* hit = cache_.find(target)) {
+    svc_->sim().count_region_served(probe->src_pos);
     // Proactive path (DREAM's "expected zone"): flood a disk-shaped region
     // around the cached position, sized by how far the target could have
     // driven since the record was made.

@@ -53,6 +53,19 @@ ServiceStats FloodService::service_stats() const {
   return s;
 }
 
+void FloodService::sample_region_stats(
+    const RegionTelemetry& regions, std::vector<std::uint64_t>& table_records,
+    std::vector<std::uint64_t>& queue_depth) const {
+  // FLOOD keeps only per-vehicle position caches; no serving tier, so queue
+  // depth stays zero.
+  (void)queue_depth;
+  for (std::size_t i = 0; i < vehicle_agents_.size(); ++i) {
+    const int r = regions.region_of(mobility_->position(VehicleId{i}));
+    table_records[static_cast<std::size_t>(r)] +=
+        vehicle_agents_[i]->cache_size();
+  }
+}
+
 void FloodService::on_moved(VehicleId v, Vec2 before, Vec2 after) {
   vehicle_agents_[v.index()]->handle_moved(before, after);
 }

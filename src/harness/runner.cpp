@@ -1,7 +1,5 @@
 #include "harness/runner.h"
 
-#include <chrono>
-
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
@@ -71,20 +69,20 @@ ReplicaSet run_replicas(const ScenarioConfig& cfg, Protocol protocol,
   // Three phases per replica, written by index — no locking needed.
   out.phases.resize(n * 3);
   std::vector<MetricsRegistry> registries(n);
+  std::vector<RegionTelemetry> regions(n);
+  std::vector<PhaseProfiler> profiles(n);
   if (threads == 0) {
     threads = default_thread_count(n);
   }
-  const auto epoch = std::chrono::steady_clock::now();
-  const auto since_epoch = [epoch] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         epoch)
-        .count();
-  };
+  // All wall-clock reads go through the sanctioned obs clock (see
+  // src/obs/profiler.h); raw <chrono> stays confined to that TU.
+  const double epoch = monotonic_now_sec();
+  const auto since_epoch = [epoch] { return monotonic_now_sec() - epoch; };
   parallel_for(n, threads, [&](std::size_t i) {
     ScenarioConfig replica_cfg = cfg;
     replica_cfg.seed = cfg.seed + i;
     const int rep = static_cast<int>(i);
-    const auto start = std::chrono::steady_clock::now();
+    const double start = monotonic_now_sec();
     const double build_begin = since_epoch();
     World world(replica_cfg, protocol);
     if (i == 0 && trace_replica0 != nullptr) {
@@ -93,20 +91,25 @@ ReplicaSet run_replicas(const ScenarioConfig& cfg, Protocol protocol,
     const double build_end = since_epoch();
     out.phases[i * 3] = EnginePhase{"build", rep, build_begin, build_end};
     out.replicas[i] = world.run();
-    const auto stop = std::chrono::steady_clock::now();
+    const double stop = monotonic_now_sec();
     const double run_end = since_epoch();
     out.phases[i * 3 + 1] = EnginePhase{"run", rep, build_end, run_end};
     out.digests[i] = state_digest(world);
     out.phases[i * 3 + 2] = EnginePhase{"digest", rep, run_end, since_epoch()};
     out.engine[i] = world.sim().engine_stats();
-    out.engine[i].wall_clock_sec =
-        std::chrono::duration<double>(stop - start).count();
+    out.engine[i].wall_clock_sec = stop - start;
     out.engine[i].peak_rss_bytes = peak_rss_bytes();
     registries[i] = world.sim().observability();
+    regions[i] = world.regions();
+    if (world.profiler() != nullptr) profiles[i] = *world.profiler();
   });
+  // Merge in replica order (not completion order) so the aggregate is a pure
+  // function of the replica results regardless of thread interleaving.
   for (const RunMetrics& m : out.replicas) out.merged.merge(m);
   for (const EngineStats& e : out.engine) out.engine_total.merge(e);
   for (const MetricsRegistry& r : registries) out.observability.merge(r);
+  for (const RegionTelemetry& r : regions) out.regions.merge(r);
+  for (const PhaseProfiler& p : profiles) out.profile.merge(p);
   return out;
 }
 

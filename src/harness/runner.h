@@ -9,13 +9,15 @@
 
 #include "harness/scenario.h"
 #include "harness/world.h"
+#include "obs/profiler.h"
+#include "obs/region_telemetry.h"
 #include "sim/counters.h"
 #include "trace/metrics.h"
 
 namespace hlsrg {
 
 // One wall-clock engine phase of a replica (build / run / digest), measured
-// against a common steady_clock epoch taken at run_replicas entry. Feeds the
+// against a common monotonic epoch taken at run_replicas entry. Feeds the
 // engine track of the Chrome-trace exporter (trace/chrome_trace.h).
 struct EnginePhase {
   std::string name;
@@ -44,6 +46,12 @@ struct ReplicaSet {
   // Observability registries of all replicas, merged (counters summed,
   // histograms pooled, time series kept from the first replica).
   MetricsRegistry observability;
+  // Per-L3-region telemetry of all replicas, merged in replica order
+  // (counters and traffic matrix summed, series kept from replica 0).
+  RegionTelemetry regions;
+  // Wall-clock phase profile merged across replicas; empty() unless
+  // cfg.profile was set.
+  PhaseProfiler profile;
 
   [[nodiscard]] double mean_update_overhead() const;
   [[nodiscard]] double mean_query_overhead() const;

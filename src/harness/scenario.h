@@ -80,6 +80,12 @@ struct ScenarioConfig {
   // events, table records — see trace/metrics.h). Zero disables sampling.
   SimTime sample_interval = SimTime::from_sec(5.0);
 
+  // Wall-clock phase profiler (src/obs/profiler.h). Off by default; enabling
+  // it attaches hierarchical timers to the engine hot paths. Timers read the
+  // host clock only — no RNG, no events — so digests are identical either
+  // way (pinned by tests/obs_test.cpp).
+  bool profile = false;
+
   // --- heavy-traffic service tier (src/service) ------------------------------
   // Open-loop load, RSU query batching, hot-destination caching, and load
   // shedding. Disabled by default: the default config is behaviorally inert

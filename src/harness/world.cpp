@@ -32,6 +32,25 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
   hierarchy_ = std::make_unique<GridHierarchy>(
       net_, build_partition(net_, cfg_.partition));
 
+  // Region telemetry mirrors the L1 boundary lines (and thus the exact L3
+  // cell arithmetic) of the partition just built. Always attached: feeding
+  // it is counter increments only, so it never perturbs digests.
+  {
+    const Partition& part = hierarchy_->partition();
+    std::vector<double> x_edges;
+    std::vector<double> y_edges;
+    x_edges.reserve(part.x_lines.size());
+    y_edges.reserve(part.y_lines.size());
+    for (const BoundaryLine& l : part.x_lines) x_edges.push_back(l.coord);
+    for (const BoundaryLine& l : part.y_lines) y_edges.push_back(l.coord);
+    regions_ = RegionTelemetry(std::move(x_edges), std::move(y_edges));
+  }
+  sim_.set_regions(&regions_);
+  if (cfg_.profile) {
+    profiler_ = std::make_unique<PhaseProfiler>();
+    sim_.set_profiler(profiler_.get());
+  }
+
   medium_ = std::make_unique<RadioMedium>(sim_, registry_, cfg_.radio);
   gpsr_ = std::make_unique<GpsrRouter>(*medium_, registry_, cfg_.gpsr);
   GeocastConfig geocast_cfg = cfg_.geocast;
@@ -311,6 +330,20 @@ void World::schedule_sampler() {
                      ? 1.0
                      : static_cast<double>(m.queries_succeeded) / settled);
     }
+    // Per-region gauges: vehicle population by current position, plus the
+    // service's table/backlog attribution (see sample_region_stats).
+    const auto regions = static_cast<std::size_t>(regions_.region_count());
+    std::vector<std::uint64_t> vehicles(regions, 0);
+    std::vector<std::uint64_t> table_records(regions, 0);
+    std::vector<std::uint64_t> queue_depth(regions, 0);
+    for (int v = 0; v < cfg_.vehicles; ++v) {
+      const int r = regions_.region_of(
+          mobility_->position(VehicleId{static_cast<std::uint32_t>(v)}));
+      ++vehicles[static_cast<std::size_t>(r)];
+    }
+    service_->sample_region_stats(regions_, table_records, queue_depth);
+    regions_.push_sample(now_sec, std::move(vehicles),
+                         std::move(table_records), std::move(queue_depth));
     if (sim_.now() + cfg_.sample_interval <= cfg_.end_time()) {
       schedule_sampler();
     }

@@ -74,6 +74,14 @@ class World {
   // log must outlive the World's remaining run time.
   void attach_trace(TraceLog* trace) { sim_.set_trace(trace); }
 
+  // Per-L3-region telemetry (always on; counter increments only, so it is
+  // digest-neutral like MetricsRegistry).
+  [[nodiscard]] const RegionTelemetry& regions() const { return regions_; }
+  // Wall-clock phase profiler; null unless cfg.profile was set.
+  [[nodiscard]] const PhaseProfiler* profiler() const {
+    return profiler_.get();
+  }
+
   // Node directory (failure injection in tests: silencing a node's sink
   // models an outage — packets to it fall on deaf ears).
   [[nodiscard]] NodeRegistry& registry() { return registry_; }
@@ -127,6 +135,8 @@ class World {
   Simulator sim_;
   RoadNetwork net_;
   std::unique_ptr<GridHierarchy> hierarchy_;
+  RegionTelemetry regions_;
+  std::unique_ptr<PhaseProfiler> profiler_;
   NodeRegistry registry_;
   std::unique_ptr<RadioMedium> medium_;
   std::unique_ptr<GpsrRouter> gpsr_;

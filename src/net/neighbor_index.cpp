@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace hlsrg {
@@ -21,12 +22,13 @@ std::vector<NodeId>& NeighborIndex::cell_nodes_mut(std::uint64_t key) {
   return cells_[slot];
 }
 
-void NeighborIndex::refresh(SimTime now) {
+void NeighborIndex::refresh(SimTime now, PhaseProfiler* profiler) {
   const std::uint64_t generation = registry_->position_generation();
   if (built_at_ == now && built_generation_ == generation &&
       cached_pos_.size() == registry_->count()) {
     return;
   }
+  ProfileScope scope(profiler, "neighbor_index_rebuild");
   ++stamp_;  // invalidates every cached density
   if (cached_pos_.size() == registry_->count() && !cached_pos_.empty()) {
     rebuild_incremental();

@@ -31,6 +31,8 @@
 
 namespace hlsrg {
 
+class PhaseProfiler;
+
 class NeighborIndex {
  public:
   // `density_saturation` < 0 disables the cell-sum shortcut: local_density()
@@ -41,8 +43,9 @@ class NeighborIndex {
         saturation_(density_saturation) {}
 
   // Ensures the index reflects positions as of `now` and the registry's
-  // current position generation.
-  void refresh(SimTime now);
+  // current position generation. A non-null profiler times the rebuild path
+  // (the cheap staleness check is never profiled).
+  void refresh(SimTime now, PhaseProfiler* profiler = nullptr);
 
   // Appends all nodes within `radius` of `p` (excluding `exclude` if valid)
   // to `out`. Caller must refresh() first; checked.

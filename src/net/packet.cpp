@@ -60,4 +60,33 @@ const char* packet_kind_name(PacketKind kind) {
   return "unknown";
 }
 
+std::uint64_t packet_wire_bytes(PacketKind kind) {
+  // 32-byte nominal header on every message; payload estimates by role:
+  // aggregates (summaries, gossip, batches) dwarf single-record traffic.
+  constexpr std::uint64_t kHeader = 32;
+  switch (kind) {
+    case PacketKind::kL2Summary:
+    case PacketKind::kL3Gossip:
+    case PacketKind::kCellSummary:
+    case PacketKind::kQueryBatch:
+    case PacketKind::kRlsmpBatch:
+      return kHeader + 224;  // multi-record aggregate
+    case PacketKind::kQueryRequest:
+    case PacketKind::kRlsmpQuery:
+    case PacketKind::kFloodQuery:
+    case PacketKind::kFloodProbe:
+    case PacketKind::kNotification:
+    case PacketKind::kRlsmpNotify:
+    case PacketKind::kCacheFill:
+      return kHeader + 64;  // one record + routing context
+    case PacketKind::kHello:
+    case PacketKind::kServerClaim:
+    case PacketKind::kLscClaim:
+    case PacketKind::kPushClaim:
+      return kHeader + 8;  // id-only control beacon
+    default:
+      return kHeader + 32;  // single location record
+  }
+}
+
 }  // namespace hlsrg

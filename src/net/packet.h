@@ -63,6 +63,12 @@ enum class PacketKind : int {
 // outside the enum.
 [[nodiscard]] const char* packet_kind_name(PacketKind kind);
 
+// Nominal on-wire size for backhaul accounting (region traffic matrix).
+// Packet carries no real serialization, so this is a declared cost model —
+// header plus a per-kind payload estimate — not a measurement; the matrix
+// byte counts are only meaningful relative to each other.
+[[nodiscard]] std::uint64_t packet_wire_bytes(PacketKind kind);
+
 struct PayloadBase {
   virtual ~PayloadBase() = default;
 };

@@ -61,7 +61,8 @@ void RadioMedium::deliver(NodeId to, std::shared_ptr<const Packet> pkt,
 }
 
 int RadioMedium::broadcast(NodeId sender, const Packet& pkt) {
-  index_.refresh(sim_->now());
+  ProfileScope profile(sim_->profiler(), "radio_broadcast");
+  index_.refresh(sim_->now(), sim_->profiler());
   scratch_.clear();
   density_scratch_.clear();
   const Vec2 sp = registry_->position(sender);
@@ -73,6 +74,8 @@ int RadioMedium::broadcast(NodeId sender, const Packet& pkt) {
                               &density_scratch_);
   }
   sim_->metrics().radio_broadcasts++;
+  RegionTelemetry* regions = sim_->regions();
+  if (regions != nullptr) ++regions->at(regions->region_of(sp)).radio_broadcasts;
   const SimTime delay = hop_delay();
   const int kind = static_cast<int>(pkt.kind);
   const SpanId ctx = sim_->active_span();
@@ -87,9 +90,15 @@ int RadioMedium::broadcast(NodeId sender, const Packet& pkt) {
             loss_probability(distance(sp, rp), density_scratch_[i], rp))) {
       sim_->metrics().radio_drops++;
       sim_->metrics().channel.add_dropped(kind);
+      if (regions != nullptr) {
+        ++regions->at(regions->region_of(rp)).radio_dropped;
+      }
       continue;
     }
     sim_->metrics().channel.add_delivered(kind);
+    if (regions != nullptr) {
+      ++regions->at(regions->region_of(rp)).radio_delivered;
+    }
     if (shared == nullptr) shared = std::make_shared<const Packet>(pkt);
     deliver(rx, shared, sender, delay, ctx);
   }
@@ -99,7 +108,8 @@ int RadioMedium::broadcast(NodeId sender, const Packet& pkt) {
 int RadioMedium::broadcast_each(NodeId sender, PacketKind pkt_kind,
                                 std::function<void(NodeId)> on_deliver) {
   HLSRG_CHECK(on_deliver != nullptr);
-  index_.refresh(sim_->now());
+  ProfileScope profile(sim_->profiler(), "radio_broadcast");
+  index_.refresh(sim_->now(), sim_->profiler());
   scratch_.clear();
   density_scratch_.clear();
   const Vec2 sp = registry_->position(sender);
@@ -111,6 +121,8 @@ int RadioMedium::broadcast_each(NodeId sender, PacketKind pkt_kind,
                               &density_scratch_);
   }
   sim_->metrics().radio_broadcasts++;
+  RegionTelemetry* regions = sim_->regions();
+  if (regions != nullptr) ++regions->at(regions->region_of(sp)).radio_broadcasts;
   const SimTime delay = hop_delay();
   const int kind = static_cast<int>(pkt_kind);
   const SpanId ctx = sim_->active_span();
@@ -124,9 +136,15 @@ int RadioMedium::broadcast_each(NodeId sender, PacketKind pkt_kind,
             loss_probability(distance(sp, rp), density_scratch_[i], rp))) {
       sim_->metrics().radio_drops++;
       sim_->metrics().channel.add_dropped(kind);
+      if (regions != nullptr) {
+        ++regions->at(regions->region_of(rp)).radio_dropped;
+      }
       continue;
     }
     sim_->metrics().channel.add_delivered(kind);
+    if (regions != nullptr) {
+      ++regions->at(regions->region_of(rp)).radio_delivered;
+    }
     sim_->schedule_after(delay, [this, shared_deliver, rx, ctx] {
       SpanScope scope(sim(), ctx);
       (*shared_deliver)(rx);
@@ -140,11 +158,14 @@ void RadioMedium::try_unicast(NodeId sender, NodeId target,
                               int attempts_left,
                               std::function<void()> on_lost, SpanId span,
                               SpanId ctx) {
-  index_.refresh(sim_->now());
+  ProfileScope profile(sim_->profiler(), "radio_unicast");
+  index_.refresh(sim_->now(), sim_->profiler());
   const Vec2 sp = registry_->position(sender);
   const Vec2 tp = registry_->position(target);
   const double d = distance(sp, tp);
   sim_->metrics().radio_unicasts++;
+  RegionTelemetry* regions = sim_->regions();
+  if (regions != nullptr) ++regions->at(regions->region_of(sp)).radio_unicasts;
   const int kind = static_cast<int>(pkt->kind);
   sim_->metrics().channel.add_offered(kind);
   const std::int32_t retries_used = cfg_.unicast_retries - attempts_left;
@@ -152,6 +173,9 @@ void RadioMedium::try_unicast(NodeId sender, NodeId target,
     const int density = density_at(target);
     if (!sim_->radio_rng().chance(loss_probability(d, density, tp))) {
       sim_->metrics().channel.add_delivered(kind);
+      if (regions != nullptr) {
+        ++regions->at(regions->region_of(tp)).radio_delivered;
+      }
       deliver(target, std::move(pkt), sender, hop_delay(), ctx, span,
               retries_used);
       return;
@@ -159,6 +183,7 @@ void RadioMedium::try_unicast(NodeId sender, NodeId target,
   }
   sim_->metrics().radio_drops++;
   sim_->metrics().channel.add_dropped(kind);
+  if (regions != nullptr) ++regions->at(regions->region_of(tp)).radio_dropped;
   if (attempts_left > 0) {
     sim_->schedule_after(
         SimTime::from_ms(cfg_.retry_delay_ms),
@@ -194,11 +219,14 @@ void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
                                     std::function<void()> on_delivered,
                                     std::function<void()> on_lost, SpanId span,
                                     SpanId ctx) {
-  index_.refresh(sim_->now());
+  ProfileScope profile(sim_->profiler(), "radio_unicast");
+  index_.refresh(sim_->now(), sim_->profiler());
   const Vec2 sp = registry_->position(sender);
   const Vec2 tp = registry_->position(target);
   const double d = distance(sp, tp);
   sim_->metrics().radio_unicasts++;
+  RegionTelemetry* regions = sim_->regions();
+  if (regions != nullptr) ++regions->at(regions->region_of(sp)).radio_unicasts;
   const int kind = static_cast<int>(pkt_kind);
   sim_->metrics().channel.add_offered(kind);
   const std::int32_t retries_used = cfg_.unicast_retries - attempts_left;
@@ -206,6 +234,9 @@ void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
     const int density = density_at(target);
     if (!sim_->radio_rng().chance(loss_probability(d, density, tp))) {
       sim_->metrics().channel.add_delivered(kind);
+      if (regions != nullptr) {
+        ++regions->at(regions->region_of(tp)).radio_delivered;
+      }
       sim_->schedule_after(
           hop_delay(), [this, cb = std::move(on_delivered), tp, span, ctx,
                         retries_used] {
@@ -218,6 +249,7 @@ void RadioMedium::try_unicast_frame(NodeId sender, NodeId target,
   }
   sim_->metrics().radio_drops++;
   sim_->metrics().channel.add_dropped(kind);
+  if (regions != nullptr) ++regions->at(regions->region_of(tp)).radio_dropped;
   if (attempts_left > 0) {
     sim_->schedule_after(
         SimTime::from_ms(cfg_.retry_delay_ms),
@@ -250,7 +282,7 @@ void RadioMedium::unicast_frame(NodeId sender, NodeId target, PacketKind kind,
 }
 
 void RadioMedium::neighbors_of(NodeId node, std::vector<NodeId>* out) {
-  index_.refresh(sim_->now());
+  index_.refresh(sim_->now(), sim_->profiler());
   out->clear();
   index_.query(registry_->position(node), cfg_.range_m, node, out);
 }
@@ -258,7 +290,7 @@ void RadioMedium::neighbors_of(NodeId node, std::vector<NodeId>* out) {
 void RadioMedium::nodes_near(Vec2 pos, double radius, NodeId exclude,
                              std::vector<NodeId>* out) {
   HLSRG_CHECK(radius <= cfg_.range_m);
-  index_.refresh(sim_->now());
+  index_.refresh(sim_->now(), sim_->profiler());
   out->clear();
   index_.query(pos, radius, exclude, out);
 }

@@ -72,7 +72,9 @@ int WiredNetwork::hop_count(NodeId from, NodeId to) const {
 
 bool WiredNetwork::send(NodeId from, NodeId to, const Packet& pkt,
                         std::uint64_t* tx_counter) {
+  ProfileScope profile(sim_->profiler(), "wired_send");
   const int hops = hop_count(from, to);
+  RegionTelemetry* regions = sim_->regions();
   if (hops < 0) {
     // Unreachable: the message is offered to the backhaul and lost at the
     // edge. Record the offered+dropped pair so the conservation auditor's
@@ -81,6 +83,9 @@ bool WiredNetwork::send(NodeId from, NodeId to, const Packet& pkt,
     sim_->metrics().channel.add_offered(static_cast<int>(pkt.kind));
     sim_->metrics().channel.add_dropped(static_cast<int>(pkt.kind));
     ++sim_->metrics().wired_drops;
+    if (regions != nullptr) {
+      regions->add_wired_dropped(regions->region_of(registry_->position(from)));
+    }
     ++*unreachable_counter_;
     return false;
   }
@@ -88,6 +93,12 @@ bool WiredNetwork::send(NodeId from, NodeId to, const Packet& pkt,
   // A routable wired send always arrives: offered and delivered.
   sim_->metrics().channel.add_offered(static_cast<int>(pkt.kind));
   sim_->metrics().channel.add_delivered(static_cast<int>(pkt.kind));
+  if (regions != nullptr) {
+    regions->add_wired_delivered(
+        regions->region_of(registry_->position(from)),
+        regions->region_of(registry_->position(to)), hops,
+        packet_wire_bytes(pkt.kind));
+  }
   if (tx_counter != nullptr) *tx_counter += static_cast<std::uint64_t>(hops);
   hops_hist_->record(hops);
   const SimTime latency =

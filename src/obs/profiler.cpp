@@ -1,0 +1,103 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace hlsrg {
+
+// The engine's single sanctioned wall-clock site (see the header). Keeping
+// the <chrono> reads out-of-line here means no inline-expanded clock call
+// ever appears in another translation unit.
+std::uint64_t monotonic_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double monotonic_now_sec() {
+  return static_cast<double>(monotonic_now_ns()) * 1e-9;
+}
+
+namespace {
+
+// Literal-identity fast path, strcmp fallback for ODR-duplicated literals.
+bool same_name(const char* a, const char* b) {
+  return a == b || std::strcmp(a, b) == 0;
+}
+
+}  // namespace
+
+int PhaseProfiler::find(const char* name, int parent) const {
+  const Node& p = nodes_[static_cast<std::size_t>(parent)];
+  for (int c : p.children) {
+    if (same_name(nodes_[static_cast<std::size_t>(c)].name, name)) return c;
+  }
+  return -1;
+}
+
+int PhaseProfiler::child_of(int parent, const char* name) {
+  const int found = find(name, parent);
+  if (found >= 0) return found;
+  const int idx = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{name, parent, 0, 0, 0, {}});
+  nodes_[static_cast<std::size_t>(parent)].children.push_back(idx);
+  return idx;
+}
+
+void PhaseProfiler::merge(const PhaseProfiler& other) {
+  // Recursive name-path match; sums are order-independent, so merging
+  // replicas in any order yields the same tree totals.
+  struct Frame {
+    int theirs;
+    int mine;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& theirs = other.nodes_[static_cast<std::size_t>(f.theirs)];
+    Node& mine = nodes_[static_cast<std::size_t>(f.mine)];
+    mine.calls += theirs.calls;
+    mine.inclusive_ns += theirs.inclusive_ns;
+    mine.child_ns += theirs.child_ns;
+    for (int c : theirs.children) {
+      const int mc =
+          child_of(f.mine, other.nodes_[static_cast<std::size_t>(c)].name);
+      stack.push_back({c, mc});
+    }
+  }
+}
+
+JsonValue PhaseProfiler::to_json() const {
+  // Recursive export with children sorted by name for a stable byte layout.
+  struct Export {
+    const PhaseProfiler* prof;
+
+    [[nodiscard]] JsonValue node(int idx) const {
+      const Node& n = prof->nodes_[static_cast<std::size_t>(idx)];
+      JsonValue v = JsonValue::object();
+      v.set("name", n.name);
+      v.set("calls", n.calls);
+      v.set("inclusive_ns", n.inclusive_ns);
+      v.set("exclusive_ns", n.exclusive_ns());
+      std::vector<int> kids = n.children;
+      std::sort(kids.begin(), kids.end(), [this](int a, int b) {
+        return std::strcmp(prof->nodes_[static_cast<std::size_t>(a)].name,
+                           prof->nodes_[static_cast<std::size_t>(b)].name) < 0;
+      });
+      JsonValue children = JsonValue::array();
+      for (int c : kids) children.push_back(node(c));
+      v.set("children", std::move(children));
+      return v;
+    }
+  };
+
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "hlsrg-profile/v1");
+  doc.set("root", Export{this}.node(0));
+  return doc;
+}
+
+}  // namespace hlsrg

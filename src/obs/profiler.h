@@ -1,0 +1,112 @@
+// Wall-clock phase profiler: hierarchical RAII timers over engine phases.
+//
+// PhaseProfiler keeps a tree of named nodes (find-or-create by string
+// literal under the current node); ProfileScope pushes a node on entry and
+// adds the elapsed monotonic nanoseconds on exit. The profiler is pure
+// observation: it draws no randomness, schedules no events, and touches no
+// simulation state, so enabling it cannot perturb determinism digests — the
+// clock values only ever flow into reports and traces, never back into the
+// engine (the digest-neutrality test in tests/obs_test.cpp pins this).
+//
+// This file and profiler.cpp are the engine's single sanctioned wall-clock
+// site (determinism lint rule `wall-clock`): everything else that needs a
+// timestamp — the replica runner, scenario_cli, benches — goes through
+// monotonic_now_ns()/monotonic_now_sec() so raw <chrono> clock reads stay
+// confined to one translation unit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "report/json.h"
+
+namespace hlsrg {
+
+// Monotonic wall clock. Defined in profiler.cpp (the allowlisted wall-clock
+// translation unit); never use raw std::chrono clocks elsewhere in src/.
+[[nodiscard]] std::uint64_t monotonic_now_ns();
+[[nodiscard]] double monotonic_now_sec();
+
+class PhaseProfiler {
+ public:
+  // Node 0 is the synthetic root; every top-level phase is its child.
+  struct Node {
+    const char* name = "";
+    int parent = -1;
+    std::uint64_t calls = 0;
+    std::uint64_t inclusive_ns = 0;  // total time with this node open
+    std::uint64_t child_ns = 0;      // time attributed to child nodes
+    std::vector<int> children;
+
+    // Self time; clamped because parent/child clock reads truncate
+    // independently, so child sums can exceed the parent by a few ns.
+    [[nodiscard]] std::uint64_t exclusive_ns() const {
+      return inclusive_ns > child_ns ? inclusive_ns - child_ns : 0;
+    }
+  };
+
+  PhaseProfiler() { nodes_.push_back(Node{"root", -1, 0, 0, 0, {}}); }
+
+  // Opens the named phase as a child of the current one. `name` must outlive
+  // the profiler (string literals in practice).
+  void begin(const char* name) {
+    current_ = child_of(current_, name);
+    ++nodes_[static_cast<std::size_t>(current_)].calls;
+  }
+
+  // Closes the current phase, crediting `elapsed_ns` to it (inclusive) and
+  // to the parent's child time.
+  void end(std::uint64_t elapsed_ns) {
+    Node& node = nodes_[static_cast<std::size_t>(current_)];
+    node.inclusive_ns += elapsed_ns;
+    if (node.parent >= 0) {
+      nodes_[static_cast<std::size_t>(node.parent)].child_ns += elapsed_ns;
+    }
+    current_ = node.parent;
+  }
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] bool empty() const { return nodes_.size() == 1; }
+
+  // Child of `parent` named `name`, or -1. For tests and the exporters.
+  [[nodiscard]] int find(const char* name, int parent = 0) const;
+
+  // Sums `other` into this tree, matching nodes by name path (replica merge:
+  // calls and times add; structure is the union of both trees).
+  void merge(const PhaseProfiler& other);
+
+  // {"schema":"hlsrg-profile/v1","root":{name,calls,inclusive_ns,
+  //  exclusive_ns,children:[…]}} with children sorted by name so replica
+  // merges and reruns serialize identically regardless of discovery order.
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  [[nodiscard]] int child_of(int parent, const char* name);
+
+  std::vector<Node> nodes_;
+  int current_ = 0;
+};
+
+// RAII phase guard; a null profiler makes it a no-op (two pointer checks),
+// so instrumentation sites never branch on "is profiling enabled".
+class ProfileScope {
+ public:
+  ProfileScope(PhaseProfiler* profiler, const char* name) : prof_(profiler) {
+    if (prof_ != nullptr) {
+      prof_->begin(name);
+      start_ns_ = monotonic_now_ns();
+    }
+  }
+  ~ProfileScope() {
+    if (prof_ != nullptr) prof_->end(monotonic_now_ns() - start_ns_);
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  PhaseProfiler* prof_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace hlsrg

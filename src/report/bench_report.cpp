@@ -38,9 +38,17 @@ void BenchReport::add_result(const std::string& label,
   result.report.latency = LatencySummary::from(set.merged.query_latency);
   result.report.engine = set.engine_total;
   result.report.observability = registry_to_json(set.observability);
+  if (!set.profile.empty()) result.report.profile = set.profile.to_json();
   result.replica_engine = set.engine;
   result.derived = derived_metrics_json(set.merged, cfg.service.enabled,
                                       set.replicas.size());
+  if (set.regions.configured()) {
+    // Region load-imbalance summary (obs/region_telemetry.h): how unevenly
+    // the merged delivery load spread over the L3 regions.
+    const RegionTelemetry::Imbalance imb = set.regions.load_imbalance();
+    result.derived.set("region_load_max_over_mean", imb.max_over_mean);
+    result.derived.set("region_imbalance_cv", imb.cv);
+  }
   row->results.push_back(std::move(result));
 }
 

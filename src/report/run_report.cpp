@@ -54,6 +54,9 @@ JsonValue scenario_to_json(const ScenarioConfig& cfg) {
   o.set("query_window_sec", cfg.query_window.sec());
   o.set("grace_sec", cfg.grace.sec());
   o.set("sample_interval_sec", cfg.sample_interval.sec());
+  // Only when set, so profiler-free reports stay byte-identical to older
+  // builds (same pattern as the service-tier block below).
+  if (cfg.profile) o.set("profile", cfg.profile);
   o.set("parked_fraction", cfg.mobility.parked_fraction);
   o.set("use_rsus", cfg.hlsrg.use_rsus);
   o.set("suppress_artery_updates", cfg.hlsrg.suppress_artery_updates);
@@ -126,6 +129,7 @@ void scenario_from_json(const JsonValue& v, ScenarioConfig* cfg) {
     cfg->sample_interval =
         SimTime::from_sec(v.at("sample_interval_sec").as_double());
   }
+  if (v.contains("profile")) cfg->profile = v.at("profile").as_bool();
   if (v.contains("parked_fraction")) {
     cfg->mobility.parked_fraction = v.at("parked_fraction").as_double();
   }
@@ -405,6 +409,7 @@ JsonValue RunReport::to_json() const {
   o.set("latency", latency_to_json(latency));
   o.set("engine", engine_to_json(engine));
   if (!observability.is_null()) o.set("observability", observability);
+  if (!profile.is_null()) o.set("profile", profile);
   return o;
 }
 
@@ -434,6 +439,7 @@ bool RunReport::from_json(const JsonValue& v, RunReport* out,
   latency_from_json(v.at("latency"), &out->latency);
   engine_from_json(v.at("engine"), &out->engine);
   if (v.contains("observability")) out->observability = v.at("observability");
+  if (v.contains("profile")) out->profile = v.at("profile");
   return true;
 }
 

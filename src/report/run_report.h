@@ -43,6 +43,9 @@ struct RunReport {
   // counters, gauges, latency histograms, and time series. Null when the run
   // produced none; carried through to_json/from_json verbatim.
   JsonValue observability;
+  // Optional wall-clock phase profile (obs/profiler.h to_json). Null unless
+  // the run profiled; carried through verbatim like `observability`.
+  JsonValue profile;
 
   [[nodiscard]] JsonValue to_json() const;
   // Inverse of to_json for the serialized field set; unknown fields are

@@ -25,6 +25,7 @@ void RlsmpVehicleAgent::send_initial_update() {
   payload->old_cell = cell;
   payload->cell_changed = false;
   svc_->metrics().update_packets_originated++;
+  svc_->sim().count_region_update(payload->record.pos);
   svc_->metrics().update_transmissions++;
   svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
                            VehicleId{}, payload->record.pos, 0});
@@ -81,6 +82,7 @@ void RlsmpVehicleAgent::send_cell_update(CellCoord old_cell,
   payload->old_cell = old_cell;
   payload->cell_changed = true;
   svc_->metrics().update_packets_originated++;
+  svc_->sim().count_region_update(payload->record.pos);
   svc_->metrics().update_transmissions++;
   svc_->sim().trace_event({{}, TraceEventKind::kUpdateSent, vehicle_,
                            VehicleId{}, payload->record.pos, 0});
@@ -317,6 +319,7 @@ void RlsmpVehicleAgent::lsc_win_election(QueryId qid,
   purge_tables();
   if (const CellRecord* rec = cluster_table_.find(query.target)) {
     svc_->metrics().server_lookup_hits++;
+    svc_->sim().count_region_served(svc_->vehicle_pos(vehicle_));
     svc_->sim().instant_span(SpanKind::kTableLookup, SpanStatus::kOk,
                              vehicle_.value(), query.target.value(),
                              svc_->vehicle_pos(vehicle_), qid, -1,

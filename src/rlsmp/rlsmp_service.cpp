@@ -72,6 +72,20 @@ ServiceStats RlsmpService::service_stats() const {
   return s;
 }
 
+void RlsmpService::sample_region_stats(
+    const RegionTelemetry& regions, std::vector<std::uint64_t>& table_records,
+    std::vector<std::uint64_t>& queue_depth) const {
+  // All RLSMP state is vehicle-held (cell + cluster tables); there is no
+  // fixed serving tier, so queue depth stays zero.
+  (void)queue_depth;
+  for (std::size_t i = 0; i < vehicle_agents_.size(); ++i) {
+    const int r = regions.region_of(mobility_->position(VehicleId{i}));
+    table_records[static_cast<std::size_t>(r)] +=
+        vehicle_agents_[i]->cell_table_size() +
+        vehicle_agents_[i]->cluster_table_size();
+  }
+}
+
 void RlsmpService::on_moved(VehicleId v, Vec2 before, Vec2 after) {
   vehicle_agents_[v.index()]->handle_moved(before, after);
 }

@@ -31,6 +31,13 @@ class RlsmpService final : public LocationService, public MovementListener {
   QueryTracker::QueryId issue_query(VehicleId src, VehicleId dst) override;
   [[nodiscard]] QueryTracker& tracker() override { return tracker_; }
   [[nodiscard]] ServiceStats service_stats() const override;
+  [[nodiscard]] Vec2 vehicle_position(VehicleId v) const override {
+    return vehicle_pos(v);
+  }
+  void sample_region_stats(const RegionTelemetry& regions,
+                           std::vector<std::uint64_t>& table_records,
+                           std::vector<std::uint64_t>& queue_depth)
+      const override;
   [[nodiscard]] PacketKind query_kind() const override {
     return PacketKind::kRlsmpQuery;
   }

@@ -49,6 +49,10 @@ class QueryAdmission {
     if (overloaded_) {
       ++m.queries_shed;
       m.channel.add_shed(static_cast<int>(svc_->query_kind()));
+      if (RegionTelemetry* regions = sim_->regions()) {
+        ++regions->at(regions->region_of(svc_->vehicle_position(src)))
+              .queries_shed;
+      }
       sim_->instant_span(SpanKind::kShed, SpanStatus::kFailed, src.value(),
                          dst.value(), Vec2{}, kNoQuery, -1, "query");
       return std::nullopt;
@@ -68,6 +72,12 @@ class QueryAdmission {
     RunMetrics& m = sim_->metrics();
     ++m.retries_shed;
     m.channel.add_shed(static_cast<int>(svc_->query_kind()));
+    if (RegionTelemetry* regions = sim_->regions()) {
+      ++regions
+            ->at(regions->region_of(
+                svc_->vehicle_position(svc_->tracker().source_of(id))))
+            .queries_shed;
+    }
     sim_->instant_span(SpanKind::kShed, SpanStatus::kFailed,
                        svc_->tracker().source_of(id).value(),
                        svc_->tracker().target_of(id).value(), Vec2{}, id, -1,

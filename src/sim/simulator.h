@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "obs/profiler.h"
+#include "obs/region_telemetry.h"
 #include "sim/counters.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
@@ -47,7 +49,12 @@ class Simulator {
   }
   bool cancel(EventHandle h) { return queue_.cancel(h); }
 
-  std::size_t run_until(SimTime until) { return queue_.run_until(until); }
+  // Runs the queue up to `until`. With a profiler attached the dispatch loop
+  // runs here (one "dispatch" scope per event under "event_loop") instead of
+  // inside EventQueue; order, counters, and the final clock advance are
+  // identical either way, so the profiled and unprofiled paths produce the
+  // same digests.
+  std::size_t run_until(SimTime until);
 
   [[nodiscard]] EventQueue& queue() { return queue_; }
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
@@ -144,11 +151,43 @@ class Simulator {
     return observability_;
   }
 
+  // Per-L3-region telemetry; null (default) when the world has no region
+  // geometry (unit tests driving the simulator bare). Counter increments
+  // only — digest-neutral like observability().
+  void set_regions(RegionTelemetry* regions) { regions_ = regions; }
+  [[nodiscard]] RegionTelemetry* regions() { return regions_; }
+
+  // One-line region-counter bumps for protocol sites; no-ops when no
+  // telemetry is attached. `pos` decides the region (update origination →
+  // the vehicle's region, lookups/cache answers → the serving node's).
+  void count_region_update(Vec2 pos) {
+    if (regions_ != nullptr) ++regions_->at(regions_->region_of(pos)).updates;
+  }
+  void count_region_served(Vec2 pos) {
+    if (regions_ != nullptr) {
+      ++regions_->at(regions_->region_of(pos)).queries_served;
+    }
+  }
+  void count_region_cache_hit(Vec2 pos) {
+    if (regions_ != nullptr) {
+      ++regions_->at(regions_->region_of(pos)).cache_hits;
+    }
+  }
+
+  // Wall-clock phase profiler; null (default) means profiling is off and
+  // every ProfileScope built from this pointer is a no-op.
+  void set_profiler(PhaseProfiler* profiler) { profiler_ = profiler; }
+  // Const on purpose: profiling timers are not simulation state, so even
+  // const observers (auditors) may open scopes.
+  [[nodiscard]] PhaseProfiler* profiler() const { return profiler_; }
+
  private:
   EventQueue queue_;
   TraceLog* trace_ = nullptr;
   SpanId active_span_ = kNoSpan;
   MetricsRegistry observability_;
+  RegionTelemetry* regions_ = nullptr;
+  PhaseProfiler* profiler_ = nullptr;
   Rng root_rng_;
   Rng mobility_rng_;
   Rng radio_rng_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <map>
 
+#include "obs/profiler.h"
 #include "report/json.h"
 
 namespace hlsrg {
@@ -11,6 +13,7 @@ namespace {
 
 constexpr int kSimPid = 1;
 constexpr int kEnginePid = 2;
+constexpr int kProfilePid = 3;
 // tid layout under kSimPid: 999 = instant trace events, 1000 + query_id =
 // per-query span trees, 1 + kind = spans whose root has no query id.
 constexpr std::int64_t kEventsTid = 999;
@@ -56,10 +59,49 @@ JsonValue meta_event(int pid, std::int64_t tid, const char* what,
   return e;
 }
 
+// Lays out the profile subtree rooted at `node` as nested "X" events
+// starting at `ts_us`. This is a flame graph, not a timeline: a node's
+// duration is its inclusive total and its children are packed side by side
+// (name order) from its start, so nesting renders call structure while
+// widths render time share.
+void emit_profile_node(const PhaseProfiler& prof, int node, double ts_us,
+                       JsonValue* events) {
+  const PhaseProfiler::Node& n =
+      prof.nodes()[static_cast<std::size_t>(node)];
+  const double dur_us = static_cast<double>(n.inclusive_ns) / 1e3;
+  JsonValue ev = JsonValue::object();
+  ev.set("name", n.name);
+  ev.set("cat", "profile");
+  ev.set("ph", "X");
+  ev.set("pid", kProfilePid);
+  ev.set("tid", std::int64_t{0});
+  ev.set("ts", ts_us);
+  ev.set("dur", dur_us);
+  JsonValue args = JsonValue::object();
+  args.set("calls", n.calls);
+  args.set("inclusive_ns", n.inclusive_ns);
+  args.set("exclusive_ns", n.exclusive_ns());
+  ev.set("args", std::move(args));
+  events->push_back(std::move(ev));
+  std::vector<int> children = n.children;
+  std::sort(children.begin(), children.end(), [&prof](int a, int b) {
+    return std::strcmp(prof.nodes()[static_cast<std::size_t>(a)].name,
+                       prof.nodes()[static_cast<std::size_t>(b)].name) < 0;
+  });
+  double cursor = ts_us;
+  for (int child : children) {
+    emit_profile_node(prof, child, cursor, events);
+    cursor += static_cast<double>(
+                  prof.nodes()[static_cast<std::size_t>(child)].inclusive_ns) /
+              1e3;
+  }
+}
+
 }  // namespace
 
 JsonValue chrome_trace_document(const TraceLog& log,
-                                const std::vector<WallSpan>& wall_spans) {
+                                const std::vector<WallSpan>& wall_spans,
+                                const PhaseProfiler* profile) {
   JsonValue events = JsonValue::array();
 
   // Horizon for spans still open at the end of the run.
@@ -137,6 +179,28 @@ JsonValue chrome_trace_document(const TraceLog& log,
     events.push_back(std::move(ev));
   }
 
+  // pid 3: aggregated phase-profile flame track. The synthetic root never
+  // closes (it has no inclusive time), so its children are packed from 0.
+  if (profile != nullptr && !profile->empty()) {
+    double cursor = 0.0;
+    std::vector<int> roots = profile->nodes()[0].children;
+    std::sort(roots.begin(), roots.end(), [profile](int a, int b) {
+      return std::strcmp(
+                 profile->nodes()[static_cast<std::size_t>(a)].name,
+                 profile->nodes()[static_cast<std::size_t>(b)].name) < 0;
+    });
+    for (int child : roots) {
+      emit_profile_node(*profile, child, cursor, &events);
+      cursor +=
+          static_cast<double>(
+              profile->nodes()[static_cast<std::size_t>(child)].inclusive_ns) /
+          1e3;
+    }
+    events.push_back(
+        meta_event(kProfilePid, -1, "process_name", "phase profile (flame)"));
+    events.push_back(meta_event(kProfilePid, 0, "thread_name", "phases"));
+  }
+
   events.push_back(
       meta_event(kSimPid, -1, "process_name", "simulation (sim time)"));
   for (const auto& [tid, name] : sim_threads) {
@@ -158,8 +222,10 @@ JsonValue chrome_trace_document(const TraceLog& log,
 
 bool write_chrome_trace(const TraceLog& log,
                         const std::vector<WallSpan>& wall_spans,
-                        const std::string& path, std::string* error) {
-  return write_json_file(chrome_trace_document(log, wall_spans), path, error);
+                        const std::string& path, std::string* error,
+                        const PhaseProfiler* profile) {
+  return write_json_file(chrome_trace_document(log, wall_spans, profile), path,
+                         error);
 }
 
 }  // namespace hlsrg

@@ -20,8 +20,11 @@ Enforces the invariants the multi-shard engine depends on (DESIGN.md §12):
                          split(<bare integer>) are banned.
   wall-clock             no wall-clock reads (std::chrono system/steady/
                          high_resolution clocks, time(), gettimeofday,
-                         clock()) outside the harness timing allowlist.
-                         Sim code tells time with Simulator::now() only.
+                         clock()) outside src/obs/profiler.cpp — the single
+                         sanctioned wall-clock site. Timing consumers call
+                         monotonic_now_ns()/monotonic_now_sec() from
+                         obs/profiler.h; sim code tells time with
+                         Simulator::now() only.
   send-kind              every packet entering RadioMedium / WiredNetwork
                          carries an explicit PacketKind: make_packet calls
                          must pass PacketKind::k* (or forward a `kind`
@@ -83,8 +86,11 @@ DIGEST_SCOPE = (
 # own definition; everything else splits from a Simulator stream).
 RNG_CONSTRUCTION_ALLOWLIST = ("src/sim/rng.h",)
 
-# wall-clock: harness timing code measures real build/run phases by design.
-WALL_CLOCK_ALLOWLIST = ("src/harness/runner.cpp", "src/harness/runner.h")
+# wall-clock: the obs profiler is the single sanctioned wall-clock site.
+# Everything else (harness runner, benches, scenario_cli) takes timestamps
+# through obs/profiler.h monotonic_now_ns()/monotonic_now_sec(), so raw
+# clock reads stay confined to one translation unit.
+WALL_CLOCK_ALLOWLIST = ("src/obs/profiler.cpp",)
 
 ALLOW_RE = re.compile(r"HLSRG_LINT_ALLOW\(([^)]*)\)\s*(:?)\s*(.*)")
 

@@ -53,6 +53,10 @@ EXPECTED = {
         ("wall-clock", 26),  # time(nullptr)
         ("wall-clock", 30),  # clock()
     },
+    "violate_wall_clock_harness.cpp": {
+        ("wall-clock", 17),  # steady_clock::now() start stamp
+        ("wall-clock", 20),  # steady_clock::now() end stamp
+    },
     "violate_send_kind.cpp": {
         ("send-kind", 19),  # kind-less broadcast_each overload
         ("send-kind", 23),  # kind-less unicast_frame overload
@@ -68,6 +72,7 @@ CLEAN = (
     "clean_pointer_key.cpp",
     "clean_rng_discipline.cpp",
     "clean_wall_clock.cpp",
+    "clean_wall_clock_obs_api.cpp",
     "clean_send_kind.cpp",
 )
 
@@ -131,6 +136,26 @@ def main():
         active, _ = lint(bad)
         check(("bad-allow", 1) in active, "unknown rule id in ALLOW flagged")
         check(("bad-allow", 2) in active, "reason-less ALLOW flagged")
+
+    # Wall-clock allowlist is scoped by path: the obs profiler is the single
+    # sanctioned site, and the formerly-allowlisted harness runner fires.
+    with tempfile.TemporaryDirectory() as tmp:
+        clock_read = ("#include <chrono>\n"
+                      "auto t() { return std::chrono::steady_clock::now(); }"
+                      "\n")
+        for rel, sanctioned in (("src/obs/profiler.cpp", True),
+                                ("src/harness/runner.cpp", False)):
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(clock_read)
+            active, _ = lint(path, root=tmp)
+            if sanctioned:
+                check(active == set(),
+                      f"{rel}: allowlisted, raw clock read permitted")
+            else:
+                check(("wall-clock", 2) in active,
+                      f"{rel}: not allowlisted, raw clock read flagged")
 
     # The real tree must be clean — the gate CI enforces.
     linter = dl.Linter(REPO_ROOT)
