@@ -1,0 +1,144 @@
+// Bench — infrastructure-cost vs success-rate frontier under churn.
+//
+// Section 1 sweeps who provides the L2/L3 infrastructure on the paper map:
+// fixed roadside hardware (the paper's deployment), parked cars drafted as
+// role hosts (zero fixed units, but hosts drive away mid-run), and no
+// infrastructure at all (the lower bound the parked tier must clear). The
+// frontier is the success rate each point buys per fixed RSU deployed.
+//
+// Section 2 is the churn chaos gate: a burst-departure fault window (kind
+// "churn") makes half the parked fleet — role hosts included — drive off
+// abruptly in the middle of the query window. The handoff variant ships
+// each departing host's tables to its elected successor (kRoleHandoff);
+// the no_handoff control re-elects the same successors but lets every
+// record expire, so rebuilding from beacons is all it has. Handoff must
+// strictly beat the control at the pinned seed (see bench_baseline/).
+#include "chaos_common.h"
+
+namespace {
+
+using namespace hlsrg;
+
+// Parked-host tier shared by both sections: a third of the fleet is parked,
+// parking churn runs continuously (cars pull over, dwell, depart), and each
+// L2/L3 role is hosted by the nearest parked car within 600 m of its grid
+// center. 600 m (vs the 400 m default) keeps election pools non-empty on
+// the sparser 4 km chaos map.
+void enable_parked_hosting(ScenarioConfig& cfg) {
+  cfg.mobility.parked_fraction = 0.35;
+  cfg.mobility.churn.enabled = true;
+  cfg.mobility.churn.park_rate_per_sec = 0.001;
+  cfg.mobility.churn.dwell_mean_sec = 120.0;
+  cfg.mobility.churn.min_dwell_sec = 20.0;
+  cfg.hlsrg.parked_rsu_hosting = true;
+  cfg.hlsrg.host_radius_m = 600.0;
+}
+
+void frontier(bench::SweepDriver& driver) {
+  struct Point {
+    const char* label;
+    ScenarioConfig cfg;
+  };
+  std::vector<Point> points;
+  {
+    Point p{"fixed_rsus", paper_scenario(400, 9900)};
+    points.push_back(p);
+  }
+  {
+    Point p{"parked_hosts", paper_scenario(400, 9900)};
+    enable_parked_hosting(p.cfg);
+    points.push_back(p);
+  }
+  {
+    Point p{"no_rsus", paper_scenario(400, 9900)};
+    p.cfg.hlsrg.use_rsus = false;
+    points.push_back(p);
+  }
+
+  driver.begin_section("Infrastructure frontier: who hosts the L2/L3 roles",
+                       "success_rate");
+  std::printf("== Infrastructure frontier ==\n   (%d replicas per point)\n",
+              driver.replicas());
+  TextTable table;
+  table.add_row({"point", "fixed units", "success", "role departures",
+                 "role fills", "handoff delivery"});
+  for (const Point& p : points) {
+    const ReplicaSet s = driver.run(p.label, p.cfg, Protocol::kHlsrg);
+    const bool fixed = p.cfg.hlsrg.use_rsus && !p.cfg.hlsrg.parked_rsu_hosting;
+    const double n = static_cast<double>(s.replicas.size());
+    table.add_row({
+        p.label,
+        fixed ? "full grid" : "none",
+        fmt_percent(static_cast<double>(s.merged.queries_succeeded),
+                    static_cast<double>(s.merged.queries_issued)),
+        fmt_double(static_cast<double>(s.merged.role_departures) / n, 1),
+        fmt_double(static_cast<double>(s.merged.role_fills) / n, 1),
+        s.merged.churn_active != 0
+            ? fmt_double(s.merged.handoff_record_delivery_rate(), 3)
+            : std::string("n/a"),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("-- CSV --\n%s\n", table.render_csv().c_str());
+}
+
+void churn_chaos(bench::SweepDriver& driver) {
+  // 4 km chaos map: sibling L3 RSUs exist, so a role that goes vacant has a
+  // live absorber for its wired handoff (the degradation ladder's last rung).
+  ScenarioConfig base = bench::chaos_scenario(9910);
+  enable_parked_hosting(base);
+  FaultWindow burst;
+  burst.kind = FaultKind::kChurn;
+  burst.begin = SimTime::from_sec(70.0);
+  burst.end = SimTime::from_sec(90.0);
+  burst.depart_fraction = 0.5;
+  base.fault_plan.windows.push_back(burst);
+
+  driver.begin_section("Churn chaos: burst departure of parked hosts",
+                       "availability");
+  std::printf("== Churn chaos: burst departure ==\n"
+              "   (%d replicas per variant)\n",
+              driver.replicas());
+  TextTable table;
+  table.add_row({"variant", "availability", "success", "departures",
+                 "elections", "vacancies", "records expired", "delivery"});
+  for (const bool handoff : {true, false}) {
+    ScenarioConfig cfg = base;
+    cfg.hlsrg.enable_handoff = handoff;
+    const ReplicaSet s = driver.run(handoff ? "handoff" : "no_handoff", cfg,
+                                    Protocol::kHlsrg);
+    const double n = static_cast<double>(s.replicas.size());
+    table.add_row({
+        handoff ? "handoff" : "no_handoff",
+        fmt_percent(static_cast<double>(s.merged.fault_queries_ok),
+                    static_cast<double>(s.merged.fault_queries_issued)),
+        fmt_percent(static_cast<double>(s.merged.queries_succeeded),
+                    static_cast<double>(s.merged.queries_issued)),
+        fmt_double(static_cast<double>(s.merged.role_departures) / n, 1),
+        fmt_double(static_cast<double>(s.merged.role_elections) / n, 1),
+        fmt_double(static_cast<double>(s.merged.role_vacancies) / n, 1),
+        fmt_double(static_cast<double>(s.merged.handoff_records_expired) / n,
+                   1),
+        fmt_double(s.merged.handoff_record_delivery_rate(), 3),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("-- CSV --\n%s\n", table.render_csv().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hlsrg::bench::BenchOptions opts =
+      // Default 2 replicas: matches bench_baseline/ and the CI gate, and the
+      // pinned pair separates handoff from no_handoff where one replica's
+      // 25-query fault window can tie on availability.
+      hlsrg::bench::parse_options(argc, argv, "churn_frontier", 2,
+                                  /*inline_fault_plan=*/true);
+  if (opts.parse_failed) return opts.exit_code;
+
+  hlsrg::bench::SweepDriver driver(opts);
+  frontier(driver);
+  churn_chaos(driver);
+  return driver.finish() ? 0 : 1;
+}

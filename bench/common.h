@@ -65,9 +65,14 @@ struct BenchOptions {
 };
 
 // Parses the uniform bench flag set. On --help or a parse error, the caller
-// should exit with `exit_code` (parse_failed is set).
+// should exit with `exit_code` (parse_failed is set). Benches that build
+// their own fault plan inline (the chaos benches) pass
+// `inline_fault_plan = true`; everywhere else --fault-seed without
+// --fault-plan is a fail-fast error, because no injector would be built and
+// the pinned stream would be silently ignored.
 inline BenchOptions parse_options(int argc, char** argv, const char* name,
-                                  int default_replicas) {
+                                  int default_replicas,
+                                  bool inline_fault_plan = false) {
   BenchOptions opts;
   opts.name = name;
   opts.replicas = default_replicas;
@@ -101,6 +106,13 @@ inline BenchOptions parse_options(int argc, char** argv, const char* name,
   if (!args.parse(argc, argv)) {
     opts.parse_failed = true;
     opts.exit_code = args.exit_code();
+    return opts;
+  }
+  if (opts.fault_seed != 0 && opts.fault_plan.empty() && !inline_fault_plan) {
+    std::fprintf(stderr,
+                 "--fault-seed has no effect without --fault-plan\n");
+    opts.parse_failed = true;
+    opts.exit_code = 1;
     return opts;
   }
   opts.seed = seed;

@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   using namespace hlsrg;
   const bench::BenchOptions opts =
-      bench::parse_options(argc, argv, "fault_partition", 4);
+      bench::parse_options(argc, argv, "fault_partition", 4, /*inline_fault_plan=*/true);
   if (opts.parse_failed) return opts.exit_code;
 
   ScenarioConfig base = bench::chaos_scenario(7200);

@@ -93,6 +93,28 @@ int main(int argc, char** argv) {
   args.add_uint64("--fault-seed", "S",
                   "pin the fault RNG stream (0 = derive from --seed)",
                   &fault_seed);
+  double parked_fraction = cfg.mobility.parked_fraction;
+  double park_rate = 0.0;
+  double dwell_mean = cfg.mobility.churn.dwell_mean_sec;
+  bool parked_hosting = false;
+  bool no_handoff = false;
+  args.add_double("--parked-fraction", "F",
+                  "fraction of vehicles that start parked",
+                  &parked_fraction);
+  args.add_double("--park-rate", "R",
+                  "parking-churn hazard per second (>0 enables the parking "
+                  "lifecycle: moving vehicles pull over, dwell, depart)",
+                  &park_rate);
+  args.add_double("--dwell-mean", "S", "mean parked dwell in seconds",
+                  &dwell_mean);
+  args.add_flag("--parked-hosting",
+                "host L2/L3 roles on the nearest parked vehicles instead of "
+                "fixed RSUs (HLSRG only)",
+                &parked_hosting);
+  args.add_flag("--no-handoff",
+                "disable the role table-handoff protocol (churn control: "
+                "successors rebuild from beacons only)",
+                &no_handoff);
   args.add_flag("--service-tier",
                 "enable the heavy-traffic service tier (src/service)",
                 &cfg.service.enabled);
@@ -130,6 +152,14 @@ int main(int argc, char** argv) {
   if (irregular) cfg.map.irregular = true;
   cfg.fault_plan_file = fault_plan_path;
   cfg.fault_seed = fault_seed;
+  cfg.mobility.parked_fraction = parked_fraction;
+  cfg.mobility.churn.dwell_mean_sec = dwell_mean;
+  if (park_rate > 0.0) {
+    cfg.mobility.churn.enabled = true;
+    cfg.mobility.churn.park_rate_per_sec = park_rate;
+  }
+  cfg.hlsrg.parked_rsu_hosting = parked_hosting;
+  if (no_handoff) cfg.hlsrg.enable_handoff = false;
   replicas = std::max(1, replicas);
   if (!obs_out_path.empty()) cfg.profile = true;
   const bool tracing =
@@ -140,6 +170,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--trace-cap has no effect without a trace output; add "
                  "--trace, --trace-out, or --spans\n");
+    return 1;
+  }
+  if (fault_seed != 0 && fault_plan_path.empty()) {
+    // Same fail-fast contract as --trace-cap: without a plan no injector is
+    // built, so the pinned fault stream would be silently ignored.
+    std::fprintf(stderr,
+                 "--fault-seed has no effect without --fault-plan\n");
     return 1;
   }
   if (replicas > 1 && (tracing || !save_map_path.empty())) {

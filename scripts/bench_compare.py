@@ -87,6 +87,14 @@ PREFERRED_DIRECTION = {
     # spread of per-region load are both regressions.
     "region_load_max_over_mean": -1,
     "region_imbalance_cv": -1,
+    # Infrastructure churn (parked-cars-as-RSUs): losing handoffs, expiring
+    # records, or leaving roles vacant are regressions; delivering more of
+    # the shipped records and electing successors in place are improvements.
+    "handoffs_lost": -1,
+    "handoff_records_expired": -1,
+    "role_vacancies": -1,
+    "handoff_record_delivery_rate": +1,
+    "role_continuity": +1,
 }
 
 TIMING_FIELDS = {"wall_clock_sec", "events_per_sec", "broadcasts_per_sec",

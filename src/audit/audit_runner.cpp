@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "audit/availability_audit.h"
+#include "audit/churn_audit.h"
 #include "audit/conservation_audit.h"
 #include "audit/grid_audit.h"
 #include "audit/table_audit.h"
@@ -55,6 +56,7 @@ AuditRunner AuditRunner::standard() {
   runner.add(std::make_unique<TableAuditor>());
   runner.add(std::make_unique<ConservationAuditor>());
   runner.add(std::make_unique<AvailabilityAuditor>());
+  runner.add(std::make_unique<ChurnAuditor>());
   return runner;
 }
 

@@ -1,0 +1,89 @@
+#include "audit/churn_audit.h"
+
+#include <sstream>
+
+#include "core/churn_manager.h"
+#include "core/hlsrg_service.h"
+#include "core/rsu_agent.h"
+#include "mobility/mobility_model.h"
+#include "sim/simulator.h"
+
+namespace hlsrg {
+
+void ChurnAuditor::check(const AuditScope& scope, AuditReport* report) const {
+  if (scope.hlsrg == nullptr || scope.sim == nullptr) return;
+  const ChurnManager* churn = scope.hlsrg->churn();
+  if (churn == nullptr) return;
+  const RunMetrics& m = scope.sim->metrics();
+
+  // Record conservation: handed-off records never vanish — delivered, still
+  // in flight, or explicitly expired (successor rebuilds from beacons).
+  const std::uint64_t settled = m.handoff_records_delivered +
+                                m.handoff_records_expired +
+                                m.handoff_records_in_flight;
+  if (m.records_at_departure != settled) {
+    std::ostringstream os;
+    os << "handoff records leak: records_at_departure "
+       << m.records_at_departure << " != delivered "
+       << m.handoff_records_delivered << " + expired "
+       << m.handoff_records_expired << " + in_flight "
+       << m.handoff_records_in_flight;
+    report->add("churn", os.str());
+  }
+  // Role law: every departure either elected a successor on the spot or
+  // left an accounted vacancy for the fill sweep.
+  if (m.role_departures != m.role_elections + m.role_vacancies) {
+    std::ostringstream os;
+    os << "role accounting unbalanced: departures " << m.role_departures
+       << " != elections " << m.role_elections << " + vacancies "
+       << m.role_vacancies;
+    report->add("churn", os.str());
+  }
+  // Handoff packets settle at most once each (delivery and loss are
+  // mutually exclusive outcomes of one send).
+  if (m.handoffs_delivered + m.handoffs_lost > m.handoffs_sent) {
+    std::ostringstream os;
+    os << "handoffs settle twice: delivered " << m.handoffs_delivered
+       << " + lost " << m.handoffs_lost << " > sent " << m.handoffs_sent;
+    report->add("churn", os.str());
+  }
+  if (m.handoff_records_sent > m.records_at_departure) {
+    std::ostringstream os;
+    os << "more records shipped than snapshotted: sent "
+       << m.handoff_records_sent << " > at_departure "
+       << m.records_at_departure;
+    report->add("churn", os.str());
+  }
+
+  // Binding invariants against the live world. "Staffed implies up" is NOT
+  // checked: a crash fault window may legitimately down a staffed role.
+  const RoleDirectory& directory = churn->directory();
+  const auto& agents = scope.hlsrg->rsu_agents();
+  for (std::size_t i = 0; i < directory.role_count(); ++i) {
+    const RsuId role{i};
+    const RoleBinding& binding = directory.binding(role);
+    if (binding.kind == RoleHostKind::kNone) {
+      if (i < agents.size() && agents[i]->up()) {
+        std::ostringstream os;
+        os << "vacant role " << i << " has a live agent (nobody hosts it)";
+        report->add("churn", os.str());
+      }
+      continue;
+    }
+    if (binding.kind == RoleHostKind::kParkedVehicle) {
+      if (!binding.host.valid()) {
+        std::ostringstream os;
+        os << "role " << i << " bound to a parked vehicle with no host id";
+        report->add("churn", os.str());
+      } else if (scope.mobility != nullptr &&
+                 !scope.mobility->parked(binding.host)) {
+        std::ostringstream os;
+        os << "role " << i << " hosted by vehicle " << binding.host.value()
+           << " which is driving, not parked";
+        report->add("churn", os.str());
+      }
+    }
+  }
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,29 @@
+// Infrastructure-churn auditor: no location record is silently lost and no
+// role binding drifts from the world it describes.
+//
+// The churn layer's bounded-staleness guarantee is an exact conservation
+// law: every record a departing role host held is either delivered to the
+// successor/absorber, still in flight on the radio/wire, or ledger-accounted
+// as expired (rebuild-from-beacons covers it) —
+//
+//   records_at_departure == handoff_records_delivered
+//                         + handoff_records_expired
+//                         + handoff_records_in_flight
+//
+// at every instant, alongside the role law (every departure either elected
+// a successor or left an accounted vacancy) and the binding invariants
+// (vacant roles are dark, parked-vehicle hosts are actually parked). Skips
+// silently unless the scope runs HLSRG with parked-RSU hosting.
+#pragma once
+
+#include "audit/auditor.h"
+
+namespace hlsrg {
+
+class ChurnAuditor final : public Auditor {
+ public:
+  [[nodiscard]] const char* name() const override { return "churn"; }
+  void check(const AuditScope& scope, AuditReport* report) const override;
+};
+
+}  // namespace hlsrg

@@ -65,6 +65,28 @@ struct HlsrgConfig {
   // attempt > 2, so fault-free runs are untouched by the flag.
   bool enable_failover = true;
 
+  // --- infrastructure churn (parked-cars-as-RSUs, PR-9) ---------------------
+  // When true, the L2/L3 roles are not fixed hardware: each role is hosted
+  // by the nearest parked vehicle within host_radius_m of its grid center
+  // (lowest-id tiebreak), roles with no candidate start vacant (down), and a
+  // departing host triggers deterministic successor election plus a
+  // kRoleHandoff table transfer. Off (the default) nothing churn-related is
+  // constructed, so runs are byte-identical to the fixed-RSU world.
+  bool parked_rsu_hosting = false;
+  // Eligibility radius for host candidates around the role's grid center.
+  double host_radius_m = 400.0;
+  // Ship the outgoing host's tables to the successor (radio) or, with no
+  // successor, to the absorbing parent/sibling (wired). Off = every
+  // departure is treated as abrupt: records expire and successors rebuild
+  // from beacons only (the no-handoff control in bench/churn_frontier).
+  bool enable_handoff = true;
+  // Vacant roles are re-checked for candidates this long after a vehicle
+  // parks nearby (lets the parker settle before it is drafted).
+  SimTime role_fill_delay = SimTime::from_sec(2.0);
+  // An abrupt (fault-forced) departure is only noticed at the next detect
+  // sweep — the successor starts this much later and rebuilds from beacons.
+  SimTime churn_detect_delay = SimTime::from_sec(5.0);
+
   // --- ablation switches ----------------------------------------------------
   // Paper rules suppress updates from vehicles driving straight on selected
   // arteries. Off = every vehicle uses the class-2 rules (A1 ablation).

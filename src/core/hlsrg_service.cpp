@@ -1,5 +1,6 @@
 #include "core/hlsrg_service.h"
 
+#include "core/churn_manager.h"
 #include "core/rsu_agent.h"
 #include "core/vehicle_agent.h"
 #include "util/check.h"
@@ -52,6 +53,15 @@ HlsrgService::HlsrgService(Simulator& sim, const RoadNetwork& net,
     }
   }
 
+  // Parked-cars-as-RSUs: the ChurnManager binds initial hosts (vacant roles
+  // go dark) and reacts to the parking lifecycle. Constructed only when the
+  // knob is on, so fixed-RSU runs carry no churn state at all.
+  if (cfg_.parked_rsu_hosting) {
+    HLSRG_CHECK_MSG(rsus_ != nullptr && cfg_.use_rsus,
+                    "parked_rsu_hosting requires RSUs");
+    churn_ = std::make_unique<ChurnManager>(*this);
+  }
+
   mobility.add_listener(this);
 }
 
@@ -71,7 +81,21 @@ QueryTracker::QueryId HlsrgService::issue_query(VehicleId src,
 
 void HlsrgService::set_rsu_up(RsuId id, bool up) {
   if (id.index() >= rsu_agents_.size()) return;  // no RSUs (A2 ablation)
+  if (churn_ != nullptr) {
+    // The churn layer owns role liveness: reboots of vacant roles are
+    // refused (there is no host to boot).
+    churn_->set_rsu_up(id, up);
+    return;
+  }
   rsu_agents_[id.index()]->set_up(up);
+}
+
+void HlsrgService::on_parked(VehicleId v) {
+  if (churn_ != nullptr) churn_->on_parked(v);
+}
+
+void HlsrgService::on_departed(VehicleId v, bool abrupt) {
+  if (churn_ != nullptr) churn_->on_departed(v, abrupt);
 }
 
 void HlsrgService::configure_tier(const ServiceTierConfig& cfg) {

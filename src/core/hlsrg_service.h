@@ -25,6 +25,7 @@ namespace hlsrg {
 
 class HlsrgVehicleAgent;
 class HlsrgRsuAgent;
+class ChurnManager;
 
 class HlsrgService final : public LocationService, public MovementListener {
  public:
@@ -63,6 +64,9 @@ class HlsrgService final : public LocationService, public MovementListener {
   void on_intersection_pass(VehicleId v, IntersectionId node, SegmentId in_seg,
                             SegmentId out_seg) override;
   void on_moved(VehicleId v, Vec2 before, Vec2 after) override;
+  // Parking lifecycle (forwarded to the ChurnManager when hosting is on).
+  void on_parked(VehicleId v) override;
+  void on_departed(VehicleId v, bool abrupt) override;
 
   // --- context shared with agents --------------------------------------------
   [[nodiscard]] Simulator& sim() { return *sim_; }
@@ -127,6 +131,13 @@ class HlsrgService final : public LocationService, public MovementListener {
       const {
     return rsu_agents_;
   }
+  // Direct agent access for the churn layer (host installs cycle set_up).
+  [[nodiscard]] HlsrgRsuAgent& rsu_agent(RsuId id) {
+    return *rsu_agents_[id.index()];
+  }
+  // Non-null iff cfg().parked_rsu_hosting (and RSUs exist).
+  [[nodiscard]] ChurnManager* churn() { return churn_.get(); }
+  [[nodiscard]] const ChurnManager* churn() const { return churn_.get(); }
 
  private:
   Simulator* sim_;
@@ -149,6 +160,7 @@ class HlsrgService final : public LocationService, public MovementListener {
   std::vector<NodeId> vehicle_nodes_;
   std::vector<std::unique_ptr<HlsrgVehicleAgent>> vehicle_agents_;
   std::vector<std::unique_ptr<HlsrgRsuAgent>> rsu_agents_;
+  std::unique_ptr<ChurnManager> churn_;
   std::function<Vec2(Vec2)> gps_transform_;
 };
 

@@ -110,6 +110,23 @@ struct CacheFillPayload final : PayloadBase {
   L1Record record;
 };
 
+// Role handoff (kRoleHandoff): a departing L2/L3 role host ships its whole
+// table state to the elected successor (radio unicast) or, when no successor
+// exists, to the parent/sibling RSU absorbing the orphaned region (wired).
+// Receivers merge the snapshots through the normal newer-wins table paths,
+// so a handoff that races fresh updates never resurrects stale records.
+struct RoleHandoffPayload final : PayloadBase {
+  RsuId role;            // logical role whose tables are being handed off
+  GridLevel level = GridLevel::kL2;
+  std::vector<L1Record> full_records;
+  std::vector<L2Summary> l2_records;
+  std::vector<L3Summary> l3_records;
+
+  [[nodiscard]] std::size_t record_count() const {
+    return full_records.size() + l2_records.size() + l3_records.size();
+  }
+};
+
 struct ServerClaimPayload final : PayloadBase {
   QueryTracker::QueryId query_id = 0;
   int attempt = 1;

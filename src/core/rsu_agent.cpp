@@ -1,6 +1,7 @@
 #include "core/rsu_agent.h"
 
 #include "core/hlsrg_service.h"
+#include "obs/region_telemetry.h"
 #include "util/check.h"
 
 namespace hlsrg {
@@ -70,6 +71,16 @@ void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
     // sink-side suppression, not a ledger event.
     svc_->metrics().rsu_suppressed++;
     svc_->sim().observability().add("fault.rsu_suppressed");
+    if (packet.kind == PacketKind::kRoleHandoff) {
+      // The handoff's records were still in flight; the successor crashed
+      // (or was taken down) before they landed. Settle them as expired so
+      // the churn conservation law closes instead of leaking the gauge.
+      const auto& h = payload_as<RoleHandoffPayload>(packet);
+      RunMetrics& m = svc_->metrics();
+      ++m.handoffs_lost;
+      m.handoff_records_in_flight -= h.record_count();
+      m.handoff_records_expired += h.record_count();
+    }
     return;
   }
   switch (packet.kind) {
@@ -140,6 +151,52 @@ void HlsrgRsuAgent::on_receive(const Packet& packet, NodeId /*from*/) {
     case PacketKind::kCacheFill: {
       const auto& fill = payload_as<CacheFillPayload>(packet);
       cache_.fill(fill.record, svc_->sim().now());
+      return;
+    }
+    case PacketKind::kRoleHandoff: {
+      // A departing role host's tables landing on their new home: the
+      // elected successor (radio) or the absorbing parent/sibling on
+      // degradation (wired). Merge level-appropriately; every carried
+      // record counts as delivered — thinning changes schema, not custody.
+      const auto& h = payload_as<RoleHandoffPayload>(packet);
+      if (level_ == GridLevel::kL2) {
+        full_table_.merge(h.full_records);
+        l2_table_.merge(h.l2_records);
+        for (const L1Record& r : h.full_records) {
+          l2_table_.record(L2Summary{r.vehicle, r.time, r.l1});
+        }
+        for (const L2Summary& r : h.l2_records) {
+          invalidate_cache(r.vehicle, r.time);
+        }
+      } else {
+        // L3 receiver: thin the L2-schema rows to L3 summaries. The handed-
+        // off role's grid cell is the sender coordinate; this RSU now owns
+        // the detail pointer.
+        const GridCoord sender_l2 =
+            h.level == GridLevel::kL2
+                ? svc_->rsus()->rsu(h.role).coord
+                : GridCoord{};
+        for (const L2Summary& r : h.l2_records) {
+          l3_table_.record(L3Summary{r.vehicle, r.time, sender_l2, coord_});
+        }
+        for (const L1Record& r : h.full_records) {
+          const GridCoord l2 = GridHierarchy::parent(r.l1, GridLevel::kL2);
+          l3_table_.record(L3Summary{r.vehicle, r.time, l2, coord_});
+          full_table_.record(r);
+        }
+        l3_table_.merge(h.l3_records);
+      }
+      RunMetrics& m = svc_->metrics();
+      ++m.handoffs_delivered;
+      m.handoff_records_in_flight -= h.record_count();
+      m.handoff_records_delivered += h.record_count();
+      if (RegionTelemetry* regions = svc_->sim().regions()) {
+        if (regions->configured()) {
+          const Vec2 here = svc_->registry().position(node_);
+          regions->at(regions->region_of(here)).handoff_records +=
+              h.record_count();
+        }
+      }
       return;
     }
     default:

@@ -139,6 +139,12 @@ void FaultInjector::apply(std::size_t window_index, bool begin) {
       break;
     case FaultKind::kGpsNoise:
       break;  // the active_ flag is the whole mechanism
+    case FaultKind::kChurn:
+      // Burst departure is an edge event, not a state: the hook fires once
+      // at begin (the end edge only clears the active_ flag, which keeps
+      // fault_active_at honest for availability-under-churn windows).
+      if (begin && churn_hook_) churn_hook_(w, rng_);
+      break;
   }
 }
 

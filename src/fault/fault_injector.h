@@ -34,6 +34,13 @@ class FaultInjector {
     rsu_hook_ = std::move(hook);
   }
 
+  // Called once per churn window at its begin edge with the window and the
+  // injector's fault RNG (for the per-vehicle depart_fraction draws, so
+  // burst departures never touch the mobility stream). Install before arm().
+  void set_churn_hook(std::function<void(const FaultWindow&, Rng&)> hook) {
+    churn_hook_ = std::move(hook);
+  }
+
   // Schedules every window edge at or before `horizon`. Call once.
   void arm(SimTime horizon);
 
@@ -64,6 +71,7 @@ class FaultInjector {
   RadioMedium* medium_;
   const RsuGrid* rsus_;
   std::function<void(RsuId, bool)> rsu_hook_;
+  std::function<void(const FaultWindow&, Rng&)> churn_hook_;
   Rng rng_;
   std::vector<char> active_;  // per-window active flag
   // Links a partition window took down, to restore at its end edge.

@@ -70,6 +70,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "radio_loss";
     case FaultKind::kGpsNoise:
       return "gps_noise";
+    case FaultKind::kChurn:
+      return "churn";
   }
   return "unknown";
 }
@@ -77,7 +79,7 @@ const char* fault_kind_name(FaultKind kind) {
 std::optional<FaultKind> fault_kind_from_name(const std::string& name) {
   for (FaultKind k :
        {FaultKind::kRsuCrash, FaultKind::kLinkCut, FaultKind::kPartition,
-        FaultKind::kRadioLoss, FaultKind::kGpsNoise}) {
+        FaultKind::kRadioLoss, FaultKind::kGpsNoise, FaultKind::kChurn}) {
     if (name == fault_kind_name(k)) return k;
   }
   return std::nullopt;
@@ -107,6 +109,9 @@ std::uint64_t FaultPlan::digest() const {
     }
     f.mix_double(w.extra_loss);
     f.mix_double(w.sigma_m);
+    // Mixed only for churn windows so every pre-churn plan's digest is
+    // byte-identical to what it hashed to before the field existed.
+    if (w.kind == FaultKind::kChurn) f.mix_double(w.depart_fraction);
   }
   const FaultProtocolOverrides& o = overrides;
   const auto mix_opt_d = [&f](const std::optional<double>& v) {
@@ -179,6 +184,10 @@ JsonValue FaultPlan::to_json() const {
       case FaultKind::kGpsNoise:
         if (w.has_box) f.set("box", box_to_json(w.box));
         f.set("sigma_m", w.sigma_m);
+        break;
+      case FaultKind::kChurn:
+        if (w.has_box) f.set("box", box_to_json(w.box));
+        f.set("depart_fraction", w.depart_fraction);
         break;
     }
     faults.push_back(std::move(f));
@@ -267,6 +276,11 @@ bool FaultPlan::from_json(const JsonValue& v, FaultPlan* out,
       }
       if (w.kind == FaultKind::kGpsNoise && w.sigma_m <= 0.0) {
         return fail(error, at.str() + " gps_noise needs sigma_m > 0");
+      }
+      w.depart_fraction = f.at("depart_fraction").as_double(0.0);
+      if (w.kind == FaultKind::kChurn &&
+          (w.depart_fraction <= 0.0 || w.depart_fraction > 1.0)) {
+        return fail(error, at.str() + " churn needs depart_fraction in (0,1]");
       }
       plan.windows.push_back(w);
     }

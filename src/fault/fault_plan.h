@@ -32,6 +32,10 @@ enum class FaultKind : std::uint8_t {
   kRadioLoss,  // receivers inside the box take extra_loss additional loss
   kGpsNoise,   // positions reported from inside the box (or anywhere, if no
                // box) get uniform per-axis noise in [-sigma_m, +sigma_m]
+  kChurn,      // burst departure: at the window's begin edge, each parked
+               // vehicle (inside the box, if any) abruptly departs with
+               // probability depart_fraction — role hosts vanish without
+               // handoff (PR-9 infrastructure churn)
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
@@ -57,6 +61,9 @@ struct FaultWindow {
   Aabb box;
   double extra_loss = 0.0;  // kRadioLoss
   double sigma_m = 0.0;     // kGpsNoise
+  // kChurn: per-parked-vehicle abrupt-departure probability at the begin
+  // edge, drawn from the injector's fault RNG. In (0, 1].
+  double depart_fraction = 0.0;
 
   [[nodiscard]] bool open_ended() const { return end <= begin; }
   [[nodiscard]] bool active_at(SimTime t) const {

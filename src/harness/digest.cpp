@@ -75,6 +75,23 @@ void mix_metrics(Fnv& f, const RunMetrics& m) {
     f.mix_u64(m.query_retries);
     f.mix_u64(m.query_failovers);
   }
+  // Same gating idea for infrastructure churn: the counter block only joins
+  // the hash when a ChurnManager was constructed, so zero-churn runs stay
+  // byte-identical to pre-churn builds.
+  if (m.churn_active != 0) {
+    f.mix_u64(m.role_departures);
+    f.mix_u64(m.role_elections);
+    f.mix_u64(m.role_vacancies);
+    f.mix_u64(m.role_fills);
+    f.mix_u64(m.handoffs_sent);
+    f.mix_u64(m.handoffs_delivered);
+    f.mix_u64(m.handoffs_lost);
+    f.mix_u64(m.handoff_records_sent);
+    f.mix_u64(m.handoff_records_delivered);
+    f.mix_u64(m.handoff_records_expired);
+    f.mix_u64(m.handoff_records_in_flight);
+    f.mix_u64(m.records_at_departure);
+  }
 }
 
 void mix_hlsrg_tables(Fnv& f, const HlsrgService& svc,

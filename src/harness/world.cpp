@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/churn_manager.h"
 #include "roadnet/map_io.h"
 #include "util/check.h"
 
@@ -130,6 +131,20 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
             [this](Vec2 p) { return fault_->observed_pos(p); });
       }
     }
+    // Burst departure (churn windows): each parked vehicle inside the box
+    // abruptly departs with probability depart_fraction. Draws come off the
+    // injector's fault RNG, vehicles scanned in index order, so the burst
+    // never perturbs the mobility stream. Protocol-agnostic — HLSRG reacts
+    // through its MovementListener.
+    fault_->set_churn_hook([this](const FaultWindow& w, Rng& rng) {
+      for (std::size_t i = 0; i < mobility_->vehicle_count(); ++i) {
+        const VehicleId v{i};
+        if (!mobility_->parked(v)) continue;
+        if (w.has_box && !w.box.contains(mobility_->position(v))) continue;
+        if (!rng.chance(w.depart_fraction)) continue;
+        mobility_->force_depart(v);
+      }
+    });
     fault_->arm(cfg_.end_time());
     sim_.metrics().fault_plan_digest = cfg_.fault_plan.digest();
   }
@@ -366,10 +381,27 @@ void World::finalize_service_summary() {
   obs.set_gauge("service.served_rate", m.served_rate());
 }
 
+void World::finalize_churn_summary() {
+  if (protocol_ != Protocol::kHlsrg) return;
+  ChurnManager* churn = static_cast<HlsrgService*>(service_.get())->churn();
+  if (churn == nullptr) return;
+  churn->expire_in_flight();
+  const RunMetrics& m = sim_.metrics();
+  MetricsRegistry& obs = sim_.observability();
+  obs.set_gauge("churn.role_departures",
+                static_cast<double>(m.role_departures));
+  obs.set_gauge("churn.role_elections", static_cast<double>(m.role_elections));
+  obs.set_gauge("churn.role_vacancies", static_cast<double>(m.role_vacancies));
+  obs.set_gauge("churn.role_fills", static_cast<double>(m.role_fills));
+  obs.set_gauge("churn.handoff_record_delivery_rate",
+                m.handoff_record_delivery_rate());
+}
+
 const RunMetrics& World::run() {
   sim_.run_until(cfg_.end_time());
   finalize_fault_summary();
   finalize_service_summary();
+  finalize_churn_summary();
 #ifdef HLSRG_AUDIT_ENABLED
   audit_enforce();
 #endif

@@ -129,6 +129,10 @@ class World {
   // Post-run service-tier gauges (offered/shed/cache/batch counters); no-op
   // when the tier is disabled.
   void finalize_service_summary();
+  // Post-run churn settlement: expires handoff records still in flight at
+  // the horizon (closing the conservation law exactly) and publishes the
+  // churn gauges. No-op unless parked-RSU hosting is on.
+  void finalize_churn_summary();
 
   ScenarioConfig cfg_;
   Protocol protocol_;

@@ -1,0 +1,47 @@
+#include "infra/role_directory.h"
+
+namespace hlsrg {
+
+const char* role_host_kind_name(RoleHostKind kind) {
+  switch (kind) {
+    case RoleHostKind::kFixed:
+      return "fixed";
+    case RoleHostKind::kParkedVehicle:
+      return "parked_vehicle";
+    case RoleHostKind::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+RsuId RoleDirectory::role_of(VehicleId v) const {
+  if (!v.valid()) return RsuId{};
+  for (std::size_t i = 0; i < bindings_.size(); ++i) {
+    const RoleBinding& b = bindings_[i];
+    if (b.kind == RoleHostKind::kParkedVehicle && b.host == v) {
+      return RsuId{i};
+    }
+  }
+  return RsuId{};
+}
+
+std::size_t RoleDirectory::vacant_count() const {
+  std::size_t n = 0;
+  for (const RoleBinding& b : bindings_) {
+    if (b.kind == RoleHostKind::kNone) ++n;
+  }
+  return n;
+}
+
+void RoleDirectory::set(RsuId role, RoleBinding b) {
+  HLSRG_CHECK(role.index() < bindings_.size());
+  if (b.kind == RoleHostKind::kParkedVehicle) {
+    // One role per vehicle: binding a host that already holds another role
+    // is a ChurnManager bug, not a recoverable state.
+    const RsuId held = role_of(b.host);
+    HLSRG_CHECK(!held.valid() || held == role);
+  }
+  bindings_[role.index()] = b;
+}
+
+}  // namespace hlsrg

@@ -1,0 +1,72 @@
+// Dynamic host bindings for the logical RSU roles (PR-9 infrastructure
+// churn, "Smarter Cities with Parked Cars as Roadside Units").
+//
+// RsuGrid stays immutable: a role's identity (id, node, level, coord, grid-
+// center position, wiring) never changes. What churns is the *host* backing
+// the role. A role is either staffed by fixed hardware (the paper's
+// always-up RSUs), staffed by a parked vehicle volunteering its radio and
+// compute, or vacant (down — queries for its region ride the PR-4 failover
+// ladder). The directory is pure bookkeeping: it draws no RNG, schedules no
+// events, and is only written by the ChurnManager (src/core), so runs that
+// never construct one are byte-identical to before it existed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+enum class RoleHostKind : std::uint8_t {
+  kFixed = 0,          // permanent roadside hardware
+  kParkedVehicle = 1,  // a parked car is serving the role
+  kNone = 2,           // vacant: the role is down
+};
+
+[[nodiscard]] const char* role_host_kind_name(RoleHostKind kind);
+
+struct RoleBinding {
+  RoleHostKind kind = RoleHostKind::kFixed;
+  VehicleId host;  // valid only when kind == kParkedVehicle
+};
+
+class RoleDirectory {
+ public:
+  explicit RoleDirectory(std::size_t role_count)
+      : bindings_(role_count) {}
+
+  [[nodiscard]] std::size_t role_count() const { return bindings_.size(); }
+  [[nodiscard]] const RoleBinding& binding(RsuId role) const {
+    HLSRG_CHECK(role.index() < bindings_.size());
+    return bindings_[role.index()];
+  }
+  [[nodiscard]] bool staffed(RsuId role) const {
+    return binding(role).kind != RoleHostKind::kNone;
+  }
+
+  void bind_fixed(RsuId role) {
+    set(role, RoleBinding{RoleHostKind::kFixed, VehicleId{}});
+  }
+  void bind_vehicle(RsuId role, VehicleId host) {
+    HLSRG_CHECK(host.valid());
+    set(role, RoleBinding{RoleHostKind::kParkedVehicle, host});
+  }
+  void vacate(RsuId role) {
+    set(role, RoleBinding{RoleHostKind::kNone, VehicleId{}});
+  }
+
+  // Role currently hosted by `v`, or an invalid id. A vehicle holds at most
+  // one role (enforced by bind_vehicle), so this is a simple reverse map.
+  [[nodiscard]] RsuId role_of(VehicleId v) const;
+
+  [[nodiscard]] std::size_t vacant_count() const;
+
+ private:
+  void set(RsuId role, RoleBinding b);
+
+  std::vector<RoleBinding> bindings_;  // dense by RsuId::index()
+};
+
+}  // namespace hlsrg

@@ -1,5 +1,6 @@
 #include "mobility/mobility_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -20,6 +21,11 @@ MobilityModel::MobilityModel(Simulator& sim, const RoadNetwork& net,
   HLSRG_CHECK(cfg.tick_sec > 0.0);
   HLSRG_CHECK(cfg.min_speed_kmh > 0.0 &&
               cfg.min_speed_kmh <= cfg.max_speed_kmh);
+  if (cfg.churn.enabled) {
+    HLSRG_CHECK(cfg.churn.park_rate_per_sec >= 0.0);
+    HLSRG_CHECK(cfg.churn.min_dwell_sec >= 0.0 &&
+                cfg.churn.dwell_mean_sec > cfg.churn.min_dwell_sec);
+  }
 }
 
 VehicleId MobilityModel::add_vehicle(SegmentId seg, double offset,
@@ -29,6 +35,7 @@ VehicleId MobilityModel::add_vehicle(SegmentId seg, double offset,
   HLSRG_CHECK(offset >= 0.0 && offset < net_->segment(seg).length);
   HLSRG_CHECK(speed_mps >= 0.0);
   states_.push_back(VehicleState{seg, offset, speed_mps, false});
+  depart_at_sec_.push_back(-1.0);
   return VehicleId{states_.size() - 1};
 }
 
@@ -85,7 +92,61 @@ RoadId MobilityModel::current_road(VehicleId v) const {
   return net_->segment(states_[v.index()].seg).road;
 }
 
+bool MobilityModel::force_depart(VehicleId v) {
+  VehicleState& s = states_[v.index()];
+  if (s.speed > 0.0) return false;
+  depart_vehicle(v, /*abrupt=*/true);
+  return true;
+}
+
+double MobilityModel::draw_dwell_sec() {
+  // Shifted exponential off the mobility stream; inverse-CDF so one uniform
+  // per draw. uniform() < 1 so the log argument stays positive.
+  const double mean = cfg_.churn.dwell_mean_sec - cfg_.churn.min_dwell_sec;
+  return cfg_.churn.min_dwell_sec -
+         mean * std::log(1.0 - sim_->mobility_rng().uniform());
+}
+
+void MobilityModel::depart_vehicle(VehicleId v, bool abrupt) {
+  VehicleState& s = states_[v.index()];
+  // Listeners see the departure while the vehicle still sits at its parked
+  // pose (role hosts hand their tables off from that position).
+  for (MovementListener* l : listeners_) l->on_departed(v, abrupt);
+  s.speed = kmh_to_mps(
+      sim_->mobility_rng().uniform(cfg_.min_speed_kmh, cfg_.max_speed_kmh));
+  s.waiting = false;
+  depart_at_sec_[v.index()] = -1.0;
+  ++depart_events_;
+}
+
+void MobilityModel::churn_tick() {
+  Rng& rng = sim_->mobility_rng();
+  const double now = sim_->now().sec();
+  const double park_p =
+      std::min(1.0, cfg_.churn.park_rate_per_sec * cfg_.tick_sec);
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const VehicleId v{i};
+    VehicleState& s = states_[i];
+    if (s.speed > 0.0) {
+      if (park_p > 0.0 && rng.chance(park_p)) {
+        s.speed = 0.0;
+        s.waiting = false;
+        depart_at_sec_[i] = now + draw_dwell_sec();
+        ++park_events_;
+        for (MovementListener* l : listeners_) l->on_parked(v);
+      }
+    } else if (depart_at_sec_[i] < 0.0) {
+      // Init-parked vehicle meeting the lifecycle for the first time: give
+      // it a dwell clock so the initial parked population churns too.
+      depart_at_sec_[i] = now + draw_dwell_sec();
+    } else if (now >= depart_at_sec_[i]) {
+      depart_vehicle(v, /*abrupt=*/false);
+    }
+  }
+}
+
 void MobilityModel::tick() {
+  if (cfg_.churn.enabled) churn_tick();
   for (std::size_t i = 0; i < states_.size(); ++i) {
     const VehicleId v{i};
     const Vec2 before = position(v);

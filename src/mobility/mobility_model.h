@@ -13,6 +13,7 @@
 // connectivity, not headways, so queue geometry does not affect the metrics.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "mobility/traffic_light.h"
@@ -23,6 +24,22 @@
 
 namespace hlsrg {
 
+// Parking lifecycle ("Smarter Cities with Parked Cars as Roadside Units"):
+// when enabled, parking stops being a one-shot init flag — moving vehicles
+// park with a per-tick hazard and parked vehicles depart after a dwell time
+// drawn from a shifted exponential. All draws come from the mobility RNG
+// stream and happen only when `enabled`, so zero-churn runs consume exactly
+// the same draws (and stay byte-identical) as before this knob existed.
+struct ParkingChurnConfig {
+  bool enabled = false;
+  // Hazard rate for a moving vehicle to pull over, per second (converted to
+  // a per-tick Bernoulli probability rate * tick_sec, clamped to 1).
+  double park_rate_per_sec = 0.0;
+  // Dwell = min_dwell_sec + Exp(mean = dwell_mean_sec - min_dwell_sec).
+  double dwell_mean_sec = 300.0;
+  double min_dwell_sec = 30.0;
+};
+
 struct MobilityConfig {
   double tick_sec = 0.5;
   // Paper: "speed between 0 to 60 km/hr". Moving vehicles sample in
@@ -30,13 +47,15 @@ struct MobilityConfig {
   // by `parked_fraction` below.
   double min_speed_kmh = 5.0;
   double max_speed_kmh = 60.0;
-  // Fraction of vehicles that are parked (speed 0) for the whole run. Parked
-  // vehicles never move but keep their radios on — they relay packets and
-  // can serve as grid-center location servers.
+  // Fraction of vehicles that start parked (speed 0). Parked vehicles never
+  // move but keep their radios on — they relay packets and can serve as
+  // grid-center location servers. Without churn they stay parked for the
+  // whole run; with churn they depart once their drawn dwell expires.
   double parked_fraction = 0.0;
   // Relative placement weight of artery road-metres vs normal road-metres;
   // 10 reproduces the paper's measured 10:1 artery:normal vehicle density.
   double artery_placement_weight = 10.0;
+  ParkingChurnConfig churn;
   TrafficLightConfig lights;
   TurnPolicyConfig turn;
 };
@@ -65,6 +84,13 @@ class MovementListener {
   }
   // All vehicles have moved for this tick.
   virtual void on_tick() {}
+  // Vehicle `v` pulled over (speed -> 0) at its current position. Fired by
+  // the parking-churn lifecycle only; init-parked vehicles never fire it.
+  virtual void on_parked(VehicleId v) { (void)v; }
+  // Parked vehicle `v` resumed driving. `abrupt` is true for fault-forced
+  // departures (MobilityModel::force_depart) — no grace for handoff — and
+  // false for natural dwell expiries.
+  virtual void on_departed(VehicleId v, bool abrupt) { (void)v; (void)abrupt; }
 };
 
 class MobilityModel {
@@ -92,6 +118,19 @@ class MobilityModel {
   // Unit heading of the vehicle's current segment.
   [[nodiscard]] Vec2 heading(VehicleId v) const;
   [[nodiscard]] RoadId current_road(VehicleId v) const;
+  [[nodiscard]] bool parked(VehicleId v) const {
+    return states_[v.index()].speed <= 0.0;
+  }
+
+  // Immediately puts a parked vehicle back in motion (abrupt departure; no
+  // handoff grace). Used by the fault layer's burst-departure windows. The
+  // new speed is drawn from the mobility stream. Returns false (no-op) if
+  // the vehicle is not parked.
+  bool force_depart(VehicleId v);
+
+  // Lifecycle counters (tests and telemetry).
+  [[nodiscard]] std::uint64_t park_events() const { return park_events_; }
+  [[nodiscard]] std::uint64_t depart_events() const { return depart_events_; }
 
   [[nodiscard]] const RoadNetwork& network() const { return *net_; }
   [[nodiscard]] const TurnPolicy& turn_policy() const { return policy_; }
@@ -101,6 +140,9 @@ class MobilityModel {
  private:
   void tick();
   void advance_vehicle(VehicleId v, double dt);
+  void churn_tick();
+  void depart_vehicle(VehicleId v, bool abrupt);
+  [[nodiscard]] double draw_dwell_sec();
 
   Simulator* sim_;
   const RoadNetwork* net_;
@@ -108,7 +150,13 @@ class MobilityModel {
   TrafficLightPlan lights_;
   TurnPolicy policy_;
   std::vector<VehicleState> states_;
+  // Absolute sim-second each parked vehicle departs; < 0 = no dwell drawn
+  // yet (moving, or parked before churn assigned one). Kept out of
+  // VehicleState so the digest's per-vehicle mix is untouched.
+  std::vector<double> depart_at_sec_;
   std::vector<MovementListener*> listeners_;
+  std::uint64_t park_events_ = 0;
+  std::uint64_t depart_events_ = 0;
   bool started_ = false;
 };
 

@@ -28,6 +28,8 @@ const char* packet_kind_name(PacketKind kind) {
       return "query_batch";
     case PacketKind::kCacheFill:
       return "cache_fill";
+    case PacketKind::kRoleHandoff:
+      return "role_handoff";
     case PacketKind::kCellUpdate:
       return "cell_update";
     case PacketKind::kCellSummary:
@@ -70,6 +72,7 @@ std::uint64_t packet_wire_bytes(PacketKind kind) {
     case PacketKind::kCellSummary:
     case PacketKind::kQueryBatch:
     case PacketKind::kRlsmpBatch:
+    case PacketKind::kRoleHandoff:
       return kHeader + 224;  // multi-record aggregate
     case PacketKind::kQueryRequest:
     case PacketKind::kRlsmpQuery:

@@ -37,6 +37,9 @@ enum class PacketKind : int {
                         // lookup (service-tier batching window)
   kCacheFill = 11,      // answering RSU -> querying RSU: record for the
                         // hot-destination cache (wired, reverse path)
+  kRoleHandoff = 12,    // departing L2/L3 role host -> elected successor:
+                        // full location-table snapshot (radio unicast), or
+                        // -> parent/sibling on degradation (wired)
 
   // --- RLSMP ---------------------------------------------------------------
   kCellUpdate = 101,     // vehicle -> cell leader (one-hop broadcast)

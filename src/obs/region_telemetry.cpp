@@ -19,6 +19,8 @@ void RegionCounters::merge(const RegionCounters& other) {
   queries_served += other.queries_served;
   cache_hits += other.cache_hits;
   queries_shed += other.queries_shed;
+  role_migrations += other.role_migrations;
+  handoff_records += other.handoff_records;
 }
 
 RegionTelemetry::RegionTelemetry(std::vector<double> x_edges,
@@ -154,6 +156,8 @@ JsonValue RegionTelemetry::to_json() const {
       region.set("queries_served", cnt.queries_served);
       region.set("cache_hits", cnt.cache_hits);
       region.set("queries_shed", cnt.queries_shed);
+      region.set("role_migrations", cnt.role_migrations);
+      region.set("handoff_records", cnt.handoff_records);
       region.set("load", cnt.load());
       regions.push_back(std::move(region));
     }

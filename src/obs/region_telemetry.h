@@ -16,6 +16,8 @@
 //   sum(updates)                     == update_packets_originated
 //   sum(cache_hits)                  == RunMetrics::cache_hits
 //   sum(queries_shed)                == queries_shed + retries_shed
+//   sum(role_migrations)             == role_elections + role_fills
+//   sum(handoff_records)             == handoff_records_delivered
 //   matrix row/col sums              == wired_out / wired_in per region
 //   matrix hop total                 == RunMetrics::wired_messages
 //
@@ -55,6 +57,8 @@ struct RegionCounters {
   std::uint64_t queries_served = 0;    // location-table lookup hits here
   std::uint64_t cache_hits = 0;        // service-tier cache answers here
   std::uint64_t queries_shed = 0;      // admissions refused for sources here
+  std::uint64_t role_migrations = 0;   // role hosts elected/filled here
+  std::uint64_t handoff_records = 0;   // handoff records delivered here
 
   // Deliveries a region's nodes had to handle — the load measure behind the
   // imbalance summary (radio receptions + wired arrivals).

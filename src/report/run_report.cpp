@@ -70,6 +70,19 @@ JsonValue scenario_to_json(const ScenarioConfig& cfg) {
     o.set("fault_plan_file", cfg.fault_plan_file);
   }
   if (cfg.fault_seed != 0) o.set("fault_seed", cfg.fault_seed);
+  if (cfg.hlsrg.parked_rsu_hosting || cfg.mobility.churn.enabled) {
+    // Churn block only when parked hosting / the parking lifecycle runs, so
+    // churn-free reports stay byte-identical to pre-churn builds.
+    o.set("parked_rsu_hosting", cfg.hlsrg.parked_rsu_hosting);
+    o.set("host_radius_m", cfg.hlsrg.host_radius_m);
+    o.set("enable_handoff", cfg.hlsrg.enable_handoff);
+    o.set("role_fill_delay_sec", cfg.hlsrg.role_fill_delay.sec());
+    o.set("churn_detect_delay_sec", cfg.hlsrg.churn_detect_delay.sec());
+    o.set("churn_enabled", cfg.mobility.churn.enabled);
+    o.set("park_rate_per_sec", cfg.mobility.churn.park_rate_per_sec);
+    o.set("dwell_mean_sec", cfg.mobility.churn.dwell_mean_sec);
+    o.set("min_dwell_sec", cfg.mobility.churn.min_dwell_sec);
+  }
   if (cfg.service.enabled) {
     // Service-tier block only when the tier runs, so tier-free reports stay
     // byte-identical to pre-tier builds.
@@ -162,6 +175,36 @@ void scenario_from_json(const JsonValue& v, ScenarioConfig* cfg) {
   if (v.contains("fault_seed")) {
     cfg->fault_seed = v.at("fault_seed").as_uint64();
   }
+  if (v.contains("parked_rsu_hosting")) {
+    cfg->hlsrg.parked_rsu_hosting = v.at("parked_rsu_hosting").as_bool();
+    if (v.contains("host_radius_m")) {
+      cfg->hlsrg.host_radius_m = v.at("host_radius_m").as_double();
+    }
+    if (v.contains("enable_handoff")) {
+      cfg->hlsrg.enable_handoff = v.at("enable_handoff").as_bool();
+    }
+    if (v.contains("role_fill_delay_sec")) {
+      cfg->hlsrg.role_fill_delay =
+          SimTime::from_sec(v.at("role_fill_delay_sec").as_double());
+    }
+    if (v.contains("churn_detect_delay_sec")) {
+      cfg->hlsrg.churn_detect_delay =
+          SimTime::from_sec(v.at("churn_detect_delay_sec").as_double());
+    }
+  }
+  if (v.contains("churn_enabled")) {
+    cfg->mobility.churn.enabled = v.at("churn_enabled").as_bool();
+    if (v.contains("park_rate_per_sec")) {
+      cfg->mobility.churn.park_rate_per_sec =
+          v.at("park_rate_per_sec").as_double();
+    }
+    if (v.contains("dwell_mean_sec")) {
+      cfg->mobility.churn.dwell_mean_sec = v.at("dwell_mean_sec").as_double();
+    }
+    if (v.contains("min_dwell_sec")) {
+      cfg->mobility.churn.min_dwell_sec = v.at("min_dwell_sec").as_double();
+    }
+  }
   if (v.contains("service_enabled")) {
     cfg->service.enabled = v.at("service_enabled").as_bool();
     if (v.contains("open_loop_rate_per_sec")) {
@@ -249,6 +292,19 @@ JsonValue metrics_to_json(const RunMetrics& m) {
   o.set("batched_queries", m.batched_queries);
   o.set("batch_flushes", m.batch_flushes);
   o.set("peak_outstanding", m.peak_outstanding);
+  o.set("role_departures", m.role_departures);
+  o.set("role_elections", m.role_elections);
+  o.set("role_vacancies", m.role_vacancies);
+  o.set("role_fills", m.role_fills);
+  o.set("handoffs_sent", m.handoffs_sent);
+  o.set("handoffs_delivered", m.handoffs_delivered);
+  o.set("handoffs_lost", m.handoffs_lost);
+  o.set("handoff_records_sent", m.handoff_records_sent);
+  o.set("handoff_records_delivered", m.handoff_records_delivered);
+  o.set("handoff_records_expired", m.handoff_records_expired);
+  o.set("handoff_records_in_flight", m.handoff_records_in_flight);
+  o.set("records_at_departure", m.records_at_departure);
+  o.set("churn_active", m.churn_active);
   return o;
 }
 
@@ -295,6 +351,22 @@ void metrics_from_json(const JsonValue& v, RunMetrics* m) {
   m->batched_queries = v.at("batched_queries").as_uint64();
   m->batch_flushes = v.at("batch_flushes").as_uint64();
   m->peak_outstanding = v.at("peak_outstanding").as_uint64();
+  // Churn fields arrived after the service-tier fields; same null-fallback.
+  m->role_departures = v.at("role_departures").as_uint64();
+  m->role_elections = v.at("role_elections").as_uint64();
+  m->role_vacancies = v.at("role_vacancies").as_uint64();
+  m->role_fills = v.at("role_fills").as_uint64();
+  m->handoffs_sent = v.at("handoffs_sent").as_uint64();
+  m->handoffs_delivered = v.at("handoffs_delivered").as_uint64();
+  m->handoffs_lost = v.at("handoffs_lost").as_uint64();
+  m->handoff_records_sent = v.at("handoff_records_sent").as_uint64();
+  m->handoff_records_delivered =
+      v.at("handoff_records_delivered").as_uint64();
+  m->handoff_records_expired = v.at("handoff_records_expired").as_uint64();
+  m->handoff_records_in_flight =
+      v.at("handoff_records_in_flight").as_uint64();
+  m->records_at_departure = v.at("records_at_departure").as_uint64();
+  m->churn_active = v.at("churn_active").as_uint64();
 }
 
 JsonValue latency_to_json(const LatencySummary& l) {
@@ -384,6 +456,18 @@ JsonValue derived_metrics_json(const RunMetrics& merged, bool service_tier,
     o.set("availability", merged.availability());
     o.set("recovery_ms", merged.recovery_ms());
     o.set("queries_stranded", static_cast<double>(merged.queries_stranded) / n);
+  }
+  if (merged.churn_active != 0) {
+    // Churn derived block: only present when parked hosting ran, so
+    // churn-free reports are byte-identical to pre-churn builds.
+    o.set("handoff_record_delivery_rate",
+          merged.handoff_record_delivery_rate());
+    o.set("role_departures", static_cast<double>(merged.role_departures) / n);
+    o.set("role_continuity",
+          merged.role_departures == 0
+              ? 1.0
+              : static_cast<double>(merged.role_elections) /
+                    static_cast<double>(merged.role_departures));
   }
   if (service_tier && merged.queries_offered > 0) {
     // Service-tier derived block: only present when the tier ran, so

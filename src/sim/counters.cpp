@@ -119,6 +119,20 @@ void RunMetrics::merge(const RunMetrics& other) {
   batch_flushes += other.batch_flushes;
   // Replicas run in separate worlds; the fleet-wide peak is the worst one.
   peak_outstanding = std::max(peak_outstanding, other.peak_outstanding);
+  role_departures += other.role_departures;
+  role_elections += other.role_elections;
+  role_vacancies += other.role_vacancies;
+  role_fills += other.role_fills;
+  handoffs_sent += other.handoffs_sent;
+  handoffs_delivered += other.handoffs_delivered;
+  handoffs_lost += other.handoffs_lost;
+  handoff_records_sent += other.handoff_records_sent;
+  handoff_records_delivered += other.handoff_records_delivered;
+  handoff_records_expired += other.handoff_records_expired;
+  handoff_records_in_flight += other.handoff_records_in_flight;
+  records_at_departure += other.records_at_departure;
+  // Like fault_plan_digest: a common marker across replicas of one sweep.
+  churn_active = std::max(churn_active, other.churn_active);
   channel.merge(other.channel);
   query_latency.merge(other.query_latency);
 }

@@ -216,6 +216,34 @@ struct RunMetrics {
   std::uint64_t batch_flushes = 0;      // wired batch lookups sent
   std::uint64_t peak_outstanding = 0;   // unsettled-query high-water mark
 
+  // --- infrastructure-churn accounting (parked-cars-as-RSUs, src/core) ---
+  // Record conservation law (ChurnAuditor):
+  //   records_at_departure == handoff_records_delivered
+  //                           + handoff_records_expired
+  //                           + handoff_records_in_flight
+  // holds at every instant — in-flight records settle when their handoff
+  // packet is delivered (merged), suppressed at a crashed receiver, or lost
+  // after MAC retries. Role law: role_departures == role_elections +
+  // role_vacancies.
+  std::uint64_t role_departures = 0;    // hosts that left an L2/L3 role
+  std::uint64_t role_elections = 0;     // successor bound at departure time
+  std::uint64_t role_vacancies = 0;     // departures that left the role down
+  std::uint64_t role_fills = 0;         // vacant roles re-staffed later
+  std::uint64_t handoffs_sent = 0;      // kRoleHandoff packets sent
+  std::uint64_t handoffs_delivered = 0; // ... merged by the receiver
+  std::uint64_t handoffs_lost = 0;      // ... lost / suppressed / unreachable
+  std::uint64_t handoff_records_sent = 0;       // records riding a handoff
+  std::uint64_t handoff_records_delivered = 0;  // ... merged at the receiver
+  std::uint64_t handoff_records_expired = 0;    // records ledger-accounted as
+                                                // expired (abrupt departure,
+                                                // lost packet, no absorber)
+  std::uint64_t handoff_records_in_flight = 0;  // gauge: sent, not settled
+  std::uint64_t records_at_departure = 0;       // records held by leaving hosts
+  // Nonzero when the churn subsystem ran (ChurnManager constructed). Gates
+  // the determinism-digest mix of the counters above so zero-churn runs stay
+  // byte-identical with churn-unaware builds (mirrors fault_plan_digest).
+  std::uint64_t churn_active = 0;
+
   // Per-kind channel conservation ledger (offered == delivered + dropped),
   // fed by the radio broadcast/unicast and wired paths that carry a Packet.
   PacketLedger channel;
@@ -262,6 +290,14 @@ struct RunMetrics {
                ? 0.0
                : static_cast<double>(recovery_time_us) /
                      static_cast<double>(recovery_windows) * 1e-3;
+  }
+  // Fraction of handed-off location records that reached their successor /
+  // absorber; 1 when no handoff ever carried a record.
+  [[nodiscard]] double handoff_record_delivery_rate() const {
+    return handoff_records_sent == 0
+               ? 1.0
+               : static_cast<double>(handoff_records_delivered) /
+                     static_cast<double>(handoff_records_sent);
   }
 
   [[nodiscard]] std::string summary() const;

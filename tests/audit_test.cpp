@@ -6,12 +6,15 @@
 #include <utility>
 
 #include "audit/audit_runner.h"
+#include "audit/churn_audit.h"
 #include "audit/conservation_audit.h"
 #include "audit/grid_audit.h"
 #include "audit/table_audit.h"
+#include "core/churn_manager.h"
 #include "core/hlsrg_service.h"
 #include "core/rsu_agent.h"
 #include "core/vehicle_agent.h"
+#include "mobility/mobility_model.h"
 #include "grid/hierarchy.h"
 #include "grid/partition.h"
 #include "harness/digest.h"
@@ -281,6 +284,130 @@ TEST(ConservationAuditTest, EventQueueLawHoldsThroughCancel) {
   AuditReport report;
   ConservationAuditor{}.check(scope, &report);
   EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// --- churn auditor ---------------------------------------------------------
+
+ScenarioConfig churn_scenario(std::uint64_t seed = 47) {
+  ScenarioConfig cfg = small_scenario(seed);
+  cfg.vehicles = 200;
+  cfg.map.size_m = 2000.0;
+  cfg.mobility.parked_fraction = 0.35;
+  cfg.mobility.churn.enabled = true;
+  cfg.mobility.churn.park_rate_per_sec = 0.005;
+  cfg.mobility.churn.dwell_mean_sec = 40.0;
+  cfg.mobility.churn.min_dwell_sec = 10.0;
+  cfg.hlsrg.parked_rsu_hosting = true;
+  cfg.hlsrg.host_radius_m = 600.0;
+  return cfg;
+}
+
+// Parked-RSU-hosting world: roles churn, handoffs fly, the ledger closes.
+class ChurnAuditWorldTest : public ::testing::Test {
+ protected:
+  ChurnAuditWorldTest() : world_(churn_scenario(), Protocol::kHlsrg) {
+    world_.run_until(SimTime::from_sec(75.0));
+  }
+
+  HlsrgService& service() {
+    return static_cast<HlsrgService&>(world_.service());
+  }
+  AuditReport run_churn_auditor() {
+    AuditReport report;
+    ChurnAuditor{}.check(world_.audit_scope(), &report);
+    return report;
+  }
+
+  World world_;
+};
+
+TEST_F(ChurnAuditWorldTest, CleanChurnWorldPasses) {
+  ASSERT_NE(service().churn(), nullptr);
+  const AuditReport report = world_.audit_now();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(ChurnAuditWorldTest, DetectsRecordLeak) {
+  // A handoff record that vanishes without being delivered, expired, or
+  // left in flight — exactly the silent loss the ledger forbids.
+  world_.sim().metrics().records_at_departure += 3;
+
+  const AuditReport report = run_churn_auditor();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations().front().auditor, "churn");
+  EXPECT_NE(report.to_string().find("leak"), std::string::npos)
+      << report.to_string();
+  // Invisible to the other auditors.
+  EXPECT_TRUE(world_.audit_now().violations().size() ==
+              report.violations().size());
+}
+
+TEST_F(ChurnAuditWorldTest, DetectsUnbalancedRoleAccounting) {
+  world_.sim().metrics().role_elections += 1;
+
+  const AuditReport report = run_churn_auditor();
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("role accounting"), std::string::npos)
+      << report.to_string();
+}
+
+TEST_F(ChurnAuditWorldTest, DetectsDoubleSettledHandoff) {
+  world_.sim().metrics().handoffs_delivered += 1;
+  world_.sim().metrics().handoff_records_delivered += 1;
+  world_.sim().metrics().records_at_departure += 1;
+
+  const AuditReport report = run_churn_auditor();
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("settle twice"), std::string::npos)
+      << report.to_string();
+}
+
+TEST_F(ChurnAuditWorldTest, DetectsVacantRoleWithLiveAgent) {
+  ChurnManager& churn = *service().churn();
+  RsuId staffed;
+  for (std::size_t i = 0; i < churn.directory().role_count(); ++i) {
+    if (churn.directory().staffed(RsuId{i}) &&
+        service().rsu_agent(RsuId{i}).up()) {
+      staffed = RsuId{i};
+      break;
+    }
+  }
+  ASSERT_TRUE(staffed.valid()) << "no staffed role to corrupt";
+  // Drop the binding behind the agent's back: the role claims nobody hosts
+  // it, yet the agent keeps serving.
+  churn.mutable_directory().vacate(staffed);
+
+  const AuditReport report = run_churn_auditor();
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("live agent"), std::string::npos)
+      << report.to_string();
+}
+
+TEST_F(ChurnAuditWorldTest, DetectsDrivingHost) {
+  ChurnManager& churn = *service().churn();
+  VehicleId driving;
+  for (std::size_t i = 0; i < world_.mobility().vehicle_count(); ++i) {
+    if (!world_.mobility().parked(VehicleId{i}) &&
+        !churn.directory().role_of(VehicleId{i}).valid()) {
+      driving = VehicleId{i};
+      break;
+    }
+  }
+  RsuId staffed;
+  for (std::size_t i = 0; i < churn.directory().role_count(); ++i) {
+    if (churn.directory().staffed(RsuId{i})) {
+      staffed = RsuId{i};
+      break;
+    }
+  }
+  ASSERT_TRUE(driving.valid());
+  ASSERT_TRUE(staffed.valid());
+  churn.mutable_directory().bind_vehicle(staffed, driving);
+
+  const AuditReport report = run_churn_auditor();
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("driving, not parked"), std::string::npos)
+      << report.to_string();
 }
 
 // --- determinism digests ---------------------------------------------------

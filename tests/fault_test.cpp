@@ -209,6 +209,45 @@ TEST(FaultPlanTest, JsonRoundTripPreservesEverything) {
   EXPECT_NE(plan.digest(), 0u);
 }
 
+TEST(FaultPlanTest, ChurnWindowRoundTripsAndValidates) {
+  FaultPlan plan;
+  FaultWindow burst;
+  burst.kind = FaultKind::kChurn;
+  burst.begin = SimTime::from_sec(70.0);
+  burst.end = SimTime::from_sec(90.0);
+  burst.has_box = true;
+  burst.box = Aabb{{0.0, 0.0}, {1000.0, 2000.0}};
+  burst.depart_fraction = 0.5;
+  plan.windows.push_back(burst);
+
+  FaultPlan back;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::from_json(plan.to_json(), &back, &error)) << error;
+  ASSERT_EQ(back.windows.size(), 1u);
+  EXPECT_EQ(back.windows[0].kind, FaultKind::kChurn);
+  EXPECT_TRUE(back.windows[0].has_box);
+  EXPECT_DOUBLE_EQ(back.windows[0].depart_fraction, 0.5);
+  EXPECT_EQ(back.digest(), plan.digest());
+  EXPECT_NE(plan.digest(), 0u);
+  // The fraction joins the digest: a different burst is a different plan.
+  FaultPlan other = plan;
+  other.windows[0].depart_fraction = 0.25;
+  EXPECT_NE(other.digest(), plan.digest());
+
+  // depart_fraction outside (0, 1] is rejected, as is omitting it.
+  const auto too_big = JsonValue::parse(
+      R"({"schema":"hlsrg-fault/v1","faults":[
+            {"kind":"churn","begin_sec":1,"end_sec":2,"depart_fraction":1.5}]})");
+  ASSERT_TRUE(too_big.has_value());
+  EXPECT_FALSE(FaultPlan::from_json(*too_big, &back, &error));
+  EXPECT_NE(error.find("depart_fraction"), std::string::npos) << error;
+  const auto missing = JsonValue::parse(
+      R"({"schema":"hlsrg-fault/v1","faults":[
+            {"kind":"churn","begin_sec":1,"end_sec":2}]})");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_FALSE(FaultPlan::from_json(*missing, &back, &error));
+}
+
 TEST(FaultPlanTest, EmptyPlanDigestsToZero) {
   EXPECT_EQ(FaultPlan{}.digest(), 0u);
   EXPECT_TRUE(FaultPlan{}.empty());

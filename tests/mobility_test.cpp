@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "mobility/mobility_model.h"
@@ -369,6 +370,138 @@ TEST_F(MobilityModelTest, ExplicitParkedVehicleAccepted) {
   mob.start();
   sim_.run_until(SimTime::from_sec(30));
   EXPECT_DOUBLE_EQ(mob.state(v).offset, 10.0);
+}
+
+// --- parking-churn lifecycle -------------------------------------------------
+
+// Records the lifecycle events a protocol agent would see.
+class ParkingListener : public MovementListener {
+ public:
+  void on_parked(VehicleId v) override { parked.push_back(v); }
+  void on_departed(VehicleId v, bool abrupt) override {
+    departed.emplace_back(v, abrupt);
+  }
+  std::vector<VehicleId> parked;
+  std::vector<std::pair<VehicleId, bool>> departed;
+};
+
+MobilityConfig churny_config() {
+  MobilityConfig cfg;
+  cfg.parked_fraction = 0.3;
+  cfg.churn.enabled = true;
+  cfg.churn.park_rate_per_sec = 0.02;
+  cfg.churn.dwell_mean_sec = 30.0;
+  cfg.churn.min_dwell_sec = 10.0;
+  return cfg;
+}
+
+TEST_F(MobilityModelTest, ChurnLifecycleFiresParkAndDepartEvents) {
+  MobilityModel mob(sim_, net_, churny_config());
+  ParkingListener listener;
+  mob.add_listener(&listener);
+  mob.place_random_vehicles(200);
+  mob.start();
+  sim_.run_until(SimTime::from_sec(300));
+  EXPECT_GT(mob.park_events(), 0u);
+  EXPECT_GT(mob.depart_events(), 0u);
+  EXPECT_EQ(listener.parked.size(), mob.park_events());
+  EXPECT_EQ(listener.departed.size(), mob.depart_events());
+  // Dwell expiries are graceful departures, never abrupt.
+  for (const auto& [v, abrupt] : listener.departed) EXPECT_FALSE(abrupt);
+  // parked() reflects the lifecycle: a departed vehicle is moving again.
+  for (const auto& [v, abrupt] : listener.departed) {
+    if (mob.parked(v)) continue;  // may have re-parked later
+    EXPECT_GT(mob.state(v).speed, 0.0);
+  }
+}
+
+TEST_F(MobilityModelTest, ChurnDepartsRespectMinimumDwell) {
+  MobilityConfig cfg = churny_config();
+  cfg.parked_fraction = 0.0;  // only lifecycle parks, so park times are known
+  MobilityModel mob(sim_, net_, cfg);
+  struct Timed : MovementListener {
+    explicit Timed(Simulator& s) : sim(&s) {}
+    void on_parked(VehicleId v) override { at[v.index()] = sim->now(); }
+    void on_departed(VehicleId v, bool abrupt) override {
+      (void)abrupt;
+      ASSERT_TRUE(at.count(v.index()) != 0u);
+      dwells.push_back((sim->now() - at[v.index()]).sec());
+      at.erase(v.index());
+    }
+    Simulator* sim;
+    std::map<std::size_t, SimTime> at;
+    std::vector<double> dwells;
+  } listener{sim_};
+  mob.add_listener(&listener);
+  mob.place_random_vehicles(300);
+  mob.start();
+  sim_.run_until(SimTime::from_sec(400));
+  ASSERT_GT(listener.dwells.size(), 10u);
+  for (const double d : listener.dwells) {
+    // One mobility tick of slack: departures fire on tick boundaries.
+    EXPECT_GE(d, cfg.churn.min_dwell_sec - cfg.tick_sec);
+  }
+}
+
+TEST_F(MobilityModelTest, ForceDepartIsAbruptAndOnlyActsOnParked) {
+  MobilityModel mob(sim_, net_, churny_config());
+  ParkingListener listener;
+  mob.add_listener(&listener);
+  mob.place_random_vehicles(50);
+  mob.start();
+  sim_.run_until(SimTime::from_sec(5));
+  VehicleId parked_v, moving_v;
+  for (std::size_t i = 0; i < 50; ++i) {
+    (mob.parked(VehicleId{i}) ? parked_v : moving_v) = VehicleId{i};
+  }
+  ASSERT_TRUE(parked_v.valid());
+  ASSERT_TRUE(moving_v.valid());
+  EXPECT_FALSE(mob.force_depart(moving_v));
+  listener.departed.clear();
+  EXPECT_TRUE(mob.force_depart(parked_v));
+  EXPECT_FALSE(mob.parked(parked_v));
+  EXPECT_GT(mob.state(parked_v).speed, 0.0);
+  ASSERT_EQ(listener.departed.size(), 1u);
+  EXPECT_EQ(listener.departed[0].first, parked_v);
+  EXPECT_TRUE(listener.departed[0].second);  // abrupt
+}
+
+TEST_F(MobilityModelTest, DisabledChurnDrawsNoExtraRandomness) {
+  // Setting the churn knobs without enabling the lifecycle must leave every
+  // trajectory untouched — disabled churn consumes zero RNG draws.
+  auto positions = [&](const MobilityConfig& cfg) {
+    Simulator sim(11);
+    MobilityModel mob(sim, net_, cfg);
+    mob.place_random_vehicles(80);
+    mob.start();
+    sim.run_until(SimTime::from_sec(90));
+    std::vector<Vec2> out;
+    out.reserve(80);
+    for (std::size_t i = 0; i < 80; ++i) {
+      out.push_back(mob.position(VehicleId{i}));
+    }
+    return out;
+  };
+  MobilityConfig plain;
+  plain.parked_fraction = 0.2;
+  MobilityConfig knobs = plain;
+  knobs.churn.park_rate_per_sec = 0.5;  // ignored: enabled stays false
+  knobs.churn.dwell_mean_sec = 1.0;
+  knobs.churn.min_dwell_sec = 0.1;
+  EXPECT_EQ(positions(plain), positions(knobs));
+}
+
+TEST_F(MobilityModelTest, ChurnLifecycleIsDeterministic) {
+  auto counts = [&](std::uint64_t seed) {
+    Simulator sim(seed);
+    MobilityModel mob(sim, net_, churny_config());
+    mob.place_random_vehicles(150);
+    mob.start();
+    sim.run_until(SimTime::from_sec(200));
+    return std::make_pair(mob.park_events(), mob.depart_events());
+  };
+  EXPECT_EQ(counts(21), counts(21));
+  EXPECT_NE(counts(21), counts(22));
 }
 
 // Parameterized: vehicles never leave the road graph across speeds.
