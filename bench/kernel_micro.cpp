@@ -69,7 +69,7 @@ void BM_NeighborIndexRefresh(benchmark::State& state) {
   Rng rng(2);
   for (std::size_t i = 0; i < n; ++i) {
     const Vec2 p{rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)};
-    reg.add_node([p] { return p; });
+    reg.add_node(p);
   }
   NeighborIndex index(reg, 500.0);
   std::int64_t t = 0;
@@ -86,7 +86,7 @@ void BM_NeighborIndexQuery(benchmark::State& state) {
   Rng rng(3);
   for (int i = 0; i < 700; ++i) {
     const Vec2 p{rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)};
-    reg.add_node([p] { return p; });
+    reg.add_node(p);
   }
   NeighborIndex index(reg, 500.0);
   index.refresh(SimTime::from_us(1));

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <string>
 
+#include "harness/digest.h"
 #include "harness/runner.h"
 #include "obs/profiler.h"
 #include "obs/region_telemetry.h"
@@ -188,6 +189,7 @@ int main(int argc, char** argv) {
   RunMetrics metrics;
   EngineStats engine;
   std::vector<EngineStats> replica_engine;
+  std::vector<std::uint64_t> digests;
   MetricsRegistry observability;
   RegionTelemetry regions;
   PhaseProfiler profile;
@@ -217,6 +219,12 @@ int main(int argc, char** argv) {
     const double run_end = monotonic_now_sec() - start;
     engine = world.sim().engine_stats();
     engine.wall_clock_sec = run_end;
+    // Process peak at sample time — with one replica this IS the run's peak
+    // (the multi-replica path had stamped fleet-wide peaks per replica; see
+    // run_replicas). The single-replica path used to leave it zero.
+    engine.peak_rss_bytes = process_peak_rss_bytes();
+    engine.table_bytes = world.service().service_stats().table_bytes;
+    digests.push_back(state_digest(world));
     replica_engine.push_back(engine);
     service_name = world.service().name();
     observability = world.sim().observability();
@@ -269,7 +277,9 @@ int main(int argc, char** argv) {
                                         static_cast<std::size_t>(threads));
     metrics = set.merged;
     engine = set.engine_total;
+    engine.peak_rss_bytes = set.peak_rss_bytes;
     replica_engine = set.engine;
+    digests = set.digests;
     observability = set.observability;
     regions = set.regions;
     profile = set.profile;
@@ -343,6 +353,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(engine.events_processed),
               static_cast<unsigned long long>(engine.peak_queue_depth),
               engine.wall_clock_sec, engine.events_per_sec());
+  std::printf("memory:     peak RSS %.1f MB, tables %.2f MB\n",
+              static_cast<double>(engine.peak_rss_bytes) / 1e6,
+              static_cast<double>(engine.table_bytes) / 1e6);
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    std::printf("digest:     replica %zu = %016llx\n", i,
+                static_cast<unsigned long long>(digests[i]));
+  }
   if (regions.configured()) {
     const RegionTelemetry::Imbalance imb = regions.load_imbalance();
     std::printf("regions:    %dx%d L3, load max/mean %.2f, cv %.2f\n",
@@ -375,6 +392,16 @@ int main(int argc, char** argv) {
       per_replica.push_back(engine_to_json(e));
     }
     doc.set("replica_engine", std::move(per_replica));
+    // Per-replica end-state digests (hex), for re-baselining documentation:
+    // a code change that intends to shift digests records old/new from here.
+    JsonValue digest_array = JsonValue::array();
+    for (std::uint64_t d : digests) {
+      char hex[17];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(d));
+      digest_array.push_back(JsonValue{std::string(hex)});
+    }
+    doc.set("digests", std::move(digest_array));
     std::string error;
     if (!write_json_file(doc, out_path, &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());

@@ -20,13 +20,21 @@ every (section, row, protocol) result, and compares the numeric fields:
                   seeds, but expected to move whenever the engine changes);
                   wall_clock_sec / events_per_sec only with
                   --include-timing (machine-dependent).
+  * "memory"   -- engine.peak_rss_bytes (process high-water mark; noisy
+                  across allocators/kernels, so give it a generous
+                  --threshold) and engine.table_bytes (protocol-table +
+                  registry heap, deterministic); both lower-is-better.
+                  Compared whenever "memory" is in --groups, independent of
+                  --include-engine/--include-timing.
 
---groups restricts the comparison to a comma-separated subset of the four
+--groups restricts the comparison to a comma-separated subset of the five
 groups above (default "derived,metrics,latency,engine"). The CI perf-smoke
 job uses "--groups engine --include-engine --include-timing" to gate
 throughput alone: functional counters can drift across compilers/libm
 (Poisson workload timing goes through std::log) without being perf
-regressions, and they are already gated deterministically elsewhere.
+regressions, and they are already gated deterministically elsewhere. The
+memory gate runs as a separate invocation ("--groups memory") against the
+scale_map deep rows.
 
 A field regresses when it moves against its preferred direction by more
 than threshold (relative) AND more than abs-slack (absolute) -- the
@@ -83,6 +91,7 @@ PREFERRED_DIRECTION = {
     "events_per_sec": +1,
     "broadcasts_per_sec": +1,
     "peak_rss_bytes": -1,
+    "table_bytes": -1,
     # Region observatory (src/obs): hotter-than-mean regions and a wider
     # spread of per-region load are both regressions.
     "region_load_max_over_mean": -1,
@@ -98,7 +107,11 @@ PREFERRED_DIRECTION = {
 }
 
 TIMING_FIELDS = {"wall_clock_sec", "events_per_sec", "broadcasts_per_sec",
-                 "sim_time_sec", "peak_rss_bytes"}
+                 "sim_time_sec"}
+
+# Engine fields owned by the "memory" group; excluded from the "engine"
+# group so enabling both never double-compares them.
+MEMORY_FIELDS = {"peak_rss_bytes", "table_bytes"}
 
 
 def fail(msg):
@@ -139,11 +152,15 @@ def numeric_fields(result, include_engine, include_timing, groups):
         for name, value in result.get(group, {}).items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 yield f"{group}.{name}", float(value)
-    if "engine" not in groups:
-        return
     engine = result.get("engine", {})
     for name, value in engine.items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if name in MEMORY_FIELDS:
+            if "memory" in groups:
+                yield f"engine.{name}", float(value)
+            continue
+        if "engine" not in groups:
             continue
         timing = name in TIMING_FIELDS
         if timing and not include_timing:
@@ -171,11 +188,12 @@ def main():
     ap.add_argument("--verbose", action="store_true",
                     help="print every compared field, not just regressions")
     ap.add_argument("--groups", default="derived,metrics,latency,engine",
-                    help="comma-separated field groups to compare "
+                    help="comma-separated field groups to compare, from "
+                         "derived,metrics,latency,engine,memory "
                          "(default: derived,metrics,latency,engine)")
     args = ap.parse_args()
     groups = {g.strip() for g in args.groups.split(",") if g.strip()}
-    known = {"derived", "metrics", "latency", "engine"}
+    known = {"derived", "metrics", "latency", "engine", "memory"}
     if not groups or not groups <= known:
         fail(f"--groups must name a subset of {sorted(known)}")
 

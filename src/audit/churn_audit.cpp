@@ -63,7 +63,7 @@ void ChurnAuditor::check(const AuditScope& scope, AuditReport* report) const {
     const RsuId role{i};
     const RoleBinding& binding = directory.binding(role);
     if (binding.kind == RoleHostKind::kNone) {
-      if (i < agents.size() && agents[i]->up()) {
+      if (i < agents.size() && agents[i].up()) {
         std::ostringstream os;
         os << "vacant role " << i << " has a live agent (nobody hosts it)";
         report->add("churn", os.str());

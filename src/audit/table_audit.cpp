@@ -91,25 +91,25 @@ void TableAuditor::check(const AuditScope& scope, AuditReport* report) const {
 
   for (const auto& agent : svc->rsu_agents()) {
     const std::string where =
-        "L" + std::to_string(static_cast<int>(agent->level())) + " RSU " +
-        coord_str(agent->coord());
+        "L" + std::to_string(static_cast<int>(agent.level())) + " RSU " +
+        coord_str(agent.coord());
 
     // Tables live only at their level.
-    if (agent->level() == GridLevel::kL2 && !agent->l3_table().empty()) {
+    if (agent.level() == GridLevel::kL2 && !agent.l3_table().empty()) {
       report->add("table", where + " holds an L3 table");
     }
-    if (agent->level() == GridLevel::kL3 && !agent->l2_table().empty()) {
+    if (agent.level() == GridLevel::kL3 && !agent.l2_table().empty()) {
       report->add("table", where + " holds an L2 table");
     }
 
-    for (const auto& [vehicle, s] : agent->l2_table()) {
+    for (const auto& [vehicle, s] : agent.l2_table()) {
       check_entry(ctx, where + " l2_table", vehicle, s.time, l2_max);
       if (!coord_in_range(ctx, s.l1, GridLevel::kL1)) {
         violation(ctx, where + " l2_table", vehicle,
                   "references out-of-range L1 grid " + coord_str(s.l1));
       }
     }
-    for (const auto& [vehicle, s] : agent->l3_table()) {
+    for (const auto& [vehicle, s] : agent.l3_table()) {
       check_entry(ctx, where + " l3_table", vehicle, s.time, l3_max);
       if (!coord_in_range(ctx, s.l2, GridLevel::kL2)) {
         violation(ctx, where + " l3_table", vehicle,
@@ -122,10 +122,10 @@ void TableAuditor::check(const AuditScope& scope, AuditReport* report) const {
       }
     }
 
-    const bool at_l2 = agent->level() == GridLevel::kL2;
+    const bool at_l2 = agent.level() == GridLevel::kL2;
     const SimTime full_expiry = at_l2 ? cfg.l2_expiry : cfg.l3_expiry;
     const SimTime full_max = at_l2 ? l2_max : l3_max;
-    for (const auto& [vehicle, rec] : agent->full_table()) {
+    for (const auto& [vehicle, rec] : agent.full_table()) {
       check_entry(ctx, where + " full_table", vehicle, rec.time, full_max);
       if (!coord_in_range(ctx, rec.l1, GridLevel::kL1)) {
         violation(ctx, where + " full_table", vehicle,
@@ -138,12 +138,12 @@ void TableAuditor::check(const AuditScope& scope, AuditReport* report) const {
         SimTime summary_time = SimTime::max();
         bool summarized = false;
         if (at_l2) {
-          if (const L2Summary* s = agent->l2_table().find(vehicle)) {
+          if (const L2Summary* s = agent.l2_table().find(vehicle)) {
             summarized = true;
             summary_time = s->time;
           }
         } else {
-          if (const L3Summary* s = agent->l3_table().find(vehicle)) {
+          if (const L3Summary* s = agent.l3_table().find(vehicle)) {
             summarized = true;
             summary_time = s->time;
           }

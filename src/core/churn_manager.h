@@ -1,0 +1,99 @@
+// Infrastructure churn: parked vehicles hosting the L2/L3 RSU roles (PR-9,
+// after "Smarter Cities with Parked Cars as Roadside Units").
+//
+// The logical roles — node ids, grid coordinates, wiring — stay exactly the
+// RsuGrid the paper deploys; what churns is the *host* backing each role.
+// The ChurnManager owns the RoleDirectory and reacts to the mobility
+// parking lifecycle:
+//
+//   * Initial staffing: each role binds the nearest parked vehicle within
+//     host_radius_m of its grid center (lowest-id tiebreak, one role per
+//     vehicle, roles staffed in RsuId order). Roles with no candidate start
+//     vacant: their agent is down and their wired node is down, so queries
+//     for the region ride the PR-4 failover ladder from t = 0.
+//   * Graceful departure (dwell expiry): snapshot the agent's tables, elect
+//     the successor deterministically (same nearest/lowest-id rule, no RNG),
+//     cycle the agent through set_up(false)/set_up(true) — the reboot wipes
+//     state — and unicast the snapshot as a ledgered kRoleHandoff from the
+//     departing host's radio to the role node. A lost handoff falls back to
+//     the reboot rebuild-from-beacons path; nothing is retried.
+//   * No successor: degrade gracefully — ship the snapshot over the wire to
+//     the parent L3 (L2 roles) or the nearest up sibling L3 (L3 roles), then
+//     take the role down. An unreachable absorber expires the records.
+//   * Abrupt departure (fault-forced force_depart): no handoff — the records
+//     are ledger-accounted as expired — and the vacancy is only noticed at
+//     the next detect sweep, churn_detect_delay later.
+//   * Re-staffing: a vehicle parking near a vacant role schedules a fill
+//     sweep role_fill_delay later; sweeps staff every vacant role they can.
+//
+// Record conservation (checked by the ChurnAuditor): every record held at a
+// departure is delivered to a successor/absorber, in flight, or expired —
+// records_at_departure == handoff_records_delivered +
+// handoff_records_expired + handoff_records_in_flight at every instant.
+//
+// Determinism: the manager draws no RNG at all — elections are pure
+// geometry + id order — and it only exists when
+// HlsrgConfig::parked_rsu_hosting is set, so zero-churn runs are
+// byte-identical to the fixed-RSU world.
+#pragma once
+
+#include <cstdint>
+
+#include "core/messages.h"
+#include "infra/role_directory.h"
+#include "util/tagged_id.h"
+
+namespace hlsrg {
+
+class HlsrgService;
+
+class ChurnManager {
+ public:
+  // Binds initial hosts (and downs unstaffed roles). The service must have
+  // its RSU agents constructed and vehicles placed before this runs.
+  explicit ChurnManager(HlsrgService& service);
+
+  // Mobility lifecycle (forwarded by HlsrgService's MovementListener).
+  void on_parked(VehicleId v);
+  void on_departed(VehicleId v, bool abrupt);
+
+  // Fault-layer seam: reboots of a vacant role are refused (there is no
+  // host to boot); everything else passes through to the agent.
+  void set_rsu_up(RsuId role, bool up);
+
+  // End-of-run sweep: handoff records still in flight at the horizon are
+  // ledger-accounted as expired so the conservation law closes exactly.
+  void expire_in_flight();
+
+  [[nodiscard]] const RoleDirectory& directory() const { return directory_; }
+  // Corruption seam for the audit tests (mirrors the agents' mutable_*
+  // table accessors); production code goes through the lifecycle hooks.
+  [[nodiscard]] RoleDirectory& mutable_directory() { return directory_; }
+
+ private:
+  // Nearest eligible parked vehicle within host_radius_m of the role's
+  // center (lowest id on distance ties); `exclude` skips the departing host.
+  [[nodiscard]] VehicleId elect_host(RsuId role, VehicleId exclude) const;
+  // Staffs `role` with `host`: binds, reboots the agent empty, brings the
+  // wired node up.
+  void install_host(RsuId role, VehicleId host);
+  void take_role_down(RsuId role);
+  // Ships `payload` from the departing host's radio to the role node.
+  void send_handoff_radio(NodeId from_node,
+                          std::shared_ptr<RoleHandoffPayload> payload);
+  // Degradation: ships `payload` over the wire to the absorbing RSU
+  // (parent L3 for L2 roles, nearest up sibling for L3 roles); expires the
+  // records when no absorber is reachable.
+  void send_handoff_wired(RsuId role,
+                          std::shared_ptr<RoleHandoffPayload> payload);
+  // Schedules one pending fill sweep `delay` from now (coalesced).
+  void schedule_fill_sweep(SimTime delay);
+  void fill_sweep();
+  [[nodiscard]] std::shared_ptr<RoleHandoffPayload> snapshot_role(RsuId role);
+
+  HlsrgService* svc_;
+  RoleDirectory directory_;
+  bool sweep_pending_ = false;
+};
+
+}  // namespace hlsrg

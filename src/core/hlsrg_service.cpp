@@ -35,21 +35,25 @@ HlsrgService::HlsrgService(Simulator& sim, const RoadNetwork& net,
   vehicle_agents_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const VehicleId v{i};
-    const NodeId node = registry.add_node(
-        [this, v] { return mobility_->position(v); });
+    const NodeId node = registry.add_node(mobility.position(v));
+    registry.bind_vehicle(v, node);
+    // Parked flag seeded here, not in the world's later seeding pass: the
+    // churn manager's initial staffing scan (below) already reads it.
+    registry.set_vehicle_parked(v, mobility.parked(v));
     vehicle_nodes_.push_back(node);
-    vehicle_agents_.push_back(
-        std::make_unique<HlsrgVehicleAgent>(*this, v, node));
-    registry.set_sink(node, vehicle_agents_.back().get());
+    // reserve(n) above makes this the agent's final address — its timers
+    // capture `this` at construction time.
+    vehicle_agents_.emplace_back(*this, v, node);
+    registry.set_sink(node, &vehicle_agents_.back());
   }
 
   // RSU agents (sinks installed onto the infra-registered nodes).
   if (rsus_ != nullptr && cfg_.use_rsus) {
+    rsu_agents_.reserve(rsus_->all().size());
     for (const RsuGrid::Rsu& r : rsus_->all()) {
-      rsu_agents_.push_back(std::make_unique<HlsrgRsuAgent>(
-          *this, r.id, r.level, r.coord, r.node));
-      registry.set_sink(r.node, rsu_agents_.back().get());
-      rsu_agents_.back()->start_timers();
+      rsu_agents_.emplace_back(*this, r.id, r.level, r.coord, r.node);
+      registry.set_sink(r.node, &rsu_agents_.back());
+      rsu_agents_.back().start_timers();
     }
   }
 
@@ -67,6 +71,18 @@ HlsrgService::HlsrgService(Simulator& sim, const RoadNetwork& net,
 
 HlsrgService::~HlsrgService() = default;
 
+const HlsrgVehicleAgent& HlsrgService::vehicle_agent(VehicleId v) const {
+  return vehicle_agents_[v.index()];
+}
+
+HlsrgVehicleAgent& HlsrgService::vehicle_agent(VehicleId v) {
+  return vehicle_agents_[v.index()];
+}
+
+HlsrgRsuAgent& HlsrgService::rsu_agent(RsuId id) {
+  return rsu_agents_[id.index()];
+}
+
 QueryTracker::QueryId HlsrgService::issue_query(VehicleId src,
                                                 VehicleId dst) {
   HLSRG_CHECK(src.index() < vehicle_agents_.size());
@@ -75,7 +91,7 @@ QueryTracker::QueryId HlsrgService::issue_query(VehicleId src,
   // Everything the source agent does now (lookup, election, GPSR send)
   // nests under the query's root span.
   SpanScope scope(*sim_, tracker_.span_of(qid));
-  vehicle_agents_[src.index()]->start_query(qid, dst);
+  vehicle_agents_[src.index()].start_query(qid, dst);
   return qid;
 }
 
@@ -87,7 +103,7 @@ void HlsrgService::set_rsu_up(RsuId id, bool up) {
     churn_->set_rsu_up(id, up);
     return;
   }
-  rsu_agents_[id.index()]->set_up(up);
+  rsu_agents_[id.index()].set_up(up);
 }
 
 void HlsrgService::on_parked(VehicleId v) {
@@ -100,7 +116,7 @@ void HlsrgService::on_departed(VehicleId v, bool abrupt) {
 
 void HlsrgService::configure_tier(const ServiceTierConfig& cfg) {
   tier_ = cfg;
-  for (const auto& agent : rsu_agents_) agent->configure_tier(cfg);
+  for (auto& agent : rsu_agents_) agent.configure_tier(cfg);
 }
 
 std::optional<QueryTracker::QueryId> HlsrgService::serve_cached(
@@ -115,24 +131,30 @@ std::optional<QueryTracker::QueryId> HlsrgService::serve_cached(
   const GridCoord l2 =
       GridHierarchy::parent(hierarchy_->l1_at(pos), GridLevel::kL2);
   const RsuId id = rsus_->rsu_at(l2, GridLevel::kL2);
-  HlsrgRsuAgent& agent = *rsu_agents_[id.index()];
+  HlsrgRsuAgent& agent = rsu_agents_[id.index()];
   if (!agent.up() || !agent.cache_fresh(dst)) return std::nullopt;
   const QueryTracker::QueryId qid = tracker_.issue(src, dst);
   SpanScope scope(*sim_, tracker_.span_of(qid));
   // Route the request straight at the warm RSU. Physics still applies — the
   // request rides GPSR and can be lost, and the retry path then walks the
   // normal hierarchy.
-  vehicle_agents_[src.index()]->start_query(qid, dst, rsus_->rsu(id).node);
+  vehicle_agents_[src.index()].start_query(qid, dst, rsus_->rsu(id).node);
   return qid;
 }
 
 ServiceStats HlsrgService::service_stats() const {
   ServiceStats s;
-  for (const auto& agent : vehicle_agents_) s.table_records += agent->table().size();
-  for (const auto& agent : rsu_agents_) {
-    s.table_records += agent->l2_table().size() + agent->l3_table().size() +
-                       agent->full_table().size();
+  for (const auto& agent : vehicle_agents_) {
+    s.table_records += agent.table().size();
+    s.table_bytes += agent.table().bytes();
   }
+  for (const auto& agent : rsu_agents_) {
+    s.table_records += agent.l2_table().size() + agent.l3_table().size() +
+                       agent.full_table().size();
+    s.table_bytes += agent.l2_table().bytes() + agent.l3_table().bytes() +
+                     agent.full_table().bytes();
+  }
+  s.table_bytes += registry_->bytes();
   const RunMetrics& m = sim_->metrics();
   s.cache_hits = m.cache_hits;
   s.cache_misses = m.cache_misses;
@@ -146,16 +168,17 @@ ServiceStats HlsrgService::service_stats() const {
 void HlsrgService::sample_region_stats(
     const RegionTelemetry& regions, std::vector<std::uint64_t>& table_records,
     std::vector<std::uint64_t>& queue_depth) const {
-  // Vehicle-held L1 tables land in the holder's current region; RSU tables
-  // and the batching-window backlog land in the RSU's (fixed) region.
+  // Vehicle-held L1 tables land in the holder's current region (SoA row,
+  // mirrors `regions`' region_of); RSU tables and the batching-window
+  // backlog land in the RSU's (fixed) region.
   for (std::size_t i = 0; i < vehicle_agents_.size(); ++i) {
-    const int r = regions.region_of(mobility_->position(VehicleId{i}));
+    const int r = registry_->vehicle_region(VehicleId{i});
     table_records[static_cast<std::size_t>(r)] +=
-        vehicle_agents_[i]->table().size();
+        vehicle_agents_[i].table().size();
   }
   if (rsus_ == nullptr) return;
   for (const RsuGrid::Rsu& rsu : rsus_->all()) {
-    const HlsrgRsuAgent& agent = *rsu_agents_[rsu.id.index()];
+    const HlsrgRsuAgent& agent = rsu_agents_[rsu.id.index()];
     const auto r = static_cast<std::size_t>(regions.region_of(rsu.pos));
     table_records[r] += agent.l2_table().size() + agent.l3_table().size() +
                         agent.full_table().size();
@@ -165,11 +188,11 @@ void HlsrgService::sample_region_stats(
 
 void HlsrgService::on_intersection_pass(VehicleId v, IntersectionId node,
                                         SegmentId in_seg, SegmentId out_seg) {
-  vehicle_agents_[v.index()]->handle_intersection_pass(node, in_seg, out_seg);
+  vehicle_agents_[v.index()].handle_intersection_pass(node, in_seg, out_seg);
 }
 
 void HlsrgService::on_moved(VehicleId v, Vec2 before, Vec2 after) {
-  vehicle_agents_[v.index()]->handle_moved(before, after);
+  vehicle_agents_[v.index()].handle_moved(before, after);
 }
 
 void HlsrgService::send_notification(NodeId origin,

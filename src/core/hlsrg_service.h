@@ -119,22 +119,16 @@ class HlsrgService final : public LocationService, public MovementListener {
     return gps_transform_ ? gps_transform_(p) : p;
   }
 
-  // Test/diagnostic access.
-  [[nodiscard]] const HlsrgVehicleAgent& vehicle_agent(VehicleId v) const {
-    return *vehicle_agents_[v.index()];
-  }
-  [[nodiscard]] HlsrgVehicleAgent& vehicle_agent(VehicleId v) {
-    return *vehicle_agents_[v.index()];
-  }
+  // Test/diagnostic access. Out-of-line: the agents are stored by value and
+  // indexing the vectors needs their complete types (forward-declared here).
+  [[nodiscard]] const HlsrgVehicleAgent& vehicle_agent(VehicleId v) const;
+  [[nodiscard]] HlsrgVehicleAgent& vehicle_agent(VehicleId v);
   [[nodiscard]] const UpdateRuleEngine& rules() const { return rules_; }
-  [[nodiscard]] const std::vector<std::unique_ptr<HlsrgRsuAgent>>& rsu_agents()
-      const {
+  [[nodiscard]] const std::vector<HlsrgRsuAgent>& rsu_agents() const {
     return rsu_agents_;
   }
   // Direct agent access for the churn layer (host installs cycle set_up).
-  [[nodiscard]] HlsrgRsuAgent& rsu_agent(RsuId id) {
-    return *rsu_agents_[id.index()];
-  }
+  [[nodiscard]] HlsrgRsuAgent& rsu_agent(RsuId id);
   // Non-null iff cfg().parked_rsu_hosting (and RSUs exist).
   [[nodiscard]] ChurnManager* churn() { return churn_.get(); }
   [[nodiscard]] const ChurnManager* churn() const { return churn_.get(); }
@@ -158,8 +152,12 @@ class HlsrgService final : public LocationService, public MovementListener {
   PacketIdSource packet_ids_;
 
   std::vector<NodeId> vehicle_nodes_;
-  std::vector<std::unique_ptr<HlsrgVehicleAgent>> vehicle_agents_;
-  std::vector<std::unique_ptr<HlsrgRsuAgent>> rsu_agents_;
+  // Agents stored by value: one contiguous block instead of a pointer array
+  // plus one heap node per agent. The constructor reserves the exact counts
+  // up front and the vectors never grow after that, so the `this` pointers
+  // the agents capture in their scheduled timers stay valid for the run.
+  std::vector<HlsrgVehicleAgent> vehicle_agents_;
+  std::vector<HlsrgRsuAgent> rsu_agents_;
   std::unique_ptr<ChurnManager> churn_;
   std::function<Vec2(Vec2)> gps_transform_;
 };

@@ -88,6 +88,11 @@ struct ServiceStats {
   // Location-table entries currently held across the protocol's servers
   // (vehicles + RSUs); 0 for protocols that keep no tables.
   std::size_t table_records = 0;
+  // Heap bytes behind those tables plus the node registry's SoA arrays —
+  // the protocol-state footprint (container capacities, not malloc
+  // overhead). Feeds the bytes-per-vehicle memory gate in the bench
+  // pipeline; process peak RSS is tracked separately by the runner.
+  std::size_t table_bytes = 0;
   // Hot-destination cache traffic (HLSRG RSU tier; 0 elsewhere).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;

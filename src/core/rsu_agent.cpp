@@ -53,9 +53,11 @@ void HlsrgRsuAgent::set_up(bool up) {
     // Reboot loses everything: tables rebuild from child re-registration
     // (update broadcasts, table pushes, summaries, gossip), and the query
     // dedup set resets so re-issued requests get served, not swallowed.
-    l2_table_.clear();
-    l3_table_.clear();
-    full_table_.clear();
+    // release() rather than clear(): the rebuilt tables re-grow to their
+    // working size, and a unit that stays down returns its capacity.
+    l2_table_.release();
+    l3_table_.release();
+    full_table_.release();
     seen_queries_.clear();
     cache_.clear();
     busy_until_ = SimTime{};
@@ -349,7 +351,7 @@ void HlsrgRsuAgent::push_summary_to_l3() {
   if (!l2_table_.empty()) {
     auto payload = std::make_shared<L2SummaryPayload>();
     payload->l2 = coord_;
-    payload->records = l2_table_.snapshot();
+    payload->records = l2_table_.unsorted_records();
     const GridCoord parent{coord_.col / 2, coord_.row / 2};
     const NodeId l3 = svc_->rsus()->node_at(parent, GridLevel::kL3);
     svc_->metrics().aggregation_packets++;
@@ -372,7 +374,7 @@ void HlsrgRsuAgent::gossip_to_neighbors() {
   const auto& neighbors = svc_->wired().links_of(node_);
   if (!l3_table_.empty() && !neighbors.empty()) {
     auto payload = std::make_shared<L3GossipPayload>();
-    payload->records = l3_table_.snapshot();
+    payload->records = l3_table_.unsorted_records();
     const Packet pkt = svc_->make_packet(PacketKind::kL3Gossip, node_, payload);
     for (NodeId n : neighbors) {
       // Only L3 peers gossip; skip child L2 RSUs on the same wire.

@@ -13,11 +13,13 @@ namespace hlsrg {
 HlsrgVehicleAgent::HlsrgVehicleAgent(HlsrgService& service, VehicleId vehicle,
                                      NodeId node)
     : svc_(&service), vehicle_(vehicle), node_(node) {
-  // Stagger per-vehicle collection ticks across the push period.
+  // Stagger per-vehicle collection ticks across the push period. The draw
+  // fixes this vehicle's phase grid; the timer itself is armed lazily on
+  // center entry (arm_collection_timer), not here — vehicles that never pull
+  // center duty never hold a standing event.
   const double jitter =
       svc_->sim().protocol_rng().uniform(0.0, svc_->cfg().l2_push_period.sec());
-  svc_->sim().schedule_after(SimTime::from_sec(jitter),
-                             [this] { collection_tick(); });
+  collection_phase_ = SimTime::from_sec(jitter);
   // Ignition announcement: a vehicle entering the network updates once so
   // the service can locate it before its first turn/boundary crossing.
   const double boot =
@@ -57,11 +59,30 @@ void HlsrgVehicleAgent::send_initial_update() {
                            "ignition", receivers);
 }
 
+void HlsrgVehicleAgent::arm_collection_timer() {
+  if (collection_armed_) return;
+  collection_armed_ = true;
+  // Next tick on this vehicle's phase grid: smallest
+  // collection_phase_ + k * period strictly in the future. Re-arming after a
+  // lapse lands on the same instants the old always-on timer would have hit.
+  const std::int64_t period = svc_->cfg().l2_push_period.us();
+  const std::int64_t phase = collection_phase_.us();
+  const std::int64_t now = svc_->sim().now().us();
+  std::int64_t next = phase;
+  if (next <= now) next = phase + ((now - phase) / period + 1) * period;
+  svc_->sim().schedule_after(SimTime::from_us(next - now),
+                             [this] { collection_tick(); });
+}
+
 void HlsrgVehicleAgent::collection_tick() {
-  if (in_center_) {
-    table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
-    if (!table_.empty()) push_table_to_l2();
+  if (!in_center_) {
+    // Duty ended since the last tick: let the timer lapse. The next center
+    // entry re-arms onto the same phase grid.
+    collection_armed_ = false;
+    return;
   }
+  table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
+  if (!table_.empty()) push_table_to_l2();
   svc_->sim().schedule_after(svc_->cfg().l2_push_period,
                              [this] { collection_tick(); });
 }
@@ -70,7 +91,7 @@ void HlsrgVehicleAgent::push_table_to_l2() {
   if (!svc_->cfg().use_rsus || svc_->rsus() == nullptr) return;
   auto payload = std::make_shared<TablePayload>();
   payload->l1 = center_cell_;
-  payload->records = table_.snapshot();
+  payload->records = table_.unsorted_records();
   const GridCoord l2 = GridHierarchy::parent(center_cell_, GridLevel::kL2);
   const NodeId rsu = svc_->rsus()->node_at(l2, GridLevel::kL2);
   svc_->metrics().aggregation_packets++;
@@ -142,6 +163,7 @@ void HlsrgVehicleAgent::handle_moved(Vec2 /*before*/, Vec2 after) {
     in_center_ = true;
     center_cell_ = cell;
     table_.clear();  // fresh duty; peers' hand-offs will repopulate
+    arm_collection_timer();
   } else if (!now_in && in_center_) {
     leave_center();
   }
@@ -152,12 +174,12 @@ void HlsrgVehicleAgent::leave_center() {
   in_center_ = false;
   table_.purge(svc_->sim().now(), svc_->cfg().l1_expiry);
   if (table_.empty()) {
-    table_.clear();
+    table_.release();
     return;
   }
   auto payload = std::make_shared<TablePayload>();
   payload->l1 = center_cell_;
-  payload->records = table_.snapshot();
+  payload->records = table_.unsorted_records();
 
   // "geographic broadcast their own table in the range of the intersection"
   const Packet handoff = svc_->make_packet(PacketKind::kTableHandoff, node_, payload);
@@ -169,7 +191,10 @@ void HlsrgVehicleAgent::leave_center() {
 
   // "and send the table to their corresponding Level 2 grid center, a RSU"
   push_table_to_l2();
-  table_.clear();
+  // Duty is over: release, don't clear — at scale most vehicles are
+  // ex-centers, and each clear()'d table would keep its peak capacity
+  // (pages + index + wheel) alive for the rest of the run.
+  table_.release();
 }
 
 // ---------------------------------------------------------------------------
@@ -204,9 +229,9 @@ void HlsrgVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       return;
     case PacketKind::kServerClaim: {
       const auto& c = payload_as<ServerClaimPayload>(packet);
-      if (auto it = elections_.find(c.dedup_key()); it != elections_.end()) {
-        svc_->sim().cancel(it->second);
-        elections_.erase(it);
+      if (EventHandle* timer = elections_.find(c.dedup_key())) {
+        svc_->sim().cancel(*timer);
+        elections_.erase(c.dedup_key());
       }
       settled_elections_.insert(c.dedup_key());
       return;
@@ -218,9 +243,9 @@ void HlsrgVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
     }
     case PacketKind::kAck: {
       const auto& a = payload_as<AckPayload>(packet);
-      if (auto it = pending_.find(a.query_id); it != pending_.end()) {
-        svc_->sim().cancel(it->second.timeout);
-        pending_.erase(it);
+      if (Pending* p = pending_.find(a.query_id)) {
+        svc_->sim().cancel(p->timeout);
+        pending_.erase(a.query_id);
         svc_->tracker().succeed(a.query_id);
       }
       return;
@@ -246,7 +271,7 @@ void HlsrgVehicleAgent::handle_center_request(const Packet& packet) {
   // overload the relay is suppressed — shedding radio airtime is the
   // protocol-side half of load shedding; the election still runs from
   // whatever centers heard the original send.
-  if (relayed_requests_.insert(q.dedup_key()).second && !svc_->overloaded()) {
+  if (relayed_requests_.insert(q.dedup_key()) && !svc_->overloaded()) {
     svc_->metrics().query_transmissions++;
     svc_->medium().broadcast(node_, packet);
   }
@@ -312,7 +337,7 @@ void HlsrgVehicleAgent::forward_up(const QueryPayload& query) {
   if (!table_.empty()) {
     auto tbl = std::make_shared<TablePayload>();
     tbl->l1 = center_cell_;
-    tbl->records = table_.snapshot();
+    tbl->records = table_.unsorted_records();
     svc_->metrics().aggregation_packets++;
     svc_->gpsr().send(node_, svc_->registry().position(rsu), rsu,
                       svc_->make_packet(PacketKind::kTablePush, node_, tbl),
@@ -459,7 +484,7 @@ void HlsrgVehicleAgent::on_ack_timeout(QueryId qid, VehicleId target,
 
 void HlsrgVehicleAgent::answer_notification(
     const NotificationPayload& notification) {
-  if (!answered_.insert(notification.query_id).second) return;
+  if (!answered_.insert(notification.query_id)) return;
   auto ack = std::make_shared<AckPayload>();
   ack->query_id = notification.query_id;
   ack->responder = vehicle_;

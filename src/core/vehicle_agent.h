@@ -3,14 +3,12 @@
 // Dv-side notification/ACK handshake.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "core/location_table.h"
 #include "core/messages.h"
 #include "core/update_rules.h"
 #include "net/node_registry.h"
 #include "sim/event_queue.h"
+#include "util/flat_table.h"
 
 namespace hlsrg {
 
@@ -50,9 +48,11 @@ class HlsrgVehicleAgent final : public PacketSink {
   }
   // Attempt number of the armed retry; 0 when none pending.
   [[nodiscard]] int pending_attempt(QueryTracker::QueryId qid) const {
-    const auto it = pending_.find(qid);
-    return it == pending_.end() ? 0 : it->second.attempt;
+    const Pending* p = pending_.find(qid);
+    return p == nullptr ? 0 : p->attempt;
   }
+  // True while the periodic collection timer is scheduled (tests).
+  [[nodiscard]] bool collection_armed() const { return collection_armed_; }
 
  private:
   using QueryId = QueryTracker::QueryId;
@@ -83,7 +83,13 @@ class HlsrgVehicleAgent final : public PacketSink {
   void forward_up(const QueryPayload& query);
 
   // Periodic collection: while on center duty, push the table to the L2 RSU
-  // ("further periodically gather to the upper level").
+  // ("further periodically gather to the upper level"). The timer runs only
+  // while the vehicle is on center duty: entering a center arms it onto a
+  // fixed per-vehicle phase grid (jitter + k * l2_push_period), leaving lets
+  // it lapse at the next tick. Most vehicles are not at a center most of the
+  // time, so this drops the standing per-vehicle event (and its slab slot)
+  // that the always-on timer kept alive.
+  void arm_collection_timer();
   void collection_tick();
   void push_table_to_l2();
 
@@ -101,15 +107,24 @@ class HlsrgVehicleAgent final : public PacketSink {
 
   // Grid-center duty.
   bool in_center_ = false;
+  bool collection_armed_ = false;
   GridCoord center_cell_;
+  // Per-vehicle phase of the collection grid: ticks fire at
+  // collection_phase_ + k * l2_push_period, matching the cadence the old
+  // always-on timer established at construction.
+  SimTime collection_phase_;
   L1Table table_;
+
+  // The agent-local bookkeeping below holds a handful of live entries per
+  // vehicle (often zero); flat vectors beat node-based hash containers on
+  // both footprint and locality at this size (DESIGN.md §15).
 
   // Election state per (request, attempt) seen at this center; keyed by
   // QueryPayload::dedup_key().
-  std::unordered_map<std::uint64_t, EventHandle> elections_;
-  std::unordered_set<std::uint64_t> settled_elections_;
+  SmallFlatMap<std::uint64_t, EventHandle> elections_;
+  SortedIdSet<std::uint64_t> settled_elections_;
   // Requests this node has already re-broadcast into the center region.
-  std::unordered_set<std::uint64_t> relayed_requests_;
+  SortedIdSet<std::uint64_t> relayed_requests_;
 
   // Outstanding queries this vehicle originated.
   struct Pending {
@@ -117,10 +132,10 @@ class HlsrgVehicleAgent final : public PacketSink {
     int attempt = 1;
     EventHandle timeout;
   };
-  std::unordered_map<QueryId, Pending> pending_;
+  SmallFlatMap<QueryId, Pending> pending_;
 
   // Notifications already answered (duplicate geocast receptions).
-  std::unordered_set<QueryId> answered_;
+  SortedIdSet<QueryId> answered_;
 };
 
 }  // namespace hlsrg

@@ -62,7 +62,7 @@ void FloodVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
     case PacketKind::kFloodQuery: {
       const auto& p = payload_as<FloodProbePayload>(packet);
       if (p.target != vehicle_) return;
-      if (!answered_.insert(p.query_id).second) return;
+      if (!answered_.insert(p.query_id)) return;
       auto ack = std::make_shared<FloodAckPayload>();
       ack->query_id = p.query_id;
       ack->responder = vehicle_;
@@ -88,9 +88,9 @@ void FloodVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
     }
     case PacketKind::kFloodAck: {
       const auto& a = payload_as<FloodAckPayload>(packet);
-      if (auto it = pending_.find(a.query_id); it != pending_.end()) {
-        svc_->sim().cancel(it->second.timeout);
-        pending_.erase(it);
+      if (Pending* p = pending_.find(a.query_id)) {
+        svc_->sim().cancel(p->timeout);
+        pending_.erase(a.query_id);
         svc_->tracker().succeed(a.query_id);
       }
       return;
@@ -146,9 +146,7 @@ void FloodVehicleAgent::start_query(QueryTracker::QueryId qid,
   p.timeout = svc_->sim().schedule_after(
       svc_->cfg().ack_timeout, [this, qid, target] {
         // One reactive retry after a failed probe; then give up.
-        auto it = pending_.find(qid);
-        if (it == pending_.end()) return;
-        pending_.erase(it);
+        if (!pending_.erase(qid)) return;
         auto retry = std::make_shared<FloodProbePayload>();
         retry->query_id = qid;
         retry->src_vehicle = vehicle_;

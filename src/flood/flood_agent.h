@@ -3,9 +3,6 @@
 // cache-probe / reactive-flood queries.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "flood/flood_messages.h"
 #include "net/node_registry.h"
 #include "sim/event_queue.h"
@@ -27,6 +24,7 @@ class FloodVehicleAgent final : public PacketSink {
   void start_query(QueryTracker::QueryId qid, VehicleId target);
 
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t cache_bytes() const { return cache_.bytes(); }
 
  private:
   struct CacheEntry {
@@ -47,8 +45,10 @@ class FloodVehicleAgent final : public PacketSink {
     VehicleId target;
     EventHandle timeout;
   };
-  std::unordered_map<QueryTracker::QueryId, Pending> pending_;
-  std::unordered_set<QueryTracker::QueryId> answered_;
+  // Flat agent-local bookkeeping (a handful of live entries per vehicle;
+  // DESIGN.md §15).
+  SmallFlatMap<QueryTracker::QueryId, Pending> pending_;
+  SortedIdSet<QueryTracker::QueryId> answered_;
 };
 
 }  // namespace hlsrg

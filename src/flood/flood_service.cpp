@@ -23,17 +23,22 @@ FloodService::FloodService(Simulator& sim, MobilityModel& mobility,
   vehicle_agents_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const VehicleId v{i};
-    const NodeId node =
-        registry.add_node([this, v] { return mobility_->position(v); });
+    const NodeId node = registry.add_node(mobility.position(v));
+    registry.bind_vehicle(v, node);
+    registry.set_vehicle_parked(v, mobility.parked(v));
     vehicle_nodes_.push_back(node);
-    vehicle_agents_.push_back(
-        std::make_unique<FloodVehicleAgent>(*this, v, node));
-    registry.set_sink(node, vehicle_agents_.back().get());
+    // reserve(n) above makes this the agent's final address.
+    vehicle_agents_.emplace_back(*this, v, node);
+    registry.set_sink(node, &vehicle_agents_.back());
   }
   mobility.add_listener(this);
 }
 
 FloodService::~FloodService() = default;
+
+FloodVehicleAgent& FloodService::vehicle_agent(VehicleId v) {
+  return vehicle_agents_[v.index()];
+}
 
 QueryTracker::QueryId FloodService::issue_query(VehicleId src, VehicleId dst) {
   HLSRG_CHECK(src.index() < vehicle_agents_.size());
@@ -41,13 +46,17 @@ QueryTracker::QueryId FloodService::issue_query(VehicleId src, VehicleId dst) {
   const QueryTracker::QueryId qid = tracker_.issue(src, dst);
   // Nest the source agent's synchronous work under the query root span.
   SpanScope scope(*sim_, tracker_.span_of(qid));
-  vehicle_agents_[src.index()]->start_query(qid, dst);
+  vehicle_agents_[src.index()].start_query(qid, dst);
   return qid;
 }
 
 ServiceStats FloodService::service_stats() const {
   ServiceStats s;
-  for (const auto& agent : vehicle_agents_) s.table_records += agent->cache_size();
+  for (const auto& agent : vehicle_agents_) {
+    s.table_records += agent.cache_size();
+    s.table_bytes += agent.cache_bytes();
+  }
+  s.table_bytes += registry_->bytes();
   // FLOOD has no serving tier; only admission shedding can apply.
   s.shed_queries = sim_->metrics().queries_shed + sim_->metrics().retries_shed;
   return s;
@@ -57,17 +66,19 @@ void FloodService::sample_region_stats(
     const RegionTelemetry& regions, std::vector<std::uint64_t>& table_records,
     std::vector<std::uint64_t>& queue_depth) const {
   // FLOOD keeps only per-vehicle position caches; no serving tier, so queue
-  // depth stays zero.
+  // depth stays zero. Region ids come off the registry's SoA rows, which
+  // mirror `regions`' own region_of.
+  (void)regions;
   (void)queue_depth;
   for (std::size_t i = 0; i < vehicle_agents_.size(); ++i) {
-    const int r = regions.region_of(mobility_->position(VehicleId{i}));
+    const int r = registry_->vehicle_region(VehicleId{i});
     table_records[static_cast<std::size_t>(r)] +=
-        vehicle_agents_[i]->cache_size();
+        vehicle_agents_[i].cache_size();
   }
 }
 
 void FloodService::on_moved(VehicleId v, Vec2 before, Vec2 after) {
-  vehicle_agents_[v.index()]->handle_moved(before, after);
+  vehicle_agents_[v.index()].handle_moved(before, after);
 }
 
 Packet FloodService::make_packet(PacketKind kind, NodeId origin,

@@ -68,9 +68,9 @@ class FloodService final : public LocationService, public MovementListener {
   }
   [[nodiscard]] Packet make_packet(PacketKind kind, NodeId origin,
                                    std::shared_ptr<const PayloadBase> payload);
-  [[nodiscard]] FloodVehicleAgent& vehicle_agent(VehicleId v) {
-    return *vehicle_agents_[v.index()];
-  }
+  // Out-of-line: the agents are stored by value and indexing the vector
+  // needs the complete (forward-declared) type.
+  [[nodiscard]] FloodVehicleAgent& vehicle_agent(VehicleId v);
 
  private:
   Simulator* sim_;
@@ -85,7 +85,9 @@ class FloodService final : public LocationService, public MovementListener {
   PacketIdSource packet_ids_;
 
   std::vector<NodeId> vehicle_nodes_;
-  std::vector<std::unique_ptr<FloodVehicleAgent>> vehicle_agents_;
+  // By value, reserved to the exact count in the constructor (agents capture
+  // `this` in scheduled timers; the vector must never reallocate).
+  std::vector<FloodVehicleAgent> vehicle_agents_;
 };
 
 }  // namespace hlsrg

@@ -94,38 +94,42 @@ void mix_metrics(Fnv& f, const RunMetrics& m) {
   }
 }
 
+// Tables are hashed through snapshot() — the canonical key-sorted view —
+// so the digest is a function of table *contents*, not of the arena's
+// insertion-and-erase history. The sorted order matches the old FlatTable
+// iteration order byte for byte.
 void mix_hlsrg_tables(Fnv& f, const HlsrgService& svc,
                       std::size_t vehicle_count) {
   for (std::size_t i = 0; i < vehicle_count; ++i) {
     const HlsrgVehicleAgent& agent = svc.vehicle_agent(VehicleId{i});
     f.mix_bool(agent.in_center());
     f.mix_u64(agent.table().size());
-    for (const auto& [vehicle, rec] : agent.table()) {
-      f.mix_u64(vehicle.value());
+    for (const L1Record& rec : agent.table().snapshot()) {
+      f.mix_u64(rec.vehicle.value());
       f.mix_vec(rec.pos);
       f.mix_time(rec.time);
       f.mix_coord(rec.l1);
     }
   }
   for (const auto& rsu : svc.rsu_agents()) {
-    f.mix_i64(static_cast<int>(rsu->level()));
-    f.mix_coord(rsu->coord());
-    f.mix_u64(rsu->l2_table().size());
-    for (const auto& [vehicle, s] : rsu->l2_table()) {
-      f.mix_u64(vehicle.value());
+    f.mix_i64(static_cast<int>(rsu.level()));
+    f.mix_coord(rsu.coord());
+    f.mix_u64(rsu.l2_table().size());
+    for (const L2Summary& s : rsu.l2_table().snapshot()) {
+      f.mix_u64(s.vehicle.value());
       f.mix_time(s.time);
       f.mix_coord(s.l1);
     }
-    f.mix_u64(rsu->l3_table().size());
-    for (const auto& [vehicle, s] : rsu->l3_table()) {
-      f.mix_u64(vehicle.value());
+    f.mix_u64(rsu.l3_table().size());
+    for (const L3Summary& s : rsu.l3_table().snapshot()) {
+      f.mix_u64(s.vehicle.value());
       f.mix_time(s.time);
       f.mix_coord(s.l2);
       f.mix_coord(s.owner_l3);
     }
-    f.mix_u64(rsu->full_table().size());
-    for (const auto& [vehicle, rec] : rsu->full_table()) {
-      f.mix_u64(vehicle.value());
+    f.mix_u64(rsu.full_table().size());
+    for (const L1Record& rec : rsu.full_table().snapshot()) {
+      f.mix_u64(rec.vehicle.value());
       f.mix_vec(rec.pos);
       f.mix_time(rec.time);
     }

@@ -10,10 +10,7 @@
 
 namespace hlsrg {
 
-namespace {
-
-// Process-wide resident-set high-water mark; 0 where unsupported.
-std::uint64_t peak_rss_bytes() {
+std::uint64_t process_peak_rss_bytes() {
 #if defined(__unix__) || defined(__APPLE__)
   rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
@@ -27,8 +24,6 @@ std::uint64_t peak_rss_bytes() {
   return 0;
 #endif
 }
-
-}  // namespace
 
 double ReplicaSet::mean_update_overhead() const {
   if (replicas.empty()) return 0.0;
@@ -98,15 +93,26 @@ ReplicaSet run_replicas(const ScenarioConfig& cfg, Protocol protocol,
     out.phases[i * 3 + 2] = EnginePhase{"digest", rep, run_end, since_epoch()};
     out.engine[i] = world.sim().engine_stats();
     out.engine[i].wall_clock_sec = stop - start;
-    out.engine[i].peak_rss_bytes = peak_rss_bytes();
+    // Process peak at sample time, NOT this replica's own footprint — see
+    // the ReplicaSet field comment. Kept per replica only as a growth
+    // timeline; the once-per-run sample below is the quantitative one.
+    out.engine[i].peak_rss_bytes = process_peak_rss_bytes();
+    // End-of-run protocol-state footprint: tables + registry, one replica.
+    out.engine[i].table_bytes = world.service().service_stats().table_bytes;
     registries[i] = world.sim().observability();
     regions[i] = world.regions();
     if (world.profiler() != nullptr) profiles[i] = *world.profiler();
   });
+  // The run's true peak: sampled once, after every replica has finished.
+  out.peak_rss_bytes = process_peak_rss_bytes();
   // Merge in replica order (not completion order) so the aggregate is a pure
   // function of the replica results regardless of thread interleaving.
   for (const RunMetrics& m : out.replicas) out.merged.merge(m);
   for (const EngineStats& e : out.engine) out.engine_total.merge(e);
+  // engine_total's RSS is the run-level sample, not the max of the
+  // per-replica process snapshots (same number in practice, but this one
+  // has defined semantics).
+  out.engine_total.peak_rss_bytes = out.peak_rss_bytes;
   for (const MetricsRegistry& r : registries) out.observability.merge(r);
   for (const RegionTelemetry& r : regions) out.regions.merge(r);
   for (const PhaseProfiler& p : profiles) out.profile.merge(p);

@@ -30,7 +30,16 @@ struct ReplicaSet {
   // Per-replica metrics, index i ran with seed cfg.seed + i.
   std::vector<RunMetrics> replicas;
   // Per-replica engine stats (events processed, wall-clock), same indexing.
+  // CAVEAT: each replica's peak_rss_bytes is the *process-wide* RSS
+  // high-water mark at that replica's sample time — getrusage has no
+  // per-thread view, so with --threads > 1 a replica's number includes
+  // whatever its concurrently running siblings allocated. Use the run-level
+  // peak_rss_bytes below for anything quantitative; the per-replica field
+  // is only good for "how big had the process grown by then".
   std::vector<EngineStats> engine;
+  // Process-wide peak RSS sampled exactly once, after every replica has
+  // finished — the run's true memory high-water mark.
+  std::uint64_t peak_rss_bytes = 0;
   // Per-replica end-state digests (harness/digest.h), same indexing. Pure
   // functions of (cfg, protocol, seed + i): any dependence on thread count
   // or run interleaving is a determinism bug.
@@ -58,6 +67,11 @@ struct ReplicaSet {
   [[nodiscard]] double mean_success_rate() const;
   [[nodiscard]] double mean_query_latency_ms() const;
 };
+
+// Process-wide resident-set high-water mark (getrusage); 0 where
+// unsupported. Monotone over the process lifetime — sample after the work
+// whose peak you want to attribute.
+[[nodiscard]] std::uint64_t process_peak_rss_bytes();
 
 // Runs `replicas` worlds of (cfg, protocol); `threads` = 0 picks a default.
 // Each replica's wall-clock time is captured around its World::run().

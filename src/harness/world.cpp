@@ -66,7 +66,12 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
 
   mobility_ = std::make_unique<MobilityModel>(sim_, net_, cfg_.mobility);
   mobility_->place_random_vehicles(cfg_.vehicles);
-  mobility_->add_listener(&tick_bridge_);
+  // The pose bridge must be the FIRST movement listener: it pushes mobility
+  // poses into the registry's SoA arrays before any protocol listener runs,
+  // so agents reading positions mid-callback see exactly what the old
+  // pull-through-callback registry returned.
+  pose_bridge_.set_mobility(mobility_.get());
+  mobility_->add_listener(&pose_bridge_);
 
   switch (protocol_) {
     case Protocol::kHlsrg: {
@@ -93,6 +98,19 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
                                                 net_.bounds(), cfg_.flood);
       break;
     }
+  }
+
+  // Seed the registry's vehicle SoA rows (the service just bound them):
+  // initial velocity, parked flag, and L3 region. From here on the pose
+  // bridge keeps them current.
+  for (int i = 0; i < cfg_.vehicles; ++i) {
+    const VehicleId v{static_cast<std::uint32_t>(i)};
+    const bool parked = mobility_->parked(v);
+    registry_.set_vehicle_parked(v, parked);
+    registry_.set_vehicle_velocity(
+        v, parked ? Vec2{} : mobility_->heading(v) * mobility_->state(v).speed);
+    registry_.set_vehicle_region(v,
+                                 regions_.region_of(mobility_->position(v)));
   }
 
   // Service tier: the admission seam is always built (it is the single
@@ -137,10 +155,15 @@ World::World(const ScenarioConfig& cfg, Protocol protocol)
     // never perturbs the mobility stream. Protocol-agnostic — HLSRG reacts
     // through its MovementListener.
     fault_->set_churn_hook([this](const FaultWindow& w, Rng& rng) {
-      for (std::size_t i = 0; i < mobility_->vehicle_count(); ++i) {
+      // Candidate scan off the registry's SoA arrays (flag + position reads,
+      // no mobility geometry) — in sync because window edges fire between
+      // mobility ticks.
+      for (std::size_t i = 0; i < registry_.vehicle_count(); ++i) {
         const VehicleId v{i};
-        if (!mobility_->parked(v)) continue;
-        if (w.has_box && !w.box.contains(mobility_->position(v))) continue;
+        if (!registry_.vehicle_parked(v)) continue;
+        if (w.has_box && !w.box.contains(registry_.vehicle_position(v))) {
+          continue;
+        }
         if (!rng.chance(w.depart_fraction)) continue;
         mobility_->force_depart(v);
       }
@@ -351,9 +374,11 @@ void World::schedule_sampler() {
     std::vector<std::uint64_t> vehicles(regions, 0);
     std::vector<std::uint64_t> table_records(regions, 0);
     std::vector<std::uint64_t> queue_depth(regions, 0);
+    // Region ids come straight off the SoA row (maintained by the pose
+    // bridge with the same region_of the old per-sample recompute used).
     for (int v = 0; v < cfg_.vehicles; ++v) {
-      const int r = regions_.region_of(
-          mobility_->position(VehicleId{static_cast<std::uint32_t>(v)}));
+      const int r =
+          registry_.vehicle_region(VehicleId{static_cast<std::uint32_t>(v)});
       ++vehicles[static_cast<std::size_t>(r)];
     }
     service_->sample_region_stats(regions_, table_records, queue_depth);

@@ -100,21 +100,54 @@ class World {
   void audit_enforce() { auditors_.enforce(audit_scope()); }
 
  private:
-  // Bridges mobility position writes to the registry's position generation.
-  // Positions are pulled through callbacks, so writes are invisible to the
-  // registry; without this bump a neighbor index built earlier in the same
-  // timestamp (protocol agents broadcast from inside the movement listeners,
-  // mid-tick) would be reused, stale, by everything ordered after the write.
-  class TickGenerationBridge final : public MovementListener {
+  // Mirrors every mobility write into the registry's SoA vehicle state.
+  // Registered FIRST (before any service listener), so by the time a
+  // protocol agent reacts to a movement callback the registry already holds
+  // the pose the old pull-through-callback model would have returned:
+  //  - on_moved pushes the end-of-tick pose, velocity, and region, then
+  //    bumps the position generation (one bump per move, as before) —
+  //    without the bump a neighbor index built earlier in the same
+  //    timestamp (agents broadcast from inside the movement listeners,
+  //    mid-tick) would be reused, stale, by everything ordered after the
+  //    write.
+  //  - on_intersection_pass pushes the mid-advance stop-line pose WITHOUT a
+  //    bump: the pull model exposed that pose to the update rules while
+  //    leaving cached neighbor sets alone, and digests pin that behavior.
+  //  - the parking callbacks keep the parked flag and velocity in sync
+  //    (positions do not change while parked).
+  class PoseSyncBridge final : public MovementListener {
    public:
-    explicit TickGenerationBridge(NodeRegistry& registry)
-        : registry_(&registry) {}
-    void on_moved(VehicleId, Vec2, Vec2) override {
+    PoseSyncBridge(NodeRegistry& registry, RegionTelemetry& regions)
+        : registry_(&registry), regions_(&regions) {}
+    void set_mobility(const MobilityModel* mobility) { mobility_ = mobility; }
+
+    void on_moved(VehicleId v, Vec2, Vec2 after) override {
+      registry_->set_position(registry_->vehicle_node(v), after);
+      registry_->set_vehicle_velocity(
+          v, mobility_->heading(v) * mobility_->state(v).speed);
+      registry_->set_vehicle_region(v, regions_->region_of(after));
       registry_->bump_position_generation();
+    }
+    void on_intersection_pass(VehicleId v, IntersectionId, SegmentId,
+                              SegmentId) override {
+      registry_->set_position(registry_->vehicle_node(v),
+                              mobility_->position(v));
+    }
+    void on_parked(VehicleId v) override {
+      registry_->set_vehicle_parked(v, true);
+      registry_->set_vehicle_velocity(v, Vec2{});
+    }
+    void on_departed(VehicleId v, bool) override {
+      // Fired before the new speed is drawn — the vehicle is still at rest
+      // here; the next on_moved pushes the real velocity.
+      registry_->set_vehicle_parked(v, false);
+      registry_->set_vehicle_velocity(v, Vec2{});
     }
 
    private:
     NodeRegistry* registry_;
+    RegionTelemetry* regions_;
+    const MobilityModel* mobility_ = nullptr;
   };
 
   void schedule_workload();
@@ -148,7 +181,7 @@ class World {
   std::unique_ptr<GeocastService> geocast_;
   std::unique_ptr<WiredNetwork> wired_;
   std::unique_ptr<MobilityModel> mobility_;
-  TickGenerationBridge tick_bridge_{registry_};
+  PoseSyncBridge pose_bridge_{registry_, regions_};
   std::unique_ptr<RsuGrid> rsus_;
   std::unique_ptr<CellGrid> cells_;
   std::unique_ptr<LocationService> service_;

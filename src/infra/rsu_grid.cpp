@@ -15,7 +15,7 @@ RsuGrid::RsuGrid(const GridHierarchy& hierarchy, NodeRegistry& registry,
       for (int col = 0; col < hierarchy.cols(level); ++col) {
         const GridCoord c{col, row};
         const Vec2 pos = hierarchy.center_pos(c, level);
-        const NodeId node = registry.add_node([pos] { return pos; });
+        const NodeId node = registry.add_node(pos);
         const RsuId id{rsus_.size()};
         rsus_.push_back(Rsu{id, node, level, c, pos});
         (*index)[hierarchy.id_of(c, level).index()] = id;

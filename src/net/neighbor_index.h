@@ -106,8 +106,7 @@ class NeighborIndex {
   // Cell table: packed key -> index into cells_. Cell records are recycled
   // across rebuilds (their node vectors keep capacity); the set of occupied
   // cells is bounded by map area / cell^2 and never shrinks within a run.
-  OpenAddressMap<std::uint64_t, std::uint32_t> cell_index_{
-      ~std::uint64_t{0}};
+  OpenAddressMap<std::uint64_t, std::uint32_t> cell_index_;
   std::vector<std::vector<NodeId>> cells_;
 
   std::vector<Vec2> cached_pos_;

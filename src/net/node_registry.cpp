@@ -4,15 +4,33 @@
 
 namespace hlsrg {
 
-NodeId NodeRegistry::add_node(PositionFn position, PacketSink* sink) {
-  HLSRG_CHECK(position != nullptr);
-  nodes_.push_back(Entry{std::move(position), sink});
-  return NodeId{nodes_.size() - 1};
+NodeId NodeRegistry::add_node(Vec2 position, PacketSink* sink) {
+  positions_.push_back(position);
+  sinks_.push_back(sink);
+  return NodeId{positions_.size() - 1};
 }
 
 void NodeRegistry::set_sink(NodeId id, PacketSink* sink) {
-  HLSRG_CHECK(id.valid() && id.index() < nodes_.size());
-  nodes_[id.index()].sink = sink;
+  HLSRG_CHECK(id.valid() && id.index() < sinks_.size());
+  sinks_[id.index()] = sink;
+}
+
+void NodeRegistry::bind_vehicle(VehicleId v, NodeId node) {
+  HLSRG_CHECK(v.valid() && node.valid() && node.index() < positions_.size());
+  HLSRG_CHECK(v.index() == vehicle_nodes_.size());  // dense, in id order
+  vehicle_nodes_.push_back(node);
+  vehicle_velocity_.push_back(Vec2{});
+  vehicle_parked_.push_back(0);
+  vehicle_region_.push_back(-1);
+}
+
+std::size_t NodeRegistry::bytes() const {
+  return positions_.capacity() * sizeof(Vec2) +
+         sinks_.capacity() * sizeof(PacketSink*) +
+         vehicle_nodes_.capacity() * sizeof(NodeId) +
+         vehicle_velocity_.capacity() * sizeof(Vec2) +
+         vehicle_parked_.capacity() * sizeof(std::uint8_t) +
+         vehicle_region_.capacity() * sizeof(std::int32_t);
 }
 
 }  // namespace hlsrg

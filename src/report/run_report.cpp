@@ -405,6 +405,7 @@ JsonValue engine_to_json(const EngineStats& e) {
   o.set("broadcasts", e.broadcasts);
   o.set("broadcasts_per_sec", e.broadcasts_per_sec());
   o.set("peak_rss_bytes", e.peak_rss_bytes);
+  o.set("table_bytes", e.table_bytes);
   o.set("trace_events_dropped", e.trace_events_dropped);
   o.set("trace_spans_dropped", e.trace_spans_dropped);
   o.set("peak_outstanding_queries", e.peak_outstanding_queries);
@@ -429,6 +430,9 @@ void engine_from_json(const JsonValue& v, EngineStats* e) {
   }
   if (v.contains("peak_rss_bytes")) {
     e->peak_rss_bytes = v.at("peak_rss_bytes").as_uint64();
+  }
+  if (v.contains("table_bytes")) {
+    e->table_bytes = v.at("table_bytes").as_uint64();
   }
   if (v.contains("peak_outstanding_queries")) {
     e->peak_outstanding_queries =

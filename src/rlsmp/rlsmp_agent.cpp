@@ -228,7 +228,7 @@ void RlsmpVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
       const auto& batch = payload_as<RlsmpBatchPayload>(packet);
       // Relay the batch once within the LSC region, then run the normal
       // per-query election machinery for every query it carries.
-      if (relayed_batches_.insert(packet.id.value()).second) {
+      if (relayed_batches_.insert(packet.id.value())) {
         svc_->metrics().query_transmissions++;
         svc_->medium().broadcast(node_, packet);
       }
@@ -252,9 +252,9 @@ void RlsmpVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
     }
     case PacketKind::kLscClaim: {
       const auto& c = payload_as<LscClaimPayload>(packet);
-      if (auto it = elections_.find(c.query_id); it != elections_.end()) {
-        svc_->sim().cancel(it->second);
-        elections_.erase(it);
+      if (EventHandle* timer = elections_.find(c.query_id)) {
+        svc_->sim().cancel(*timer);
+        elections_.erase(c.query_id);
       }
       settled_elections_.insert(c.query_id);
       return;
@@ -266,9 +266,9 @@ void RlsmpVehicleAgent::on_receive(const Packet& packet, NodeId /*from*/) {
     }
     case PacketKind::kRlsmpAck: {
       const auto& a = payload_as<RlsmpAckPayload>(packet);
-      if (auto it = pending_.find(a.query_id); it != pending_.end()) {
-        svc_->sim().cancel(it->second.timeout);
-        pending_.erase(it);
+      if (Pending* p = pending_.find(a.query_id)) {
+        svc_->sim().cancel(p->timeout);
+        pending_.erase(a.query_id);
         svc_->tracker().succeed(a.query_id);
       }
       return;
@@ -289,7 +289,7 @@ void RlsmpVehicleAgent::handle_lsc_query(const Packet& packet) {
       elections_.contains(q.query_id)) {
     return;
   }
-  if (relayed_requests_.insert(q.query_id).second) {
+  if (relayed_requests_.insert(q.query_id)) {
     svc_->metrics().query_transmissions++;
     svc_->medium().broadcast(node_, packet);
   }
@@ -398,7 +398,7 @@ void RlsmpVehicleAgent::flush_spiral_batch() {
 void RlsmpVehicleAgent::handle_cell_leader_query(
     const RlsmpQueryPayload& query) {
   if (!in_leader_ || !(query.target_cell == leader_cell_)) return;
-  if (!handled_notify_forwards_.insert(query.query_id).second) return;
+  if (!handled_notify_forwards_.insert(query.query_id)) return;
   auto note = std::make_shared<RlsmpNotifyPayload>();
   note->query_id = query.query_id;
   note->target = query.target;
@@ -425,7 +425,7 @@ void RlsmpVehicleAgent::handle_cell_leader_query(
 }
 
 void RlsmpVehicleAgent::answer_notify(const RlsmpNotifyPayload& notify) {
-  if (!answered_.insert(notify.query_id).second) return;
+  if (!answered_.insert(notify.query_id)) return;
   auto ack = std::make_shared<RlsmpAckPayload>();
   ack->query_id = notify.query_id;
   ack->responder = vehicle_;

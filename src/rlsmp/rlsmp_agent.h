@@ -3,9 +3,6 @@
 // Sv/Dv ends of the query handshake.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "net/node_registry.h"
 #include "rlsmp/cell_grid.h"
 #include "rlsmp/rlsmp_messages.h"
@@ -36,6 +33,9 @@ class RlsmpVehicleAgent final : public PacketSink {
   [[nodiscard]] std::size_t cell_table_size() const { return cell_table_.size(); }
   [[nodiscard]] std::size_t cluster_table_size() const {
     return cluster_table_.size();
+  }
+  [[nodiscard]] std::size_t table_bytes() const {
+    return cell_table_.bytes() + cluster_table_.bytes();
   }
 
  private:
@@ -73,23 +73,25 @@ class RlsmpVehicleAgent final : public PacketSink {
 
   std::int64_t heard_push_period_ = -1;
 
-  std::unordered_map<QueryId, EventHandle> elections_;
+  // Flat agent-local bookkeeping (a handful of live entries per vehicle;
+  // DESIGN.md §15).
+  SmallFlatMap<QueryId, EventHandle> elections_;
   // Unresolved queries awaiting the aggregation window, grouped by the
   // spiral hop they will take next (spiral_index already advanced).
   std::vector<RlsmpQueryPayload> spiral_batch_;
   bool spiral_timer_armed_ = false;
-  std::unordered_set<QueryId> settled_elections_;
-  std::unordered_set<QueryId> relayed_requests_;
+  SortedIdSet<QueryId> settled_elections_;
+  SortedIdSet<QueryId> relayed_requests_;
   // Batch packets already relayed into the LSC region, keyed by packet id.
-  std::unordered_set<std::uint32_t> relayed_batches_;
-  std::unordered_set<QueryId> handled_notify_forwards_;
-  std::unordered_set<QueryId> answered_;
+  SortedIdSet<std::uint32_t> relayed_batches_;
+  SortedIdSet<QueryId> handled_notify_forwards_;
+  SortedIdSet<QueryId> answered_;
 
   struct Pending {
     VehicleId target;
     EventHandle timeout;
   };
-  std::unordered_map<QueryId, Pending> pending_;
+  SmallFlatMap<QueryId, Pending> pending_;
 };
 
 }  // namespace hlsrg

@@ -23,12 +23,13 @@ RlsmpService::RlsmpService(Simulator& sim, MobilityModel& mobility,
   vehicle_agents_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const VehicleId v{i};
-    const NodeId node =
-        registry.add_node([this, v] { return mobility_->position(v); });
+    const NodeId node = registry.add_node(mobility.position(v));
+    registry.bind_vehicle(v, node);
+    registry.set_vehicle_parked(v, mobility.parked(v));
     vehicle_nodes_.push_back(node);
-    vehicle_agents_.push_back(
-        std::make_unique<RlsmpVehicleAgent>(*this, v, node));
-    registry.set_sink(node, vehicle_agents_.back().get());
+    // reserve(n) above makes this the agent's final address.
+    vehicle_agents_.emplace_back(*this, v, node);
+    registry.set_sink(node, &vehicle_agents_.back());
   }
   mobility.add_listener(this);
   sim.schedule_after(cfg_.aggregation_period,
@@ -37,12 +38,16 @@ RlsmpService::RlsmpService(Simulator& sim, MobilityModel& mobility,
 
 RlsmpService::~RlsmpService() = default;
 
+RlsmpVehicleAgent& RlsmpService::vehicle_agent(VehicleId v) {
+  return vehicle_agents_[v.index()];
+}
+
 void RlsmpService::aggregation_tick(std::int64_t period_index) {
   // Stagger per-agent pushes within the period so claims can suppress peers.
   for (auto& agent : vehicle_agents_) {
     const double jitter_ms = sim_->protocol_rng().uniform(0.0, 100.0);
     sim_->schedule_after(SimTime::from_ms(jitter_ms),
-                         [a = agent.get(), period_index] {
+                         [a = &agent, period_index] {
                            a->aggregation_tick(period_index);
                          });
   }
@@ -58,15 +63,17 @@ QueryTracker::QueryId RlsmpService::issue_query(VehicleId src,
   const QueryTracker::QueryId qid = tracker_.issue(src, dst);
   // Nest the source agent's synchronous work under the query root span.
   SpanScope scope(*sim_, tracker_.span_of(qid));
-  vehicle_agents_[src.index()]->start_query(qid, dst);
+  vehicle_agents_[src.index()].start_query(qid, dst);
   return qid;
 }
 
 ServiceStats RlsmpService::service_stats() const {
   ServiceStats s;
   for (const auto& agent : vehicle_agents_) {
-    s.table_records += agent->cell_table_size() + agent->cluster_table_size();
+    s.table_records += agent.cell_table_size() + agent.cluster_table_size();
+    s.table_bytes += agent.table_bytes();
   }
+  s.table_bytes += registry_->bytes();
   // RLSMP has no RSU serving tier; only admission shedding can apply.
   s.shed_queries = sim_->metrics().queries_shed + sim_->metrics().retries_shed;
   return s;
@@ -76,18 +83,20 @@ void RlsmpService::sample_region_stats(
     const RegionTelemetry& regions, std::vector<std::uint64_t>& table_records,
     std::vector<std::uint64_t>& queue_depth) const {
   // All RLSMP state is vehicle-held (cell + cluster tables); there is no
-  // fixed serving tier, so queue depth stays zero.
+  // fixed serving tier, so queue depth stays zero. Region ids come off the
+  // registry's SoA rows, which mirror `regions`' own region_of.
+  (void)regions;
   (void)queue_depth;
   for (std::size_t i = 0; i < vehicle_agents_.size(); ++i) {
-    const int r = regions.region_of(mobility_->position(VehicleId{i}));
+    const int r = registry_->vehicle_region(VehicleId{i});
     table_records[static_cast<std::size_t>(r)] +=
-        vehicle_agents_[i]->cell_table_size() +
-        vehicle_agents_[i]->cluster_table_size();
+        vehicle_agents_[i].cell_table_size() +
+        vehicle_agents_[i].cluster_table_size();
   }
 }
 
 void RlsmpService::on_moved(VehicleId v, Vec2 before, Vec2 after) {
-  vehicle_agents_[v.index()]->handle_moved(before, after);
+  vehicle_agents_[v.index()].handle_moved(before, after);
 }
 
 Packet RlsmpService::make_packet(PacketKind kind, NodeId origin,

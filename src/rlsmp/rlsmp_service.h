@@ -65,9 +65,9 @@ class RlsmpService final : public LocationService, public MovementListener {
   [[nodiscard]] Packet make_packet(PacketKind kind, NodeId origin,
                                    std::shared_ptr<const PayloadBase> payload);
 
-  [[nodiscard]] RlsmpVehicleAgent& vehicle_agent(VehicleId v) {
-    return *vehicle_agents_[v.index()];
-  }
+  // Out-of-line: the agents are stored by value and indexing the vector
+  // needs the complete (forward-declared) type.
+  [[nodiscard]] RlsmpVehicleAgent& vehicle_agent(VehicleId v);
 
  private:
   void aggregation_tick(std::int64_t period_index);
@@ -84,7 +84,9 @@ class RlsmpService final : public LocationService, public MovementListener {
   PacketIdSource packet_ids_;
 
   std::vector<NodeId> vehicle_nodes_;
-  std::vector<std::unique_ptr<RlsmpVehicleAgent>> vehicle_agents_;
+  // By value, reserved to the exact count in the constructor (agents capture
+  // `this` in scheduled timers; the vector must never reallocate).
+  std::vector<RlsmpVehicleAgent> vehicle_agents_;
 };
 
 }  // namespace hlsrg

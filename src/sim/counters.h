@@ -124,6 +124,8 @@ struct EngineStats {
   std::uint64_t peak_queue_depth = 0;   // pending-event high-water mark
   std::uint64_t broadcasts = 0;         // radio broadcast transmissions
   std::uint64_t peak_rss_bytes = 0;     // process RSS high-water mark
+  std::uint64_t table_bytes = 0;        // protocol-table + registry heap
+                                        // bytes at end of run
   std::uint64_t trace_events_dropped = 0;  // trace records past the cap
   std::uint64_t trace_spans_dropped = 0;   // spans past the cap
   std::uint64_t peak_outstanding_queries = 0;  // unsettled-query high-water

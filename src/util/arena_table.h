@@ -1,0 +1,378 @@
+// Arena-backed table family for million-entity state (ROADMAP item 2).
+//
+// BumpArena: a chunked bump allocator. Allocations are never freed
+// individually; addresses are stable for the arena's lifetime (chunks are
+// kept, not reallocated), and reset() recycles every chunk without
+// returning memory to the OS. Fixed-width table pages and variable-length
+// payload copies both come from here, so a table's whole footprint is a
+// handful of large allocations instead of per-entry heap nodes.
+//
+// ArenaTable<Key, Record>: an open-addressing key index (OpenAddressMap,
+// tombstone-aware since PR 10) over densely packed fixed-width records
+// stored in arena pages. Insert/find/erase are O(1); erase swap-pops the
+// last record into the hole, so the dense array never fragments. Iteration
+// order is insertion-and-erase order — deterministic for a deterministic
+// operation sequence, but NOT sorted; consumers that need a canonical
+// order (digests, wire payloads) use snapshot(), which copies and sorts by
+// key. Record pointers from find() stay valid until the next erase (pages
+// never move; swap-pop moves one record).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/flat_table.h"
+
+namespace hlsrg {
+
+// Chunked bump allocator. All memory is max_align_t-aligned; chunk size
+// doubles up to a cap so small tables stay small and large tables amortize.
+// The floor is deliberately tiny: the common ArenaTable is a per-vehicle
+// L1 table holding a handful of records, and at 100k vehicles the cost of
+// an occupied-but-small table is what dominates bytes-per-vehicle.
+class BumpArena {
+ public:
+  static constexpr std::size_t kMinChunkBytes = 512;
+  static constexpr std::size_t kMaxChunkBytes = 1u << 20;
+
+  BumpArena() = default;
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+  BumpArena(BumpArena&&) = default;
+  BumpArena& operator=(BumpArena&&) = default;
+
+  // Returns `size` bytes aligned to alignof(std::max_align_t). Never fails
+  // short of OOM; a request larger than the chunk cap gets its own chunk.
+  void* allocate(std::size_t size) {
+    constexpr std::size_t align = alignof(std::max_align_t);
+    size = (size + align - 1) / align * align;
+    if (chunk_ == chunks_.size() || used_ + size > chunks_[chunk_].size()) {
+      next_chunk(size);
+    }
+    void* p = chunks_[chunk_].data() + used_;
+    used_ += size;
+    allocated_ += size;
+    return p;
+  }
+
+  // Recycles every chunk: subsequent allocations reuse the memory in chunk
+  // order. Previously returned pointers become dangling.
+  void reset() {
+    chunk_ = 0;
+    used_ = 0;
+    allocated_ = 0;
+  }
+
+  // Returns every chunk to the OS. Unlike reset(), nothing is kept: the
+  // next allocation starts over at kMinChunkBytes.
+  void release() {
+    chunks_ = std::vector<Chunk>{};
+    chunk_ = 0;
+    used_ = 0;
+    allocated_ = 0;
+    next_size_ = kMinChunkBytes;
+  }
+
+  // Total bytes handed out since the last reset().
+  [[nodiscard]] std::size_t allocated() const { return allocated_; }
+  // Total bytes held from the OS (survives reset()).
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size();
+    return total;
+  }
+
+ private:
+  // Raw storage in max_align_t units; the vector's heap buffer never moves
+  // once created, so pointers into a chunk are stable.
+  struct Chunk {
+    std::vector<std::max_align_t> units;
+    [[nodiscard]] unsigned char* data() {
+      return reinterpret_cast<unsigned char*>(units.data());
+    }
+    [[nodiscard]] std::size_t size() const {
+      return units.size() * sizeof(std::max_align_t);
+    }
+  };
+
+  void next_chunk(std::size_t need) {
+    // Advance to the next recycled chunk that fits (post-reset reuse);
+    // otherwise grow a fresh one.
+    for (std::size_t i = (used_ == 0) ? chunk_ : chunk_ + 1;
+         i < chunks_.size(); ++i) {
+      if (chunks_[i].size() >= need) {
+        chunk_ = i;
+        used_ = 0;
+        return;
+      }
+    }
+    std::size_t bytes = std::max(kMinChunkBytes, next_size_);
+    while (bytes < need) bytes *= 2;
+    next_size_ = std::min(bytes * 2, kMaxChunkBytes);
+    Chunk c;
+    c.units.resize((bytes + sizeof(std::max_align_t) - 1) /
+                   sizeof(std::max_align_t));
+    chunks_.push_back(std::move(c));
+    chunk_ = chunks_.size() - 1;
+    used_ = 0;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;      // current chunk index
+  std::size_t used_ = 0;       // bytes used in the current chunk
+  std::size_t allocated_ = 0;  // bytes handed out since reset()
+  std::size_t next_size_ = kMinChunkBytes;
+};
+
+// Extracts a 64-bit hashable key from TaggedId or integral keys.
+template <typename Key>
+[[nodiscard]] constexpr std::uint64_t arena_key_u64(Key key) {
+  if constexpr (std::is_integral_v<Key>) {
+    return static_cast<std::uint64_t>(key);
+  } else {
+    return static_cast<std::uint64_t>(key.value());
+  }
+}
+
+// Dense fixed-width record table over arena pages; see file comment.
+template <typename Key, typename Record>
+class ArenaTable {
+  static_assert(std::is_trivially_copyable_v<Record>);
+  static_assert(std::is_trivially_destructible_v<Record>);
+
+ public:
+  // Pages are allocated whole from the arena, so record addresses are
+  // stable across growth. Page sizes ramp geometrically (8, 16, ...,
+  // kPageRecords) and then stay constant: a per-vehicle table with three
+  // records pays ~0.5 KB instead of a full 256-record page, while a
+  // 100k-record RSU table still amortizes to one allocation per 256
+  // records. At million-entity scale the small-table floor is the
+  // bytes-per-vehicle term that matters.
+  static constexpr std::size_t kMinPageRecords = 8;
+  static constexpr std::size_t kPageRecords = 256;
+  // Pages 0..kRampPages-1 double from kMinPageRecords to kPageRecords and
+  // hold kRampEntries records in total; every later page is full-size.
+  static constexpr std::size_t kRampPages = 6;
+  static constexpr std::size_t kRampEntries =
+      kMinPageRecords * ((1u << kRampPages) - 1);
+  static_assert(kMinPageRecords << (kRampPages - 1) == kPageRecords);
+
+  struct Entry {
+    Key key;
+    Record rec;
+  };
+
+  ArenaTable() = default;
+  ArenaTable(const ArenaTable&) = delete;
+  ArenaTable& operator=(const ArenaTable&) = delete;
+  ArenaTable(ArenaTable&&) = default;
+  ArenaTable& operator=(ArenaTable&&) = default;
+
+  // Inserts or overwrites the record for `key`. Returns true if inserted.
+  bool upsert(Key key, const Record& rec) {
+    bool inserted = false;
+    Record& slot = find_or_insert(key, rec, &inserted);
+    if (!inserted) slot = rec;
+    return inserted;
+  }
+
+  // Returns the record slot for `key`, inserting `fallback` first if absent.
+  Record& find_or_insert(Key key, const Record& fallback,
+                         bool* inserted = nullptr) {
+    std::uint32_t& slot = index_.find_or_insert(arena_key_u64(key), kNoSlot);
+    if (slot == kNoSlot) {
+      slot = static_cast<std::uint32_t>(size_);
+      Entry& e = push_entry();
+      e.key = key;
+      e.rec = fallback;
+      if (inserted != nullptr) *inserted = true;
+      return e.rec;
+    }
+    if (inserted != nullptr) *inserted = false;
+    return entry_at(slot).rec;
+  }
+
+  [[nodiscard]] const Record* find(Key key) const {
+    const std::uint32_t* slot = index_.find(arena_key_u64(key));
+    if (slot == nullptr) return nullptr;
+    return &entry_at(*slot).rec;
+  }
+
+  [[nodiscard]] Record* find(Key key) {
+    return const_cast<Record*>(std::as_const(*this).find(key));
+  }
+
+  // Removes the entry for `key`; returns true if it existed. The last
+  // record swap-pops into the hole, so one unrelated record moves.
+  bool erase(Key key) {
+    const std::uint32_t* slot = index_.find(arena_key_u64(key));
+    if (slot == nullptr) return false;
+    const std::uint32_t hole = *slot;
+    index_.erase(arena_key_u64(key));
+    const std::size_t last = size_ - 1;
+    if (hole != last) {
+      Entry& moved = entry_at(last);
+      entry_at(hole) = moved;
+      *index_.find(arena_key_u64(moved.key)) = hole;
+    }
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Drops every entry. Pages and index capacity are kept for reuse.
+  void clear() {
+    index_.clear();
+    size_ = 0;
+  }
+
+  // Drops every entry AND returns all memory to the OS. For tables whose
+  // owner's duty has ended (an ex-center vehicle, a demoted RSU role):
+  // at scale most agents are ex-holders, so keeping peak capacity "for
+  // reuse" — what clear() does — is a per-agent memory leak in all but
+  // name.
+  void release() {
+    index_.release();
+    arena_.release();
+    pages_ = std::vector<Entry*>{};
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  // Dense entry access, [0, size()); insertion-and-erase order.
+  [[nodiscard]] const Entry& entry_at(std::size_t i) const {
+    const auto [page, offset] = locate(i);
+    return pages_[page][offset];
+  }
+  [[nodiscard]] Entry& entry_at(std::size_t i) {
+    const auto [page, offset] = locate(i);
+    return pages_[page][offset];
+  }
+
+  // Calls fn(key, const Record&) for every entry in dense order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      const Entry& e = entry_at(i);
+      fn(e.key, e.rec);
+    }
+  }
+
+  // Forward iteration over entries in dense (insertion-and-erase) order.
+  // Entry's two members destructure as `const auto& [key, rec]`, matching
+  // the FlatTable loops this table replaced.
+  class const_iterator {
+   public:
+    using value_type = Entry;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator() = default;
+    const_iterator(const ArenaTable* table, std::size_t i)
+        : table_(table), i_(i) {}
+
+    const Entry& operator*() const { return table_->entry_at(i_); }
+    const Entry* operator->() const { return &table_->entry_at(i_); }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator out = *this;
+      ++i_;
+      return out;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.i_ == b.i_;
+    }
+
+   private:
+    const ArenaTable* table_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, size_}; }
+
+  // Canonical (key-sorted) copy of all records, for digests and wire
+  // payloads whose byte layout must not depend on table history.
+  [[nodiscard]] std::vector<Record> snapshot() const {
+    std::vector<std::size_t> order(size_);
+    for (std::size_t i = 0; i < size_; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      return entry_at(a).key < entry_at(b).key;
+    });
+    std::vector<Record> out;
+    out.reserve(size_);
+    for (std::size_t i : order) out.push_back(entry_at(i).rec);
+    return out;
+  }
+
+  // Records copied in dense (unsorted) order — the cheap bulk view for
+  // handoff payloads where the receiver re-keys anyway.
+  [[nodiscard]] std::vector<Record> unsorted_records() const {
+    std::vector<Record> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(entry_at(i).rec);
+    return out;
+  }
+
+  // Heap footprint: arena pages plus the key index.
+  [[nodiscard]] std::size_t bytes() const {
+    return arena_.capacity() + index_.bytes() +
+           pages_.capacity() * sizeof(Entry*);
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  // Records in page `j` under the geometric ramp.
+  static constexpr std::size_t page_records(std::size_t j) {
+    return j < kRampPages ? kMinPageRecords << j : kPageRecords;
+  }
+
+  // Maps dense index -> (page, offset). Ramp pages start at
+  // kMinPageRecords * (2^j - 1), so the page is one bit_width away; past
+  // the ramp it is a shift and mask (kPageRecords is a power of two).
+  static std::pair<std::size_t, std::size_t> locate(std::size_t i) {
+    if (i < kRampEntries) {
+      const std::size_t j =
+          static_cast<std::size_t>(
+              std::bit_width((i + kMinPageRecords) / kMinPageRecords)) -
+          1;
+      return {j, i + kMinPageRecords - (kMinPageRecords << j)};
+    }
+    return {kRampPages + (i - kRampEntries) / kPageRecords,
+            (i - kRampEntries) % kPageRecords};
+  }
+
+  Entry& push_entry() {
+    if (size_ == capacity_) {
+      const std::size_t records = page_records(pages_.size());
+      void* raw = arena_.allocate(sizeof(Entry) * records);
+      pages_.push_back(static_cast<Entry*>(raw));
+      capacity_ += records;
+    }
+    // Placement-new starts the entry's lifetime in the arena page; entries
+    // are trivially destructible, so reuse after clear()/erase is free.
+    const auto [page, offset] = locate(size_);
+    Entry* e = ::new (static_cast<void*>(pages_[page] + offset)) Entry{};
+    ++size_;
+    return *e;
+  }
+
+  OpenAddressMap<std::uint64_t, std::uint32_t> index_;
+  BumpArena arena_;
+  std::vector<Entry*> pages_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;  // total records the allocated pages can hold
+};
+
+}  // namespace hlsrg

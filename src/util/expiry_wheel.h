@@ -1,0 +1,146 @@
+// Two-level timing wheel for table expiry (ROADMAP item 2).
+//
+// The old purge walked the whole table on every timer tick and query
+// (O(population)). The wheel makes eviction O(active expirations): every
+// time a record's timestamp advances, the table notes (key, time) here;
+// purge drains only the buckets the expiry cutoff has passed.
+//
+// Coarse level: items bucket by time >> kBucketShift (about one second of
+// sim time per bucket); a drain consumes whole buckets strictly below the
+// cutoff's bucket wholesale. Fine level: the single boundary bucket is
+// filtered item by item and the survivors stay put. The drain condition
+// `time < cutoff` with cutoff = now - expiry is *exactly* the old scan's
+// eviction predicate `time + expiry < now`, so eviction sets and times are
+// identical to the full scan — determinism digests cannot tell them apart.
+//
+// Items are never deleted on table erase/overwrite; they become stale and
+// the table filters them at drain time (a live record's timestamp decides).
+// Tables arm ONE item per record — at insert time — and re-arm a record at
+// its current timestamp when its item surfaces still fresh, instead of
+// noting every update (which made the wheel the table's dominant footprint
+// under beacon-rate traffic). An armed time never exceeds the live time, so
+// a record satisfying the eviction predicate always has a surfaced item in
+// the same drain — nothing can expire silently or late.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hlsrg {
+
+class ExpiryWheel {
+ public:
+  // Bucket granularity in the time unit's own ticks. SimTime is integer
+  // microseconds, so 20 bits is ~1.05 s per bucket — coarse enough that a
+  // paper-scale run has a few hundred buckets, fine enough that a drain's
+  // boundary filter touches only the newest second of records.
+  static constexpr int kBucketShift = 20;
+
+  struct Item {
+    std::uint64_t key;
+    std::int64_t time;
+  };
+
+  // Notes that the record under `key` now carries timestamp `time`.
+  void note(std::uint64_t key, std::int64_t time) {
+    std::vector<Item>* bucket = bucket_for(time >> kBucketShift);
+    bucket->push_back(Item{key, time});
+    ++items_;
+  }
+
+  // Calls fn(key, time) for every noted item with time < cutoff, removing
+  // them from the wheel. Items at or above the cutoff stay. fn is invoked
+  // in bucket order, oldest first (deterministic; callers must not depend
+  // on the order within a bucket beyond insertion order, which is itself
+  // deterministic for a deterministic run).
+  template <typename Fn>
+  std::size_t drain(std::int64_t cutoff, Fn&& fn) {
+    const std::int64_t boundary = cutoff >> kBucketShift;
+    std::size_t drained = 0;
+    std::size_t consumed = 0;
+    for (Bucket& b : buckets_) {
+      if (b.id > boundary) break;
+      if (b.id < boundary) {
+        // Whole bucket is strictly below the cutoff's bucket: every item's
+        // time < (boundary << shift) <= cutoff.
+        for (const Item& it : b.items) fn(it.key, it.time);
+        drained += b.items.size();
+        b.items.clear();
+        ++consumed;
+        continue;
+      }
+      // Boundary bucket: filter item by item.
+      std::size_t kept = 0;
+      for (Item& it : b.items) {
+        if (it.time < cutoff) {
+          fn(it.key, it.time);
+          ++drained;
+        } else {
+          b.items[kept++] = it;
+        }
+      }
+      b.items.resize(kept);
+      break;
+    }
+    if (consumed > 0) {
+      buckets_.erase(buckets_.begin(),
+                     buckets_.begin() + static_cast<std::ptrdiff_t>(consumed));
+    }
+    items_ -= drained;
+    return drained;
+  }
+
+  // Pending (possibly stale) items across all buckets.
+  [[nodiscard]] std::size_t pending() const { return items_; }
+
+  void clear() {
+    buckets_.clear();
+    items_ = 0;
+  }
+
+  // clear() plus freeing the bucket array itself.
+  void release() {
+    buckets_ = std::vector<Bucket>{};
+    items_ = 0;
+  }
+
+  // Heap footprint of the bucket structures.
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t total = buckets_.capacity() * sizeof(Bucket);
+    for (const Bucket& b : buckets_) total += b.items.capacity() * sizeof(Item);
+    return total;
+  }
+
+ private:
+  struct Bucket {
+    std::int64_t id = 0;
+    std::vector<Item> items;
+  };
+
+  // Bucket list kept sorted by id; notes mostly hit the newest bucket, so
+  // the common path is a tail append or tail lookup.
+  std::vector<Item>* bucket_for(std::int64_t id) {
+    if (!buckets_.empty() && buckets_.back().id == id) {
+      return &buckets_.back().items;
+    }
+    if (buckets_.empty() || id > buckets_.back().id) {
+      buckets_.push_back(Bucket{id, {}});
+      return &buckets_.back().items;
+    }
+    // Out-of-order note (e.g. a handoff merging old records): binary-search
+    // the slot, inserting a bucket if needed.
+    auto it = std::lower_bound(
+        buckets_.begin(), buckets_.end(), id,
+        [](const Bucket& b, std::int64_t want) { return b.id < want; });
+    if (it != buckets_.end() && it->id == id) return &it->items;
+    it = buckets_.insert(it, Bucket{id, {}});
+    return &it->items;
+  }
+
+  std::vector<Bucket> buckets_;
+  std::size_t items_ = 0;
+};
+
+}  // namespace hlsrg

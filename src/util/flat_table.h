@@ -7,9 +7,11 @@
 // O(log n) lookup (Core Guidelines Per.14/Per.16/Per.19).
 //
 // OpenAddressMap: a linear-probing hash map over trivially copyable keys and
-// values for hot lookup paths (the neighbor index's cell table). One
-// contiguous slot array, power-of-two capacity, no tombstones — the callers
-// that need deletion rebuild instead.
+// values for hot lookup paths (the neighbor index's cell table, the
+// ArenaTable key index). One contiguous slot array plus a one-byte state
+// array, power-of-two capacity. Erase writes a tombstone; the load factor
+// counts tombstones, so heavy erase churn triggers a compacting rehash
+// instead of degrading probes toward O(capacity).
 #pragma once
 
 #include <algorithm>
@@ -76,6 +78,10 @@ class FlatTable {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
+  // Heap footprint of the entry array (capacity, not size).
+  [[nodiscard]] std::size_t bytes() const {
+    return entries_.capacity() * sizeof(Entry);
+  }
   void clear() { entries_.clear(); }
 
   [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
@@ -109,42 +115,45 @@ struct U64KeyHash {
 };
 
 // Open-addressing hash map: linear probing, power-of-two capacity, grows at
-// ~70% load. Insert-only by design (no erase, no tombstones): the hot users
-// key on spatial cells whose set only grows within a run and rebuild via
-// clear() when the world changes shape. Key and Value must be trivially
-// copyable. One `empty_key` value marks free slots in the array; an entry
-// under that exact key is still legal — it lives in a dedicated side slot so
-// the full key space stays usable (packed cell coordinates hit every bit
-// pattern, including the sentinel).
+// ~70% load counting tombstones. A one-byte state array distinguishes
+// empty / full / tombstone slots, so the whole key space is usable (packed
+// cell coordinates hit every bit pattern — PR 5 reserved a sentinel key and
+// parked it in a side slot; the state array removes that special case).
+// Erase tombstones the slot; when the occupancy trigger fires and live
+// entries alone are under the load limit, the rehash compacts in place at
+// the same capacity instead of doubling, so erase-heavy churn (a long-lived
+// neighbor-index cell map) cannot degrade probes toward O(capacity).
+// Key and Value must be trivially copyable.
 template <typename Key, typename Value, typename Hash = U64KeyHash>
 class OpenAddressMap {
   static_assert(std::is_trivially_copyable_v<Key>);
   static_assert(std::is_trivially_copyable_v<Value>);
 
  public:
-  explicit OpenAddressMap(Key empty_key = static_cast<Key>(-1))
-      : empty_key_(empty_key) {}
+  OpenAddressMap() = default;
 
   // Returns the value slot for `key`, inserting `fallback` first if absent.
   Value& find_or_insert(Key key, Value fallback) {
-    if (key == empty_key_) {
-      if (!has_empty_key_) {
-        empty_key_value_ = fallback;
-        has_empty_key_ = true;
-      }
-      return empty_key_value_;
+    if (slots_.empty() || (size_ + tombstones_ + 1) * 10 > slots_.size() * 7) {
+      rehash();
     }
-    if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) grow();
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = static_cast<std::size_t>(hash_(key)) & mask;
+    std::size_t reuse = kNoSlot;
     while (true) {
-      Slot& s = slots_[i];
-      if (s.key == key) return s.value;
-      if (s.key == empty_key_) {
-        s.key = key;
-        s.value = fallback;
+      const std::uint8_t st = states_[i];
+      if (st == kFull && slots_[i].key == key) return slots_[i].value;
+      if (st == kTomb && reuse == kNoSlot) reuse = i;
+      if (st == kEmpty) {
+        if (reuse != kNoSlot) {
+          i = reuse;
+          --tombstones_;
+        }
+        states_[i] = kFull;
+        slots_[i].key = key;
+        slots_[i].value = fallback;
         ++size_;
-        return s.value;
+        return slots_[i].value;
       }
       i = (i + 1) & mask;
     }
@@ -152,16 +161,13 @@ class OpenAddressMap {
 
   // Pointer to the value for `key`, or nullptr.
   [[nodiscard]] const Value* find(Key key) const {
-    if (key == empty_key_) {
-      return has_empty_key_ ? &empty_key_value_ : nullptr;
-    }
     if (slots_.empty()) return nullptr;
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = static_cast<std::size_t>(hash_(key)) & mask;
     while (true) {
-      const Slot& s = slots_[i];
-      if (s.key == key) return &s.value;
-      if (s.key == empty_key_) return nullptr;
+      const std::uint8_t st = states_[i];
+      if (st == kFull && slots_[i].key == key) return &slots_[i].value;
+      if (st == kEmpty) return nullptr;
       i = (i + 1) & mask;
     }
   }
@@ -170,41 +176,161 @@ class OpenAddressMap {
     return const_cast<Value*>(std::as_const(*this).find(key));
   }
 
-  [[nodiscard]] std::size_t size() const {
-    return size_ + (has_empty_key_ ? 1 : 0);
+  // Removes the entry for `key`; returns true if it existed. The slot
+  // becomes a tombstone (probe chains through it stay intact); compaction
+  // happens lazily at the next occupancy trigger.
+  bool erase(Key key) {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash_(key)) & mask;
+    while (true) {
+      const std::uint8_t st = states_[i];
+      if (st == kFull && slots_[i].key == key) {
+        states_[i] = kTomb;
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+      if (st == kEmpty) return false;
+      i = (i + 1) & mask;
+    }
   }
-  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  // Dead slots awaiting compaction (observability for tests).
+  [[nodiscard]] std::size_t tombstones() const { return tombstones_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  // Heap footprint of the slot and state arrays.
+  [[nodiscard]] std::size_t bytes() const {
+    return slots_.capacity() * sizeof(Slot) + states_.capacity();
+  }
 
   // Drops every entry; keeps the slot array's capacity.
   void clear() {
-    for (Slot& s : slots_) s.key = empty_key_;
+    std::fill(states_.begin(), states_.end(), static_cast<std::uint8_t>(0));
     size_ = 0;
-    has_empty_key_ = false;
+    tombstones_ = 0;
+  }
+
+  // Drops every entry and frees the slot arrays (see ArenaTable::release).
+  void release() {
+    slots_ = std::vector<Slot>{};
+    states_ = std::vector<std::uint8_t>{};
+    size_ = 0;
+    tombstones_ = 0;
   }
 
  private:
+  enum : std::uint8_t { kEmpty = 0, kFull = 1, kTomb = 2 };
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   struct Slot {
     Key key;
     Value value;
   };
 
-  void grow() {
-    std::vector<Slot> old = std::move(slots_);
-    const std::size_t cap = old.empty() ? 16 : old.size() * 2;
-    slots_.assign(cap, Slot{empty_key_, Value{}});
+  // Rebuilds the table. Doubles capacity only when live entries need the
+  // room; a tombstone-dominated table compacts at its current capacity.
+  void rehash() {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_states = std::move(states_);
+    std::size_t cap = old_slots.empty() ? 16 : old_slots.size();
+    if ((size_ + 1) * 10 > cap * 7) cap *= 2;
+    slots_.assign(cap, Slot{Key{}, Value{}});
+    states_.assign(cap, kEmpty);
     size_ = 0;
-    for (const Slot& s : old) {
-      if (s.key != empty_key_) find_or_insert(s.key, s.value);
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_states[i] == kFull) {
+        find_or_insert(old_slots[i].key, old_slots[i].value);
+      }
     }
   }
 
   std::vector<Slot> slots_;
-  std::size_t size_ = 0;  // entries in slots_, excluding the side slot
-  Key empty_key_;
-  // Side slot for the one key the slot array cannot represent.
-  Value empty_key_value_{};
-  bool has_empty_key_ = false;
+  std::vector<std::uint8_t> states_;
+  std::size_t size_ = 0;        // live entries
+  std::size_t tombstones_ = 0;  // erased slots not yet compacted
   Hash hash_;
+};
+
+// Unsorted vector map for agent-local transient state (armed elections,
+// outstanding own queries): a handful of live entries, point lookups only.
+// One vector (24 B empty) replaces an unordered_map (56 B empty plus a heap
+// node per entry) — at a hundred thousand agents the empty-container tax is
+// what matters. Linear find; erase swap-pops.
+template <typename Key, typename Value>
+class SmallFlatMap {
+ public:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  // Returns the value slot for `key`, default-inserting if absent.
+  Value& operator[](Key key) {
+    for (Entry& e : entries_) {
+      if (e.key == key) return e.value;
+    }
+    entries_.push_back(Entry{key, Value{}});
+    return entries_.back().value;
+  }
+
+  [[nodiscard]] Value* find(Key key) {
+    for (Entry& e : entries_) {
+      if (e.key == key) return &e.value;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const Value* find(Key key) const {
+    return const_cast<SmallFlatMap*>(this)->find(key);
+  }
+  [[nodiscard]] bool contains(Key key) const { return find(key) != nullptr; }
+
+  bool erase(Key key) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].key == key) {
+        entries_[i] = std::move(entries_.back());
+        entries_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+// Sorted-vector id set for monotone-growing membership checks (settled
+// elections, relayed requests, answered notifications). Binary-search
+// contains; ordered insert keeps iteration deterministic by construction.
+template <typename Key>
+class SortedIdSet {
+ public:
+  // Inserts `key`; returns true if it was not already present.
+  bool insert(Key key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end() && *it == key) return false;
+    keys_.insert(it, key);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(Key key) const {
+    return std::binary_search(keys_.begin(), keys_.end(), key);
+  }
+
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+  void clear() { keys_.clear(); }
+
+ private:
+  std::vector<Key> keys_;
 };
 
 }  // namespace hlsrg

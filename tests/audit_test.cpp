@@ -47,11 +47,12 @@ class AuditWorldTest : public ::testing::Test {
     return static_cast<HlsrgService&>(world_.service());
   }
   HlsrgRsuAgent& rsu_at_level(GridLevel level) {
-    for (const auto& agent : service().rsu_agents()) {
-      if (agent->level() == level) return *agent;
+    HlsrgService& svc = service();
+    for (std::size_t i = 0; i < svc.rsu_agents().size(); ++i) {
+      if (svc.rsu_agents()[i].level() == level) return svc.rsu_agent(RsuId{i});
     }
     ADD_FAILURE() << "no RSU at level " << static_cast<int>(level);
-    return *service().rsu_agents().front();
+    return svc.rsu_agent(RsuId{std::size_t{0}});
   }
   // A vehicle id with no entry in the given RSU's summary tables.
   VehicleId absent_vehicle(const HlsrgRsuAgent& rsu) {

@@ -36,10 +36,12 @@ TEST(RsuRebootTest, RebootWipesTablesAndRebuildsFromBeacons) {
   World world(cfg, Protocol::kHlsrg);
   world.run_until(SimTime::from_sec(70.0));
 
+  HlsrgService& svc = hlsrg_of(world);
   HlsrgRsuAgent* rsu = nullptr;
-  for (const auto& agent : hlsrg_of(world).rsu_agents()) {
-    if (agent->level() == GridLevel::kL2 && agent->l2_table().size() > 0) {
-      rsu = agent.get();
+  for (std::size_t i = 0; i < svc.rsu_agents().size(); ++i) {
+    HlsrgRsuAgent& agent = svc.rsu_agent(RsuId{i});
+    if (agent.level() == GridLevel::kL2 && agent.l2_table().size() > 0) {
+      rsu = &agent;
       break;
     }
   }
@@ -153,6 +155,47 @@ TEST(ChurnWorldTest, RoleDirectoryBindingsMatchTheWorld) {
     EXPECT_TRUE(world.mobility().parked(b.host));
   }
   EXPECT_GT(staffed, 0u) << "no role ever found a parked host";
+}
+
+TEST(ChurnWorldTest, HandoffPayloadOrderIsSemanticallyInert) {
+  // snapshot_role() ships tables in dense arena order (no sort) — see
+  // churn_manager.cpp. The receiver re-keys every record through
+  // newest-wins merges, so any permutation of the payload must rebuild the
+  // same table: contents and canonical snapshot identical.
+  std::vector<L1Record> records;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    L1Record rec;
+    rec.vehicle = VehicleId{i};
+    rec.time = SimTime::from_sec(1.0 + static_cast<double>(i % 17));
+    rec.pos = Vec2{static_cast<double>(i), static_cast<double>(i % 7)};
+    records.push_back(rec);
+  }
+  std::vector<L1Record> reversed(records.rbegin(), records.rend());
+  // Interleave a stale duplicate per vehicle into one payload only: the
+  // newest-wins merge must drop it regardless of where it sits.
+  std::vector<L1Record> with_stale;
+  for (const L1Record& rec : reversed) {
+    L1Record stale = rec;
+    stale.time = rec.time - SimTime::from_sec(0.5);
+    stale.pos = Vec2{-1.0, -1.0};
+    with_stale.push_back(stale);
+    with_stale.push_back(rec);
+  }
+
+  L1Table sorted_merge;
+  sorted_merge.merge(records);
+  L1Table permuted_merge;
+  permuted_merge.merge(with_stale);
+
+  ASSERT_EQ(sorted_merge.size(), permuted_merge.size());
+  const std::vector<L1Record> a = sorted_merge.snapshot();
+  const std::vector<L1Record> b = permuted_merge.snapshot();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vehicle, b[i].vehicle);
+    EXPECT_EQ(a[i].time.us(), b[i].time.us());
+    EXPECT_EQ(a[i].pos.x, b[i].pos.x);
+    EXPECT_EQ(a[i].pos.y, b[i].pos.y);
+  }
 }
 
 TEST(ChurnWorldTest, ZeroChurnKnobsAreByteInert) {

@@ -44,7 +44,7 @@ struct WiredChain {
     for (int i = 0; i < 4; ++i) {
       sinks.push_back(std::make_unique<NullSink>());
       const double x = 100.0 * i;
-      nodes.push_back(registry.add_node([x] { return Vec2{x, 0.0}; },
+      nodes.push_back(registry.add_node(Vec2{x, 0.0},
                                         sinks.back().get()));
     }
     wired.connect(nodes[0], nodes[1]);
@@ -63,8 +63,8 @@ TEST(WiredFaultTest, UnreachableSendIsLedgerAccounted) {
   Simulator sim(1);
   NodeRegistry registry;
   NullSink sink;
-  const NodeId a = registry.add_node([] { return Vec2{0, 0}; }, &sink);
-  const NodeId b = registry.add_node([] { return Vec2{100, 0}; }, &sink);
+  const NodeId a = registry.add_node(Vec2{0, 0}, &sink);
+  const NodeId b = registry.add_node(Vec2{100, 0}, &sink);
   WiredNetwork wired(sim, registry);  // no links at all
   std::uint64_t tx = 0;
   EXPECT_FALSE(wired.send(a, b, make_test_packet(), &tx));
@@ -115,7 +115,7 @@ TEST(WiredFaultTest, HopCountCacheInvalidatesOnTopologyChange) {
   std::vector<NodeId> n;
   for (int i = 0; i < 3; ++i) {
     const double x = 100.0 * i;
-    n.push_back(registry.add_node([x] { return Vec2{x, 0.0}; }, &sink));
+    n.push_back(registry.add_node(Vec2{x, 0.0}, &sink));
   }
   WiredNetwork wired(sim, registry);
   wired.connect(n[0], n[1]);
@@ -303,8 +303,8 @@ TEST(RetryBackoffTest, ExponentialGrowthIsCapped) {
 TEST(RadioLossZoneTest, BeaconNeighborExpiresAcrossFaultWindow) {
   Simulator sim(6);
   NodeRegistry reg;
-  const NodeId a = reg.add_node([] { return Vec2{0, 0}; });
-  const NodeId b = reg.add_node([] { return Vec2{300, 0}; });
+  const NodeId a = reg.add_node(Vec2{0, 0});
+  const NodeId b = reg.add_node(Vec2{300, 0});
   RadioConfig rcfg;
   rcfg.base_loss = 0.0;
   RadioMedium medium(sim, reg, rcfg);

@@ -147,6 +147,29 @@ TEST(RunnerTest, ReplicasUseDistinctSeeds) {
                    set.replicas[2].radio_broadcasts);
 }
 
+TEST(RunnerTest, MemoryTelemetryIsStamped) {
+  // Pins the peak_rss_bytes stamping fix: every replica's engine stats and
+  // the run-level sample must be populated, engine_total must carry the
+  // run-level RSS (defined semantics), and table_bytes must reflect the
+  // protocol tables + registry of one replica.
+  ScenarioConfig cfg = paper_scenario(100, 44);
+  cfg.grace = SimTime::from_sec(30);
+  const ReplicaSet set = run_replicas(cfg, Protocol::kHlsrg, 2, 1);
+  EXPECT_GT(set.peak_rss_bytes, 0u);
+  EXPECT_EQ(set.engine_total.peak_rss_bytes, set.peak_rss_bytes);
+  for (const EngineStats& e : set.engine) {
+    EXPECT_GT(e.peak_rss_bytes, 0u);
+    EXPECT_LE(e.peak_rss_bytes, set.peak_rss_bytes);
+    EXPECT_GT(e.table_bytes, 0u);
+  }
+  // engine_total merges table_bytes by max over replicas.
+  std::uint64_t max_table = 0;
+  for (const EngineStats& e : set.engine) {
+    max_table = std::max(max_table, e.table_bytes);
+  }
+  EXPECT_EQ(set.engine_total.table_bytes, max_table);
+}
+
 TEST(RunnerTest, MergedEqualsSumOfReplicas) {
   ScenarioConfig cfg = paper_scenario(100, 41);
   cfg.grace = SimTime::from_sec(30);

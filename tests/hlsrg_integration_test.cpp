@@ -97,12 +97,12 @@ TEST(HlsrgIntegrationTest, RsuTablesThinUpward) {
   auto& svc = dynamic_cast<HlsrgService&>(world.service());
   std::size_t l2_entries = 0, l3_entries = 0;
   for (const auto& rsu : svc.rsu_agents()) {
-    if (rsu->level() == GridLevel::kL2) {
-      l2_entries += rsu->l2_table().size();
+    if (rsu.level() == GridLevel::kL2) {
+      l2_entries += rsu.l2_table().size();
       // The thinned summary table tracks the full cache.
-      EXPECT_GE(rsu->l2_table().size() + 5, rsu->full_table().size());
+      EXPECT_GE(rsu.l2_table().size() + 5, rsu.full_table().size());
     } else {
-      l3_entries += rsu->l3_table().size();
+      l3_entries += rsu.l3_table().size();
     }
   }
   EXPECT_GT(l2_entries, 0u);

@@ -54,7 +54,7 @@ TEST(RsuGridTest, LookupByCoordAndNode) {
   EXPECT_EQ(r.coord, (GridCoord{1, 0}));
   EXPECT_EQ(f.rsus.rsu_of_node(r.node), id);
   // A non-RSU node maps to invalid.
-  const NodeId vehicle = f.registry.add_node([] { return Vec2{}; });
+  const NodeId vehicle = f.registry.add_node(Vec2{});
   EXPECT_FALSE(f.rsus.rsu_of_node(vehicle).valid());
 }
 

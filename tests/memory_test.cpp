@@ -1,0 +1,350 @@
+// Tests for the million-entity memory layer (DESIGN.md §15): the arena
+// table family fuzzed against std::map, the open-addressing map's tombstone
+// compaction fuzzed against std::unordered_map, the expiry wheel against
+// the full-scan eviction predicate, and the flat agent-side containers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/location_table.h"
+#include "util/arena_table.h"
+#include "util/expiry_wheel.h"
+#include "util/flat_table.h"
+
+namespace hlsrg {
+namespace {
+
+// SplitMix64: a self-contained deterministic stream for fuzz sequences, so
+// these tests never touch the simulator's seeded RNG discipline.
+struct Mix64 {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+// --- ArenaTable ------------------------------------------------------------
+
+TEST(ArenaTableTest, FuzzMatchesStdMap) {
+  ArenaTable<std::uint64_t, std::uint64_t> table;
+  std::map<std::uint64_t, std::uint64_t> model;
+  Mix64 rng{1234};
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t r = rng.next();
+    const std::uint64_t key = r % 512;  // small key space forces collisions
+    const std::uint64_t op = (r >> 32) % 10;
+    if (op < 6) {
+      const std::uint64_t value = rng.next();
+      const bool inserted = table.upsert(key, value);
+      EXPECT_EQ(inserted, model.find(key) == model.end());
+      model[key] = value;
+    } else if (op < 9) {
+      EXPECT_EQ(table.erase(key), model.erase(key) == 1);
+    } else {
+      const std::uint64_t* rec = table.find(key);
+      const auto it = model.find(key);
+      ASSERT_EQ(rec != nullptr, it != model.end());
+      if (rec != nullptr) {
+        EXPECT_EQ(*rec, it->second);
+      }
+    }
+    ASSERT_EQ(table.size(), model.size());
+  }
+  // snapshot() is key-sorted, so it must mirror the model's iteration.
+  const std::vector<std::uint64_t> snap = table.snapshot();
+  ASSERT_EQ(snap.size(), model.size());
+  std::size_t i = 0;
+  for (const auto& [key, value] : model) EXPECT_EQ(snap[i++], value);
+}
+
+TEST(ArenaTableTest, RecordAddressesSurviveGrowth) {
+  // Pages come whole from the arena; growing the table must never move an
+  // existing record (agents hold pointers across inserts).
+  ArenaTable<std::uint64_t, std::uint64_t> table;
+  table.upsert(5, 55);
+  const std::uint64_t* early = table.find(5);
+  for (std::uint64_t k = 1000; k < 6000; ++k) table.upsert(k, k);
+  EXPECT_EQ(table.find(5), early);
+  EXPECT_EQ(*early, 55u);
+}
+
+TEST(ArenaTableTest, ClearRecyclesPagesWithoutGrowingTheArena) {
+  ArenaTable<std::uint64_t, std::uint64_t> table;
+  for (std::uint64_t k = 0; k < 4096; ++k) table.upsert(k, k);
+  const std::size_t bytes_full = table.bytes();
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  for (std::uint64_t k = 0; k < 4096; ++k) table.upsert(k, k + 1);
+  // Refilling to the same population reuses the recycled pages.
+  EXPECT_EQ(table.bytes(), bytes_full);
+  EXPECT_EQ(*table.find(7), 8u);
+}
+
+TEST(ArenaTableTest, ReleaseReturnsAllMemoryAndTheTableStaysUsable) {
+  ArenaTable<std::uint64_t, std::uint64_t> table;
+  for (std::uint64_t k = 0; k < 1000; ++k) table.upsert(k, k);
+  EXPECT_GT(table.bytes(), 0u);
+  table.release();
+  EXPECT_TRUE(table.empty());
+  // Unlike clear(), release() returns the pages, index, and arena chunks.
+  EXPECT_EQ(table.bytes(), 0u);
+  table.upsert(42, 7);
+  EXPECT_EQ(*table.find(42), 7u);
+  // A released-then-small table pays the small-table floor, not its old
+  // 1000-entry peak.
+  EXPECT_LT(table.bytes(), 2048u);
+}
+
+TEST(ArenaTableTest, SmallTablePaysTheSmallPageFloor) {
+  // The geometric page ramp: three records must not cost a full
+  // 256-record page (the per-vehicle L1 table is the common case, and at
+  // 100k vehicles the occupied-but-small floor dominates bytes/vehicle).
+  using Table = ArenaTable<std::uint64_t, std::uint64_t>;
+  Table table;
+  for (std::uint64_t k = 0; k < 3; ++k) table.upsert(k, k);
+  EXPECT_LT(table.bytes(), Table::kPageRecords * sizeof(Table::Entry));
+}
+
+TEST(ArenaTableTest, UnsortedRecordsIsAPermutationOfSnapshot) {
+  ArenaTable<std::uint64_t, std::uint64_t> table;
+  Mix64 rng{5};
+  for (int i = 0; i < 700; ++i) table.upsert(rng.next() % 900, rng.next());
+  for (int i = 0; i < 300; ++i) table.erase(rng.next() % 900);
+  std::vector<std::uint64_t> dense = table.unsorted_records();
+  std::vector<std::uint64_t> sorted = table.snapshot();
+  ASSERT_EQ(dense.size(), table.size());
+  std::sort(dense.begin(), dense.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(dense, sorted);
+}
+
+// --- OpenAddressMap --------------------------------------------------------
+
+TEST(OpenAddressMapTest, EraseChurnFuzzMatchesUnorderedMap) {
+  OpenAddressMap<std::uint64_t, std::uint32_t> map;
+  std::unordered_map<std::uint64_t, std::uint32_t> model;
+  Mix64 rng{99};
+  for (int step = 0; step < 50000; ++step) {
+    const std::uint64_t r = rng.next();
+    const std::uint64_t key = r % 300;
+    switch ((r >> 40) % 3) {
+      case 0: {
+        const auto value = static_cast<std::uint32_t>(step);
+        // find_or_insert keeps an existing value, like emplace.
+        map.find_or_insert(key, value);
+        model.emplace(key, value);
+        break;
+      }
+      case 1:
+        EXPECT_EQ(map.erase(key), model.erase(key) == 1);
+        break;
+      default: {
+        const std::uint32_t* found = map.find(key);
+        const auto it = model.find(key);
+        ASSERT_EQ(found != nullptr, it != model.end());
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(map.size(), model.size());
+  }
+}
+
+TEST(OpenAddressMapTest, TombstoneChurnCompactsInsteadOfGrowing) {
+  OpenAddressMap<std::uint64_t, std::uint32_t> map;
+  for (std::uint64_t k = 0; k < 64; ++k) map.find_or_insert(k, 0);
+  // Steady-state population under heavy insert+erase churn with
+  // never-repeating keys: every erase leaves a tombstone on a fresh slot.
+  std::size_t warm_capacity = 0;
+  for (std::uint64_t round = 0; round < 10000; ++round) {
+    map.find_or_insert(1000 + round, 1);
+    EXPECT_TRUE(map.erase(1000 + round));
+    if (round == 100) warm_capacity = map.capacity();
+  }
+  EXPECT_EQ(map.size(), 64u);
+  // The occupancy trigger must compact tombstones in place, not double the
+  // table forever (the pre-PR-10 map leaked dead slots into the load).
+  EXPECT_LE(map.capacity(), warm_capacity);
+  // And the live entries all survived the compactions.
+  for (std::uint64_t k = 0; k < 64; ++k) EXPECT_NE(map.find(k), nullptr);
+}
+
+TEST(OpenAddressMapTest, ExtremeKeysAreOrdinary) {
+  // No reserved sentinel key: 0 and ~0 behave like any other bit pattern
+  // (slot liveness lives in the state array, not in the key).
+  OpenAddressMap<std::uint64_t, std::uint32_t> map;
+  map.find_or_insert(0, 1);
+  map.find_or_insert(~std::uint64_t{0}, 2);
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(0), nullptr);
+  EXPECT_EQ(*map.find(0), 1u);
+  ASSERT_NE(map.find(~std::uint64_t{0}), nullptr);
+  EXPECT_EQ(*map.find(~std::uint64_t{0}), 2u);
+  EXPECT_TRUE(map.erase(0));
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_NE(map.find(~std::uint64_t{0}), nullptr);
+}
+
+// --- ExpiryWheel -----------------------------------------------------------
+
+TEST(ExpiryWheelTest, DrainMatchesFullScanPredicate) {
+  // The wheel must evict exactly the full-scan set {time < cutoff}, across
+  // bucket boundaries and with out-of-order notes (handoff merges backfill
+  // old timestamps).
+  ExpiryWheel wheel;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> pending;
+  Mix64 rng{7};
+  for (int round = 1; round <= 40; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t key = rng.next() % 1000;
+      const std::int64_t time =
+          static_cast<std::int64_t>(rng.next() % 5000000) +
+          static_cast<std::int64_t>(round) * 2000000;
+      wheel.note(key, time);
+      pending.emplace_back(key, time);
+    }
+    const std::int64_t cutoff = static_cast<std::int64_t>(round) * 2000000;
+    std::vector<std::pair<std::uint64_t, std::int64_t>> drained;
+    wheel.drain(cutoff, [&](std::uint64_t key, std::int64_t time) {
+      drained.emplace_back(key, time);
+    });
+    std::vector<std::pair<std::uint64_t, std::int64_t>> expected;
+    std::vector<std::pair<std::uint64_t, std::int64_t>> survivors;
+    for (const auto& item : pending) {
+      (item.second < cutoff ? expected : survivors).push_back(item);
+    }
+    std::sort(drained.begin(), drained.end());
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(drained, expected) << "round " << round;
+    pending = std::move(survivors);
+    ASSERT_EQ(wheel.pending(), pending.size());
+  }
+}
+
+// --- LocationTable purge = wheel drain + live-record confirmation ----------
+
+TEST(LocationTableTest, WheelPurgeMatchesFullScanEviction) {
+  // End-to-end equivalence on the real table: record() overwrites make wheel
+  // items stale, and purge() must still evict exactly the records the old
+  // O(table) scan would have (time + expiry < now).
+  L1Table table;
+  std::map<VehicleId, L1Record> model;
+  Mix64 rng{21};
+  SimTime now = SimTime::from_sec(0.0);
+  const SimTime expiry = SimTime::from_sec(132.0);
+  for (int round = 0; round < 120; ++round) {
+    now = now + SimTime::from_sec(10.0);
+    for (int i = 0; i < 50; ++i) {
+      L1Record rec;
+      rec.vehicle = VehicleId{static_cast<std::uint32_t>(rng.next() % 400)};
+      // Timestamps jitter up to 200 s behind `now`: some records arrive
+      // already expired, some lose the newest-wins race.
+      rec.time = now - SimTime::from_ms(static_cast<double>(rng.next() % 200000));
+      rec.pos = Vec2{static_cast<double>(round), static_cast<double>(i)};
+      table.record(rec);
+      const auto it = model.find(rec.vehicle);
+      if (it == model.end() || it->second.time < rec.time) {
+        model[rec.vehicle] = rec;
+      }
+    }
+    table.purge(now, expiry);
+    for (auto it = model.begin(); it != model.end();) {
+      if (it->second.time < now - expiry) {
+        it = model.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ASSERT_EQ(table.size(), model.size()) << "round " << round;
+    for (const auto& [vehicle, rec] : model) {
+      const L1Record* got = table.find(vehicle);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(got->time.us(), rec.time.us());
+      EXPECT_EQ(got->pos.x, rec.pos.x);
+    }
+  }
+}
+
+// --- SmallFlatMap / SortedIdSet -------------------------------------------
+
+TEST(SmallFlatMapTest, InsertFindEraseMatchesMap) {
+  SmallFlatMap<std::uint32_t, int> map;
+  std::map<std::uint32_t, int> model;
+  Mix64 rng{3};
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t r = rng.next();
+    const auto key = static_cast<std::uint32_t>(r % 40);
+    if ((r >> 32) % 2 == 0) {
+      map[key] = step;
+      model[key] = step;
+    } else {
+      EXPECT_EQ(map.erase(key), model.erase(key) == 1);
+    }
+    ASSERT_EQ(map.size(), model.size());
+    for (const auto& [k, v] : model) {
+      const int* got = map.find(k);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, v);
+    }
+  }
+}
+
+TEST(SmallFlatMapTest, OperatorIndexDefaultInserts) {
+  SmallFlatMap<std::uint32_t, int> map;
+  EXPECT_EQ(map[9], 0);
+  EXPECT_EQ(map.size(), 1u);
+  map[9] = 4;
+  EXPECT_EQ(map[9], 4);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.contains(9));
+  EXPECT_FALSE(map.contains(8));
+}
+
+TEST(SortedIdSetTest, InsertReportsNoveltyAndContainsAgrees) {
+  SortedIdSet<std::uint64_t> set;
+  EXPECT_TRUE(set.insert(10));
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_TRUE(set.insert(20));
+  EXPECT_FALSE(set.insert(10));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_TRUE(set.contains(10));
+  EXPECT_TRUE(set.contains(20));
+  EXPECT_FALSE(set.contains(11));
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(5));
+}
+
+// --- bytes() accounting ----------------------------------------------------
+
+TEST(MemoryAccountingTest, TableBytesGrowWithPopulation) {
+  L1Table table;
+  const std::size_t empty_bytes = table.bytes();
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    L1Record rec;
+    rec.vehicle = VehicleId{i};
+    rec.time = SimTime::from_sec(1.0);
+    table.record(rec);
+  }
+  EXPECT_GT(table.bytes(), empty_bytes);
+  // 5000 records must account for at least their payload bytes.
+  EXPECT_GE(table.bytes(), 5000 * sizeof(L1Record));
+
+  FlatTable<VehicleId, int> flat;
+  EXPECT_EQ(flat.bytes(), 0u);
+  flat.upsert(VehicleId{std::uint32_t{1}}, 7);
+  EXPECT_GT(flat.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace hlsrg

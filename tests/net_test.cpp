@@ -54,8 +54,7 @@ class StaticNet {
 
   NodeId add(Vec2 pos) {
     sinks_.push_back(std::make_unique<CaptureSink>());
-    const NodeId id = registry_.add_node([pos] { return pos; },
-                                         sinks_.back().get());
+    const NodeId id = registry_.add_node(pos, sinks_.back().get());
     return id;
   }
 
@@ -85,18 +84,40 @@ RadioConfig lossless() {
 
 // --- NodeRegistry -------------------------------------------------------------
 
-TEST(NodeRegistryTest, PositionsComeFromCallbacks) {
+TEST(NodeRegistryTest, PositionsArePushed) {
   NodeRegistry reg;
-  Vec2 pos{1, 2};
-  const NodeId id = reg.add_node([&pos] { return pos; });
+  const NodeId id = reg.add_node(Vec2{1, 2});
   EXPECT_EQ(reg.position(id), (Vec2{1, 2}));
-  pos = {3, 4};
+  reg.set_position(id, Vec2{3, 4});
   EXPECT_EQ(reg.position(id), (Vec2{3, 4}));
+}
+
+TEST(NodeRegistryTest, VehicleSoaRows) {
+  NodeRegistry reg;
+  const NodeId n0 = reg.add_node(Vec2{1, 0});
+  const NodeId n1 = reg.add_node(Vec2{2, 0});
+  reg.bind_vehicle(VehicleId{0u}, n0);
+  reg.bind_vehicle(VehicleId{1u}, n1);
+  ASSERT_EQ(reg.vehicle_count(), 2u);
+  EXPECT_EQ(reg.vehicle_node(VehicleId{1u}), n1);
+  EXPECT_EQ(reg.vehicle_position(VehicleId{1u}), (Vec2{2, 0}));
+  // Rows seed at rest / region -1; setters keep them current.
+  EXPECT_FALSE(reg.vehicle_parked(VehicleId{0u}));
+  EXPECT_EQ(reg.vehicle_region(VehicleId{0u}), -1);
+  reg.set_vehicle_parked(VehicleId{0u}, true);
+  reg.set_vehicle_velocity(VehicleId{0u}, Vec2{0, 5});
+  reg.set_vehicle_region(VehicleId{0u}, 3);
+  EXPECT_TRUE(reg.vehicle_parked(VehicleId{0u}));
+  EXPECT_EQ(reg.vehicle_velocity(VehicleId{0u}), (Vec2{0, 5}));
+  EXPECT_EQ(reg.vehicle_region(VehicleId{0u}), 3);
+  // A pose push through the node handle is visible through the vehicle view.
+  reg.set_position(n0, Vec2{7, 8});
+  EXPECT_EQ(reg.vehicle_position(VehicleId{0u}), (Vec2{7, 8}));
 }
 
 TEST(NodeRegistryTest, SinkInstallation) {
   NodeRegistry reg;
-  const NodeId id = reg.add_node([] { return Vec2{}; });
+  const NodeId id = reg.add_node(Vec2{});
   EXPECT_EQ(reg.sink(id), nullptr);
   CaptureSink sink;
   reg.set_sink(id, &sink);
@@ -113,7 +134,7 @@ TEST(NeighborIndexTest, MatchesBruteForce) {
   for (int i = 0; i < 300; ++i) {
     const Vec2 p{rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)};
     pts.push_back(p);
-    reg.add_node([p] { return p; });
+    reg.add_node(p);
   }
   NeighborIndex index(reg, 500.0);
   index.refresh(sim.now());
@@ -136,8 +157,8 @@ TEST(NeighborIndexTest, MatchesBruteForce) {
 TEST(NeighborIndexTest, ExcludesRequestedNode) {
   Simulator sim(1);
   NodeRegistry reg;
-  const NodeId a = reg.add_node([] { return Vec2{0, 0}; });
-  reg.add_node([] { return Vec2{10, 0}; });
+  const NodeId a = reg.add_node(Vec2{0, 0});
+  reg.add_node(Vec2{10, 0});
   NeighborIndex index(reg, 100.0);
   index.refresh(sim.now());
   std::vector<NodeId> out;
@@ -508,8 +529,8 @@ TEST(BeaconTest, StaleNeighborsExpire) {
   NodeRegistry reg;
   Vec2 b_pos{300, 0};
   std::vector<std::unique_ptr<CaptureSink>> sinks;
-  const NodeId a = reg.add_node([] { return Vec2{0, 0}; });
-  const NodeId b = reg.add_node([&b_pos] { return b_pos; });
+  const NodeId a = reg.add_node(Vec2{0, 0});
+  const NodeId b = reg.add_node(b_pos);
   RadioMedium medium(sim, reg, lossless());
   BeaconConfig cfg;
   cfg.enabled = true;
@@ -521,7 +542,8 @@ TEST(BeaconTest, StaleNeighborsExpire) {
   beacons.neighbors_of(a, &out);
   EXPECT_FALSE(out.empty());
   // b drives out of range; after the timeout its entry must be gone.
-  b_pos = {5000, 0};
+  reg.set_position(b, Vec2{5000, 0});
+  reg.bump_position_generation();
   sim.run_until(SimTime::from_sec(6));
   out.clear();
   beacons.neighbors_of(a, &out);

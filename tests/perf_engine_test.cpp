@@ -267,9 +267,10 @@ TEST(SlabEventQueueTest, FuzzAgainstSortedListModel) {
 // OpenAddressMap vs std::unordered_map.
 
 TEST(OpenAddressMapTest, SentinelKeyUsesSideSlot) {
-  // ~0 packs cell (-1, -1); it must behave like any other key even though
-  // the slot array uses it to mark free slots.
-  OpenAddressMap<std::uint64_t, std::uint32_t> map{~std::uint64_t{0}};
+  // ~0 packs cell (-1, -1); PR 5 reserved it as the free-slot marker and
+  // parked it in a side slot. The state array made it an ordinary key, but
+  // the behavior it pins — every bit pattern usable — must hold forever.
+  OpenAddressMap<std::uint64_t, std::uint32_t> map;
   EXPECT_EQ(map.find(~std::uint64_t{0}), nullptr);
   map.find_or_insert(~std::uint64_t{0}, 7) = 9;
   ASSERT_NE(map.find(~std::uint64_t{0}), nullptr);
@@ -282,7 +283,7 @@ TEST(OpenAddressMapTest, SentinelKeyUsesSideSlot) {
 
 TEST(OpenAddressMapTest, FuzzAgainstUnorderedMap) {
   Rng rng(0xc0ffee);
-  OpenAddressMap<std::uint64_t, std::uint32_t> map{~std::uint64_t{0}};
+  OpenAddressMap<std::uint64_t, std::uint32_t> map;
   std::unordered_map<std::uint64_t, std::uint32_t> ref;
   for (int op = 0; op < 20000; ++op) {
     // Small key space forces collisions; keys near the top of the space hit
@@ -318,15 +319,14 @@ TEST(OpenAddressMapTest, FuzzAgainstUnorderedMap) {
 // Stale-neighbor-index regression (satellite bugfix a).
 
 TEST(StaleIndexRegressionTest, PositionWriteMidTimestampInvalidatesIndex) {
-  // Positions are pulled through callbacks, so a write is invisible to the
-  // registry; the mutator must bump the position generation. The index keys
-  // its rebuild on (time, generation): with the bump, a query at the SAME
-  // timestamp sees the new position — without it, the seed's bug, the index
-  // kept serving the stale snapshot.
+  // A pushed position write alone does not invalidate cached neighbor
+  // sets; the mutator must also bump the position generation. The index
+  // keys its rebuild on (time, generation): with the bump, a query at the
+  // SAME timestamp sees the new position — without it, the seed's bug, the
+  // index kept serving the stale snapshot.
   NodeRegistry registry;
-  Vec2 moving{100.0, 100.0};
-  const NodeId mover = registry.add_node([&moving] { return moving; });
-  const NodeId anchor = registry.add_node([] { return Vec2{900.0, 900.0}; });
+  const NodeId mover = registry.add_node(Vec2{100.0, 100.0});
+  const NodeId anchor = registry.add_node(Vec2{900.0, 900.0});
 
   NeighborIndex index(registry, 500.0);
   index.refresh(SimTime::from_sec(10));
@@ -334,8 +334,8 @@ TEST(StaleIndexRegressionTest, PositionWriteMidTimestampInvalidatesIndex) {
   index.query(Vec2{900.0, 900.0}, 500.0, anchor, &out);
   EXPECT_TRUE(out.empty()) << "mover should start out of range";
 
-  // Mid-timestamp move into range, as a movement listener would trigger.
-  moving = Vec2{850.0, 900.0};
+  // Mid-timestamp move into range, as the pose bridge would push it.
+  registry.set_position(mover, Vec2{850.0, 900.0});
   registry.bump_position_generation();
   index.refresh(SimTime::from_sec(10));  // same timestamp
   out.clear();
@@ -349,13 +349,12 @@ TEST(StaleIndexRegressionTest, WithoutBumpSameTimestampRefreshIsANoop) {
   // invisible until either the clock or the generation advances. This is
   // why every position mutator must bump.
   NodeRegistry registry;
-  Vec2 moving{100.0, 100.0};
-  registry.add_node([&moving] { return moving; });
-  const NodeId anchor = registry.add_node([] { return Vec2{900.0, 900.0}; });
+  const NodeId mover = registry.add_node(Vec2{100.0, 100.0});
+  const NodeId anchor = registry.add_node(Vec2{900.0, 900.0});
 
   NeighborIndex index(registry, 500.0);
   index.refresh(SimTime::from_sec(10));
-  moving = Vec2{850.0, 900.0};  // no bump
+  registry.set_position(mover, Vec2{850.0, 900.0});  // no bump
   index.refresh(SimTime::from_sec(10));
   std::vector<NodeId> out;
   index.query(Vec2{900.0, 900.0}, 500.0, anchor, &out);

@@ -20,8 +20,8 @@ TEST(RsuBehaviorTest, L2TablesCarryTheRecordsGrid) {
   auto& svc = dynamic_cast<HlsrgService&>(world.service());
   const auto& h = world.hierarchy();
   for (const auto& rsu : svc.rsu_agents()) {
-    if (rsu->level() != GridLevel::kL2) continue;
-    for (const auto& [vid, summary] : rsu->l2_table()) {
+    if (rsu.level() != GridLevel::kL2) continue;
+    for (const auto& [vid, summary] : rsu.l2_table()) {
       EXPECT_GE(summary.l1.col, 0);
       EXPECT_LT(summary.l1.col, h.cols(GridLevel::kL1));
       EXPECT_GE(summary.l1.row, 0);
@@ -37,9 +37,9 @@ TEST(RsuBehaviorTest, L3TablesFedByL2Pushes) {
   world.run_until(SimTime::from_sec(120));
   auto& svc = dynamic_cast<HlsrgService&>(world.service());
   for (const auto& rsu : svc.rsu_agents()) {
-    if (rsu->level() != GridLevel::kL3) continue;
-    EXPECT_GT(rsu->l3_table().size(), 0u);
-    for (const auto& [vid, summary] : rsu->l3_table()) {
+    if (rsu.level() != GridLevel::kL3) continue;
+    EXPECT_GT(rsu.l3_table().size(), 0u);
+    for (const auto& [vid, summary] : rsu.l3_table()) {
       // Owner region on a 2 km map is always (0,0) — the only L3.
       EXPECT_EQ(summary.owner_l3, (GridCoord{0, 0}));
     }
@@ -89,6 +89,33 @@ TEST(CollectionBehaviorTest, HandoffsAndPushesHappen) {
   world.run_until(SimTime::from_sec(150));
   EXPECT_GT(trace.count(TraceEventKind::kTableHandoff), 0u);
   EXPECT_GT(trace.count(TraceEventKind::kTablePush), 0u);
+}
+
+TEST(CollectionBehaviorTest, CollectionTimerIsArmedOnlyAroundCenterDuty) {
+  // The periodic collection tick is conditional (DESIGN.md §15): entering a
+  // grid center arms it onto the fixed phase grid; leaving lets the next
+  // tick lazily disarm. At any instant, center duty implies an armed timer
+  // (the converse can lag by up to one push period).
+  ScenarioConfig cfg = paper_scenario(300, 87);
+  World world(cfg, Protocol::kHlsrg);
+  auto& svc = static_cast<HlsrgService&>(world.service());
+  world.run_until(SimTime::from_sec(120));
+  std::size_t on_duty = 0;
+  std::size_t armed = 0;
+  for (int i = 0; i < cfg.vehicles; ++i) {
+    const HlsrgVehicleAgent& agent =
+        svc.vehicle_agent(VehicleId{static_cast<std::uint32_t>(i)});
+    if (agent.in_center()) {
+      ++on_duty;
+      EXPECT_TRUE(agent.collection_armed())
+          << "vehicle " << i << " holds center duty without a timer";
+    }
+    armed += agent.collection_armed() ? 1 : 0;
+  }
+  // Sanity: the invariant must not hold vacuously, and most of the fleet
+  // must be idle (the whole point of making the timer conditional).
+  EXPECT_GT(on_duty, 0u);
+  EXPECT_LT(armed, static_cast<std::size_t>(cfg.vehicles) / 2);
 }
 
 // --- rule engine properties over sampled passes --------------------------------

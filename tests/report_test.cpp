@@ -131,6 +131,8 @@ TEST(RunReportTest, JsonRoundTripFieldEquality) {
   engine.peak_queue_depth = 930;
   engine.sim_time_sec = 150.0;
   engine.wall_clock_sec = 0.0625;
+  engine.peak_rss_bytes = 123456789;
+  engine.table_bytes = 424242;
 
   const RunReport report =
       make_run_report(Protocol::kHlsrg, cfg, sample_metrics(), engine);
@@ -205,6 +207,8 @@ TEST(RunReportTest, JsonRoundTripFieldEquality) {
   EXPECT_EQ(back.engine.peak_queue_depth, engine.peak_queue_depth);
   EXPECT_DOUBLE_EQ(back.engine.sim_time_sec, engine.sim_time_sec);
   EXPECT_DOUBLE_EQ(back.engine.wall_clock_sec, engine.wall_clock_sec);
+  EXPECT_EQ(back.engine.peak_rss_bytes, engine.peak_rss_bytes);
+  EXPECT_EQ(back.engine.table_bytes, engine.table_bytes);
 }
 
 TEST(RunReportTest, FromJsonRejectsMalformed) {

@@ -285,7 +285,7 @@ TEST(ServiceWorldTest, MidWindowRsuCrashConservesQueries) {
     t = t + SimTime::from_ms(100.0);
     w.run_until(t);
     for (std::size_t i = 0; i < svc.rsu_agents().size(); ++i) {
-      if (svc.rsu_agents()[i]->pending_batches() > 0) {
+      if (svc.rsu_agents()[i].pending_batches() > 0) {
         svc.set_rsu_up(RsuId{i}, false);
         crashed = true;
         break;
@@ -296,7 +296,7 @@ TEST(ServiceWorldTest, MidWindowRsuCrashConservesQueries) {
   w.run_until(t + SimTime::from_sec(2.0));
   // Reboot so later queries have a full backbone again.
   for (std::size_t i = 0; i < svc.rsu_agents().size(); ++i) {
-    if (!svc.rsu_agents()[i]->up()) svc.set_rsu_up(RsuId{i}, true);
+    if (!svc.rsu_agents()[i].up()) svc.set_rsu_up(RsuId{i}, true);
   }
   w.run_until(cfg.end_time());
 
